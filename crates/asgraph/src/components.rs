@@ -1,0 +1,180 @@
+//! Connected components and breadth-first search.
+
+use crate::graph::{Graph, NodeId};
+
+/// The partition of a graph's nodes into connected components.
+///
+/// Produced by [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `labels[v]` is the component index of node `v` (`0..count`).
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component index of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+
+    /// The members of every component, indexed by component id.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.labels.iter().enumerate() {
+            out[c as usize].push(v as NodeId);
+        }
+        out
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest_size(&self) -> usize {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.labels {
+            sizes[c as usize] += 1;
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes the connected components of `g` with an iterative BFS.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::{Graph, components::connected_components};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+/// let cc = connected_components(&g);
+/// assert_eq!(cc.count(), 3); // {0,1}, {2,3}, {4}
+/// assert!(cc.same_component(0, 1));
+/// assert!(!cc.same_component(1, 2));
+/// ```
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        labels,
+        count: count as usize,
+    }
+}
+
+/// Whether `g` is connected. An empty graph is considered connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() == 0 || connected_components(g).count() == 1
+}
+
+/// BFS distances from `source`; unreachable nodes get `None`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source {source} out of range ({n} nodes)");
+    let mut dist = vec![None; n];
+    dist[source as usize] = Some(0);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize].expect("queued node has distance");
+        for &v in g.neighbors(u) {
+            if dist[v as usize].is_none() {
+                dist[v as usize] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::complete(4);
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 1);
+        assert_eq!(cc.largest_size(), 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_components() {
+        let g = Graph::empty(3);
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]);
+        let cc = connected_components(&g);
+        let members = cc.members();
+        assert_eq!(members.len(), cc.count());
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        assert_eq!(members[cc.component_of(0) as usize], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_path_graph() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_bad_source_panics() {
+        let g = Graph::empty(2);
+        let _ = bfs_distances(&g, 9);
+    }
+}

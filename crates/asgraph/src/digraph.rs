@@ -1,0 +1,222 @@
+//! Directed simple-graph substrate.
+//!
+//! The AS-level topology has a natural orientation — customer→provider —
+//! and the CPM family has a directed variant (Palla, Farkas, Pollner,
+//! Derényi, Vicsek, New J. Phys. 2007) built on *directed k-cliques*:
+//! complete subgraphs whose orientation is acyclic, i.e. a transitive
+//! tournament (in AS terms: a strict customer hierarchy). This module
+//! provides the directed graph; `cpm::directed` runs the percolation.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashSet;
+
+/// An immutable directed simple graph (no self loops, no parallel
+/// edges; an edge in both directions is allowed and distinct).
+///
+/// # Example
+///
+/// ```
+/// use asgraph::digraph::DiGraph;
+///
+/// let g = DiGraph::from_arcs(3, [(0, 1), (1, 2), (0, 2)]);
+/// assert!(g.has_arc(0, 1));
+/// assert!(!g.has_arc(1, 0));
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.in_degree(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    out_offsets: Vec<usize>,
+    out_adjacency: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_adjacency: Vec<NodeId>,
+    arc_count: usize,
+}
+
+impl DiGraph {
+    /// Builds a digraph with `n` nodes from arcs `(from, to)`.
+    /// Self loops and duplicates are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_arcs<I>(n: usize, arcs: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut set: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for (u, v) in arcs {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "arc ({u},{v}) out of range ({n} nodes)"
+            );
+            if u != v {
+                set.insert((u, v));
+            }
+        }
+        let mut arcs: Vec<(NodeId, NodeId)> = set.into_iter().collect();
+        arcs.sort_unstable();
+
+        let build = |n: usize, pairs: &[(NodeId, NodeId)]| {
+            let mut offsets = vec![0usize; n + 1];
+            for &(u, _) in pairs {
+                offsets[u as usize + 1] += 1;
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut adjacency = vec![0 as NodeId; pairs.len()];
+            let mut cursor = offsets.clone();
+            for &(u, v) in pairs {
+                adjacency[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+            }
+            for v in 0..n {
+                adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+            }
+            (offsets, adjacency)
+        };
+        let (out_offsets, out_adjacency) = build(n, &arcs);
+        let mut reversed: Vec<(NodeId, NodeId)> = arcs.iter().map(|&(u, v)| (v, u)).collect();
+        reversed.sort_unstable();
+        let (in_offsets, in_adjacency) = build(n, &reversed);
+        DiGraph {
+            arc_count: arcs.len(),
+            out_offsets,
+            out_adjacency,
+            in_offsets,
+            in_adjacency,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arc_count
+    }
+
+    /// Successors of `v` (sorted).
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_adjacency[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Predecessors of `v` (sorted).
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_adjacency[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.successors(v).len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.predecessors(v).len()
+    }
+
+    /// Whether the arc `u → v` exists.
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.successors(u).binary_search(&v).is_ok()
+    }
+
+    /// The underlying undirected graph (each arc becomes an edge;
+    /// anti-parallel pairs collapse to one edge).
+    pub fn to_undirected(&self) -> Graph {
+        let mut b = crate::GraphBuilder::with_nodes(self.node_count());
+        for u in 0..self.node_count() as NodeId {
+            for &v in self.successors(u) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Orients an undirected graph by a total order on nodes: each edge
+    /// points from the smaller `rank` to the larger. With `rank[v] =
+    /// degree(v)` (ties by id) this is the customer→provider proxy used
+    /// by the directed-CPM experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank.len() != g.node_count()`.
+    pub fn orient_by_rank(g: &Graph, rank: &[u64]) -> DiGraph {
+        assert_eq!(rank.len(), g.node_count(), "rank length");
+        let arcs = g.edges().map(|(u, v)| {
+            let key_u = (rank[u as usize], u);
+            let key_v = (rank[v as usize], v);
+            if key_u < key_v {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        });
+        DiGraph::from_arcs(g.node_count(), arcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_are_directional() {
+        let g = DiGraph::from_arcs(3, [(0, 1), (1, 2)]);
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.predecessors(2), &[1]);
+        assert_eq!(g.successors(1), &[2]);
+    }
+
+    #[test]
+    fn antiparallel_arcs_are_distinct() {
+        let g = DiGraph::from_arcs(2, [(0, 1), (1, 0)]);
+        assert_eq!(g.arc_count(), 2);
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(1, 0));
+        assert_eq!(g.to_undirected().edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let g = DiGraph::from_arcs(3, [(0, 0), (0, 1), (0, 1)]);
+        assert_eq!(g.arc_count(), 1);
+    }
+
+    #[test]
+    fn orientation_by_rank() {
+        let und = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        // rank: 2 < 0 < 1 — so arcs 2->0, 2->1, 0->1.
+        let g = DiGraph::orient_by_rank(&und, &[1, 2, 0]);
+        assert!(g.has_arc(2, 0));
+        assert!(g.has_arc(2, 1));
+        assert!(g.has_arc(0, 1));
+        assert_eq!(g.arc_count(), 3);
+    }
+
+    #[test]
+    fn orientation_is_acyclic() {
+        let und = Graph::complete(5);
+        let rank: Vec<u64> = (0..5).collect();
+        let g = DiGraph::orient_by_rank(&und, &rank);
+        // Every arc goes from smaller to larger id: topological by id.
+        for u in 0..5u32 {
+            for &v in g.successors(u) {
+                assert!(u < v);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_arc_panics() {
+        let _ = DiGraph::from_arcs(2, [(0, 5)]);
+    }
+}

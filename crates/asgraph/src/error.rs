@@ -1,0 +1,78 @@
+//! Error types.
+
+use std::fmt;
+
+/// Error returned when parsing an edge-list document fails.
+///
+/// Produced by [`crate::io::parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGraphError {
+    line: usize,
+    kind: ParseGraphErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseGraphErrorKind {
+    /// The line did not contain exactly two whitespace-separated fields.
+    FieldCount(usize),
+    /// A field was not a valid node id.
+    BadNodeId(String),
+}
+
+impl ParseGraphError {
+    pub(crate) fn field_count(line: usize, got: usize) -> Self {
+        ParseGraphError {
+            line,
+            kind: ParseGraphErrorKind::FieldCount(got),
+        }
+    }
+
+    pub(crate) fn bad_node_id(line: usize, field: &str) -> Self {
+        ParseGraphError {
+            line,
+            kind: ParseGraphErrorKind::BadNodeId(field.to_owned()),
+        }
+    }
+
+    /// 1-based line number at which parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseGraphErrorKind::FieldCount(got) => write!(
+                f,
+                "line {}: expected 2 whitespace-separated node ids, found {got} fields",
+                self.line
+            ),
+            ParseGraphErrorKind::BadNodeId(field) => {
+                write!(f, "line {}: invalid node id {field:?}", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = ParseGraphError::bad_node_id(7, "x9");
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("x9"));
+        assert_eq!(e.line(), 7);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ParseGraphError>();
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text edge-list serialisation.
+//!
+//! The format mirrors the public AS-link datasets the paper merges
+//! (CAIDA IPv4 Routed /24 AS Links, DIMES, IRL): one undirected edge per
+//! line as two whitespace-separated node ids; `#` starts a comment; blank
+//! lines are skipped.
+
+use crate::error::ParseGraphError;
+use crate::graph::{Graph, NodeId};
+use std::io::{self, BufRead, Write};
+
+/// Parses an edge-list document into a [`Graph`].
+///
+/// Duplicate edges and self loops are normalised away by the builder.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] if a non-comment line does not consist of
+/// exactly two valid node ids.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), asgraph::ParseGraphError> {
+/// let text = "# AS links\n0 1\n1 2\n\n2 0\n";
+/// let g = asgraph::io::parse_edge_list(text)?;
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut b = crate::GraphBuilder::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (a, b_field) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            (a, b, c) => {
+                let got = [a, b, c].iter().filter(|f| f.is_some()).count();
+                return Err(ParseGraphError::field_count(i + 1, got));
+            }
+        };
+        let u: NodeId = a
+            .parse()
+            .map_err(|_| ParseGraphError::bad_node_id(i + 1, a))?;
+        let v: NodeId = b_field
+            .parse()
+            .map_err(|_| ParseGraphError::bad_node_id(i + 1, b_field))?;
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Reads an edge list from any [`BufRead`] source (pass `&mut reader` if
+/// you need the reader back).
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] for read failures; parse failures are wrapped
+/// as [`io::ErrorKind::InvalidData`].
+pub fn read_edge_list<R: BufRead>(mut reader: R) -> io::Result<Graph> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    parse_edge_list(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes `g` as an edge-list document (one `u v` pair per line, `u < v`).
+///
+/// # Errors
+///
+/// Propagates any error from the underlying writer.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "# nodes: {} edges: {}", g.node_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Renders `g` as an edge-list string.
+pub fn to_edge_list_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("edge list output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let text = to_edge_list_string(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = parse_edge_list("# header\n\n0 1\n  # indented comment\n1 2\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn bad_field_count() {
+        let err = parse_edge_list("0 1 2\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("3 fields"));
+    }
+
+    #[test]
+    fn bad_node_id() {
+        let err = parse_edge_list("0 1\nA B\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn single_field_is_error() {
+        assert!(parse_edge_list("42\n").is_err());
+    }
+
+    #[test]
+    fn read_via_bufread() {
+        let data = b"0 1\n1 2\n" as &[u8];
+        let g = read_edge_list(data).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn read_invalid_data_kind() {
+        let data = b"nope\n" as &[u8];
+        let err = read_edge_list(data).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,227 @@
+//! Community quality metrics: link density and Out-Degree Fraction.
+//!
+//! These are the two metrics of the paper's Figure 4.4. *Link density*
+//! (Lancichinetti et al. 2010) is the fraction of realised internal edges
+//! over the full-mesh maximum. The *Out-Degree Fraction* (Leskovec et al.,
+//! WWW 2010) of a node is the fraction of its edges that leave the
+//! community; the paper's prose inverts the ratio by mistake, but its
+//! conclusions (small dense parallel communities have *high* ODF, i.e. most
+//! of their members' links point outside) match this standard definition,
+//! which is what we implement. See DESIGN.md §4.4.
+
+use crate::graph::{Graph, NodeId};
+
+/// Per-community structural metrics over a parent graph.
+///
+/// Produced by [`community_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommunityMetrics {
+    /// Number of nodes in the community.
+    pub size: usize,
+    /// Edges with both endpoints inside the community.
+    pub internal_edges: usize,
+    /// Sum over members of edges leaving the community.
+    pub external_degree: usize,
+    /// Internal edges over `size * (size - 1) / 2`; 1.0 for single nodes.
+    pub link_density: f64,
+    /// Mean over members of `external / (internal + external)` degree.
+    pub average_odf: f64,
+}
+
+/// Computes [`CommunityMetrics`] for the node set `members` of `g`.
+///
+/// Duplicate ids are deduplicated. Isolated members contribute an ODF of 0.
+///
+/// # Panics
+///
+/// Panics if any id is out of range.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::{Graph, metrics::community_metrics};
+///
+/// // Triangle 0-1-2 with node 2 also linked to outside nodes 3 and 4.
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (2, 4)]);
+/// let m = community_metrics(&g, &[0, 1, 2]);
+/// assert_eq!(m.internal_edges, 3);
+/// assert_eq!(m.link_density, 1.0);
+/// // Node 2 has ODF 2/4; nodes 0 and 1 have ODF 0.
+/// assert!((m.average_odf - (0.5 / 3.0)).abs() < 1e-12);
+/// ```
+pub fn community_metrics(g: &Graph, members: &[NodeId]) -> CommunityMetrics {
+    let mut inset = vec![false; g.node_count()];
+    let mut unique = Vec::with_capacity(members.len());
+    for &v in members {
+        assert!(
+            (v as usize) < g.node_count(),
+            "node {v} out of range ({} nodes)",
+            g.node_count()
+        );
+        if !inset[v as usize] {
+            inset[v as usize] = true;
+            unique.push(v);
+        }
+    }
+
+    let size = unique.len();
+    let mut internal_twice = 0usize;
+    let mut external = 0usize;
+    let mut odf_sum = 0.0f64;
+    for &v in &unique {
+        let mut int_deg = 0usize;
+        let mut ext_deg = 0usize;
+        for &w in g.neighbors(v) {
+            if inset[w as usize] {
+                int_deg += 1;
+            } else {
+                ext_deg += 1;
+            }
+        }
+        internal_twice += int_deg;
+        external += ext_deg;
+        let total = int_deg + ext_deg;
+        if total > 0 {
+            odf_sum += ext_deg as f64 / total as f64;
+        }
+    }
+
+    let internal_edges = internal_twice / 2;
+    let possible = size.saturating_sub(1) * size / 2;
+    let link_density = if possible == 0 {
+        1.0
+    } else {
+        internal_edges as f64 / possible as f64
+    };
+    let average_odf = if size == 0 { 0.0 } else { odf_sum / size as f64 };
+
+    CommunityMetrics {
+        size,
+        internal_edges,
+        external_degree: external,
+        link_density,
+        average_odf,
+    }
+}
+
+/// Link density of the whole graph.
+pub fn graph_density(g: &Graph) -> f64 {
+    let n = g.node_count();
+    let possible = n.saturating_sub(1) * n / 2;
+    if possible == 0 {
+        1.0
+    } else {
+        g.edge_count() as f64 / possible as f64
+    }
+}
+
+/// Counts the triangles of `g` using neighbourhood intersections over the
+/// degeneracy-oriented graph (each triangle counted once).
+pub fn triangle_count(g: &Graph) -> usize {
+    let deg = crate::ordering::degeneracy_order(g);
+    let mut count = 0usize;
+    for u in g.node_ids() {
+        let ru = deg.rank[u as usize];
+        // Consider only neighbours later in the degeneracy order; the
+        // oriented out-degree is bounded by the degeneracy.
+        let higher: Vec<NodeId> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| deg.rank[v as usize] > ru)
+            .collect();
+        for (i, &v) in higher.iter().enumerate() {
+            for &w in &higher[i + 1..] {
+                if g.has_edge(v, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// For every edge `(u, v)` of `g`, the number of triangles it participates
+/// in, i.e. `|N(u) ∩ N(v)|`. Returned in the same order as
+/// [`Graph::edges`]. Used by the k-dense baseline.
+pub fn edge_triangle_support(g: &Graph) -> Vec<((NodeId, NodeId), usize)> {
+    g.edges()
+        .map(|(u, v)| ((u, v), g.common_neighbor_count(u, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_metrics() {
+        let g = Graph::complete(5);
+        let m = community_metrics(&g, &[0, 1, 2, 3, 4]);
+        assert_eq!(m.size, 5);
+        assert_eq!(m.internal_edges, 10);
+        assert_eq!(m.link_density, 1.0);
+        assert_eq!(m.average_odf, 0.0);
+    }
+
+    #[test]
+    fn singleton_density_is_one() {
+        let g = Graph::complete(3);
+        let m = community_metrics(&g, &[0]);
+        assert_eq!(m.size, 1);
+        assert_eq!(m.link_density, 1.0);
+        assert_eq!(m.average_odf, 1.0); // both its edges leave
+    }
+
+    #[test]
+    fn empty_community() {
+        let g = Graph::complete(3);
+        let m = community_metrics(&g, &[]);
+        assert_eq!(m.size, 0);
+        assert_eq!(m.average_odf, 0.0);
+    }
+
+    #[test]
+    fn duplicates_deduplicated() {
+        let g = Graph::complete(4);
+        let a = community_metrics(&g, &[0, 1, 1, 0]);
+        let b = community_metrics(&g, &[0, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn whole_graph_odf_zero() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let all: Vec<_> = g.node_ids().collect();
+        let m = community_metrics(&g, &all);
+        assert_eq!(m.average_odf, 0.0);
+        assert_eq!(m.external_degree, 0);
+        assert_eq!(m.internal_edges, g.edge_count());
+    }
+
+    #[test]
+    fn graph_density_values() {
+        assert_eq!(graph_density(&Graph::complete(4)), 1.0);
+        assert_eq!(graph_density(&Graph::empty(4)), 0.0);
+        assert_eq!(graph_density(&Graph::empty(0)), 1.0);
+    }
+
+    #[test]
+    fn triangles_in_k4() {
+        assert_eq!(triangle_count(&Graph::complete(4)), 4);
+    }
+
+    #[test]
+    fn triangles_in_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn edge_support_in_k4() {
+        let g = Graph::complete(4);
+        let support = edge_triangle_support(&g);
+        assert_eq!(support.len(), 6);
+        assert!(support.iter().all(|&(_, s)| s == 2));
+    }
+}

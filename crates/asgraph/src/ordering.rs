@@ -1,0 +1,210 @@
+//! Degeneracy ordering and core numbers.
+//!
+//! The degeneracy ordering (Matula–Beck bucket peeling) serves two masters in
+//! this workspace: it is the outer-loop order of the Eppstein–Löffler–Strash
+//! variant of Bron–Kerbosch in the `cliques` crate, and its per-node peel
+//! values *are* the k-core decomposition (Seidman 1983) used as a baseline.
+
+use crate::graph::{Graph, NodeId};
+
+/// Result of the degeneracy / k-core peeling of a graph.
+///
+/// Produced by [`degeneracy_order`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degeneracy {
+    /// Nodes in peel order: each node has the minimum remaining degree at
+    /// the moment it is removed.
+    pub order: Vec<NodeId>,
+    /// `rank[v]` is the position of `v` in [`Degeneracy::order`].
+    pub rank: Vec<u32>,
+    /// `core_number[v]` is the largest `k` such that `v` belongs to the
+    /// k-core (the maximal subgraph of minimum degree `k`).
+    pub core_number: Vec<u32>,
+    /// The graph degeneracy: `max(core_number)` (0 for an empty graph).
+    pub degeneracy: u32,
+}
+
+/// Computes a degeneracy ordering and all core numbers in `O(n + m)` using
+/// bucketed min-degree peeling.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::{Graph, ordering::degeneracy_order};
+///
+/// // A triangle with a pendant vertex: degeneracy 2, pendant core 1.
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let d = degeneracy_order(&g);
+/// assert_eq!(d.degeneracy, 2);
+/// assert_eq!(d.core_number[3], 1);
+/// assert_eq!(d.core_number[0], 2);
+/// ```
+pub fn degeneracy_order(g: &Graph) -> Degeneracy {
+    let n = g.node_count();
+    if n == 0 {
+        return Degeneracy {
+            order: Vec::new(),
+            rank: Vec::new(),
+            core_number: Vec::new(),
+            degeneracy: 0,
+        };
+    }
+
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as NodeId)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // bucket[d] holds nodes of current degree d.
+    let mut bucket_heads: Vec<Vec<NodeId>> = vec![Vec::new(); max_degree + 1];
+    for v in 0..n {
+        bucket_heads[degree[v]].push(v as NodeId);
+    }
+
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut rank = vec![0u32; n];
+    let mut core_number = vec![0u32; n];
+    let mut current_core = 0u32;
+    let mut cursor = 0usize; // lowest possibly-non-empty bucket
+
+    for step in 0..n {
+        // Find the non-empty bucket with the smallest degree, skipping
+        // stale entries (nodes whose degree has since decreased or that
+        // were already removed).
+        let v = loop {
+            while cursor <= max_degree && bucket_heads[cursor].is_empty() {
+                cursor += 1;
+            }
+            debug_assert!(cursor <= max_degree, "peeling ran out of nodes");
+            let candidate = bucket_heads[cursor].pop().expect("non-empty bucket");
+            let c = candidate as usize;
+            if !removed[c] && degree[c] == cursor {
+                break candidate;
+            }
+            // Stale entry: the node lives in a lower bucket now (or is
+            // gone); its true bucket may be below `cursor`.
+            if !removed[c] && degree[c] < cursor {
+                cursor = degree[c];
+            }
+        };
+
+        let vu = v as usize;
+        removed[vu] = true;
+        current_core = current_core.max(degree[vu] as u32);
+        core_number[vu] = current_core;
+        rank[vu] = step as u32;
+        order.push(v);
+
+        for &w in g.neighbors(v) {
+            let wu = w as usize;
+            if !removed[wu] {
+                degree[wu] -= 1;
+                bucket_heads[degree[wu]].push(w);
+                if degree[wu] < cursor {
+                    cursor = degree[wu];
+                }
+            }
+        }
+    }
+
+    Degeneracy {
+        order,
+        rank,
+        core_number,
+        degeneracy: current_core,
+    }
+}
+
+/// Nodes belonging to the `k`-core of `g` (possibly empty).
+///
+/// A convenience wrapper over [`degeneracy_order`]; the k-core is the
+/// maximal subgraph in which every node has degree ≥ `k`.
+pub fn k_core_members(g: &Graph, k: u32) -> Vec<NodeId> {
+    let d = degeneracy_order(g);
+    (0..g.node_count() as NodeId)
+        .filter(|&v| d.core_number[v as usize] >= k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let d = degeneracy_order(&Graph::empty(0));
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.order.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let d = degeneracy_order(&Graph::empty(4));
+        assert_eq!(d.degeneracy, 0);
+        assert_eq!(d.order.len(), 4);
+        assert!(d.core_number.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn clique_degeneracy() {
+        let g = Graph::complete(6);
+        let d = degeneracy_order(&g);
+        assert_eq!(d.degeneracy, 5);
+        assert!(d.core_number.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn path_degeneracy_is_one() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = degeneracy_order(&g);
+        assert_eq!(d.degeneracy, 1);
+    }
+
+    #[test]
+    fn rank_matches_order() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let d = degeneracy_order(&g);
+        for (i, &v) in d.order.iter().enumerate() {
+            assert_eq!(d.rank[v as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn core_invariant_holds() {
+        // Every node in the k-core has >= k neighbours inside the k-core.
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (0, 3), // K4 on 0..=3
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+            ],
+        );
+        let d = degeneracy_order(&g);
+        assert_eq!(d.degeneracy, 3);
+        for k in 0..=d.degeneracy {
+            let members = k_core_members(&g, k);
+            let inset: std::collections::HashSet<_> = members.iter().copied().collect();
+            for &v in &members {
+                let internal = g.neighbors(v).iter().filter(|w| inset.contains(w)).count();
+                assert!(
+                    internal >= k as usize,
+                    "node {v} has only {internal} internal neighbours in {k}-core"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_core_excludes_pendants() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let members = k_core_members(&g, 2);
+        assert_eq!(members, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Node-induced subgraphs.
+//!
+//! The paper leans on *tag-induced subgraphs* (Palla et al., New J. Phys.
+//! 2008): the subgraph induced by a tag α contains every edge whose two
+//! endpoints both carry α. [`induced`] implements exactly that given the
+//! node set of interest.
+
+use crate::graph::{Graph, NodeId};
+
+/// A node-induced subgraph together with the mapping back to the parent
+/// graph's node ids.
+///
+/// Produced by [`induced`].
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The subgraph itself; its node `i` corresponds to
+    /// `original_ids[i]` in the parent graph.
+    pub graph: Graph,
+    /// Sorted parent-graph ids of the subgraph's nodes.
+    pub original_ids: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Maps a subgraph node id back to the parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn to_original(&self, local: NodeId) -> NodeId {
+        self.original_ids[local as usize]
+    }
+
+    /// Maps a parent-graph node id into the subgraph, if present.
+    pub fn to_local(&self, original: NodeId) -> Option<NodeId> {
+        self.original_ids
+            .binary_search(&original)
+            .ok()
+            .map(|i| i as NodeId)
+    }
+}
+
+/// Builds the subgraph of `g` induced by `nodes`.
+///
+/// Duplicate ids in `nodes` are tolerated (deduplicated). Runs in
+/// `O(Σ deg(v) + |nodes| log |nodes|)`.
+///
+/// # Panics
+///
+/// Panics if any id in `nodes` is out of range for `g`.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::{Graph, subgraph::induced};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+/// let sub = induced(&g, [0, 1, 2]);
+/// assert_eq!(sub.graph.node_count(), 3);
+/// assert_eq!(sub.graph.edge_count(), 2); // 0-1, 1-2 (edge 2-3 leaves the set)
+/// assert_eq!(sub.to_original(0), 0);
+/// ```
+pub fn induced<I>(g: &Graph, nodes: I) -> InducedSubgraph
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut ids: Vec<NodeId> = nodes.into_iter().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    for &v in &ids {
+        assert!(
+            (v as usize) < g.node_count(),
+            "node {v} out of range ({} nodes)",
+            g.node_count()
+        );
+    }
+
+    let mut local = vec![u32::MAX; g.node_count()];
+    for (i, &v) in ids.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+
+    let mut b = crate::GraphBuilder::with_nodes(ids.len());
+    for (i, &v) in ids.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            let lw = local[w as usize];
+            if lw != u32::MAX && (i as u32) < lw {
+                b.add_edge(i as NodeId, lw);
+            }
+        }
+    }
+    InducedSubgraph {
+        graph: b.build(),
+        original_ids: ids,
+    }
+}
+
+/// Counts the edges of `g` with both endpoints in `nodes` without
+/// materialising the subgraph.
+///
+/// # Panics
+///
+/// Panics if any id is out of range.
+pub fn internal_edge_count(g: &Graph, nodes: &[NodeId]) -> usize {
+    let mut inset = vec![false; g.node_count()];
+    for &v in nodes {
+        assert!((v as usize) < g.node_count(), "node {v} out of range");
+        inset[v as usize] = true;
+    }
+    let mut count = 0;
+    for &v in nodes {
+        if !inset[v as usize] {
+            continue; // duplicate already processed
+        }
+        for &w in g.neighbors(v) {
+            if inset[w as usize] && v < w {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_triangle_from_k5() {
+        let g = Graph::complete(5);
+        let sub = induced(&g, [1, 3, 4]);
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 3);
+        assert_eq!(sub.original_ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn mapping_round_trip() {
+        let g = Graph::complete(6);
+        let sub = induced(&g, [5, 2, 0]);
+        for local in 0..sub.graph.node_count() as NodeId {
+            let orig = sub.to_original(local);
+            assert_eq!(sub.to_local(orig), Some(local));
+        }
+        assert_eq!(sub.to_local(3), None);
+    }
+
+    #[test]
+    fn duplicates_tolerated() {
+        let g = Graph::complete(4);
+        let sub = induced(&g, [1, 1, 2, 2]);
+        assert_eq!(sub.graph.node_count(), 2);
+        assert_eq!(sub.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = Graph::complete(4);
+        let sub = induced(&g, []);
+        assert_eq!(sub.graph.node_count(), 0);
+        assert_eq!(sub.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn internal_edges_match_subgraph() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]);
+        let nodes = vec![0, 1, 2, 3];
+        let sub = induced(&g, nodes.iter().copied());
+        assert_eq!(internal_edge_count(&g, &nodes), sub.graph.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let g = Graph::empty(2);
+        let _ = induced(&g, [7]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Edge-weighted graph view.
+//!
+//! The reproduced paper analyses an *unweighted* topology, but the CPM
+//! literature it builds on (CFinder) also supports weighted percolation
+//! (Farkas, Ábel, Palla, Vicsek 2007), where a k-clique participates only
+//! if its *intensity* — the geometric mean of its link weights — exceeds
+//! a threshold. [`WeightedGraph`] carries the weights for that extension
+//! (`cpm::weighted`), storing them aligned with the CSR adjacency so
+//! lookups share the `O(log d)` edge search.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// An undirected simple graph with a positive weight per edge.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::weighted::WeightedGraphBuilder;
+///
+/// let mut b = WeightedGraphBuilder::new();
+/// b.add_edge(0, 1, 2.0);
+/// b.add_edge(1, 2, 0.5);
+/// b.add_edge(0, 1, 3.0); // duplicate: the last weight wins
+/// let g = b.build();
+/// assert_eq!(g.weight(0, 1), Some(3.0));
+/// assert_eq!(g.weight(1, 0), Some(3.0));
+/// assert_eq!(g.weight(0, 2), None);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    graph: Graph,
+    /// `weights[i]` is the weight of the adjacency entry `i`, i.e. each
+    /// undirected edge stores its weight twice.
+    weights: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// The underlying unweighted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Weight of the edge `{u, v}`, if present.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let nbrs = self.graph.neighbors(u);
+        let pos = nbrs.binary_search(&v).ok()?;
+        let base = self.offset_of(u);
+        Some(self.weights[base + pos])
+    }
+
+    /// The neighbours of `v` paired with their edge weights.
+    pub fn weighted_neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let base = self.offset_of(v);
+        self.graph
+            .neighbors(v)
+            .iter()
+            .enumerate()
+            .map(move |(i, &w)| (w, self.weights[base + i]))
+    }
+
+    /// Node strength: the sum of incident edge weights.
+    pub fn strength(&self, v: NodeId) -> f64 {
+        self.weighted_neighbors(v).map(|(_, w)| w).sum()
+    }
+
+    /// The *intensity* of the node set `members`: the geometric mean of
+    /// the weights of all internal edges. Returns `None` if some pair is
+    /// not connected (i.e. the set is not a clique) or the set has fewer
+    /// than two nodes.
+    pub fn clique_intensity(&self, members: &[NodeId]) -> Option<f64> {
+        if members.len() < 2 {
+            return None;
+        }
+        let mut log_sum = 0.0f64;
+        let mut count = 0usize;
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                let w = self.weight(u, v)?;
+                log_sum += w.ln();
+                count += 1;
+            }
+        }
+        Some((log_sum / count as f64).exp())
+    }
+
+    fn offset_of(&self, v: NodeId) -> usize {
+        self.graph.adjacency_offset(v)
+    }
+}
+
+/// Builder for [`WeightedGraph`]: accepts duplicate edges (last weight
+/// wins) and drops self loops, mirroring [`crate::GraphBuilder`].
+#[derive(Debug, Clone, Default)]
+pub struct WeightedGraphBuilder {
+    weights: HashMap<(NodeId, NodeId), f64>,
+    n: usize,
+}
+
+impl WeightedGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder producing a graph with at least `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        WeightedGraphBuilder {
+            weights: HashMap::new(),
+            n,
+        }
+    }
+
+    /// Records the undirected edge `{u, v}` with `weight`. Re-adding an
+    /// edge replaces its weight; self loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> &mut Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be positive and finite, got {weight}"
+        );
+        let needed = u.max(v) as usize + 1;
+        if needed > self.n {
+            self.n = needed;
+        }
+        if u != v {
+            self.weights.insert((u.min(v), u.max(v)), weight);
+        }
+        self
+    }
+
+    /// Finalises the weighted graph.
+    pub fn build(&self) -> WeightedGraph {
+        let mut b = crate::GraphBuilder::with_nodes(self.n);
+        for &(u, v) in self.weights.keys() {
+            b.add_edge(u, v);
+        }
+        let graph = b.build();
+        // Align weights with the adjacency layout.
+        let mut weights = Vec::with_capacity(graph.edge_count() * 2);
+        for v in graph.node_ids() {
+            for &w in graph.neighbors(v) {
+                let key = (v.min(w), v.max(w));
+                weights.push(self.weights[&key]);
+            }
+        }
+        WeightedGraph { graph, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_lookup_both_directions() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 1.5);
+        b.add_edge(2, 1, 4.0);
+        let g = b.build();
+        assert_eq!(g.weight(0, 1), Some(1.5));
+        assert_eq!(g.weight(1, 0), Some(1.5));
+        assert_eq!(g.weight(1, 2), Some(4.0));
+        assert_eq!(g.weight(0, 2), None);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn last_weight_wins() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 9.0);
+        let g = b.build();
+        assert_eq!(g.weight(0, 1), Some(9.0));
+    }
+
+    #[test]
+    fn strength_sums_weights() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(0, 3, 3.0);
+        let g = b.build();
+        assert!((g.strength(0) - 6.0).abs() < 1e-12);
+        assert!((g.strength(3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_intensity_geometric_mean() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 4.0);
+        b.add_edge(0, 2, 16.0);
+        let g = b.build();
+        // geometric mean of {1, 4, 16} = 4
+        let i = g.clique_intensity(&[0, 1, 2]).unwrap();
+        assert!((i - 4.0).abs() < 1e-9);
+        // Non-clique: missing edge.
+        let mut b2 = WeightedGraphBuilder::new();
+        b2.add_edge(0, 1, 1.0);
+        b2.add_edge(1, 2, 1.0);
+        let g2 = b2.build();
+        assert_eq!(g2.clique_intensity(&[0, 1, 2]), None);
+        assert_eq!(g2.clique_intensity(&[0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_weight_panics() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    fn weighted_neighbors_aligned() {
+        let mut b = WeightedGraphBuilder::new();
+        b.add_edge(1, 0, 0.5);
+        b.add_edge(1, 2, 1.5);
+        b.add_edge(1, 3, 2.5);
+        let g = b.build();
+        let pairs: Vec<_> = g.weighted_neighbors(1).collect();
+        assert_eq!(pairs, vec![(0, 0.5), (2, 1.5), (3, 2.5)]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Greedy Clique Expansion (after Lee, Reid, McDaid, Hurley 2010).
+//!
+//! GCE seeds communities with maximal cliques and greedily grows each
+//! seed by the local fitness `F(S) = k_in / (k_in + k_out)^α`, where
+//! `k_in` is twice the number of internal edges and `k_out` the number of
+//! boundary edges. The paper (§1) rejects this family for the AS-level
+//! topology: the fitness prefers sub-graphs with more internal than
+//! external connections, which Tier-1-style communities — full meshes
+//! with thousands of customer links — can never satisfy. The
+//! `baseline_comparison` experiment uses this implementation to
+//! demonstrate that failure mode next to CPM's behaviour.
+
+use asgraph::{Graph, NodeId};
+use std::collections::HashSet;
+
+/// Tuning knobs for [`detect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GceConfig {
+    /// Minimum maximal-clique size to use as a seed.
+    pub min_seed_size: usize,
+    /// Fitness exponent α (Lee et al. use 1.0–1.5).
+    pub alpha: f64,
+    /// Overlap fraction above which a new community is considered a
+    /// duplicate of an accepted one and discarded.
+    pub eta: f64,
+    /// Hard cap on community size during expansion (guards against the
+    /// balloon effect on graphs where the fitness never stops improving).
+    pub max_size: usize,
+    /// If set, only the `n` largest seeds are expanded (GCE expansion is
+    /// quadratic-ish per seed; on AS-scale graphs expanding every maximal
+    /// clique is prohibitive, which is itself one of the paper's
+    /// arguments for CPM).
+    pub max_seeds: Option<usize>,
+}
+
+impl Default for GceConfig {
+    fn default() -> Self {
+        GceConfig {
+            min_seed_size: 4,
+            alpha: 1.0,
+            eta: 0.6,
+            max_size: 1_000,
+            max_seeds: None,
+        }
+    }
+}
+
+/// One detected community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GceCommunity {
+    /// Sorted member list.
+    pub members: Vec<NodeId>,
+    /// Final fitness value `F(S)`.
+    pub fitness: f64,
+    /// Size of the seed clique the community grew from.
+    pub seed_size: usize,
+}
+
+/// Runs GCE on `g`.
+///
+/// Seeds are maximal cliques of size ≥ `config.min_seed_size`, processed
+/// largest-first; each grows greedily while the fitness improves, and
+/// near-duplicates (overlap fraction > `config.eta` with an already
+/// accepted community) are discarded.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use baselines::gce::{detect, GceConfig};
+///
+/// // Two K4s joined by one edge: two communities.
+/// let g = Graph::from_edges(8, [
+///     (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+///     (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+///     (3, 4),
+/// ]);
+/// let comms = detect(&g, &GceConfig::default());
+/// assert_eq!(comms.len(), 2);
+/// ```
+pub fn detect(g: &Graph, config: &GceConfig) -> Vec<GceCommunity> {
+    let mut seeds: Vec<Vec<NodeId>> = cliques::max_cliques(g)
+        .iter()
+        .filter(|c| c.len() >= config.min_seed_size)
+        .map(<[NodeId]>::to_vec)
+        .collect();
+    // Largest seeds first; ties broken lexicographically for determinism.
+    seeds.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    if let Some(cap) = config.max_seeds {
+        seeds.truncate(cap);
+    }
+
+    let mut accepted: Vec<GceCommunity> = Vec::new();
+    for seed in seeds {
+        let seed_size = seed.len();
+        let grown = expand(g, seed, config);
+        let duplicate = accepted.iter().any(|a| {
+            let overlap = sorted_overlap(&a.members, &grown.0);
+            let denom = a.members.len().min(grown.0.len());
+            denom > 0 && overlap as f64 / denom as f64 > config.eta
+        });
+        if !duplicate {
+            accepted.push(GceCommunity {
+                members: grown.0,
+                fitness: grown.1,
+                seed_size,
+            });
+        }
+    }
+    accepted
+}
+
+/// Greedy expansion of one seed; returns (sorted members, fitness).
+fn expand(g: &Graph, seed: Vec<NodeId>, config: &GceConfig) -> (Vec<NodeId>, f64) {
+    let mut inset: HashSet<NodeId> = seed.iter().copied().collect();
+    let (mut k_in, mut k_out) = boundary_degrees(g, &inset);
+    let mut fitness = fitness_of(k_in, k_out, config.alpha);
+    loop {
+        if inset.len() >= config.max_size {
+            break;
+        }
+        // Frontier: outside neighbours of the community.
+        let mut best: Option<(f64, NodeId, usize, usize)> = None;
+        let mut frontier: Vec<NodeId> = inset
+            .iter()
+            .flat_map(|&u| g.neighbors(u).iter().copied())
+            .filter(|v| !inset.contains(v))
+            .collect();
+        frontier.sort_unstable();
+        frontier.dedup();
+        for v in frontier {
+            let d_in = g.neighbors(v).iter().filter(|w| inset.contains(w)).count();
+            let d_ext = g.degree(v) - d_in;
+            let k_in_new = k_in + 2 * d_in;
+            let k_out_new = k_out - d_in + d_ext;
+            let f_new = fitness_of(k_in_new, k_out_new, config.alpha);
+            if f_new > fitness && best.as_ref().is_none_or(|b| f_new > b.0) {
+                best = Some((f_new, v, k_in_new, k_out_new));
+            }
+        }
+        match best {
+            Some((f_new, v, k_in_new, k_out_new)) => {
+                inset.insert(v);
+                k_in = k_in_new;
+                k_out = k_out_new;
+                fitness = f_new;
+            }
+            None => break,
+        }
+    }
+    let mut members: Vec<NodeId> = inset.into_iter().collect();
+    members.sort_unstable();
+    (members, fitness)
+}
+
+fn fitness_of(k_in: usize, k_out: usize, alpha: f64) -> f64 {
+    let total = (k_in + k_out) as f64;
+    if total == 0.0 {
+        return 0.0;
+    }
+    k_in as f64 / total.powf(alpha)
+}
+
+/// `(k_in, k_out)` of a node set: twice the internal edges, and the
+/// boundary edge count.
+fn boundary_degrees(g: &Graph, inset: &HashSet<NodeId>) -> (usize, usize) {
+    let mut k_in = 0usize;
+    let mut k_out = 0usize;
+    for &u in inset {
+        for w in g.neighbors(u) {
+            if inset.contains(w) {
+                k_in += 1;
+            } else {
+                k_out += 1;
+            }
+        }
+    }
+    (k_in, k_out)
+}
+
+fn sorted_overlap(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_clique_is_a_community() {
+        let g = Graph::complete(5);
+        let comms = detect(&g, &GceConfig::default());
+        assert_eq!(comms.len(), 1);
+        assert_eq!(comms[0].members, vec![0, 1, 2, 3, 4]);
+        assert_eq!(comms[0].seed_size, 5);
+        assert!(comms[0].fitness > 0.9);
+    }
+
+    #[test]
+    fn no_seeds_no_communities() {
+        // Triangle-free graph has no cliques of size 4.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(detect(&g, &GceConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_suppression() {
+        // K5 minus one edge has two overlapping K4 seeds expanding to the
+        // same region: only one community survives.
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                if !(u == 3 && v == 4) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let comms = detect(&b.build(), &GceConfig::default());
+        assert_eq!(comms.len(), 1);
+    }
+
+    #[test]
+    fn balloon_effect_on_hub_clique() {
+        // The paper's §1 argument: a full mesh (Tier-1 analogue) whose
+        // members each serve many degree-1 customers. GCE's fitness keeps
+        // improving while swallowing customers, so the detected community
+        // is NOT the clean 4-clique — it balloons.
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        let mut next = 4u32;
+        for hub in 0..4u32 {
+            for _ in 0..30 {
+                b.add_edge(hub, next);
+                next += 1;
+            }
+        }
+        let g = b.build();
+        let comms = detect(&g, &GceConfig::default());
+        assert_eq!(comms.len(), 1);
+        assert!(
+            comms[0].members.len() > 4,
+            "expected the balloon effect, got the clean clique"
+        );
+    }
+
+    #[test]
+    fn max_size_caps_expansion() {
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        let mut next = 4u32;
+        for hub in 0..4u32 {
+            for _ in 0..30 {
+                b.add_edge(hub, next);
+                next += 1;
+            }
+        }
+        let g = b.build();
+        let cfg = GceConfig {
+            max_size: 10,
+            ..GceConfig::default()
+        };
+        let comms = detect(&g, &cfg);
+        assert!(comms.iter().all(|c| c.members.len() <= 10));
+    }
+
+    #[test]
+    fn two_well_separated_communities() {
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+                b.add_edge(u + 5, v + 5);
+            }
+        }
+        b.add_edge(0, 5);
+        let comms = detect(&b.build(), &GceConfig::default());
+        assert_eq!(comms.len(), 2);
+        let mut sizes: Vec<usize> = comms.iter().map(|c| c.members.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![5, 5]);
+    }
+}

@@ -1,0 +1,138 @@
+//! k-core decomposition (Seidman 1983).
+//!
+//! The k-core is the maximal subgraph in which every node has degree at
+//! least `k`. Unlike k-clique communities, cores *partition* the node set
+//! by shell index and cannot overlap — the paper's motivation for
+//! preferring covers. The peeling itself is shared with
+//! [`asgraph::ordering`]; this module adds the decomposition view used by
+//! the baseline-comparison experiment.
+
+use asgraph::ordering::degeneracy_order;
+use asgraph::{Graph, NodeId};
+
+/// The full k-core decomposition of a graph.
+///
+/// Produced by [`decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KCoreDecomposition {
+    core_number: Vec<u32>,
+    degeneracy: u32,
+}
+
+impl KCoreDecomposition {
+    /// The core number (shell index) of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn core_number(&self, v: NodeId) -> u32 {
+        self.core_number[v as usize]
+    }
+
+    /// The graph degeneracy (largest non-empty core index).
+    pub fn degeneracy(&self) -> u32 {
+        self.degeneracy
+    }
+
+    /// Nodes of the `k`-core (sorted).
+    pub fn core(&self, k: u32) -> Vec<NodeId> {
+        (0..self.core_number.len() as NodeId)
+            .filter(|&v| self.core_number[v as usize] >= k)
+            .collect()
+    }
+
+    /// Nodes of the `k`-shell: in the k-core but not the (k+1)-core.
+    pub fn shell(&self, k: u32) -> Vec<NodeId> {
+        (0..self.core_number.len() as NodeId)
+            .filter(|&v| self.core_number[v as usize] == k)
+            .collect()
+    }
+
+    /// Sizes of every shell, indexed by `k` (length `degeneracy + 1`).
+    pub fn shell_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.degeneracy as usize + 1];
+        for &c in &self.core_number {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Computes the k-core decomposition of `g` in `O(n + m)`.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use baselines::kcore::decompose;
+///
+/// // Triangle with a pendant: the pendant is in the 1-shell.
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let d = decompose(&g);
+/// assert_eq!(d.degeneracy(), 2);
+/// assert_eq!(d.shell(1), vec![3]);
+/// assert_eq!(d.core(2), vec![0, 1, 2]);
+/// ```
+pub fn decompose(g: &Graph) -> KCoreDecomposition {
+    let d = degeneracy_order(g);
+    KCoreDecomposition {
+        core_number: d.core_number,
+        degeneracy: d.degeneracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shells_partition_nodes() {
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3), (3, 4), (4, 5)],
+        );
+        let d = decompose(&g);
+        let total: usize = d.shell_sizes().iter().sum();
+        assert_eq!(total, g.node_count());
+        // Every node is in exactly the shell of its core number.
+        for v in g.node_ids() {
+            let k = d.core_number(v);
+            assert!(d.shell(k).contains(&v));
+            assert!(d.core(k).contains(&v));
+            if k + 1 <= d.degeneracy() {
+                assert!(!d.core(k + 1).contains(&v) || d.core_number(v) >= k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_core_numbers() {
+        let d = decompose(&Graph::complete(5));
+        assert_eq!(d.degeneracy(), 4);
+        assert_eq!(d.core(4).len(), 5);
+        assert_eq!(d.shell(4).len(), 5);
+        assert!(d.shell(3).is_empty());
+    }
+
+    #[test]
+    fn cores_are_nested() {
+        let g = Graph::from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+        );
+        let d = decompose(&g);
+        for k in 1..=d.degeneracy() {
+            let hi = d.core(k);
+            let lo = d.core(k - 1);
+            assert!(hi.iter().all(|v| lo.contains(v)));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = decompose(&Graph::empty(0));
+        assert_eq!(d.degeneracy(), 0);
+        assert!(d.core(1).is_empty());
+        assert_eq!(d.shell_sizes(), vec![0]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline community-detection methods.
+//!
+//! The paper's §1 surveys the methods previously applied to the AS-level
+//! topology and argues for k-clique communities over them. To make that
+//! argument reproducible, this crate implements the relevant baselines
+//! from scratch:
+//!
+//! - [`kcore`] — k-core decomposition (Seidman 1983), the partition
+//!   method of Carmi et al. and Alvarez-Hamelin et al.;
+//! - [`kdense`] — the k-dense decomposition (Saito, Yamada, Kazama 2008)
+//!   used by the authors' own COMSNETS 2011 companion paper;
+//! - [`gce`] — a Greedy Clique Expansion in the spirit of Lee et al.
+//!   2010, whose internal-vs-external fitness function the paper argues
+//!   is unsuitable for AS-level communities (Tier-1-like groups have
+//!   enormous external degree) — the `baseline_comparison` experiment
+//!   demonstrates exactly that failure mode;
+//! - [`louvain`] — Louvain modularity optimisation (Blondel et al.,
+//!   reference \[5\]), the partition method the paper's consistency
+//!   discussion starts from;
+//! - [`link_communities`] — Ahn–Bagrow–Lehmann edge clustering, the
+//!   other canonical *overlapping* method, for cross-checking CPM's
+//!   covers.
+//!
+//! All of them operate on the same [`asgraph::Graph`] substrate as CPM, so
+//! results are directly comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gce;
+pub mod kcore;
+pub mod kdense;
+pub mod link_communities;
+pub mod louvain;

@@ -1,0 +1,342 @@
+//! Louvain modularity optimisation (Blondel, Guillaume, Lambiotte,
+//! Lefebvre 2008) — reference \[5\] of the paper.
+//!
+//! The paper's related work leans on modularity-based partitions (its
+//! consistency discussion of \[16\] starts from Blondel's method). This is
+//! a from-scratch two-phase Louvain: greedy local moves until modularity
+//! stops improving, then weighted aggregation of communities into
+//! super-nodes (folded edges keep their multiplicity as weights, internal
+//! edges become self-loops), repeated to a fixed point. Deterministic —
+//! nodes are scanned in id order and ties break toward the smaller
+//! community id.
+//!
+//! Like all partition methods it cannot express overlap — which is the
+//! point the `baseline_comparison` experiment makes next to CPM.
+
+use asgraph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// A partition of the node set with its modularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// `community[v]` is the community index of node `v` (dense,
+    /// `0..community_count`).
+    pub community: Vec<u32>,
+    /// Number of communities.
+    pub community_count: usize,
+    /// Newman modularity `Q` of the partition.
+    pub modularity: f64,
+}
+
+impl Partition {
+    /// The members of every community.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.community_count];
+        for (v, &c) in self.community.iter().enumerate() {
+            out[c as usize].push(v as NodeId);
+        }
+        out
+    }
+}
+
+/// Newman modularity of an arbitrary assignment on `g`.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != g.node_count()`.
+pub fn modularity(g: &Graph, assignment: &[u32]) -> f64 {
+    assert_eq!(assignment.len(), g.node_count(), "assignment length");
+    let m2 = (2 * g.edge_count()) as f64;
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    let max_c = assignment.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut internal = vec![0.0f64; max_c]; // 2 * internal edges
+    let mut degree_sum = vec![0.0f64; max_c];
+    for v in g.node_ids() {
+        degree_sum[assignment[v as usize] as usize] += g.degree(v) as f64;
+    }
+    for (u, v) in g.edges() {
+        if assignment[u as usize] == assignment[v as usize] {
+            internal[assignment[u as usize] as usize] += 2.0;
+        }
+    }
+    (0..max_c)
+        .map(|c| internal[c] / m2 - (degree_sum[c] / m2).powi(2))
+        .sum()
+}
+
+/// Weighted multigraph view used between levels.
+struct Weighted {
+    /// Per node: `(neighbour, weight)` pairs (no self entries).
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Self-loop weight per node (each internal folded edge counts once
+    /// here and contributes 2× its weight to the node's strength).
+    self_loop: Vec<f64>,
+    /// Total weight `2m` (sum of all strengths).
+    m2: f64,
+}
+
+impl Weighted {
+    fn from_graph(g: &Graph) -> Self {
+        let adj = g
+            .node_ids()
+            .map(|v| g.neighbors(v).iter().map(|&w| (w, 1.0f64)).collect())
+            .collect();
+        Weighted {
+            adj,
+            self_loop: vec![0.0; g.node_count()],
+            m2: (2 * g.edge_count()) as f64,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn strength(&self, v: usize) -> f64 {
+        self.adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_loop[v]
+    }
+}
+
+/// Runs Louvain on `g`. Isolated nodes each get their own community.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use baselines::louvain::louvain;
+///
+/// // Two triangles joined by one edge: two communities.
+/// let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+/// let p = louvain(&g);
+/// assert_eq!(p.community_count, 2);
+/// assert_eq!(p.community[0], p.community[1]);
+/// assert_ne!(p.community[0], p.community[5]);
+/// ```
+pub fn louvain(g: &Graph) -> Partition {
+    let n = g.node_count();
+    let mut mapping: Vec<u32> = (0..n as u32).collect();
+    let mut current = Weighted::from_graph(g);
+
+    loop {
+        let (assignment, count) = one_level(&current);
+        if count == current.len() {
+            break; // nothing merged: fixed point
+        }
+        for slot in mapping.iter_mut() {
+            *slot = assignment[*slot as usize];
+        }
+        current = aggregate(&current, &assignment, count);
+        if current.len() <= 1 {
+            break;
+        }
+    }
+
+    let (community, community_count) = densify(&mapping);
+    let q = modularity(g, &community);
+    Partition {
+        community,
+        community_count,
+        modularity: q,
+    }
+}
+
+/// Greedy local-move phase. Returns `(assignment, community_count)` with
+/// dense community ids.
+fn one_level(wg: &Weighted) -> (Vec<u32>, usize) {
+    let n = wg.len();
+    if n == 0 || wg.m2 == 0.0 {
+        return ((0..n as u32).collect(), n);
+    }
+    let strengths: Vec<f64> = (0..n).map(|v| wg.strength(v)).collect();
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    let mut tot: Vec<f64> = strengths.clone();
+
+    let mut improved = true;
+    let mut rounds = 0;
+    while improved && rounds < 100 {
+        improved = false;
+        rounds += 1;
+        for v in 0..n {
+            let home = community[v];
+            let k_v = strengths[v];
+            // Weight from v to each adjacent community.
+            let mut links: HashMap<u32, f64> = HashMap::new();
+            for &(w, weight) in &wg.adj[v] {
+                *links.entry(community[w as usize]).or_insert(0.0) += weight;
+            }
+            tot[home as usize] -= k_v;
+            let l_home = links.get(&home).copied().unwrap_or(0.0);
+            // delta(c) ∝ (l_vc − l_vhome) − k_v (tot_c − tot_home) / m2
+            let mut best = (home, 0.0f64);
+            let mut candidates: Vec<(u32, f64)> =
+                links.iter().map(|(&c, &l)| (c, l)).collect();
+            candidates.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            for (c, l) in candidates {
+                if c == home {
+                    continue;
+                }
+                let gain = (l - l_home)
+                    - k_v * (tot[c as usize] - tot[home as usize]) / wg.m2;
+                if gain > best.1 + 1e-12 {
+                    best = (c, gain);
+                }
+            }
+            tot[best.0 as usize] += k_v;
+            if best.0 != home {
+                community[v] = best.0;
+                improved = true;
+            }
+        }
+    }
+
+    let (dense, count) = densify(&community);
+    (dense, count)
+}
+
+/// Folds each community into one super-node, summing edge weights;
+/// internal edges accumulate as self-loops.
+fn aggregate(wg: &Weighted, assignment: &[u32], count: usize) -> Weighted {
+    let mut self_loop = vec![0.0f64; count];
+    let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+    for v in 0..wg.len() {
+        let cv = assignment[v];
+        self_loop[cv as usize] += wg.self_loop[v];
+        for &(w, weight) in &wg.adj[v] {
+            let cw = assignment[w as usize];
+            if cv == cw {
+                // Each internal edge is visited from both endpoints:
+                // half each time keeps the loop weight = edge weight.
+                self_loop[cv as usize] += weight / 2.0;
+            } else if cv < cw {
+                *weights.entry((cv, cw)).or_insert(0.0) += weight;
+            }
+        }
+    }
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); count];
+    let mut keys: Vec<(&(u32, u32), &f64)> = weights.iter().collect();
+    keys.sort_unstable_by_key(|(k, _)| **k);
+    for (&(a, b), &w) in keys {
+        adj[a as usize].push((b, w));
+        adj[b as usize].push((a, w));
+    }
+    Weighted {
+        adj,
+        self_loop,
+        m2: wg.m2,
+    }
+}
+
+/// Renumbers arbitrary labels into dense `0..count`.
+fn densify(labels: &[u32]) -> (Vec<u32>, usize) {
+    let mut remap = HashMap::new();
+    let mut next = 0u32;
+    let dense = labels
+        .iter()
+        .map(|&c| {
+            *remap.entry(c).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect();
+    (dense, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::GraphBuilder;
+
+    #[test]
+    fn modularity_of_trivial_partitions() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!((modularity(&g, &[0, 0, 0, 0])).abs() < 1e-12);
+        let q = modularity(&g, &[0, 1, 2, 3]);
+        assert!((q + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cliques_found() {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+                b.add_edge(u + 5, v + 5);
+            }
+        }
+        b.add_edge(0, 5);
+        let g = b.build();
+        let p = louvain(&g);
+        assert_eq!(p.community_count, 2);
+        for u in 0..5u32 {
+            assert_eq!(p.community[u as usize], p.community[0]);
+            assert_eq!(p.community[u as usize + 5], p.community[5]);
+        }
+        assert!(p.modularity > 0.3, "Q = {}", p.modularity);
+    }
+
+    #[test]
+    fn ring_of_cliques() {
+        // Four K4s connected in a ring: the textbook Louvain input.
+        let mut b = GraphBuilder::new();
+        for c in 0..4u32 {
+            let base = 4 * c;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+            b.add_edge(base, (base + 4) % 16);
+        }
+        let g = b.build();
+        let p = louvain(&g);
+        assert_eq!(p.community_count, 4);
+        for c in 0..4u32 {
+            let base = (4 * c) as usize;
+            for i in 1..4 {
+                assert_eq!(p.community[base], p.community[base + i]);
+            }
+        }
+        assert!(p.modularity > 0.5, "Q = {}", p.modularity);
+    }
+
+    #[test]
+    fn partition_is_valid_on_topology() {
+        let topo = topology::generate(&topology::ModelConfig::tiny(42)).unwrap();
+        let p = louvain(&topo.graph);
+        assert_eq!(p.community.len(), topo.graph.node_count());
+        assert!(p.community_count > 1);
+        assert!(p.community.iter().all(|&c| (c as usize) < p.community_count));
+        assert!(p.modularity > 0.2, "Q = {}", p.modularity);
+        let total: usize = p.members().iter().map(Vec::len).sum();
+        assert_eq!(total, topo.graph.node_count());
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let p = louvain(&Graph::empty(3));
+        assert_eq!(p.community_count, 3);
+        assert_eq!(p.modularity, 0.0);
+        let p = louvain(&Graph::empty(0));
+        assert_eq!(p.community_count, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = topology::generate(&topology::ModelConfig::tiny(8)).unwrap();
+        assert_eq!(louvain(&topo.graph), louvain(&topo.graph));
+    }
+
+    #[test]
+    fn louvain_beats_singletons_and_whole() {
+        let topo = topology::generate(&topology::ModelConfig::tiny(3)).unwrap();
+        let g = &topo.graph;
+        let p = louvain(g);
+        let singles: Vec<u32> = (0..g.node_count() as u32).collect();
+        assert!(p.modularity > modularity(g, &singles));
+        assert!(p.modularity > modularity(g, &vec![0; g.node_count()]));
+    }
+}

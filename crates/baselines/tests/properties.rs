@@ -1,0 +1,103 @@
+//! Cross-method property tests: containment laws between k-core, k-dense
+//! and k-clique structures.
+
+use asgraph::{Graph, NodeId};
+use baselines::kcore;
+use baselines::kdense;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn edge_soup(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    /// k-dense subgraphs satisfy their defining invariant and are nested.
+    #[test]
+    fn kdense_invariant_and_nesting(edges in edge_soup(18, 70), k in 3usize..6) {
+        let g = Graph::from_edges(18, edges);
+        let sub_k = kdense::k_dense_subgraph(&g, k);
+        let sub_k1 = kdense::k_dense_subgraph(&g, k + 1);
+        prop_assert!(kdense::is_k_dense(&sub_k, k));
+        prop_assert!(kdense::is_k_dense(&sub_k1, k + 1));
+        // Nesting: every edge of D_{k+1} is an edge of D_k.
+        for (u, v) in sub_k1.edges() {
+            prop_assert!(sub_k.has_edge(u, v));
+        }
+    }
+
+    /// Every node of the k-dense subgraph (with an edge) lies in the
+    /// (k-1)-core: edge support k-2 implies internal degree >= k-1.
+    #[test]
+    fn kdense_inside_kcore(edges in edge_soup(16, 60), k in 3usize..6) {
+        let g = Graph::from_edges(16, edges);
+        let sub = kdense::k_dense_subgraph(&g, k);
+        let cores = kcore::decompose(&g);
+        for v in sub.node_ids() {
+            if sub.degree(v) > 0 {
+                prop_assert!(
+                    cores.core_number(v) as usize >= k - 1,
+                    "node {} in D_{} has core number {}",
+                    v, k, cores.core_number(v)
+                );
+            }
+        }
+    }
+
+    /// Every maximal clique of size >= k survives inside the k-dense
+    /// subgraph (a clique edge has k-2 common neighbours inside the
+    /// clique alone).
+    #[test]
+    fn cliques_survive_kdense(edges in edge_soup(14, 50), k in 3usize..6) {
+        let g = Graph::from_edges(14, edges);
+        let sub = kdense::k_dense_subgraph(&g, k);
+        for c in cliques::max_cliques(&g).iter() {
+            if c.len() >= k {
+                for (i, &u) in c.iter().enumerate() {
+                    for &v in &c[i + 1..] {
+                        prop_assert!(sub.has_edge(u, v), "clique edge {u}-{v} peeled from D_{k}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// k-clique communities live inside k-dense communities, which live
+    /// inside (k-1)-cores: the strictness hierarchy the literature
+    /// establishes, on random graphs.
+    #[test]
+    fn hierarchy_cpm_kdense_kcore(edges in edge_soup(14, 50), k in 3u32..6) {
+        let g = Graph::from_edges(14, edges);
+        let cpm_result = cpm::percolate(&g);
+        let dense: Vec<HashSet<NodeId>> = kdense::communities(&g, k as usize)
+            .into_iter()
+            .map(|c| c.into_iter().collect())
+            .collect();
+        if let Some(level) = cpm_result.level(k) {
+            for comm in &level.communities {
+                let inside_some = dense
+                    .iter()
+                    .any(|d| comm.members.iter().all(|v| d.contains(v)));
+                prop_assert!(
+                    inside_some,
+                    "k-clique community {:?} not inside any {k}-dense community",
+                    comm.members
+                );
+            }
+        }
+    }
+
+    /// GCE communities never exceed the configured cap and are unique.
+    #[test]
+    fn gce_respects_cap(edges in edge_soup(14, 60)) {
+        let g = Graph::from_edges(14, edges);
+        let cfg = baselines::gce::GceConfig { max_size: 8, ..Default::default() };
+        let comms = baselines::gce::detect(&g, &cfg);
+        let mut seen: Vec<&[NodeId]> = Vec::new();
+        for c in &comms {
+            prop_assert!(c.members.len() <= 8);
+            prop_assert!(!seen.contains(&c.members.as_slice()));
+            seen.push(&c.members);
+        }
+    }
+}

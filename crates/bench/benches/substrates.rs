@@ -1,0 +1,80 @@
+//! Substrate benchmarks: graph primitives, peeling baselines, and the
+//! topology generator.
+
+use bench::{random_graph, small_internet, tiny_internet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn graph_primitives(c: &mut Criterion) {
+    let g = small_internet(42).graph;
+    let mut group = c.benchmark_group("graph_primitives");
+    group.bench_function("build_from_edges", |b| {
+        let edges: Vec<_> = g.edges().collect();
+        b.iter(|| black_box(asgraph::Graph::from_edges(g.node_count(), edges.iter().copied())))
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| black_box(asgraph::components::connected_components(&g)))
+    });
+    group.bench_function("degeneracy_order", |b| {
+        b.iter(|| black_box(asgraph::ordering::degeneracy_order(&g)))
+    });
+    group.bench_function("triangle_count", |b| {
+        b.iter(|| black_box(asgraph::metrics::triangle_count(&g)))
+    });
+    group.finish();
+}
+
+fn dsu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsu");
+    group.bench_function("union_find_100k", |b| {
+        b.iter(|| {
+            let mut d = cpm::Dsu::new(100_000);
+            for i in 0..99_999u32 {
+                d.union(i, i + 1);
+            }
+            black_box(d.set_count())
+        })
+    });
+    group.finish();
+}
+
+fn baselines(c: &mut Criterion) {
+    let g = tiny_internet(42).graph;
+    let er = random_graph(150, 0.1, 5);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("kcore/internet400", |b| {
+        b.iter(|| black_box(baselines::kcore::decompose(&g)))
+    });
+    group.bench_function("kdense_k4/internet400", |b| {
+        b.iter(|| black_box(baselines::kdense::communities(&g, 4)))
+    });
+    group.bench_function("gce/er150", |b| {
+        b.iter(|| {
+            black_box(baselines::gce::detect(
+                &er,
+                &baselines::gce::GceConfig {
+                    max_size: 60,
+                    max_seeds: Some(30),
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    group.bench_function("tiny400", |b| {
+        b.iter(|| black_box(topology::generate(&topology::ModelConfig::tiny(1)).unwrap()))
+    });
+    group.bench_function("small2000", |b| {
+        b.iter(|| black_box(topology::generate(&topology::ModelConfig::small(1)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_primitives, dsu, baselines, generator);
+criterion_main!(benches);

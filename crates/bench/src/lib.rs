@@ -1,0 +1,32 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asgraph::{Graph, GraphBuilder};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A seeded Erdős–Rényi graph.
+pub fn random_graph(n: u32, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_nodes(n as usize);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The tiny-preset synthetic Internet (the standard bench workload).
+pub fn tiny_internet(seed: u64) -> topology::AsTopology {
+    topology::generate(&topology::ModelConfig::tiny(seed)).expect("preset is valid")
+}
+
+/// The small-preset synthetic Internet (~2,000 ASes).
+pub fn small_internet(seed: u64) -> topology::AsTopology {
+    topology::generate(&topology::ModelConfig::small(seed)).expect("preset is valid")
+}

@@ -1,0 +1,538 @@
+//! Implementation of the `kclique-cli` command-line tool.
+//!
+//! The binary makes the library usable without writing Rust: feed it any
+//! edge list (the format of the public AS-link datasets) and it runs
+//! clique percolation, prints community covers, emits the community tree
+//! as Graphviz, reports graph statistics, or generates/analyses whole
+//! synthetic datasets.
+//!
+//! ```text
+//! kclique-cli communities --input topology.edges --k 4
+//! kclique-cli communities --input topology.edges --all-k
+//! kclique-cli tree        --input topology.edges --min-k 6
+//! kclique-cli stats       --input topology.edges
+//! kclique-cli generate    --scale small --seed 7 --out dataset/
+//! kclique-cli analyze     --dataset dataset/
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kclique_core::report::{f3, pct, Table};
+use std::path::PathBuf;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run CPM and print communities at one `k` or all of them.
+    Communities {
+        /// Edge-list file.
+        input: PathBuf,
+        /// Specific k (mutually exclusive with `all_k`).
+        k: Option<u32>,
+        /// Print every level.
+        all_k: bool,
+    },
+    /// Print the community tree (Graphviz DOT) to stdout.
+    Tree {
+        /// Edge-list file.
+        input: PathBuf,
+        /// Hide levels below this k.
+        min_k: u32,
+    },
+    /// Print graph statistics.
+    Stats {
+        /// Edge-list file.
+        input: PathBuf,
+    },
+    /// Generate a synthetic dataset into a directory.
+    Generate {
+        /// Preset: tiny | small | default | full.
+        scale: String,
+        /// Generator seed.
+        seed: u64,
+        /// Output directory.
+        out: PathBuf,
+    },
+    /// Load a dataset directory and run the full tag analysis.
+    Analyze {
+        /// Directory written by `generate` (or hand-authored).
+        dataset: PathBuf,
+    },
+    /// Compare baseline methods (k-core, k-dense, Louvain) on an edge
+    /// list.
+    Baselines {
+        /// Edge-list file.
+        input: PathBuf,
+    },
+    /// Degree-preserving rewiring: write a null-model edge list.
+    Rewire {
+        /// Edge-list file.
+        input: PathBuf,
+        /// Output edge-list file.
+        output: PathBuf,
+        /// Swap attempts (default 10 × edges).
+        swaps: Option<usize>,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+kclique-cli — k-clique communities for AS-level topologies
+
+USAGE:
+  kclique-cli communities --input <edges> (--k <n> | --all-k)
+  kclique-cli tree        --input <edges> [--min-k <n>]
+  kclique-cli stats       --input <edges>
+  kclique-cli generate    [--scale tiny|small|default|full] [--seed <u64>] --out <dir>
+  kclique-cli analyze     --dataset <dir>
+  kclique-cli baselines   --input <edges>
+  kclique-cli rewire      --input <edges> --output <edges> [--swaps <n>] [--seed <u64>]
+  kclique-cli help
+";
+
+impl Command {
+    /// Parses the argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown commands, missing
+    /// values, or malformed numbers.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String> {
+        let mut it = args.into_iter();
+        let sub = it.next().unwrap_or_else(|| "help".to_owned());
+        let rest: Vec<String> = it.collect();
+        let get = |flag: &str| -> Option<String> {
+            rest.iter()
+                .position(|a| a == flag)
+                .and_then(|i| rest.get(i + 1).cloned())
+        };
+        let has = |flag: &str| rest.iter().any(|a| a == flag);
+        let required = |flag: &str| -> Result<String, String> {
+            get(flag).ok_or_else(|| format!("missing required flag {flag}"))
+        };
+
+        match sub.as_str() {
+            "communities" => {
+                let input = PathBuf::from(required("--input")?);
+                let k = match get("--k") {
+                    Some(v) => Some(v.parse::<u32>().map_err(|e| format!("bad --k: {e}"))?),
+                    None => None,
+                };
+                let all_k = has("--all-k");
+                if k.is_none() && !all_k {
+                    return Err("communities needs --k <n> or --all-k".to_owned());
+                }
+                if k.is_some() && all_k {
+                    return Err("--k and --all-k are mutually exclusive".to_owned());
+                }
+                if let Some(k) = k {
+                    if k < 2 {
+                        return Err("--k must be at least 2".to_owned());
+                    }
+                }
+                Ok(Command::Communities { input, k, all_k })
+            }
+            "tree" => Ok(Command::Tree {
+                input: PathBuf::from(required("--input")?),
+                min_k: match get("--min-k") {
+                    Some(v) => v.parse().map_err(|e| format!("bad --min-k: {e}"))?,
+                    None => 2,
+                },
+            }),
+            "stats" => Ok(Command::Stats {
+                input: PathBuf::from(required("--input")?),
+            }),
+            "generate" => {
+                let scale = get("--scale").unwrap_or_else(|| "small".to_owned());
+                if !["tiny", "small", "default", "full"].contains(&scale.as_str()) {
+                    return Err(format!("unknown scale {scale:?}"));
+                }
+                Ok(Command::Generate {
+                    scale,
+                    seed: match get("--seed") {
+                        Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                        None => 42,
+                    },
+                    out: PathBuf::from(required("--out")?),
+                })
+            }
+            "analyze" => Ok(Command::Analyze {
+                dataset: PathBuf::from(required("--dataset")?),
+            }),
+            "baselines" => Ok(Command::Baselines {
+                input: PathBuf::from(required("--input")?),
+            }),
+            "rewire" => Ok(Command::Rewire {
+                input: PathBuf::from(required("--input")?),
+                output: PathBuf::from(required("--output")?),
+                swaps: match get("--swaps") {
+                    Some(v) => Some(v.parse().map_err(|e| format!("bad --swaps: {e}"))?),
+                    None => None,
+                },
+                seed: match get("--seed") {
+                    Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                    None => 42,
+                },
+            }),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// Executes the command, writing human output to stdout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for stderr on any failure.
+    pub fn run(&self) -> Result<(), String> {
+        match self {
+            Command::Help => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            Command::Communities { input, k, all_k } => {
+                let g = load_graph(input)?;
+                if *all_k {
+                    let result = cpm::percolate(&g);
+                    let mut table = Table::new(vec!["k", "communities", "largest"]);
+                    for level in &result.levels {
+                        let largest = level
+                            .communities
+                            .iter()
+                            .map(cpm::Community::size)
+                            .max()
+                            .unwrap_or(0);
+                        table.row(vec![
+                            level.k.to_string(),
+                            level.communities.len().to_string(),
+                            largest.to_string(),
+                        ]);
+                    }
+                    print!("{}", table.render());
+                } else {
+                    let k = k.expect("parse guarantees k for non-all-k");
+                    let comms = cpm::percolate_at(&g, k as usize);
+                    println!("# {} {k}-clique communities", comms.len());
+                    for (i, c) in comms.iter().enumerate() {
+                        let ids: Vec<String> = c.iter().map(ToString::to_string).collect();
+                        println!("{i}\t{}", ids.join(" "));
+                    }
+                }
+                Ok(())
+            }
+            Command::Tree { input, min_k } => {
+                let g = load_graph(input)?;
+                let result = cpm::percolate(&g);
+                let tree = kclique_core::CommunityTree::build(&result);
+                print!("{}", tree.to_dot(*min_k));
+                Ok(())
+            }
+            Command::Stats { input } => {
+                let g = load_graph(input)?;
+                let deg = g.degrees();
+                let cliques = cliques::max_cliques(&g);
+                let cores = baselines::kcore::decompose(&g);
+                let mut table = Table::new(vec!["statistic", "value"]);
+                table.row(vec!["nodes".into(), g.node_count().to_string()]);
+                table.row(vec!["edges".into(), g.edge_count().to_string()]);
+                table.row(vec!["mean degree".into(), f3(deg.mean)]);
+                table.row(vec!["max degree".into(), deg.max.to_string()]);
+                table.row(vec![
+                    "connected components".into(),
+                    asgraph::components::connected_components(&g).count().to_string(),
+                ]);
+                table.row(vec!["degeneracy".into(), cores.degeneracy().to_string()]);
+                table.row(vec!["maximal cliques".into(), cliques.len().to_string()]);
+                table.row(vec!["largest clique".into(), cliques.max_size().to_string()]);
+                table.row(vec![
+                    "triangles".into(),
+                    asgraph::metrics::triangle_count(&g).to_string(),
+                ]);
+                table.row(vec![
+                    "avg clustering".into(),
+                    f3(asgraph::stats::average_clustering(&g)),
+                ]);
+                if let Some(alpha) = asgraph::stats::power_law_alpha(&g, 6) {
+                    table.row(vec!["power-law alpha (k_min=6)".into(), f3(alpha)]);
+                }
+                if let Some(r) = asgraph::stats::degree_assortativity(&g) {
+                    table.row(vec!["degree assortativity".into(), f3(r)]);
+                }
+                print!("{}", table.render());
+                Ok(())
+            }
+            Command::Generate { scale, seed, out } => {
+                let config = match scale.as_str() {
+                    "tiny" => topology::ModelConfig::tiny(*seed),
+                    "default" => topology::ModelConfig::default_scale(*seed),
+                    "full" => topology::ModelConfig::full_scale(*seed),
+                    _ => topology::ModelConfig::small(*seed),
+                };
+                let topo = topology::generate(&config).map_err(|e| e.to_string())?;
+                topology::io::save_dataset(&topo, out).map_err(|e| e.to_string())?;
+                println!(
+                    "wrote {} ASes / {} links / {} IXPs to {}",
+                    topo.graph.node_count(),
+                    topo.graph.edge_count(),
+                    topo.ixps.len(),
+                    out.display()
+                );
+                Ok(())
+            }
+            Command::Analyze { dataset } => {
+                let topo = topology::io::load_dataset(dataset).map_err(|e| e.to_string())?;
+                let result = cpm::percolate(&topo.graph);
+                let analysis = kclique_core::analyze_topology(topo, result);
+                let s = analysis.topo.tag_summary();
+                println!(
+                    "{} ASes, {} links | on-IXP {} | national {} continental {} worldwide {} unknown {}",
+                    analysis.topo.graph.node_count(),
+                    analysis.topo.graph.edge_count(),
+                    s.on_ixp,
+                    s.national,
+                    s.continental,
+                    s.worldwide,
+                    s.unknown
+                );
+                println!(
+                    "{} communities, k_max {}, bands: root <= {}, crown >= {}",
+                    analysis.result.total_communities(),
+                    analysis.result.k_max().unwrap_or(0),
+                    analysis.bounds.root_max_k,
+                    analysis.bounds.crown_min_k
+                );
+                let mut table = Table::new(vec!["k", "communities", "mean on-IXP"]);
+                for level in &analysis.result.levels {
+                    let fracs: Vec<f64> = analysis
+                        .infos
+                        .iter()
+                        .filter(|i| i.id.k == level.k)
+                        .map(|i| i.on_ixp_fraction)
+                        .collect();
+                    let mean = fracs.iter().sum::<f64>() / fracs.len().max(1) as f64;
+                    table.row(vec![
+                        level.k.to_string(),
+                        level.communities.len().to_string(),
+                        pct(mean),
+                    ]);
+                }
+                print!("{}", table.render());
+                Ok(())
+            }
+            Command::Baselines { input } => {
+                let g = load_graph(input)?;
+                let cores = baselines::kcore::decompose(&g);
+                let partition = baselines::louvain::louvain(&g);
+                let mut table = Table::new(vec!["method", "result"]);
+                table.row(vec![
+                    "k-core".into(),
+                    format!(
+                        "degeneracy {}, top core has {} nodes",
+                        cores.degeneracy(),
+                        cores.core(cores.degeneracy()).len()
+                    ),
+                ]);
+                let d3 = baselines::kdense::communities(&g, 3);
+                table.row(vec![
+                    "k-dense (k=3)".into(),
+                    format!(
+                        "{} communities covering {} nodes",
+                        d3.len(),
+                        d3.iter().map(Vec::len).sum::<usize>()
+                    ),
+                ]);
+                table.row(vec![
+                    "Louvain".into(),
+                    format!(
+                        "{} communities, modularity {}",
+                        partition.community_count,
+                        f3(partition.modularity)
+                    ),
+                ]);
+                let cpm3 = cpm::percolate_at(&g, 3);
+                table.row(vec![
+                    "k-clique (k=3)".into(),
+                    format!(
+                        "{} communities covering {} memberships",
+                        cpm3.len(),
+                        cpm3.iter().map(Vec::len).sum::<usize>()
+                    ),
+                ]);
+                print!("{}", table.render());
+                Ok(())
+            }
+            Command::Rewire {
+                input,
+                output,
+                swaps,
+                seed,
+            } => {
+                use rand::SeedableRng;
+                let g = load_graph(input)?;
+                let attempts = swaps.unwrap_or(10 * g.edge_count());
+                let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+                let (h, report) = asgraph::rewire::rewire(&g, attempts, &mut rng);
+                std::fs::write(output, asgraph::io::to_edge_list_string(&h))
+                    .map_err(|e| format!("cannot write {}: {e}", output.display()))?;
+                println!(
+                    "rewired {}: {}/{} swaps succeeded, wrote {}",
+                    input.display(),
+                    report.successes,
+                    report.attempts,
+                    output.display()
+                );
+                Ok(())
+            }
+        }
+    }
+}
+
+fn load_graph(path: &PathBuf) -> Result<asgraph::Graph, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    asgraph::io::parse_edge_list(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        Command::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_communities() {
+        let c = parse(&["communities", "--input", "g.txt", "--k", "4"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Communities {
+                input: PathBuf::from("g.txt"),
+                k: Some(4),
+                all_k: false
+            }
+        );
+        let c = parse(&["communities", "--input", "g.txt", "--all-k"]).unwrap();
+        assert!(matches!(c, Command::Communities { all_k: true, .. }));
+    }
+
+    #[test]
+    fn communities_validation() {
+        assert!(parse(&["communities", "--input", "g.txt"]).is_err());
+        assert!(parse(&["communities", "--input", "g.txt", "--k", "1"]).is_err());
+        assert!(parse(&["communities", "--input", "g.txt", "--k", "3", "--all-k"]).is_err());
+        assert!(parse(&["communities", "--k", "3"]).is_err());
+    }
+
+    #[test]
+    fn parses_tree_defaults() {
+        let c = parse(&["tree", "--input", "g.txt"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Tree {
+                input: PathBuf::from("g.txt"),
+                min_k: 2
+            }
+        );
+    }
+
+    #[test]
+    fn parses_generate() {
+        let c = parse(&["generate", "--scale", "tiny", "--out", "d"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                scale: "tiny".into(),
+                seed: 42,
+                out: PathBuf::from("d")
+            }
+        );
+        assert!(parse(&["generate", "--scale", "huge", "--out", "d"]).is_err());
+        assert!(parse(&["generate", "--scale", "tiny"]).is_err());
+    }
+
+    #[test]
+    fn parses_rewire() {
+        let c = parse(&["rewire", "--input", "a", "--output", "b", "--swaps", "99"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Rewire {
+                input: PathBuf::from("a"),
+                output: PathBuf::from("b"),
+                swaps: Some(99),
+                seed: 42
+            }
+        );
+        assert!(parse(&["rewire", "--input", "a"]).is_err());
+    }
+
+    #[test]
+    fn unknown_command() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_generate_and_analyze() {
+        let dir = std::env::temp_dir().join(format!("kclique_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Command::Generate {
+            scale: "tiny".into(),
+            seed: 1,
+            out: dir.clone(),
+        }
+        .run()
+        .unwrap();
+        Command::Analyze {
+            dataset: dir.clone(),
+        }
+        .run()
+        .unwrap();
+        // And the plain-graph commands work on the written edge list.
+        let edges = dir.join("topology.edges");
+        Command::Stats {
+            input: edges.clone(),
+        }
+        .run()
+        .unwrap();
+        Command::Communities {
+            input: edges.clone(),
+            k: Some(3),
+            all_k: false,
+        }
+        .run()
+        .unwrap();
+        Command::Baselines {
+            input: edges.clone(),
+        }
+        .run()
+        .unwrap();
+        let rewired = dir.join("null.edges");
+        Command::Rewire {
+            input: edges,
+            output: rewired.clone(),
+            swaps: Some(500),
+            seed: 1,
+        }
+        .run()
+        .unwrap();
+        assert!(rewired.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = Command::Stats {
+            input: PathBuf::from("/no/such/file.edges"),
+        }
+        .run()
+        .unwrap_err();
+        assert!(err.contains("/no/such/file.edges"));
+    }
+}

@@ -1,0 +1,16 @@
+//! `kclique-cli` entry point; all logic lives in the library for
+//! testability.
+
+use kclique_cli::Command;
+
+fn main() {
+    let command = Command::parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}\n");
+        eprint!("{}", kclique_cli::USAGE);
+        std::process::exit(2);
+    });
+    if let Err(msg) = command.run() {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

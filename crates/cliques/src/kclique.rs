@@ -1,0 +1,162 @@
+//! Exhaustive listing of k-cliques (complete subgraphs of exactly `k`
+//! nodes, not necessarily maximal).
+//!
+//! The k-clique community definition of Palla et al. operates on *all*
+//! k-cliques; the fast percolation path reduces the problem to maximal
+//! cliques, and this module provides the literal enumeration used by the
+//! naive definitional oracle that cross-validates the reduction.
+//!
+//! The recursion extends a partial clique only with common neighbours of
+//! larger id, so each k-clique is produced exactly once (in ascending
+//! order).
+
+use asgraph::{Graph, NodeId};
+
+/// Lists all k-cliques of `g`, each as a sorted vector.
+///
+/// `k == 0` yields nothing; `k == 1` yields every node; `k == 2` yields
+/// every edge.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use cliques::kclique::enumerate_k_cliques;
+///
+/// let g = Graph::complete(4);
+/// assert_eq!(enumerate_k_cliques(&g, 3).len(), 4); // C(4,3)
+/// ```
+pub fn enumerate_k_cliques(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    for_each_k_clique(g, k, |c| out.push(c.to_vec()));
+    out
+}
+
+/// Calls `f` once for every k-clique of `g` (sorted members), without
+/// materialising the full list.
+pub fn for_each_k_clique<F: FnMut(&[NodeId])>(g: &Graph, k: usize, mut f: F) {
+    if k == 0 {
+        return;
+    }
+    let mut partial: Vec<NodeId> = Vec::with_capacity(k);
+    for v in g.node_ids() {
+        partial.push(v);
+        if k == 1 {
+            f(&partial);
+        } else {
+            let candidates: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| w > v)
+                .collect();
+            extend(g, k, &mut partial, &candidates, &mut f);
+        }
+        partial.pop();
+    }
+}
+
+fn extend<F: FnMut(&[NodeId])>(
+    g: &Graph,
+    k: usize,
+    partial: &mut Vec<NodeId>,
+    candidates: &[NodeId],
+    f: &mut F,
+) {
+    // Prune: not enough candidates left to reach size k.
+    if partial.len() + candidates.len() < k {
+        return;
+    }
+    for (i, &v) in candidates.iter().enumerate() {
+        partial.push(v);
+        if partial.len() == k {
+            f(partial);
+        } else {
+            let nv = g.neighbors(v);
+            let next: Vec<NodeId> = candidates[i + 1..]
+                .iter()
+                .copied()
+                .filter(|w| nv.binary_search(w).is_ok())
+                .collect();
+            extend(g, k, partial, &next, f);
+        }
+        partial.pop();
+    }
+}
+
+/// Counts the k-cliques of `g` without storing them.
+pub fn count_k_cliques(g: &Graph, k: usize) -> usize {
+    let mut n = 0usize;
+    for_each_k_clique(g, k, |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = Graph::complete(6);
+        for k in 0..=7 {
+            assert_eq!(count_k_cliques(&g, k), if k == 0 { 0 } else { binomial(6, k) });
+        }
+    }
+
+    #[test]
+    fn one_cliques_are_nodes_two_cliques_are_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(count_k_cliques(&g, 1), 5);
+        assert_eq!(count_k_cliques(&g, 2), 3);
+    }
+
+    #[test]
+    fn triangle_free_graph_has_no_3_cliques() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]); // C4
+        assert_eq!(count_k_cliques(&g, 3), 0);
+    }
+
+    #[test]
+    fn members_sorted_and_unique() {
+        let g = Graph::complete(5);
+        for c in enumerate_k_cliques(&g, 3) {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn each_k_clique_listed_once() {
+        let g = Graph::complete(5);
+        let mut cliques = enumerate_k_cliques(&g, 4);
+        let before = cliques.len();
+        cliques.sort();
+        cliques.dedup();
+        assert_eq!(cliques.len(), before);
+    }
+
+    #[test]
+    fn all_outputs_are_cliques() {
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+        );
+        for c in enumerate_k_cliques(&g, 3) {
+            for (i, &u) in c.iter().enumerate() {
+                for &v in &c[i + 1..] {
+                    assert!(g.has_edge(u, v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Multi-threaded maximal-clique enumeration.
+//!
+//! The clique-enumeration half of the "Lightweight Parallel Clique
+//! Percolation Method" (Gregori, Lenzini, Mainardi, Orsini): the
+//! degeneracy-ordered outer loop of Bron–Kerbosch is embarrassingly
+//! parallel — each outer vertex spawns an independent subproblem — so we
+//! deal outer vertices to worker threads round-robin (which also balances
+//! load, since consecutive vertices in degeneracy order tend to have
+//! similar subproblem sizes) and merge thread-local [`CliqueSet`]s at the
+//! end.
+
+use crate::bron_kerbosch::top_level_subproblem;
+use crate::clique_set::CliqueSet;
+use asgraph::Graph;
+
+/// Enumerates all maximal cliques of `g` using `threads` worker threads.
+///
+/// Output is identical (up to order) to
+/// [`degeneracy`](crate::bron_kerbosch::degeneracy); results are merged in
+/// worker order so the result is deterministic for a fixed thread count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use cliques::parallel::max_cliques_parallel;
+///
+/// let g = Graph::complete(6);
+/// let cliques = max_cliques_parallel(&g, 4);
+/// assert_eq!(cliques.len(), 1);
+/// ```
+pub fn max_cliques_parallel(g: &Graph, threads: usize) -> CliqueSet {
+    assert!(threads > 0, "need at least one thread");
+    let ordering = asgraph::ordering::degeneracy_order(g);
+    if threads == 1 || g.node_count() < 2 * threads {
+        let mut out = CliqueSet::new();
+        for &v in &ordering.order {
+            top_level_subproblem(g, v, &ordering.rank, &mut out);
+        }
+        return out;
+    }
+
+    let rank = &ordering.rank;
+    let order = &ordering.order;
+    let mut partials: Vec<CliqueSet> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let mut local = CliqueSet::new();
+                let mut i = t;
+                while i < order.len() {
+                    top_level_subproblem(g, order[i], rank, &mut local);
+                    i += threads;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("clique worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let total: usize = partials.iter().map(CliqueSet::total_members).sum();
+    let count: usize = partials.iter().map(CliqueSet::len).sum();
+    let mut out = CliqueSet::with_capacity(count, total);
+    for p in &partials {
+        out.merge(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bron_kerbosch::degeneracy;
+
+    fn canonical(mut s: CliqueSet) -> CliqueSet {
+        s.sort_canonical();
+        s
+    }
+
+    #[test]
+    fn matches_sequential_on_small_graph() {
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+            ],
+        );
+        let seq = canonical(degeneracy(&g));
+        for threads in 1..=4 {
+            let par = canonical(max_cliques_parallel(&g, threads));
+            assert_eq!(seq, par, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graph() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 60u32;
+        let mut b = asgraph::GraphBuilder::with_nodes(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(0.15) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let seq = canonical(degeneracy(&g));
+        let par = canonical(max_cliques_parallel(&g, 4));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let g = Graph::complete(3);
+        let _ = max_cliques_parallel(&g, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert!(max_cliques_parallel(&g, 3).is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! z-P functional cartography (Guimerà & Amaral, Nature 2005).
+//!
+//! Given a node partition, each node gets a *within-module degree
+//! z-score* and a *participation coefficient* `P`, then a role from the
+//! original seven-region map of the z-P plane. The ICDCS paper
+//! explicitly avoids this methodology because its role boundaries "rely
+//! on threshold based on heuristics"; implementing it lets the
+//! `zp_analysis` experiment quantify that criticism — small threshold
+//! perturbations reshuffle a large share of role assignments — while
+//! still offering the tool to users who want the Moon et al. style
+//! mesoscale readout.
+
+use asgraph::{Graph, NodeId};
+
+/// The seven Guimerà–Amaral roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// R1: ultra-peripheral (non-hub, P ≤ 0.05).
+    UltraPeripheral,
+    /// R2: peripheral (non-hub, P ≤ 0.62).
+    Peripheral,
+    /// R3: non-hub connector (P ≤ 0.80).
+    Connector,
+    /// R4: non-hub kinless (P > 0.80).
+    Kinless,
+    /// R5: provincial hub (z ≥ 2.5, P ≤ 0.30).
+    ProvincialHub,
+    /// R6: connector hub (P ≤ 0.75).
+    ConnectorHub,
+    /// R7: kinless hub (P > 0.75).
+    KinlessHub,
+}
+
+/// Role thresholds; [`Thresholds::standard`] reproduces the original
+/// paper's values, and perturbing them exposes the heuristic
+/// sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Hub boundary on z.
+    pub z_hub: f64,
+    /// Non-hub P boundaries (R1/R2, R2/R3, R3/R4).
+    pub p_non_hub: [f64; 3],
+    /// Hub P boundaries (R5/R6, R6/R7).
+    pub p_hub: [f64; 2],
+}
+
+impl Thresholds {
+    /// The values of the original paper.
+    pub fn standard() -> Self {
+        Thresholds {
+            z_hub: 2.5,
+            p_non_hub: [0.05, 0.62, 0.80],
+            p_hub: [0.30, 0.75],
+        }
+    }
+
+    /// Every threshold scaled by `factor` (for sensitivity analysis).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Thresholds {
+            z_hub: self.z_hub * factor,
+            p_non_hub: self.p_non_hub.map(|t| (t * factor).min(1.0)),
+            p_hub: self.p_hub.map(|t| (t * factor).min(1.0)),
+        }
+    }
+
+    /// Classifies one `(z, P)` pair.
+    pub fn role(&self, z: f64, p: f64) -> Role {
+        if z < self.z_hub {
+            if p <= self.p_non_hub[0] {
+                Role::UltraPeripheral
+            } else if p <= self.p_non_hub[1] {
+                Role::Peripheral
+            } else if p <= self.p_non_hub[2] {
+                Role::Connector
+            } else {
+                Role::Kinless
+            }
+        } else if p <= self.p_hub[0] {
+            Role::ProvincialHub
+        } else if p <= self.p_hub[1] {
+            Role::ConnectorHub
+        } else {
+            Role::KinlessHub
+        }
+    }
+}
+
+/// Per-node cartography values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCartography {
+    /// Within-module degree z-score.
+    pub z: Vec<f64>,
+    /// Participation coefficient.
+    pub p: Vec<f64>,
+}
+
+impl NodeCartography {
+    /// Roles under the given thresholds.
+    pub fn roles(&self, thresholds: &Thresholds) -> Vec<Role> {
+        self.z
+            .iter()
+            .zip(&self.p)
+            .map(|(&z, &p)| thresholds.role(z, p))
+            .collect()
+    }
+
+    /// Fraction of nodes whose role changes when thresholds scale by
+    /// `factor` — the quantified version of the ICDCS paper's
+    /// heuristic-threshold criticism.
+    pub fn role_instability(&self, factor: f64) -> f64 {
+        let standard = self.roles(&Thresholds::standard());
+        let scaled = self.roles(&Thresholds::standard().scaled(factor));
+        if standard.is_empty() {
+            return 0.0;
+        }
+        let changed = standard
+            .iter()
+            .zip(&scaled)
+            .filter(|(a, b)| a != b)
+            .count();
+        changed as f64 / standard.len() as f64
+    }
+}
+
+/// Computes z and P for every node under `assignment` (one community id
+/// per node, as produced by `baselines::louvain::louvain`).
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != g.node_count()`.
+pub fn cartography(g: &Graph, assignment: &[u32]) -> NodeCartography {
+    assert_eq!(assignment.len(), g.node_count(), "assignment length");
+    let n = g.node_count();
+    let c_max = assignment.iter().copied().max().map_or(0, |c| c as usize + 1);
+
+    // Within-community degree of every node.
+    let mut within = vec![0usize; n];
+    for v in g.node_ids() {
+        within[v as usize] = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| assignment[w as usize] == assignment[v as usize])
+            .count();
+    }
+
+    // Mean and std of within-degree per community.
+    let mut sum = vec![0.0f64; c_max];
+    let mut sum_sq = vec![0.0f64; c_max];
+    let mut count = vec![0usize; c_max];
+    for v in 0..n {
+        let c = assignment[v] as usize;
+        sum[c] += within[v] as f64;
+        sum_sq[c] += (within[v] * within[v]) as f64;
+        count[c] += 1;
+    }
+
+    let z = (0..n)
+        .map(|v| {
+            let c = assignment[v] as usize;
+            let mean = sum[c] / count[c] as f64;
+            let var = sum_sq[c] / count[c] as f64 - mean * mean;
+            if var <= f64::EPSILON {
+                0.0
+            } else {
+                (within[v] as f64 - mean) / var.sqrt()
+            }
+        })
+        .collect();
+
+    // Participation coefficient: 1 − Σ_c (k_{v,c} / k_v)².
+    let p = (0..n as NodeId)
+        .map(|v| {
+            let k = g.degree(v);
+            if k == 0 {
+                return 0.0;
+            }
+            let mut per_community: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
+            for &w in g.neighbors(v) {
+                *per_community.entry(assignment[w as usize]).or_insert(0) += 1;
+            }
+            1.0 - per_community
+                .values()
+                .map(|&kc| (kc as f64 / k as f64).powi(2))
+                .sum::<f64>()
+        })
+        .collect();
+
+    NodeCartography { z, p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::Graph;
+
+    #[test]
+    fn clique_nodes_are_ultra_peripheral() {
+        // One community, everyone identical: z = 0, P = 0.
+        let g = Graph::complete(5);
+        let cart = cartography(&g, &[0; 5]);
+        assert!(cart.z.iter().all(|&z| z == 0.0));
+        assert!(cart.p.iter().all(|&p| p == 0.0));
+        let roles = cart.roles(&Thresholds::standard());
+        assert!(roles.iter().all(|&r| r == Role::UltraPeripheral));
+    }
+
+    #[test]
+    fn bridge_node_has_high_participation() {
+        // Two triangles bridged through node 6 which sits in community 0
+        // but splits its edges across both.
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 0), (6, 3)],
+        );
+        let assignment = [0, 0, 0, 1, 1, 1, 0];
+        let cart = cartography(&g, &assignment);
+        // Node 6: half its edges leave its community -> P = 0.5.
+        assert!((cart.p[6] - 0.5).abs() < 1e-12);
+        // Interior triangle nodes that keep all edges inside: P = 0 for
+        // nodes 1, 2 (all neighbours in community 0).
+        assert_eq!(cart.p[1], 0.0);
+    }
+
+    #[test]
+    fn hub_gets_positive_z() {
+        // Star inside one community: the hub's within-degree is far
+        // above the leaves' mean.
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let cart = cartography(&g, &[0; 6]);
+        assert!(cart.z[0] > 2.0, "hub z = {}", cart.z[0]);
+        assert!(cart.z[1] < 0.0);
+    }
+
+    #[test]
+    fn role_regions() {
+        let t = Thresholds::standard();
+        assert_eq!(t.role(0.0, 0.0), Role::UltraPeripheral);
+        assert_eq!(t.role(0.0, 0.5), Role::Peripheral);
+        assert_eq!(t.role(0.0, 0.7), Role::Connector);
+        assert_eq!(t.role(0.0, 0.9), Role::Kinless);
+        assert_eq!(t.role(3.0, 0.1), Role::ProvincialHub);
+        assert_eq!(t.role(3.0, 0.5), Role::ConnectorHub);
+        assert_eq!(t.role(3.0, 0.9), Role::KinlessHub);
+    }
+
+    #[test]
+    fn instability_is_zero_for_unit_factor() {
+        let g = Graph::complete(4);
+        let cart = cartography(&g, &[0; 4]);
+        assert_eq!(cart.role_instability(1.0), 0.0);
+    }
+
+    #[test]
+    fn instability_detects_threshold_sensitivity() {
+        // Nodes parked just above the R1/R2 boundary flip when the
+        // boundary moves: P of boundary nodes ≈ 0.05..0.12 region.
+        let topo = topology::generate(&topology::ModelConfig::tiny(42)).unwrap();
+        let partition = baselines::louvain::louvain(&topo.graph);
+        let cart = cartography(&topo.graph, &partition.community);
+        let wiggle = cart.role_instability(1.1);
+        assert!(
+            wiggle > 0.0,
+            "a 10% threshold change should reclassify someone"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length")]
+    fn wrong_length_panics() {
+        let g = Graph::complete(3);
+        let _ = cartography(&g, &[0, 0]);
+    }
+}

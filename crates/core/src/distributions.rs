@@ -1,0 +1,167 @@
+//! Cover statistics in the style of Palla et al. (Nature 2005).
+//!
+//! The CPM paper the reproduction builds on characterises covers by four
+//! distributions: community size, *membership number* (how many
+//! communities a node belongs to), community *degree* (how many other
+//! communities a community overlaps), and overlap size. The ICDCS paper
+//! summarises rather than plots these, but a CPM library without them
+//! would be incomplete — and they power the `cover_distributions`
+//! extension experiment.
+
+use cpm::{CpmResult, KLevel};
+use std::collections::BTreeMap;
+
+/// The four Palla cover distributions at one level `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverDistributions {
+    /// Level the distributions describe.
+    pub k: u32,
+    /// `(community size, count)` ascending.
+    pub community_size: Vec<(usize, usize)>,
+    /// `(memberships per node, node count)` ascending, nodes with zero
+    /// memberships excluded.
+    pub membership_number: Vec<(usize, usize)>,
+    /// `(overlapping-community pairs share, pair count)` ascending —
+    /// only pairs with positive overlap appear.
+    pub overlap_size: Vec<(usize, usize)>,
+    /// `(community degree, community count)` ascending, where a
+    /// community's degree is the number of same-level communities it
+    /// shares at least one node with.
+    pub community_degree: Vec<(usize, usize)>,
+}
+
+/// Computes the cover distributions of `level` over a graph with
+/// `node_count` nodes.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use kclique_core::cover_distributions;
+///
+/// // Two K4s sharing one vertex: two communities of size 4, the shared
+/// // vertex has membership 2, one overlapping pair of share 1.
+/// let mut b = asgraph::GraphBuilder::new();
+/// for set in [[0u32, 1, 2, 3], [3u32, 4, 5, 6]] {
+///     for i in 0..4 {
+///         for j in (i + 1)..4 {
+///             b.add_edge(set[i], set[j]);
+///         }
+///     }
+/// }
+/// let g = b.build();
+/// let result = cpm::percolate(&g);
+/// let d = cover_distributions(result.level(4).unwrap(), g.node_count());
+/// assert_eq!(d.community_size, vec![(4, 2)]);
+/// assert_eq!(d.membership_number, vec![(1, 6), (2, 1)]);
+/// assert_eq!(d.overlap_size, vec![(1, 1)]);
+/// assert_eq!(d.community_degree, vec![(1, 2)]);
+/// ```
+pub fn cover_distributions(level: &KLevel, node_count: usize) -> CoverDistributions {
+    let comms = &level.communities;
+
+    let mut size_hist: BTreeMap<usize, usize> = BTreeMap::new();
+    for c in comms {
+        *size_hist.entry(c.size()).or_insert(0) += 1;
+    }
+
+    let mut memberships = vec![0usize; node_count];
+    for c in comms {
+        for &v in &c.members {
+            memberships[v as usize] += 1;
+        }
+    }
+    let mut membership_hist: BTreeMap<usize, usize> = BTreeMap::new();
+    for &m in memberships.iter().filter(|&&m| m > 0) {
+        *membership_hist.entry(m).or_insert(0) += 1;
+    }
+
+    let mut overlap_hist: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut degrees = vec![0usize; comms.len()];
+    for i in 0..comms.len() {
+        for j in (i + 1)..comms.len() {
+            let o = comms[i].overlap(&comms[j]);
+            if o > 0 {
+                *overlap_hist.entry(o).or_insert(0) += 1;
+                degrees[i] += 1;
+                degrees[j] += 1;
+            }
+        }
+    }
+    let mut degree_hist: BTreeMap<usize, usize> = BTreeMap::new();
+    for &d in &degrees {
+        *degree_hist.entry(d).or_insert(0) += 1;
+    }
+
+    CoverDistributions {
+        k: level.k,
+        community_size: size_hist.into_iter().collect(),
+        membership_number: membership_hist.into_iter().collect(),
+        overlap_size: overlap_hist.into_iter().collect(),
+        community_degree: degree_hist.into_iter().collect(),
+    }
+}
+
+/// Convenience: distributions for every level of a result.
+pub fn all_cover_distributions(result: &CpmResult, node_count: usize) -> Vec<CoverDistributions> {
+    result
+        .levels
+        .iter()
+        .map(|l| cover_distributions(l, node_count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::Graph;
+
+    #[test]
+    fn disjoint_communities_have_no_overlap() {
+        let mut b = asgraph::GraphBuilder::with_nodes(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+                b.add_edge(u + 4, v + 4);
+            }
+        }
+        let g = b.build();
+        let result = cpm::percolate(&g);
+        let d = cover_distributions(result.level(4).unwrap(), g.node_count());
+        assert_eq!(d.community_size, vec![(4, 2)]);
+        assert!(d.overlap_size.is_empty());
+        assert_eq!(d.community_degree, vec![(0, 2)]);
+        assert_eq!(d.membership_number, vec![(1, 8)]);
+    }
+
+    #[test]
+    fn histogram_totals_are_consistent() {
+        let topo = topology::generate(&topology::ModelConfig::tiny(42)).unwrap();
+        let result = cpm::percolate(&topo.graph);
+        for d in all_cover_distributions(&result, topo.graph.node_count()) {
+            let level = result.level(d.k).unwrap();
+            let total_comms: usize = d.community_size.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total_comms, level.communities.len());
+            let degree_total: usize = d.community_degree.iter().map(|&(_, c)| c).sum();
+            assert_eq!(degree_total, level.communities.len());
+            // Sum over nodes of membership = sum of community sizes.
+            let weighted_memberships: usize = d
+                .membership_number
+                .iter()
+                .map(|&(m, count)| m * count)
+                .sum();
+            let total_size: usize = level.communities.iter().map(|c| c.size()).sum();
+            assert_eq!(weighted_memberships, total_size);
+        }
+    }
+
+    #[test]
+    fn single_community_graph() {
+        let g = Graph::complete(5);
+        let result = cpm::percolate(&g);
+        let d = cover_distributions(result.level(3).unwrap(), 5);
+        assert_eq!(d.community_size, vec![(5, 1)]);
+        assert_eq!(d.community_degree, vec![(0, 1)]);
+        assert!(d.overlap_size.is_empty());
+    }
+}

@@ -1,0 +1,349 @@
+//! Community evolution across topology snapshots, after Palla, Barabási
+//! & Vicsek (Nature 2007, "Quantifying social group evolution").
+//!
+//! Given the k-clique covers of two snapshots with stable node ids
+//! (see [`topology::evolve()`]), communities are matched by *relative
+//! overlap* `|A ∩ B| / |A ∪ B|` and every community is assigned an
+//! event: continuation (with growth or contraction), merge, split,
+//! birth or death. Chaining steps yields community lifetimes — the
+//! quantity Palla et al. relate to community size.
+
+use asgraph::NodeId;
+use cpm::CpmResult;
+
+/// What happened to a community between two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Matched one-to-one with a similar-size successor.
+    Continued,
+    /// Matched, successor at least 25 % larger.
+    Grew,
+    /// Matched, successor at least 25 % smaller.
+    Contracted,
+    /// Two or more old communities share the same best successor.
+    Merged,
+    /// Two or more new communities share the same best predecessor.
+    Split,
+    /// New community with no predecessor above the match threshold.
+    Born,
+    /// Old community with no successor above the match threshold.
+    Died,
+}
+
+/// The match record of one old community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Index of the community in the old cover.
+    pub old: usize,
+    /// Index of the best-matching new community, if any.
+    pub new: Option<usize>,
+    /// Relative overlap with that successor (`|A∩B| / |A∪B|`).
+    pub relative_overlap: f64,
+    /// The event classification.
+    pub event: Event,
+}
+
+/// Summary of one evolution step at a fixed k.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionStep {
+    /// Per-old-community matches.
+    pub matches: Vec<Match>,
+    /// Indices of new communities classified as born.
+    pub born: Vec<usize>,
+    /// Count of each event type, in `Event` declaration order:
+    /// `[continued, grew, contracted, merged, split, born, died]`.
+    pub event_counts: [usize; 7],
+}
+
+/// Matches the level-k covers of two percolation results.
+///
+/// `threshold` is the minimum relative overlap for a match (Palla et al.
+/// use ≈ 0.1–0.5; 0.3 is a reasonable default). Node ids must be stable
+/// across the snapshots.
+///
+/// # Panics
+///
+/// Panics if `threshold` is not in `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use kclique_core::evolution::{match_covers, Event};
+///
+/// let g0 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0)]);
+/// // The triangle gained a member.
+/// let g1 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (1, 3)]);
+/// let r0 = cpm::percolate(&g0);
+/// let r1 = cpm::percolate(&g1);
+/// let step = match_covers(&r0, &r1, 3, 0.3);
+/// assert_eq!(step.matches[0].event, Event::Grew);
+/// ```
+pub fn match_covers(
+    old: &CpmResult,
+    new: &CpmResult,
+    k: u32,
+    threshold: f64,
+) -> EvolutionStep {
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "threshold {threshold} not in (0, 1]"
+    );
+    let old_cover: Vec<&[NodeId]> = old
+        .level(k)
+        .map(|l| l.communities.iter().map(|c| c.members.as_slice()).collect())
+        .unwrap_or_default();
+    let new_cover: Vec<&[NodeId]> = new
+        .level(k)
+        .map(|l| l.communities.iter().map(|c| c.members.as_slice()).collect())
+        .unwrap_or_default();
+
+    // Best successor per old community and best predecessor per new one.
+    let mut best_new: Vec<Option<(usize, f64)>> = vec![None; old_cover.len()];
+    let mut best_old: Vec<Option<(usize, f64)>> = vec![None; new_cover.len()];
+    for (i, a) in old_cover.iter().enumerate() {
+        for (j, b) in new_cover.iter().enumerate() {
+            let o = relative_overlap(a, b);
+            if o >= threshold {
+                if best_new[i].is_none_or(|(_, prev)| o > prev) {
+                    best_new[i] = Some((j, o));
+                }
+                if best_old[j].is_none_or(|(_, prev)| o > prev) {
+                    best_old[j] = Some((i, o));
+                }
+            }
+        }
+    }
+
+    // How many old communities map to each new one (merge detection).
+    let mut successor_fanin = vec![0usize; new_cover.len()];
+    for matched in best_new.iter().flatten() {
+        successor_fanin[matched.0] += 1;
+    }
+    // How many new communities map back to each old one (split
+    // detection).
+    let mut predecessor_fanout = vec![0usize; old_cover.len()];
+    for matched in best_old.iter().flatten() {
+        predecessor_fanout[matched.0] += 1;
+    }
+
+    let mut counts = [0usize; 7];
+    let matches: Vec<Match> = old_cover
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match best_new[i] {
+            None => {
+                counts[6] += 1;
+                Match {
+                    old: i,
+                    new: None,
+                    relative_overlap: 0.0,
+                    event: Event::Died,
+                }
+            }
+            Some((j, o)) => {
+                let event = if successor_fanin[j] > 1 {
+                    counts[3] += 1;
+                    Event::Merged
+                } else if predecessor_fanout[i] > 1 {
+                    counts[4] += 1;
+                    Event::Split
+                } else {
+                    let (sa, sb) = (a.len() as f64, new_cover[j].len() as f64);
+                    if sb >= 1.25 * sa {
+                        counts[1] += 1;
+                        Event::Grew
+                    } else if sb <= 0.75 * sa {
+                        counts[2] += 1;
+                        Event::Contracted
+                    } else {
+                        counts[0] += 1;
+                        Event::Continued
+                    }
+                };
+                Match {
+                    old: i,
+                    new: Some(j),
+                    relative_overlap: o,
+                    event,
+                }
+            }
+        })
+        .collect();
+
+    let born: Vec<usize> = (0..new_cover.len())
+        .filter(|&j| best_old[j].is_none())
+        .collect();
+    counts[5] = born.len();
+
+    EvolutionStep {
+        matches,
+        born,
+        event_counts: counts,
+    }
+}
+
+/// Jaccard similarity of two sorted member lists.
+fn relative_overlap(a: &[NodeId], b: &[NodeId]) -> f64 {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Tracks community lifetimes at level `k` across a chain of snapshots:
+/// returns, for every community born in some snapshot, how many further
+/// steps it survived (by following `Continued`/`Grew`/`Contracted`
+/// matches).
+pub fn lifetimes(results: &[CpmResult], k: u32, threshold: f64) -> Vec<usize> {
+    if results.len() < 2 {
+        return Vec::new();
+    }
+    // alive[c] = steps survived so far, for each community index of the
+    // current snapshot.
+    let first = results[0]
+        .level(k)
+        .map(|l| l.communities.len())
+        .unwrap_or(0);
+    let mut alive: Vec<usize> = vec![0; first];
+    let mut finished: Vec<usize> = Vec::new();
+
+    for w in results.windows(2) {
+        let step = match_covers(&w[0], &w[1], k, threshold);
+        let new_len = w[1].level(k).map(|l| l.communities.len()).unwrap_or(0);
+        let mut next: Vec<Option<usize>> = vec![None; new_len];
+        for m in &step.matches {
+            match (m.event, m.new) {
+                (Event::Died | Event::Merged | Event::Split, _) | (_, None) => {
+                    finished.push(alive[m.old]);
+                }
+                (_, Some(j)) => {
+                    // Continuation: carry the age forward.
+                    next[j] = Some(alive[m.old] + 1);
+                }
+            }
+        }
+        alive = next.into_iter().map(|a| a.unwrap_or(0)).collect();
+    }
+    finished.extend(alive);
+    finished
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::Graph;
+
+    fn k4(base: u32) -> Vec<(NodeId, NodeId)> {
+        let mut e = Vec::new();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                e.push((base + i, base + j));
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn continuation_and_growth() {
+        let g0 = Graph::from_edges(8, k4(0));
+        let mut edges = k4(0);
+        edges.extend([(0, 4), (1, 4), (2, 4), (3, 4)]); // K5 now
+        let g1 = Graph::from_edges(8, edges);
+        let step = match_covers(&cpm::percolate(&g0), &cpm::percolate(&g1), 4, 0.3);
+        assert_eq!(step.matches.len(), 1);
+        assert_eq!(step.matches[0].event, Event::Grew);
+        assert!(step.born.is_empty());
+    }
+
+    #[test]
+    fn death_and_birth() {
+        let g0 = Graph::from_edges(10, k4(0));
+        let g1 = Graph::from_edges(10, k4(5));
+        let step = match_covers(&cpm::percolate(&g0), &cpm::percolate(&g1), 4, 0.3);
+        assert_eq!(step.matches[0].event, Event::Died);
+        assert_eq!(step.born.len(), 1);
+        assert_eq!(step.event_counts[5], 1);
+        assert_eq!(step.event_counts[6], 1);
+    }
+
+    /// Two triangles {0,1,2} and {3,4,5}.
+    fn two_triangles() -> Vec<(NodeId, NodeId)> {
+        vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    }
+
+    /// The same plus a triangle chain bridging them at k = 3.
+    fn bridged_triangles() -> Vec<(NodeId, NodeId)> {
+        let mut e = two_triangles();
+        // Triangles {1,2,3} and {2,3,4} chain the two via shared edges.
+        e.extend([(1, 3), (2, 3), (2, 4)]);
+        e
+    }
+
+    #[test]
+    fn merge_detected() {
+        let g0 = Graph::from_edges(6, two_triangles());
+        let g1 = Graph::from_edges(6, bridged_triangles());
+        let r1 = cpm::percolate(&g1);
+        assert_eq!(r1.level(3).unwrap().communities.len(), 1);
+        let step = match_covers(&cpm::percolate(&g0), &r1, 3, 0.2);
+        assert!(step.matches.iter().all(|m| m.event == Event::Merged));
+        assert_eq!(step.event_counts[3], 2);
+    }
+
+    #[test]
+    fn split_detected() {
+        let g0 = Graph::from_edges(6, bridged_triangles());
+        let g1 = Graph::from_edges(6, two_triangles());
+        let step = match_covers(&cpm::percolate(&g0), &cpm::percolate(&g1), 3, 0.2);
+        assert_eq!(step.matches.len(), 1);
+        assert_eq!(step.matches[0].event, Event::Split);
+        // Neither part counts as born: both have a predecessor.
+        assert!(step.born.is_empty());
+    }
+
+    #[test]
+    fn relative_overlap_values() {
+        assert_eq!(relative_overlap(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(relative_overlap(&[0, 1], &[2, 3]), 0.0);
+        assert!((relative_overlap(&[0, 1, 2], &[1, 2, 3]) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_overlap(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn lifetimes_across_chain() {
+        // A K4 that persists for three snapshots, then disappears.
+        let alive = Graph::from_edges(6, k4(0));
+        let gone = Graph::from_edges(6, [(0, 1)]);
+        let results = vec![
+            cpm::percolate(&alive),
+            cpm::percolate(&alive),
+            cpm::percolate(&alive),
+            cpm::percolate(&gone),
+        ];
+        let lt = lifetimes(&results, 4, 0.3);
+        assert_eq!(lt, vec![2]); // survived two transitions, died on the third
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0, 1]")]
+    fn bad_threshold_panics() {
+        let g = Graph::complete(4);
+        let r = cpm::percolate(&g);
+        let _ = match_covers(&r, &r, 4, 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Analysis layer of the reproduction: the k-clique community tree and
+//! the paper's §4 interpretation machinery.
+//!
+//! Build a [`CommunityTree`] from a [`cpm::CpmResult`] to get the paper's
+//! Figure 4.2 representation — main communities (the ancestors of the
+//! top-k community) versus parallel communities (branches). Then:
+//!
+//! - [`metric_rows`] computes the size / link-density / average-ODF
+//!   series of Figures 4.3 and 4.4;
+//! - [`overlap_report`] reproduces the same-k overlap-fraction analysis
+//!   (parallel↔main mean ≈ 0.7 in the paper, parallel↔parallel too
+//!   variable to summarise);
+//! - [`community_tag_infos`] joins communities with the IXP and
+//!   geographical datasets (max-share-IXP, full-share-IXP, country
+//!   containment), and [`segment_bounds`] / [`segment_summaries`] derive
+//!   the crown / trunk / root segmentation from where full-share-IXPs
+//!   occur along k, as §4 does;
+//! - [`report::Table`] renders the experiment tables.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), topology::InvalidConfig> {
+//! use kclique_core::{CommunityTree, metric_rows};
+//! use topology::{generate, ModelConfig};
+//!
+//! let topo = generate(&ModelConfig::tiny(42))?;
+//! let result = cpm::percolate(&topo.graph);
+//! let tree = CommunityTree::build(&result);
+//! let rows = metric_rows(&topo.graph, &result, &tree);
+//! assert_eq!(rows.len(), result.total_communities());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cartography;
+mod distributions;
+pub mod evolution;
+mod metrics;
+mod overlap;
+mod pipeline;
+pub mod report;
+pub mod svg;
+mod tags_analysis;
+mod tree;
+
+pub use distributions::{all_cover_distributions, cover_distributions, CoverDistributions};
+pub use metrics::{metric_rows, split_series, MetricRow};
+pub use pipeline::{analyze, analyze_topology, Analysis};
+pub use overlap::{overlap_report, KOverlapStats, OverlapReport};
+pub use tags_analysis::{
+    community_tag_infos, segment_bounds, segment_summaries, CommunityTagInfo, Segment,
+    SegmentBounds, SegmentSummary,
+};
+pub use tree::{CommunityTree, TreeNode};

@@ -1,0 +1,133 @@
+//! Per-community structural metrics (Figures 4.3 and 4.4).
+
+use crate::tree::CommunityTree;
+use asgraph::metrics::community_metrics;
+use asgraph::Graph;
+use cpm::{CommunityId, CpmResult};
+
+/// One row of the size / link-density / ODF series: everything the
+/// paper's Figures 4.3, 4.4(a) and 4.4(b) plot for one community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Community identity.
+    pub id: CommunityId,
+    /// Whether it lies on the main path.
+    pub is_main: bool,
+    /// Number of member ASes (Figure 4.3).
+    pub size: usize,
+    /// Internal edges over the full-mesh maximum (Figure 4.4a).
+    pub link_density: f64,
+    /// Mean member Out-Degree Fraction (Figure 4.4b).
+    pub average_odf: f64,
+    /// Mean total degree of members in the whole graph (§4.2 reports
+    /// 500.2 for trunk main communities).
+    pub average_degree: f64,
+}
+
+/// Computes a [`MetricRow`] for every community in the result.
+///
+/// Rows come out ascending in `(k, idx)`.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use kclique_core::{metric_rows, CommunityTree};
+///
+/// let g = Graph::complete(4);
+/// let result = cpm::percolate(&g);
+/// let tree = CommunityTree::build(&result);
+/// let rows = metric_rows(&g, &result, &tree);
+/// assert_eq!(rows.len(), 3); // k = 2, 3, 4
+/// assert!(rows.iter().all(|r| r.link_density == 1.0));
+/// ```
+pub fn metric_rows(graph: &Graph, result: &CpmResult, tree: &CommunityTree) -> Vec<MetricRow> {
+    result
+        .iter()
+        .map(|(id, c)| {
+            let m = community_metrics(graph, &c.members);
+            let degree_sum: usize = c.members.iter().map(|&v| graph.degree(v)).sum();
+            MetricRow {
+                id,
+                is_main: tree.is_main(id),
+                size: m.size,
+                link_density: m.link_density,
+                average_odf: m.average_odf,
+                average_degree: if m.size == 0 {
+                    0.0
+                } else {
+                    degree_sum as f64 / m.size as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Splits rows into `(main, parallel)` series, each ascending in k — the
+/// two point styles of the paper's figures.
+pub fn split_series(rows: &[MetricRow]) -> (Vec<&MetricRow>, Vec<&MetricRow>) {
+    rows.iter().partition(|r| r.is_main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(g: &Graph) -> (CpmResult, CommunityTree) {
+        let result = cpm::percolate(g);
+        let tree = CommunityTree::build(&result);
+        (result, tree)
+    }
+
+    #[test]
+    fn clique_rows_are_dense_and_closed() {
+        let g = Graph::complete(5);
+        let (result, tree) = setup(&g);
+        let rows = metric_rows(&g, &result, &tree);
+        for r in &rows {
+            assert_eq!(r.size, 5);
+            assert_eq!(r.link_density, 1.0);
+            assert_eq!(r.average_odf, 0.0);
+            assert_eq!(r.average_degree, 4.0);
+            assert!(r.is_main);
+        }
+    }
+
+    #[test]
+    fn main_and_parallel_split() {
+        // K4 + K4 bridged: the main series has one row per level, the
+        // parallel series the rest.
+        let mut b = asgraph::GraphBuilder::with_nodes(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+                b.add_edge(u + 4, v + 4);
+            }
+        }
+        b.add_edge(3, 4);
+        let g = b.build();
+        let (result, tree) = setup(&g);
+        let rows = metric_rows(&g, &result, &tree);
+        let (main, parallel) = split_series(&rows);
+        assert_eq!(main.len(), 3);
+        assert_eq!(parallel.len(), 2);
+        // The k=2 main community covers everything: zero ODF.
+        assert_eq!(main[0].average_odf, 0.0);
+        // Parallel K4s have positive ODF (the bridge edge) and full
+        // density.
+        for p in parallel {
+            assert_eq!(p.link_density, 1.0);
+            assert!(p.average_odf > 0.0);
+        }
+    }
+
+    #[test]
+    fn rows_ascend_by_level() {
+        let g = Graph::complete(6);
+        let (result, tree) = setup(&g);
+        let rows = metric_rows(&g, &result, &tree);
+        for w in rows.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+}

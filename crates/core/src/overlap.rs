@@ -1,0 +1,270 @@
+//! Same-k overlap analysis (§4).
+//!
+//! The paper studies how communities of the *same* k relate (computing
+//! overlap across different k is confounded by nesting): every parallel
+//! community shares members with its main community (with 6 exceptions in
+//! the 2010 data), the parallel↔main overlap fraction averages 0.704 over
+//! k with variance 0.023, while parallel↔parallel overlap varies too much
+//! to summarise (variance 0.136).
+
+use crate::tree::CommunityTree;
+use cpm::CpmResult;
+
+/// Overlap statistics for one level k.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KOverlapStats {
+    /// The level.
+    pub k: u32,
+    /// Number of parallel communities at this level.
+    pub parallel_count: usize,
+    /// Mean overlap fraction between each parallel community and the
+    /// main community (`None` when there are no parallel communities).
+    pub parallel_main_avg: Option<f64>,
+    /// Minimum parallel↔main overlap fraction.
+    pub parallel_main_min: Option<f64>,
+    /// Parallel communities sharing no member with the main community
+    /// (the paper found 6 such exceptions overall).
+    pub parallel_disjoint_from_main: usize,
+    /// Mean overlap fraction across parallel↔parallel pairs.
+    pub parallel_parallel_avg: Option<f64>,
+    /// Number of parallel↔parallel pairs with zero overlap.
+    pub parallel_parallel_disjoint: usize,
+    /// Total parallel↔parallel pairs.
+    pub parallel_parallel_pairs: usize,
+}
+
+/// The full overlap report across levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapReport {
+    /// Per-level statistics (ascending k; levels with at least 2
+    /// communities).
+    pub per_k: Vec<KOverlapStats>,
+    /// Mean over k of the per-level parallel↔main averages (the paper:
+    /// 0.704).
+    pub parallel_main_mean: Option<f64>,
+    /// Variance over k of the same (the paper: 0.023).
+    pub parallel_main_variance: Option<f64>,
+    /// Mean over k of the parallel↔parallel averages.
+    pub parallel_parallel_mean: Option<f64>,
+    /// Variance over k of the same (the paper: 0.136 — too high to be a
+    /// useful summary).
+    pub parallel_parallel_variance: Option<f64>,
+    /// Total parallel communities disjoint from their main community.
+    pub total_disjoint_from_main: usize,
+}
+
+/// Computes the same-k overlap report.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use kclique_core::{overlap_report, CommunityTree};
+///
+/// // Two K4s sharing vertex 3: at k = 4 the parallel community overlaps
+/// // the main one in exactly one node.
+/// let mut b = asgraph::GraphBuilder::new();
+/// for u in 0..4u32 {
+///     for v in (u + 1)..4 { b.add_edge(u, v); }
+/// }
+/// for &u in &[3u32, 4, 5, 6] {
+///     for &v in &[3u32, 4, 5, 6] {
+///         if u < v { b.add_edge(u, v); }
+///     }
+/// }
+/// let g = b.build();
+/// let result = cpm::percolate(&g);
+/// let tree = CommunityTree::build(&result);
+/// let report = overlap_report(&result, &tree);
+/// let k4 = report.per_k.iter().find(|s| s.k == 4).unwrap();
+/// assert_eq!(k4.parallel_count, 1);
+/// assert_eq!(k4.parallel_main_avg, Some(0.25)); // 1 of 4 members shared
+/// # assert_eq!(k4.parallel_disjoint_from_main, 0);
+/// ```
+pub fn overlap_report(result: &CpmResult, tree: &CommunityTree) -> OverlapReport {
+    let mut per_k = Vec::new();
+    let mut total_disjoint = 0usize;
+
+    for level in &result.levels {
+        if level.communities.len() < 2 {
+            continue;
+        }
+        let k = level.k;
+        let main_idx = tree
+            .main_path()
+            .iter()
+            .find(|id| id.k == k)
+            .map(|id| id.idx as usize);
+        let Some(main_idx) = main_idx else { continue };
+        let main = &level.communities[main_idx];
+
+        let mut pm_fractions = Vec::new();
+        let mut disjoint = 0usize;
+        let parallel: Vec<&cpm::Community> = level
+            .communities
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != main_idx)
+            .map(|(_, c)| c)
+            .collect();
+        for p in &parallel {
+            let f = p.overlap_fraction(main);
+            if p.overlap(main) == 0 {
+                disjoint += 1;
+            }
+            pm_fractions.push(f);
+        }
+        total_disjoint += disjoint;
+
+        let mut pp_fractions = Vec::new();
+        let mut pp_disjoint = 0usize;
+        for (i, a) in parallel.iter().enumerate() {
+            for b in &parallel[i + 1..] {
+                let f = a.overlap_fraction(b);
+                if a.overlap(b) == 0 {
+                    pp_disjoint += 1;
+                }
+                pp_fractions.push(f);
+            }
+        }
+
+        per_k.push(KOverlapStats {
+            k,
+            parallel_count: parallel.len(),
+            parallel_main_avg: mean(&pm_fractions),
+            parallel_main_min: pm_fractions
+                .iter()
+                .copied()
+                .min_by(|a, b| a.partial_cmp(b).expect("fractions are finite")),
+            parallel_disjoint_from_main: disjoint,
+            parallel_parallel_avg: mean(&pp_fractions),
+            parallel_parallel_disjoint: pp_disjoint,
+            parallel_parallel_pairs: pp_fractions.len(),
+        });
+    }
+
+    let pm_avgs: Vec<f64> = per_k.iter().filter_map(|s| s.parallel_main_avg).collect();
+    let pp_avgs: Vec<f64> = per_k
+        .iter()
+        .filter_map(|s| s.parallel_parallel_avg)
+        .collect();
+    OverlapReport {
+        parallel_main_mean: mean(&pm_avgs),
+        parallel_main_variance: variance(&pm_avgs),
+        parallel_parallel_mean: mean(&pp_avgs),
+        parallel_parallel_variance: variance(&pp_avgs),
+        per_k,
+        total_disjoint_from_main: total_disjoint,
+    }
+}
+
+fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::Graph;
+
+    fn analyse(g: &Graph) -> OverlapReport {
+        let result = cpm::percolate(g);
+        let tree = CommunityTree::build(&result);
+        overlap_report(&result, &tree)
+    }
+
+    #[test]
+    fn single_community_levels_are_skipped() {
+        let report = analyse(&Graph::complete(5));
+        assert!(report.per_k.is_empty());
+        assert_eq!(report.parallel_main_mean, None);
+    }
+
+    #[test]
+    fn disjoint_parallel_detected() {
+        // Two K4s joined by a single edge: the parallel K4 shares no
+        // member with the main K4 at k = 3 and 4.
+        let mut b = asgraph::GraphBuilder::with_nodes(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+                b.add_edge(u + 4, v + 4);
+            }
+        }
+        b.add_edge(3, 4);
+        let report = analyse(&b.build());
+        assert_eq!(report.per_k.len(), 2);
+        assert_eq!(report.total_disjoint_from_main, 2);
+        for s in &report.per_k {
+            assert_eq!(s.parallel_main_avg, Some(0.0));
+            assert_eq!(s.parallel_disjoint_from_main, 1);
+            assert_eq!(s.parallel_parallel_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn shared_vertex_fraction() {
+        // K4s sharing one node: overlap fraction 1/4.
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        for &u in &[3u32, 4, 5, 6] {
+            for &v in &[3u32, 4, 5, 6] {
+                if u < v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let report = analyse(&b.build());
+        let k4 = report.per_k.iter().find(|s| s.k == 4).unwrap();
+        assert_eq!(k4.parallel_main_avg, Some(0.25));
+        assert_eq!(k4.parallel_main_min, Some(0.25));
+        assert_eq!(k4.parallel_disjoint_from_main, 0);
+    }
+
+    #[test]
+    fn mean_and_variance_helpers() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(variance(&[2.0, 4.0]), Some(1.0));
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn three_parallel_k4s_pairwise_stats() {
+        // Main K5 {0..4}; two parallel K4s hanging off node 0 that share
+        // nodes {0, 5} with each other.
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        for set in [[0u32, 5, 6, 7], [0u32, 5, 8, 9]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_edge(set[i], set[j]);
+                }
+            }
+        }
+        let report = analyse(&b.build());
+        let k4 = report.per_k.iter().find(|s| s.k == 4).unwrap();
+        assert_eq!(k4.parallel_count, 2);
+        assert_eq!(k4.parallel_parallel_pairs, 1);
+        // The two parallel K4s share {0, 5}: fraction 2/4.
+        assert_eq!(k4.parallel_parallel_avg, Some(0.5));
+        assert_eq!(k4.parallel_parallel_disjoint, 0);
+    }
+}

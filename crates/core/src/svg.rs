@@ -1,0 +1,331 @@
+//! Minimal SVG scatter plots for the figure reproductions.
+//!
+//! The paper's Figures 4.1, 4.3 and 4.4 are k-vs-quantity scatter plots
+//! with two point styles (main ● vs parallel ○) and, for Figure 4.3, a
+//! log-scale y axis. This module renders exactly that family of plots
+//! with no dependencies, so `--out` can drop ready-to-open `.svg` files
+//! next to the TSVs.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; `y <= 0` points are dropped on log axes.
+    pub points: Vec<(f64, f64)>,
+    /// Filled marker (the paper uses filled = main, hollow = parallel).
+    pub filled: bool,
+}
+
+/// A scatter plot in the style of the paper's figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPlot {
+    /// Title rendered above the axes.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Logarithmic y axis (Figure 4.3).
+    pub log_y: bool,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+impl ScatterPlot {
+    /// Renders the plot as a standalone SVG document.
+    ///
+    /// Returns a minimal empty document if no series has a drawable
+    /// point.
+    pub fn to_svg(&self) -> String {
+        let mut pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(_, y)| !self.log_y || y > 0.0)
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = writeln!(
+            out,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="24" font-size="15" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        if pts.is_empty() {
+            out.push_str("</svg>\n");
+            return out;
+        }
+        pts.sort_by(|a, b| a.partial_cmp(b).expect("finite points"));
+        let (x_min, x_max) = bounds(pts.iter().map(|p| p.0));
+        let (y_min, y_max) = if self.log_y {
+            let (lo, hi) = bounds(pts.iter().map(|p| p.1.log10()));
+            (lo.floor(), hi.ceil().max(lo.floor() + 1.0))
+        } else {
+            let (lo, hi) = bounds(pts.iter().map(|p| p.1));
+            (lo.min(0.0), if hi > lo { hi } else { lo + 1.0 })
+        };
+
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-9) * (WIDTH - MARGIN_L - MARGIN_R);
+        let sy = |y: f64| {
+            let v = if self.log_y { y.log10() } else { y };
+            HEIGHT - MARGIN_B - (v - y_min) / (y_max - y_min).max(1e-9) * (HEIGHT - MARGIN_T - MARGIN_B)
+        };
+
+        // Axes.
+        let _ = writeln!(
+            out,
+            r#"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+            HEIGHT - MARGIN_B,
+            WIDTH - MARGIN_R,
+            HEIGHT - MARGIN_B
+        );
+        let _ = writeln!(
+            out,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="black"/>"#,
+            HEIGHT - MARGIN_B
+        );
+        // X ticks: integers when the range is small.
+        let x_ticks = tick_values(x_min, x_max, 10);
+        for t in &x_ticks {
+            let x = sx(*t);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="black"/>"#,
+                HEIGHT - MARGIN_B,
+                HEIGHT - MARGIN_B + 5.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{x:.1}" y="{:.1}" font-size="11" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+                HEIGHT - MARGIN_B + 18.0,
+                format_tick(*t)
+            );
+        }
+        // Y ticks.
+        if self.log_y {
+            let mut exp = y_min as i32;
+            while (exp as f64) <= y_max {
+                let y = sy(10f64.powi(exp));
+                let _ = writeln!(
+                    out,
+                    r#"<line x1="{:.1}" y1="{y:.1}" x2="{MARGIN_L}" y2="{y:.1}" stroke="black"/>"#,
+                    MARGIN_L - 5.0
+                );
+                let _ = writeln!(
+                    out,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif" text-anchor="end">1e{exp}</text>"#,
+                    MARGIN_L - 8.0,
+                    y + 4.0
+                );
+                exp += 1;
+            }
+        } else {
+            for t in tick_values(y_min, y_max, 8) {
+                let y = sy(t);
+                let _ = writeln!(
+                    out,
+                    r#"<line x1="{:.1}" y1="{y:.1}" x2="{MARGIN_L}" y2="{y:.1}" stroke="black"/>"#,
+                    MARGIN_L - 5.0
+                );
+                let _ = writeln!(
+                    out,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif" text-anchor="end">{}</text>"#,
+                    MARGIN_L - 8.0,
+                    y + 4.0,
+                    format_tick(t)
+                );
+            }
+        }
+        // Axis labels.
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="13" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+            HEIGHT - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="16" y="{:.1}" font-size="13" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            (MARGIN_T + HEIGHT - MARGIN_B) / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Points + legend.
+        for (si, series) in self.series.iter().enumerate() {
+            let fill = if series.filled { "black" } else { "white" };
+            for &(x, y) in &series.points {
+                if self.log_y && y <= 0.0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3.5" fill="{fill}" stroke="black"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let ly = MARGIN_T + 14.0 * si as f64;
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{:.1}" cy="{ly:.1}" r="3.5" fill="{fill}" stroke="black"/>"#,
+                WIDTH - MARGIN_R - 110.0
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-size="12" font-family="sans-serif">{}</text>"#,
+                WIDTH - MARGIN_R - 100.0,
+                ly + 4.0,
+                escape(&series.name)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Round tick positions covering `[lo, hi]` with at most `max` ticks.
+fn tick_values(lo: f64, hi: f64, max: usize) -> Vec<f64> {
+    let span = (hi - lo).max(1e-9);
+    let raw = span / max as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| span / s <= max as f64)
+        .unwrap_or(mag * 10.0);
+    let mut ticks = Vec::new();
+    let mut t = (lo / step).ceil() * step;
+    while t <= hi + 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn format_tick(t: f64) -> String {
+    if (t.round() - t).abs() < 1e-9 {
+        format!("{}", t.round() as i64)
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> ScatterPlot {
+        ScatterPlot {
+            title: "sizes & counts".into(),
+            x_label: "k".into(),
+            y_label: "size".into(),
+            log_y: true,
+            series: vec![
+                Series {
+                    name: "main".into(),
+                    points: vec![(2.0, 1000.0), (3.0, 100.0), (4.0, 10.0)],
+                    filled: true,
+                },
+                Series {
+                    name: "parallel".into(),
+                    points: vec![(3.0, 5.0), (4.0, 4.0), (5.0, 0.0)],
+                    filled: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = demo().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("sizes &amp; counts"));
+        assert!(svg.contains("main"));
+        assert!(svg.contains("parallel"));
+        // 5 drawable data points (one dropped by log axis) + 2 legend
+        // markers.
+        assert_eq!(svg.matches("<circle").count(), 7);
+        assert!(svg.contains("1e1"));
+    }
+
+    #[test]
+    fn empty_plot_is_valid() {
+        let p = ScatterPlot {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            log_y: false,
+            series: vec![],
+        };
+        let svg = p.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn log_axis_orders_points() {
+        let svg = demo().to_svg();
+        // Extract the cy of the first two data circles: y=1000 must be
+        // plotted above (smaller cy) than y=100.
+        let cys: Vec<f64> = svg
+            .lines()
+            .filter(|l| l.contains("<circle"))
+            .filter_map(|l| {
+                let i = l.find("cy=\"")? + 4;
+                let rest = &l[i..];
+                let j = rest.find('"')?;
+                rest[..j].parse().ok()
+            })
+            .collect();
+        assert!(cys[0] < cys[1], "log ordering broken: {cys:?}");
+    }
+
+    #[test]
+    fn tick_helper_is_sane() {
+        let t = tick_values(0.0, 10.0, 10);
+        assert!(t.contains(&0.0) && t.contains(&10.0));
+        assert!(t.len() <= 11);
+        let t = tick_values(2.0, 36.0, 10);
+        assert!(t.len() >= 4 && t.len() <= 11);
+        assert_eq!(format_tick(5.0), "5");
+        assert_eq!(format_tick(0.25), "0.25");
+    }
+}

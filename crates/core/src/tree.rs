@@ -1,0 +1,367 @@
+//! The k-clique community tree (§4, Figure 4.2).
+//!
+//! The paper's novel representation: one node per k-clique community, an
+//! edge from each community to the unique (k−1)-clique community that
+//! contains it (Theorem 1). *Main* communities are the ancestors of the
+//! top community (the one at `k_max`); everything else is *parallel*.
+//! Parallel chains appear as branches of the tree.
+
+use cpm::{CommunityId, CpmResult};
+use std::fmt::Write as _;
+
+/// One node of the community tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// The community this node represents.
+    pub id: CommunityId,
+    /// Parent (the unique containing community at k−1); `None` at k = 2.
+    pub parent: Option<CommunityId>,
+    /// Children (communities at k+1 contained in this one).
+    pub children: Vec<CommunityId>,
+    /// Number of member ASes.
+    pub size: usize,
+    /// Whether this community lies on the main path.
+    pub is_main: bool,
+}
+
+/// The k-clique community tree of a percolation result.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use kclique_core::CommunityTree;
+///
+/// let g = Graph::complete(5);
+/// let result = cpm::percolate(&g);
+/// let tree = CommunityTree::build(&result);
+/// assert_eq!(tree.main_path().len(), 4); // k = 2, 3, 4, 5
+/// assert!(tree.node(tree.main_path()[0]).unwrap().is_main);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommunityTree {
+    /// Nodes per level, mirroring `CpmResult::levels` (index 0 ⇔ k = 2).
+    levels: Vec<Vec<TreeNode>>,
+    main_path: Vec<CommunityId>,
+}
+
+impl CommunityTree {
+    /// Builds the tree from a percolation result.
+    ///
+    /// The main path is the ancestor chain of the top community: the
+    /// community at `k_max` (largest, lowest index on ties) and every
+    /// community containing it. For an empty result the tree is empty.
+    pub fn build(result: &CpmResult) -> Self {
+        let mut levels: Vec<Vec<TreeNode>> = result
+            .levels
+            .iter()
+            .map(|level| {
+                level
+                    .communities
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, c)| TreeNode {
+                        id: CommunityId {
+                            k: level.k,
+                            idx: idx as u32,
+                        },
+                        parent: c.parent.map(|p| CommunityId {
+                            k: level.k - 1,
+                            idx: p,
+                        }),
+                        children: Vec::new(),
+                        size: c.size(),
+                        is_main: false,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Children lists.
+        for li in 1..levels.len() {
+            for ni in 0..levels[li].len() {
+                let child = levels[li][ni].id;
+                if let Some(p) = levels[li][ni].parent {
+                    levels[li - 1][p.idx as usize].children.push(child);
+                }
+            }
+        }
+
+        // Main path: ancestors of the top community.
+        let mut main_path = Vec::new();
+        if let Some(top_level) = levels.last() {
+            let top = top_level
+                .iter()
+                .max_by(|a, b| a.size.cmp(&b.size).then(b.id.idx.cmp(&a.id.idx)))
+                .map(|n| n.id);
+            let mut cursor = top;
+            while let Some(id) = cursor {
+                main_path.push(id);
+                let node = &levels[(id.k - 2) as usize][id.idx as usize];
+                cursor = node.parent;
+            }
+            main_path.reverse(); // ascending k
+            for &id in &main_path {
+                levels[(id.k - 2) as usize][id.idx as usize].is_main = true;
+            }
+        }
+
+        CommunityTree { levels, main_path }
+    }
+
+    /// The node for `id`, if it exists.
+    pub fn node(&self, id: CommunityId) -> Option<&TreeNode> {
+        self.levels
+            .get((id.k.checked_sub(2)?) as usize)?
+            .get(id.idx as usize)
+    }
+
+    /// The main path in ascending k (one community per level).
+    pub fn main_path(&self) -> &[CommunityId] {
+        &self.main_path
+    }
+
+    /// Whether `id` is a main community.
+    pub fn is_main(&self, id: CommunityId) -> bool {
+        self.node(id).is_some_and(|n| n.is_main)
+    }
+
+    /// Iterates over every node, ascending k then index.
+    pub fn iter(&self) -> impl Iterator<Item = &TreeNode> {
+        self.levels.iter().flatten()
+    }
+
+    /// Total number of tree nodes (= total communities).
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of parallel (non-main) communities.
+    pub fn parallel_count(&self) -> usize {
+        self.iter().filter(|n| !n.is_main).count()
+    }
+
+    /// Levels whose community is unique (the paper: such communities
+    /// contain every community of all higher k).
+    pub fn unique_levels(&self) -> Vec<u32> {
+        self.levels
+            .iter()
+            .filter(|l| l.len() == 1)
+            .map(|l| l[0].id.k)
+            .collect()
+    }
+
+    /// The parallel *branches*: maximal descending chains of parallel
+    /// communities, returned as paths (ascending k). A branch starts at a
+    /// parallel community whose parent is main (or absent) and follows
+    /// single-child parallel chains; forks start new branches.
+    pub fn branches(&self) -> Vec<Vec<CommunityId>> {
+        let mut branches = Vec::new();
+        for node in self.iter() {
+            if node.is_main {
+                continue;
+            }
+            // A branch root: parent is main or missing.
+            let parent_is_main = match node.parent {
+                Some(p) => self.is_main(p),
+                None => true,
+            };
+            if !parent_is_main {
+                continue;
+            }
+            // Walk up in k through parallel descendants, always taking
+            // each node as a path node; forks spawn separate branch
+            // traversals handled by recursion.
+            let mut stack = vec![vec![node.id]];
+            while let Some(path) = stack.pop() {
+                let last = *path.last().expect("non-empty path");
+                let children: Vec<CommunityId> = self
+                    .node(last)
+                    .map(|n| n.children.clone())
+                    .unwrap_or_default();
+                if children.is_empty() {
+                    branches.push(path);
+                } else {
+                    for c in children {
+                        let mut next = path.clone();
+                        next.push(c);
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        branches
+    }
+
+    /// Histogram of branch lengths (levels a parallel chain survives
+    /// before being absorbed into a main community), as sorted
+    /// `(length, count)` pairs.
+    ///
+    /// This quantifies the paper's §5 observation that parallel
+    /// communities "are rapidly incorporated into a main community with
+    /// a lower k": most branches should be short.
+    pub fn absorption_histogram(&self) -> Vec<(usize, usize)> {
+        let mut hist = std::collections::BTreeMap::new();
+        for b in self.branches() {
+            *hist.entry(b.len()).or_insert(0usize) += 1;
+        }
+        hist.into_iter().collect()
+    }
+
+    /// Mean branch length (`None` when the tree has no branches).
+    pub fn mean_absorption_time(&self) -> Option<f64> {
+        let branches = self.branches();
+        if branches.is_empty() {
+            return None;
+        }
+        Some(branches.iter().map(Vec::len).sum::<usize>() as f64 / branches.len() as f64)
+    }
+
+    /// Renders the tree as Graphviz DOT, the form of the paper's
+    /// Figure 4.2 (main communities filled black). Levels with
+    /// `k < min_k` are omitted, as in the paper's figure (k ≤ 5 hidden
+    /// for readability).
+    pub fn to_dot(&self, min_k: u32) -> String {
+        let mut out = String::new();
+        out.push_str("digraph kclique_tree {\n");
+        out.push_str("  rankdir=BT;\n  node [shape=circle, fontsize=9];\n");
+        for node in self.iter() {
+            if node.id.k < min_k {
+                continue;
+            }
+            let fill = if node.is_main {
+                ", style=filled, fillcolor=black, fontcolor=white"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  \"{}\" [label=\"{}\"{}];", node.id, node.id, fill);
+        }
+        for node in self.iter() {
+            if node.id.k < min_k {
+                continue;
+            }
+            if let Some(p) = node.parent {
+                if p.k >= min_k {
+                    let _ = writeln!(out, "  \"{}\" -> \"{}\";", node.id, p);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::Graph;
+
+    fn two_k4s_bridged() -> Graph {
+        // K4 {0..3} and K4 {4..7} joined by edge (3,4).
+        let mut b = asgraph::GraphBuilder::with_nodes(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+                b.add_edge(u + 4, v + 4);
+            }
+        }
+        b.add_edge(3, 4);
+        b.build()
+    }
+
+    #[test]
+    fn clique_tree_is_a_path() {
+        let result = cpm::percolate(&Graph::complete(6));
+        let tree = CommunityTree::build(&result);
+        assert_eq!(tree.len(), 5); // k = 2..=6
+        assert_eq!(tree.main_path().len(), 5);
+        assert_eq!(tree.parallel_count(), 0);
+        assert_eq!(tree.unique_levels(), vec![2, 3, 4, 5, 6]);
+        assert!(tree.branches().is_empty());
+    }
+
+    #[test]
+    fn bridged_k4s_have_one_parallel_branch() {
+        let result = cpm::percolate(&two_k4s_bridged());
+        let tree = CommunityTree::build(&result);
+        // Levels: k=2 (1 community), k=3 (2), k=4 (2).
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.main_path().len(), 3);
+        assert_eq!(tree.parallel_count(), 2);
+        let branches = tree.branches();
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0].len(), 2); // parallel K4 at k=3 and k=4
+        // The branch runs ascending k.
+        assert!(branches[0][0].k < branches[0][1].k);
+    }
+
+    #[test]
+    fn main_flags_and_lookup_consistent() {
+        let result = cpm::percolate(&two_k4s_bridged());
+        let tree = CommunityTree::build(&result);
+        for node in tree.iter() {
+            assert_eq!(tree.is_main(node.id), node.is_main);
+            assert_eq!(tree.node(node.id).unwrap().id, node.id);
+        }
+        // Exactly one main per level.
+        for k in 2..=3 {
+            let mains = tree.iter().filter(|n| n.id.k == k && n.is_main).count();
+            assert_eq!(mains, 1, "level {k}");
+        }
+    }
+
+    #[test]
+    fn children_inverse_of_parent() {
+        let result = cpm::percolate(&two_k4s_bridged());
+        let tree = CommunityTree::build(&result);
+        for node in tree.iter() {
+            for &c in &node.children {
+                assert_eq!(tree.node(c).unwrap().parent, Some(node.id));
+            }
+            if let Some(p) = node.parent {
+                assert!(tree.node(p).unwrap().children.contains(&node.id));
+            }
+        }
+    }
+
+    #[test]
+    fn absorption_statistics() {
+        let result = cpm::percolate(&two_k4s_bridged());
+        let tree = CommunityTree::build(&result);
+        // One branch of length 2 (the parallel K4 at k = 3 and 4).
+        assert_eq!(tree.absorption_histogram(), vec![(2, 1)]);
+        assert_eq!(tree.mean_absorption_time(), Some(2.0));
+        // A pure clique has no branches at all.
+        let clique_tree = CommunityTree::build(&cpm::percolate(&Graph::complete(4)));
+        assert_eq!(clique_tree.mean_absorption_time(), None);
+        assert!(clique_tree.absorption_histogram().is_empty());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let result = cpm::percolate(&Graph::empty(3));
+        let tree = CommunityTree::build(&result);
+        assert!(tree.is_empty());
+        assert!(tree.main_path().is_empty());
+        assert!(tree.node(CommunityId { k: 2, idx: 0 }).is_none());
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let result = cpm::percolate(&two_k4s_bridged());
+        let tree = CommunityTree::build(&result);
+        let dot = tree.to_dot(2);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("k2id0"));
+        assert!(dot.contains("fillcolor=black"));
+        assert!(dot.contains("->"));
+        // min_k filters low levels out.
+        let dot4 = tree.to_dot(4);
+        assert!(!dot4.contains("\"k2id0\""));
+    }
+}

@@ -1,0 +1,52 @@
+//! Clique Percolation Method (CPM) — the core algorithm of the
+//! reproduced paper.
+//!
+//! A *k-clique community* (Palla, Derényi, Farkas, Vicsek, Nature 2005) is
+//! the union of all k-cliques reachable from one another through a chain
+//! of adjacent k-cliques, where two k-cliques are adjacent when they share
+//! k−1 nodes. Communities of the same `k` may overlap, and every k-clique
+//! community nests inside exactly one (k−1)-clique community — the
+//! theorem the paper proves in §3.1 and turns into its *k-clique community
+//! tree*.
+//!
+//! This crate computes the communities of **every** k in a single
+//! descending sweep ([`percolate`]), emitting the nesting links as it
+//! goes, and provides the multi-threaded pipeline of the companion
+//! "Lightweight Parallel CPM" paper ([`parallel::percolate_parallel`]).
+//! The literal definition is also implemented ([`naive`]) and used as a
+//! cross-validation oracle in the property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use asgraph::Graph;
+//!
+//! // Two overlapping K4s sharing a triangle.
+//! let g = Graph::from_edges(
+//!     5,
+//!     [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+//!      (1, 4), (2, 4), (3, 4)],
+//! );
+//! let result = cpm::percolate(&g);
+//! // They merge into a single 4-clique community covering all 5 nodes.
+//! assert_eq!(result.level(4).unwrap().communities.len(), 1);
+//! assert_eq!(result.level(4).unwrap().communities[0].members.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directed;
+mod dsu;
+pub mod naive;
+pub mod overlap;
+pub mod parallel;
+mod percolation;
+mod result;
+pub mod scp;
+pub mod weighted;
+
+pub use dsu::Dsu;
+pub use overlap::{build_vertex_index, overlap_edges, OverlapEdge, VertexCliqueIndex};
+pub use percolation::{percolate, percolate_at, percolate_with_cliques};
+pub use result::{Community, CommunityId, CpmResult, KLevel};

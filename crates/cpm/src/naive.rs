@@ -1,0 +1,134 @@
+//! The literal, definitional Clique Percolation Method.
+//!
+//! Palla et al. define a k-clique community as the union of all k-cliques
+//! reachable from one another through adjacent k-cliques (adjacency =
+//! sharing k−1 nodes). This module implements that definition verbatim:
+//! enumerate every k-clique, join two k-cliques whenever they share a
+//! (k−1)-subset, take connected components.
+//!
+//! It is exponential in spirit and meant **only** as a cross-validation
+//! oracle for the maximal-clique reduction in [`crate::percolate`]; use it
+//! on small graphs.
+
+use crate::dsu::Dsu;
+use asgraph::{Graph, NodeId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Computes the k-clique communities of `g` directly from the definition.
+///
+/// Returns each community as a sorted member list; communities are sorted
+/// lexicographically for canonical comparison. `k < 2` returns no
+/// communities (the definition needs at least an edge).
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use cpm::naive::naive_communities;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// let comms = naive_communities(&g, 3);
+/// assert_eq!(comms, vec![vec![0, 1, 2, 3]]);
+/// ```
+pub fn naive_communities(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
+    if k < 2 {
+        return Vec::new();
+    }
+    let k_cliques = cliques::kclique::enumerate_k_cliques(g, k);
+    if k_cliques.is_empty() {
+        return Vec::new();
+    }
+
+    let mut dsu = Dsu::new(k_cliques.len());
+    // Two k-cliques are adjacent iff they share k-1 nodes, iff they share
+    // a (k-1)-subset. Union every k-clique with the first holder of each
+    // of its k subsets; transitivity does the rest.
+    let mut subset_owner: HashMap<Vec<NodeId>, u32> = HashMap::new();
+    let mut subset = Vec::with_capacity(k - 1);
+    for (i, c) in k_cliques.iter().enumerate() {
+        for skip in 0..k {
+            subset.clear();
+            subset.extend(
+                c.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != skip)
+                    .map(|(_, &v)| v),
+            );
+            match subset_owner.entry(subset.clone()) {
+                Entry::Occupied(e) => {
+                    dsu.union(*e.get(), i as u32);
+                }
+                Entry::Vacant(e) => {
+                    e.insert(i as u32);
+                }
+            }
+        }
+    }
+
+    let mut groups: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for (i, c) in k_cliques.iter().enumerate() {
+        groups
+            .entry(dsu.find(i as u32))
+            .or_default()
+            .extend_from_slice(c);
+    }
+    let mut communities: Vec<Vec<NodeId>> = groups
+        .into_values()
+        .map(|mut members| {
+            members.sort_unstable();
+            members.dedup();
+            members
+        })
+        .collect();
+    communities.sort_unstable();
+    communities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_less_than_two_is_empty() {
+        let g = Graph::complete(3);
+        assert!(naive_communities(&g, 0).is_empty());
+        assert!(naive_communities(&g, 1).is_empty());
+    }
+
+    #[test]
+    fn edges_percolate_connected_components() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let comms = naive_communities(&g, 2);
+        assert_eq!(comms, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn bowtie_splits_at_k3() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let comms = naive_communities(&g, 3);
+        assert_eq!(comms, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn no_k_cliques_no_communities() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]); // C4
+        assert!(naive_communities(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn k5_minus_edge_at_k4() {
+        // K5 with edge (3,4) removed: 4-cliques are {0,1,2,3} and
+        // {0,1,2,4}, sharing 3 nodes -> one community of all 5.
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                if !(u == 3 && v == 4) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let comms = naive_communities(&b.build(), 4);
+        assert_eq!(comms, vec![vec![0, 1, 2, 3, 4]]);
+    }
+}

@@ -1,0 +1,354 @@
+//! The incremental multi-k percolation sweep.
+//!
+//! Classic CPM implementations percolate one `k` at a time. This module
+//! exploits monotonicity instead: as `k` decreases, the set of active
+//! cliques (size ≥ k) and active overlap edges (overlap ≥ k−1) only grows,
+//! so a *single* descending-`k` pass over one union–find structure yields
+//! the communities of every level — and the component that absorbs a
+//! level-`k` community at level `k−1` is exactly its unique parent in the
+//! k-clique community tree (Theorem 1 of the paper), so the tree falls out
+//! of the sweep for free.
+//!
+//! Soundness of the maximal-clique reduction (CFinder): every k-clique
+//! lies inside a maximal clique of size ≥ k; two adjacent k-cliques
+//! (sharing k−1 nodes) lie inside maximal cliques overlapping in ≥ k−1
+//! nodes; conversely an overlap of ≥ k−1 between maximal cliques induces a
+//! chain of adjacent k-cliques across them, and all k-subsets of one
+//! clique are mutually reachable by single-element swaps. Hence k-clique
+//! communities = components of the overlap graph thresholded at k−1,
+//! restricted to cliques of size ≥ k. The property tests in
+//! `tests/oracle.rs` verify this against the literal definition.
+
+use crate::dsu::Dsu;
+use crate::overlap::{build_vertex_index, overlap_edges, OverlapEdge};
+use crate::result::{Community, CpmResult, KLevel};
+use asgraph::{Graph, NodeId};
+use cliques::CliqueSet;
+use std::collections::HashMap;
+
+/// Runs clique percolation on `g`, producing the communities of every
+/// `k` from 2 to the largest clique size and their tree links.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+///
+/// // Two triangles sharing the edge {1, 2}: one 3-clique community.
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// let result = cpm::percolate(&g);
+/// assert_eq!(result.k_max(), Some(3));
+/// let level3 = result.level(3).unwrap();
+/// assert_eq!(level3.communities.len(), 1);
+/// assert_eq!(level3.communities[0].members, vec![0, 1, 2, 3]);
+/// ```
+pub fn percolate(g: &Graph) -> CpmResult {
+    let cliques = cliques::max_cliques(g);
+    percolate_with_cliques(g.node_count(), cliques)
+}
+
+/// Runs percolation on pre-computed maximal cliques (e.g. from the
+/// parallel enumerator). `n` is the number of vertices of the underlying
+/// graph.
+///
+/// # Panics
+///
+/// Panics if a clique member id is `>= n`.
+pub fn percolate_with_cliques(n: usize, mut cliques: CliqueSet) -> CpmResult {
+    // Canonical clique order makes community indices (and hence the
+    // whole result) independent of how the cliques were enumerated —
+    // sequential and parallel pipelines yield identical results.
+    cliques.sort_canonical();
+    let index = build_vertex_index(&cliques, n);
+    let edges = overlap_edges(&cliques, &index);
+    percolate_from_overlaps(cliques, edges)
+}
+
+/// Computes the k-clique communities of a single level without building
+/// the full multi-k result — cheaper when only one `k` matters.
+///
+/// Returns sorted member lists in canonical order; empty when `k < 2` or
+/// no clique reaches size `k`.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+///
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+/// let comms = cpm::percolate_at(&g, 3);
+/// assert_eq!(comms, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+/// ```
+pub fn percolate_at(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
+    if k < 2 {
+        return Vec::new();
+    }
+    let mut cliques = cliques::max_cliques(g);
+    cliques.sort_canonical();
+    let index = build_vertex_index(&cliques, g.node_count());
+    let edges = overlap_edges(&cliques, &index);
+
+    let mut dsu = Dsu::new(cliques.len());
+    for e in &edges {
+        if e.overlap as usize >= k - 1 {
+            dsu.union(e.a, e.b);
+        }
+    }
+    let mut groups: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for i in 0..cliques.len() {
+        if cliques.size(i) < k {
+            continue;
+        }
+        groups
+            .entry(dsu.find(i as u32))
+            .or_default()
+            .extend_from_slice(cliques.get(i));
+    }
+    let mut out: Vec<Vec<NodeId>> = groups
+        .into_values()
+        .map(|mut m| {
+            m.sort_unstable();
+            m.dedup();
+            m
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The sweep itself, given cliques and their overlap edges.
+pub(crate) fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge>) -> CpmResult {
+    let k_max = cliques.max_size();
+    if k_max < 2 {
+        return CpmResult {
+            cliques,
+            levels: Vec::new(),
+        };
+    }
+
+    // Bucket cliques by size and edges by overlap so each is activated
+    // exactly once during the descending sweep.
+    let mut cliques_of_size: Vec<Vec<u32>> = vec![Vec::new(); k_max + 1];
+    for i in 0..cliques.len() {
+        cliques_of_size[cliques.size(i)].push(i as u32);
+    }
+    let mut edges_of_overlap: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k_max];
+    for e in edges {
+        debug_assert!(
+            (e.overlap as usize) < k_max,
+            "overlap {} must be < max clique size {k_max}",
+            e.overlap
+        );
+        edges_of_overlap[e.overlap as usize].push((e.a, e.b));
+    }
+
+    let mut dsu = Dsu::new(cliques.len());
+    let mut levels_desc: Vec<KLevel> = Vec::new();
+
+    for k in (2..=k_max).rev() {
+        // Activate edges with overlap == k-1 (larger overlaps were
+        // activated at higher levels). Both endpoints necessarily have
+        // size >= k because distinct maximal cliques overlap in strictly
+        // fewer nodes than either size.
+        for &(a, b) in &edges_of_overlap[k - 1] {
+            dsu.union(a, b);
+        }
+
+        // Snapshot: group active cliques (size >= k) by DSU root.
+        // Iterating clique ids in ascending order makes community indices
+        // deterministic regardless of union order.
+        let mut root_to_idx: HashMap<u32, u32> = HashMap::new();
+        let mut communities: Vec<Community> = Vec::new();
+        for i in 0..cliques.len() {
+            if cliques.size(i) < k {
+                continue;
+            }
+            let root = dsu.find(i as u32);
+            let idx = *root_to_idx.entry(root).or_insert_with(|| {
+                communities.push(Community {
+                    members: Vec::new(),
+                    clique_ids: Vec::new(),
+                    parent: None,
+                });
+                (communities.len() - 1) as u32
+            });
+            communities[idx as usize].clique_ids.push(i as u32);
+        }
+        for c in &mut communities {
+            let mut members: Vec<NodeId> = Vec::new();
+            for &ci in &c.clique_ids {
+                members.extend_from_slice(cliques.get(ci as usize));
+            }
+            members.sort_unstable();
+            members.dedup();
+            c.members = members;
+        }
+
+        // Theorem 1: link each level-(k+1) community to the level-k
+        // community that now contains its representative clique.
+        if let Some(prev) = levels_desc.last_mut() {
+            for pc in &mut prev.communities {
+                let rep = pc.clique_ids[0];
+                let root = dsu.find(rep);
+                pc.parent = Some(root_to_idx[&root]);
+            }
+        }
+
+        levels_desc.push(KLevel {
+            k: k as u32,
+            communities,
+        });
+    }
+
+    levels_desc.reverse();
+    CpmResult {
+        cliques,
+        levels: levels_desc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_edges_means_no_levels() {
+        let g = Graph::empty(5);
+        let r = percolate(&g);
+        assert!(r.levels.is_empty());
+        assert_eq!(r.k_max(), None);
+    }
+
+    #[test]
+    fn single_edge_is_one_2_community() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let r = percolate(&g);
+        assert_eq!(r.k_max(), Some(2));
+        let l2 = r.level(2).unwrap();
+        assert_eq!(l2.communities.len(), 1);
+        assert_eq!(l2.communities[0].members, vec![0, 1]);
+    }
+
+    #[test]
+    fn connected_graph_has_single_2_community() {
+        // The paper: "since the Topology dataset corresponds to a single
+        // connected component, there is a single 2-clique community".
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let r = percolate(&g);
+        let l2 = r.level(2).unwrap();
+        assert_eq!(l2.communities.len(), 1);
+        assert_eq!(l2.communities[0].members.len(), 5);
+    }
+
+    #[test]
+    fn clique_has_one_community_per_level() {
+        let g = Graph::complete(5);
+        let r = percolate(&g);
+        assert_eq!(r.k_max(), Some(5));
+        for k in 2..=5 {
+            let l = r.level(k).unwrap();
+            assert_eq!(l.communities.len(), 1, "level {k}");
+            assert_eq!(l.communities[0].members, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn triangles_sharing_vertex_split_at_k3() {
+        // Bowtie: triangles {0,1,2} and {2,3,4} share only vertex 2 —
+        // adjacent at k=2 (overlap 1) but separate 3-clique communities.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let r = percolate(&g);
+        assert_eq!(r.level(2).unwrap().communities.len(), 1);
+        let l3 = r.level(3).unwrap();
+        assert_eq!(l3.communities.len(), 2);
+        let mut sizes: Vec<_> = l3.communities.iter().map(Community::size).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn chain_of_triangles_percolates() {
+        // Triangles {0,1,2}, {1,2,3}, {2,3,4}: each consecutive pair
+        // shares an edge, so all merge into one 3-clique community.
+        let g = Graph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)],
+        );
+        let r = percolate(&g);
+        let l3 = r.level(3).unwrap();
+        assert_eq!(l3.communities.len(), 1);
+        assert_eq!(l3.communities[0].members, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parents_link_every_level() {
+        let g = Graph::complete(6);
+        let r = percolate(&g);
+        for (id, c) in r.iter() {
+            if id.k == 2 {
+                assert!(c.parent.is_none());
+            } else {
+                let parent = r.parent(id).expect("non-bottom community has parent");
+                let pc = r.community(parent).unwrap();
+                // Containment: every member of the child is in the parent.
+                assert!(c.members.iter().all(|v| pc.contains(*v)));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_communities_coexist() {
+        // K4 {0,1,2,3} and K4 {4,5,6,7} joined by edge (3,4): one
+        // 2-community, two disjoint communities at k=3 and k=4.
+        let mut b = asgraph::GraphBuilder::with_nodes(8);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+                b.add_edge(u + 4, v + 4);
+            }
+        }
+        b.add_edge(3, 4);
+        let g = b.build();
+        let r = percolate(&g);
+        assert_eq!(r.level(2).unwrap().communities.len(), 1);
+        assert_eq!(r.level(3).unwrap().communities.len(), 2);
+        assert_eq!(r.level(4).unwrap().communities.len(), 2);
+        assert_eq!(r.total_communities(), 5);
+    }
+
+    #[test]
+    fn overlapping_communities_share_members() {
+        // K4 {0,1,2,3} and K4 {3,4,5,6} share vertex 3: at k=4 they are
+        // separate communities both containing vertex 3 (overlap allowed).
+        let mut b = asgraph::GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        for &u in &[3u32, 4, 5, 6] {
+            for &v in &[3u32, 4, 5, 6] {
+                if u < v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let r = percolate(&g);
+        let l4 = r.level(4).unwrap();
+        assert_eq!(l4.communities.len(), 2);
+        assert!(l4.communities.iter().all(|c| c.contains(3)));
+        let ids = r.communities_containing(4, 3);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn with_precomputed_cliques_matches() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let cliques = cliques::max_cliques(&g);
+        let a = percolate(&g);
+        let b = percolate_with_cliques(g.node_count(), cliques);
+        assert_eq!(a.total_communities(), b.total_communities());
+        assert_eq!(a.levels.len(), b.levels.len());
+    }
+}

@@ -1,0 +1,325 @@
+//! Sequential Clique Percolation (Kumpula, Kivelä, Kaski, Saramäki,
+//! Phys. Rev. E 2008) — an independent CPM engine for a fixed `k`.
+//!
+//! Where the main engine enumerates maximal cliques first, SCP inserts
+//! edges one at a time: each new edge `{u, v}` completes one k-clique
+//! per (k−2)-clique found in the current common neighbourhood of `u` and
+//! `v`, and each completed k-clique unions its k (k−1)-sub-cliques in a
+//! union–find keyed by the sub-cliques. The communities at the end are
+//! the unions of the k-cliques in each component — identical, by
+//! construction, to the Palla definition.
+//!
+//! Having two independently-derived engines that must agree is a strong
+//! correctness check (see `tests/oracle.rs`), and SCP's incremental
+//! nature also makes it the natural engine for edge-streamed or
+//! weight-thresholded inputs (insert edges in descending weight order
+//! and snapshot at any prefix).
+
+use crate::dsu::Dsu;
+use asgraph::{Graph, NodeId};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Incremental fixed-k percolator. Insert edges in any order; ask for
+/// the communities at any point.
+///
+/// # Example
+///
+/// ```
+/// use cpm::scp::Scp;
+///
+/// let mut scp = Scp::new(3);
+/// for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)] {
+///     scp.insert_edge(u, v);
+/// }
+/// // The bowtie: two triangle communities sharing vertex 2.
+/// assert_eq!(
+///     scp.communities(),
+///     vec![vec![0, 1, 2], vec![2, 3, 4]]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scp {
+    k: usize,
+    adjacency: Vec<HashSet<NodeId>>,
+    /// Union–find over discovered (k−1)-cliques.
+    dsu: Dsu,
+    /// (k−1)-clique → its DSU id.
+    sub_ids: HashMap<Vec<NodeId>, u32>,
+    /// Sub-clique member lists, indexed by DSU id.
+    sub_members: Vec<Vec<NodeId>>,
+}
+
+impl Scp {
+    /// Creates an empty percolator for clique order `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "clique percolation needs k >= 2, got {k}");
+        Scp {
+            k,
+            adjacency: Vec::new(),
+            dsu: Dsu::new(0),
+            sub_ids: HashMap::new(),
+            sub_members: Vec::new(),
+        }
+    }
+
+    /// The clique order this percolator tracks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of k-cliques' sub-cliques discovered so far.
+    pub fn subclique_count(&self) -> usize {
+        self.sub_members.len()
+    }
+
+    /// Inserts the undirected edge `{u, v}`, completing any k-cliques it
+    /// closes. Self loops and duplicate edges are ignored. Returns the
+    /// number of new k-cliques completed.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> usize {
+        if u == v {
+            return 0;
+        }
+        let needed = u.max(v) as usize + 1;
+        if needed > self.adjacency.len() {
+            self.adjacency.resize_with(needed, HashSet::new);
+        }
+        if !self.adjacency[u as usize].insert(v) {
+            return 0; // duplicate
+        }
+        self.adjacency[v as usize].insert(u);
+
+        if self.k == 2 {
+            // Each edge IS a 2-clique; its 1-sub-cliques are the nodes.
+            self.union_subcliques(&[u.min(v), u.max(v)]);
+            return 1;
+        }
+
+        // Common neighbourhood of the new edge.
+        let (small, large) = if self.adjacency[u as usize].len() <= self.adjacency[v as usize].len()
+        {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let mut common: Vec<NodeId> = self.adjacency[small as usize]
+            .iter()
+            .copied()
+            .filter(|w| self.adjacency[large as usize].contains(w))
+            .collect();
+        common.sort_unstable();
+
+        // Every (k-2)-clique inside `common` completes a k-clique.
+        let mut completed = 0usize;
+        let mut partial: Vec<NodeId> = Vec::with_capacity(self.k - 2);
+        self.for_each_subclique(&common, 0, &mut partial, &mut |scp, members| {
+            let mut clique: Vec<NodeId> = Vec::with_capacity(scp.k);
+            clique.extend_from_slice(members);
+            clique.push(u);
+            clique.push(v);
+            clique.sort_unstable();
+            scp.union_subcliques(&clique);
+            completed += 1;
+        });
+        completed
+    }
+
+    /// Recursively lists (k−2)-cliques within the sorted candidate set.
+    fn for_each_subclique(
+        &mut self,
+        candidates: &[NodeId],
+        start: usize,
+        partial: &mut Vec<NodeId>,
+        f: &mut impl FnMut(&mut Self, &[NodeId]),
+    ) {
+        if partial.len() == self.k - 2 {
+            let snapshot = partial.clone();
+            f(self, &snapshot);
+            return;
+        }
+        for i in start..candidates.len() {
+            let w = candidates[i];
+            if partial
+                .iter()
+                .all(|&x| self.adjacency[x as usize].contains(&w))
+            {
+                partial.push(w);
+                self.for_each_subclique(candidates, i + 1, partial, f);
+                partial.pop();
+            }
+        }
+    }
+
+    /// Unions all (k−1)-subsets of a completed k-clique.
+    fn union_subcliques(&mut self, clique: &[NodeId]) {
+        let mut first: Option<u32> = None;
+        for skip in 0..clique.len() {
+            let sub: Vec<NodeId> = clique
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &v)| v)
+                .collect();
+            let id = match self.sub_ids.entry(sub.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = self.dsu.push();
+                    debug_assert_eq!(id as usize, self.sub_members.len());
+                    e.insert(id);
+                    self.sub_members.push(sub);
+                    id
+                }
+            };
+            match first {
+                None => first = Some(id),
+                Some(f) => {
+                    self.dsu.union(f, id);
+                }
+            }
+        }
+    }
+
+    /// The current k-clique communities as sorted member lists in
+    /// canonical order.
+    pub fn communities(&self) -> Vec<Vec<NodeId>> {
+        let mut dsu = self.dsu.clone();
+        let mut groups: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for (id, members) in self.sub_members.iter().enumerate() {
+            groups
+                .entry(dsu.find(id as u32))
+                .or_default()
+                .extend_from_slice(members);
+        }
+        let mut out: Vec<Vec<NodeId>> = groups
+            .into_values()
+            .map(|mut m| {
+                m.sort_unstable();
+                m.dedup();
+                m
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// One-shot convenience: SCP over every edge of a finished graph.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn scp_communities(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
+    let mut scp = Scp::new(k);
+    for (u, v) in g.edges() {
+        scp.insert_edge(u, v);
+    }
+    scp.communities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_chain() {
+        let g = Graph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)],
+        );
+        assert_eq!(scp_communities(&g, 3), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn k2_gives_connected_components_with_edges() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(scp_communities(&g, 2), vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut scp = Scp::new(3);
+        assert_eq!(scp.insert_edge(0, 0), 0);
+        scp.insert_edge(0, 1);
+        assert_eq!(scp.insert_edge(0, 1), 0);
+        scp.insert_edge(1, 2);
+        assert_eq!(scp.insert_edge(2, 0), 1); // completes the triangle
+        assert_eq!(scp.communities(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let edges = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)];
+        let forward = {
+            let mut s = Scp::new(3);
+            for &(u, v) in &edges {
+                s.insert_edge(u, v);
+            }
+            s.communities()
+        };
+        let backward = {
+            let mut s = Scp::new(3);
+            for &(u, v) in edges.iter().rev() {
+                s.insert_edge(v, u);
+            }
+            s.communities()
+        };
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn matches_main_engine_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for case in 0..20 {
+            let n = 14u32;
+            let mut b = asgraph::GraphBuilder::with_nodes(n as usize);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_bool(0.25) {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            for k in 2..=5 {
+                assert_eq!(
+                    scp_communities(&g, k),
+                    crate::percolate_at(&g, k),
+                    "case {case}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_snapshots_are_monotone() {
+        // Communities only merge/grow as edges arrive.
+        let g = Graph::complete(6);
+        let mut scp = Scp::new(3);
+        let mut last_cover: Vec<Vec<NodeId>> = Vec::new();
+        for (u, v) in g.edges() {
+            scp.insert_edge(u, v);
+            let cover = scp.communities();
+            for old in &last_cover {
+                assert!(
+                    cover
+                        .iter()
+                        .any(|c| old.iter().all(|x| c.binary_search(x).is_ok())),
+                    "community {old:?} shrank"
+                );
+            }
+            last_cover = cover;
+        }
+        assert_eq!(last_cover, vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_below_two_panics() {
+        let _ = Scp::new(1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-validation of the fast percolation against the literal
+//! definition, plus the paper's structural invariants as properties.
+
+use asgraph::{Graph, NodeId};
+use cpm::naive::naive_communities;
+use cpm::{percolate, CpmResult};
+use proptest::prelude::*;
+
+fn edge_soup(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+/// The fast result's level-k cover as canonically sorted member lists.
+fn cover_at(result: &CpmResult, k: u32) -> Vec<Vec<NodeId>> {
+    let mut cover: Vec<Vec<NodeId>> = result
+        .level(k)
+        .map(|l| l.communities.iter().map(|c| c.members.clone()).collect())
+        .unwrap_or_default();
+    cover.sort_unstable();
+    cover
+}
+
+proptest! {
+    /// The maximal-clique reduction equals the literal Palla definition
+    /// for every k on random graphs.
+    #[test]
+    fn fast_cpm_matches_definition(edges in edge_soup(14, 50)) {
+        let g = Graph::from_edges(14, edges);
+        let fast = percolate(&g);
+        let k_hi = fast.k_max().unwrap_or(2).min(7);
+        for k in 2..=k_hi {
+            let expected = naive_communities(&g, k as usize);
+            let got = cover_at(&fast, k);
+            prop_assert_eq!(got, expected, "k = {}", k);
+        }
+        // Above k_max there must be nothing.
+        if let Some(km) = fast.k_max() {
+            prop_assert!(naive_communities(&g, km as usize + 1).is_empty());
+        }
+    }
+
+    /// Theorem 1 (nesting): every k-clique community is contained in
+    /// exactly one (k-1)-clique community, and the recorded parent is it.
+    #[test]
+    fn nesting_theorem(edges in edge_soup(16, 60)) {
+        let g = Graph::from_edges(16, edges);
+        let result = percolate(&g);
+        for (id, c) in result.iter() {
+            if id.k == 2 {
+                prop_assert!(c.parent.is_none());
+                continue;
+            }
+            let below = result.level(id.k - 1).expect("level k-1 exists");
+            // Count how many (k-1)-communities fully contain this one.
+            let containers: Vec<usize> = below
+                .communities
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| c.members.iter().all(|v| p.contains(*v)))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(containers.len(), 1, "community {} has {} containers", id, containers.len());
+            prop_assert_eq!(Some(containers[0] as u32), c.parent);
+        }
+    }
+
+    /// Communities are what they claim: each is a union of maximal cliques
+    /// of size >= k, each member appears in some clique of the community,
+    /// and all community cliques chain through >= k-1 overlaps.
+    #[test]
+    fn communities_are_clique_unions(edges in edge_soup(14, 50)) {
+        let g = Graph::from_edges(14, edges);
+        let result = percolate(&g);
+        for (id, c) in result.iter() {
+            let k = id.k as usize;
+            prop_assert!(c.size() >= k, "community smaller than k");
+            let mut union: Vec<NodeId> = Vec::new();
+            for &ci in &c.clique_ids {
+                let clique = result.cliques.get(ci as usize);
+                prop_assert!(clique.len() >= k);
+                union.extend_from_slice(clique);
+            }
+            union.sort_unstable();
+            union.dedup();
+            prop_assert_eq!(&union, &c.members);
+        }
+    }
+
+    /// Monotone community counts never jump down to zero and back: levels
+    /// run contiguously 2..=k_max.
+    #[test]
+    fn levels_are_contiguous(edges in edge_soup(14, 50)) {
+        let g = Graph::from_edges(14, edges);
+        let result = percolate(&g);
+        for (i, level) in result.levels.iter().enumerate() {
+            prop_assert_eq!(level.k as usize, i + 2);
+            prop_assert!(!level.communities.is_empty(), "empty level {}", level.k);
+        }
+    }
+
+    /// At k=2 the communities are exactly the connected components with at
+    /// least one edge.
+    #[test]
+    fn k2_is_connected_components(edges in edge_soup(16, 60)) {
+        let g = Graph::from_edges(16, edges);
+        let result = percolate(&g);
+        let cc = asgraph::components::connected_components(&g);
+        let mut expected: Vec<Vec<NodeId>> = cc
+            .members()
+            .into_iter()
+            .filter(|m| m.len() >= 2)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(cover_at(&result, 2), expected);
+    }
+
+    /// The independently-derived SCP engine agrees with the
+    /// maximal-clique reduction for every k.
+    #[test]
+    fn scp_agrees_with_reduction(edges in edge_soup(14, 50), k in 2usize..6) {
+        let g = Graph::from_edges(14, edges);
+        prop_assert_eq!(cpm::scp::scp_communities(&g, k), cpm::percolate_at(&g, k));
+    }
+
+    /// The parallel pipeline agrees with the sequential one.
+    #[test]
+    fn parallel_agrees(edges in edge_soup(14, 50)) {
+        let g = Graph::from_edges(14, edges);
+        let seq = percolate(&g);
+        let par = cpm::parallel::percolate_parallel(&g, 3);
+        prop_assert_eq!(seq.levels.len(), par.levels.len());
+        for k in 2..=seq.k_max().unwrap_or(1) {
+            prop_assert_eq!(cover_at(&seq, k), cover_at(&par, k));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! §1 design rationale — why CPM instead of k-core / k-dense / GCE.
+//!
+//! Demonstrates, on the same synthetic topology, the paper's two
+//! arguments: (a) partition methods (k-core, k-dense) cannot express the
+//! overlap that CPM's cover exposes, and (b) GCE's
+//! internal-vs-external fitness balloons on Tier-1-style communities
+//! (full meshes with enormous customer degree), which CPM captures
+//! cleanly as a k-clique community.
+
+use asgraph::NodeId;
+use baselines::gce::{detect, GceConfig};
+use baselines::{kcore, kdense};
+use experiments::Options;
+use kclique_core::report::{f3, Table};
+use topology::Tier;
+
+fn main() {
+    let opts = Options::from_env();
+    let analysis = opts.run_analysis();
+    let g = &analysis.topo.graph;
+
+    println!("§1 — baseline comparison on the same topology\n");
+
+    // --- coverage / overlap: CPM cover vs k-core & k-dense partitions.
+    let cores = kcore::decompose(g);
+    let mut table = Table::new(vec!["method", "k", "groups", "nodes", "overlapping_nodes"]);
+    for k in [3u32, 6, 10] {
+        if let Some(level) = analysis.result.level(k) {
+            let mut membership = vec![0usize; g.node_count()];
+            for c in &level.communities {
+                for &v in &c.members {
+                    membership[v as usize] += 1;
+                }
+            }
+            let covered = membership.iter().filter(|&&m| m > 0).count();
+            let overlapping = membership.iter().filter(|&&m| m > 1).count();
+            table.row(vec![
+                "k-clique (CPM)".into(),
+                k.to_string(),
+                level.communities.len().to_string(),
+                covered.to_string(),
+                overlapping.to_string(),
+            ]);
+        }
+        let core_members = cores.core(k);
+        table.row(vec![
+            "k-core".into(),
+            k.to_string(),
+            "1 (partition)".into(),
+            core_members.len().to_string(),
+            "0".into(),
+        ]);
+        let dense = kdense::communities(g, k as usize);
+        let dense_nodes: usize = dense.iter().map(Vec::len).sum();
+        table.row(vec![
+            "k-dense".into(),
+            k.to_string(),
+            dense.len().to_string(),
+            dense_nodes.to_string(),
+            "0".into(),
+        ]);
+    }
+    // Link communities (Ahn et al.): the other overlapping method.
+    let lc = baselines::link_communities::link_communities(g, 0.35);
+    let mut membership = vec![0usize; g.node_count()];
+    for c in &lc {
+        for &v in &c.nodes {
+            membership[v as usize] += 1;
+        }
+    }
+    table.row(vec![
+        "link communities".into(),
+        "t=0.35".into(),
+        lc.len().to_string(),
+        membership.iter().filter(|&&m| m > 0).count().to_string(),
+        membership.iter().filter(|&&m| m > 1).count().to_string(),
+    ]);
+    print!("{}", table.render());
+    println!("(partition methods cannot assign an AS to two groups; CPM's cover does)\n");
+
+    // --- the Tier-1 argument.
+    let tier1s: Vec<NodeId> = (0..analysis.topo.ases.len() as NodeId)
+        .filter(|&v| analysis.topo.ases[v as usize].tier == Tier::Tier1)
+        .collect();
+    let t1_count = tier1s.len() as u32;
+    println!(
+        "Tier-1 full mesh: {} ASes, external degree {} (the paper's motivating community)",
+        tier1s.len(),
+        tier1s.iter().map(|&v| g.degree(v)).sum::<usize>() - tier1s.len() * (tier1s.len() - 1)
+    );
+
+    // CPM: is there a k-level community containing the whole mesh?
+    let cpm_has_it = analysis.result.level(t1_count.min(
+        analysis.result.k_max().unwrap_or(2),
+    )).is_some_and(|level| {
+        level
+            .communities
+            .iter()
+            .any(|c| tier1s.iter().all(|&v| c.contains(v)))
+    });
+    println!("CPM: some {t1_count}-clique community contains the entire mesh: {cpm_has_it} (paper: yes, by construction)");
+
+    // GCE: expand from the largest seeds (the Tier-1 mesh is inside one
+    // of them) and measure the balloon. Expansion is capped — expanding
+    // every seed at full depth on an AS-scale graph is prohibitive,
+    // which is part of the paper's case for CPM.
+    let gce = detect(
+        g,
+        &GceConfig {
+            min_seed_size: tier1s.len().min(6),
+            max_size: 200,
+            max_seeds: Some(20),
+            ..Default::default()
+        },
+    );
+    let best = gce
+        .iter()
+        .filter(|c| tier1s.iter().filter(|v| c.members.contains(v)).count() >= tier1s.len() / 2)
+        .min_by_key(|c| c.members.len());
+    match best {
+        Some(c) => {
+            let precision = tier1s.iter().filter(|v| c.members.contains(v)).count() as f64
+                / c.members.len() as f64;
+            println!(
+                "GCE: tightest community holding the mesh has {} members (precision {} — ballooned; paper: fitness 'not compliant with an Internet AS-level environment')",
+                c.members.len(),
+                f3(precision)
+            );
+        }
+        None => println!(
+            "GCE: no detected community holds even half the Tier-1 mesh (paper: the fitness rejects such communities)"
+        ),
+    }
+
+    opts.write_artifact("baseline_comparison.tsv", &table.to_tsv());
+}

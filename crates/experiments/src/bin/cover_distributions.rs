@@ -1,0 +1,71 @@
+//! Extension experiment: the four Palla cover distributions (community
+//! size, membership number, overlap size, community degree) for selected
+//! k, the canonical CFinder readouts the ICDCS paper summarises in
+//! prose.
+
+use experiments::Options;
+use kclique_core::report::Table;
+
+fn main() {
+    let opts = Options::from_env();
+    let analysis = opts.run_analysis();
+    let n = analysis.topo.graph.node_count();
+
+    let k_max = analysis.result.k_max().unwrap_or(2);
+    let picks = [3u32, (k_max / 2).max(3), k_max.saturating_sub(2).max(3)];
+
+    for &k in &picks {
+        let Some(level) = analysis.result.level(k) else { continue };
+        let d = kclique_core::cover_distributions(level, n);
+
+        println!("\n=== k = {k} ===");
+        let mut t = Table::new(vec!["community size", "count"]);
+        for (s, c) in &d.community_size {
+            t.row(vec![s.to_string(), c.to_string()]);
+        }
+        print!("{}", t.render());
+
+        let mut t = Table::new(vec!["memberships per AS", "ASes"]);
+        for (m, c) in &d.membership_number {
+            t.row(vec![m.to_string(), c.to_string()]);
+        }
+        print!("{}", t.render());
+
+        let overlapping: usize = d
+            .membership_number
+            .iter()
+            .filter(|&&(m, _)| m > 1)
+            .map(|&(_, c)| c)
+            .sum();
+        println!(
+            "ASes in more than one {k}-clique community: {overlapping} (covers, not partitions)"
+        );
+
+        if !d.overlap_size.is_empty() {
+            let mut t = Table::new(vec!["overlap size", "community pairs"]);
+            for (o, c) in &d.overlap_size {
+                t.row(vec![o.to_string(), c.to_string()]);
+            }
+            print!("{}", t.render());
+        }
+
+        if let Some(out) = &opts.out {
+            let mut tsv = String::from("kind\tx\tcount\n");
+            for (x, c) in &d.community_size {
+                tsv.push_str(&format!("size\t{x}\t{c}\n"));
+            }
+            for (x, c) in &d.membership_number {
+                tsv.push_str(&format!("membership\t{x}\t{c}\n"));
+            }
+            for (x, c) in &d.overlap_size {
+                tsv.push_str(&format!("overlap\t{x}\t{c}\n"));
+            }
+            for (x, c) in &d.community_degree {
+                tsv.push_str(&format!("degree\t{x}\t{c}\n"));
+            }
+            std::fs::create_dir_all(out).expect("create output dir");
+            std::fs::write(out.join(format!("cover_distributions_k{k}.tsv")), tsv)
+                .expect("write artifact");
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Dataset serialisation: save a generated topology (graph + AS metadata
+//! + IXP dataset) as plain-text files and load it back.
+//!
+//! The on-disk layout mirrors how the paper's three source datasets were
+//! distributed — simple line-oriented text — so downstream users can
+//! inspect, version and diff datasets, or feed their own real data into
+//! the pipeline by writing the same format:
+//!
+//! - `topology.edges` — `u v` pairs (the [`asgraph::io`] format);
+//! - `ases.tsv` — `node_id  asn  tier  country,country,...` (empty
+//!   country list = unknown geography);
+//! - `ixps.tsv` — `name  country  large  participant,participant,...`.
+
+use crate::model::{AsInfo, AsTopology, Ixp, Tier};
+use crate::world::World;
+use asgraph::NodeId;
+use std::fmt;
+use std::fs;
+use std::io as stdio;
+use std::path::Path;
+
+/// Error raised when loading a dataset directory fails.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem failure.
+    Io(stdio::Error),
+    /// A file's content is malformed.
+    Parse {
+        /// Which file.
+        file: &'static str,
+        /// 1-based line.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            LoadError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "{file}:{line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<stdio::Error> for LoadError {
+    fn from(e: stdio::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn parse_err(file: &'static str, line: usize, message: impl Into<String>) -> LoadError {
+    LoadError::Parse {
+        file,
+        line,
+        message: message.into(),
+    }
+}
+
+/// Saves the topology into `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_dataset(topo: &AsTopology, dir: &Path) -> stdio::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join("topology.edges"),
+        asgraph::io::to_edge_list_string(&topo.graph),
+    )?;
+
+    let mut ases = String::from("# node_id\tasn\ttier\tcountries\n");
+    for (v, info) in topo.ases.iter().enumerate() {
+        let countries: Vec<&str> = info
+            .countries
+            .iter()
+            .map(|&c| topo.world.country(c).code)
+            .collect();
+        ases.push_str(&format!(
+            "{v}\t{}\t{}\t{}\n",
+            info.asn,
+            info.tier,
+            countries.join(",")
+        ));
+    }
+    fs::write(dir.join("ases.tsv"), ases)?;
+
+    let mut ixps = String::from("# name\tcountry\tlarge\tparticipants\n");
+    for ixp in &topo.ixps {
+        let participants: Vec<String> = ixp.participants.iter().map(ToString::to_string).collect();
+        ixps.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            ixp.name,
+            topo.world.country(ixp.country).code,
+            if ixp.large { 1 } else { 0 },
+            participants.join(",")
+        ));
+    }
+    fs::write(dir.join("ixps.tsv"), ixps)?;
+    Ok(())
+}
+
+/// Loads a topology saved by [`save_dataset`] (or hand-written in the
+/// same format). The merge report is not persisted, so it comes back as
+/// `None`.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on filesystem failure or malformed content
+/// (unknown tier names, country codes, out-of-range node ids, …).
+pub fn load_dataset(dir: &Path) -> Result<AsTopology, LoadError> {
+    let world = World::standard();
+
+    let edges_text = fs::read_to_string(dir.join("topology.edges"))?;
+    let graph = asgraph::io::parse_edge_list(&edges_text)
+        .map_err(|e| parse_err("topology.edges", e.line(), e.to_string()))?;
+
+    // ases.tsv
+    let ases_text = fs::read_to_string(dir.join("ases.tsv"))?;
+    let mut ases: Vec<Option<AsInfo>> = vec![None; graph.node_count()];
+    for (i, line) in ases_text.lines().enumerate() {
+        // Trim only the carriage return: a trailing tab is significant
+        // (it carries an empty country list).
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(parse_err(
+                "ases.tsv",
+                i + 1,
+                format!("expected 4 tab-separated fields, got {}", fields.len()),
+            ));
+        }
+        let v: usize = fields[0]
+            .parse()
+            .map_err(|e| parse_err("ases.tsv", i + 1, format!("bad node id: {e}")))?;
+        if v >= graph.node_count() {
+            return Err(parse_err(
+                "ases.tsv",
+                i + 1,
+                format!("node id {v} out of range ({} nodes)", graph.node_count()),
+            ));
+        }
+        let asn: u32 = fields[1]
+            .parse()
+            .map_err(|e| parse_err("ases.tsv", i + 1, format!("bad ASN: {e}")))?;
+        let tier = match fields[2] {
+            "tier1" => Tier::Tier1,
+            "continental" => Tier::Continental,
+            "regional" => Tier::Regional,
+            "stub" => Tier::Stub,
+            other => {
+                return Err(parse_err(
+                    "ases.tsv",
+                    i + 1,
+                    format!("unknown tier {other:?}"),
+                ))
+            }
+        };
+        let mut countries = Vec::new();
+        if !fields[3].is_empty() {
+            for code in fields[3].split(',') {
+                let id = world.id_of(code).ok_or_else(|| {
+                    parse_err("ases.tsv", i + 1, format!("unknown country code {code:?}"))
+                })?;
+                countries.push(id);
+            }
+        }
+        ases[v] = Some(AsInfo {
+            asn,
+            tier,
+            countries,
+        });
+    }
+    let ases: Vec<AsInfo> = ases
+        .into_iter()
+        .enumerate()
+        .map(|(v, a)| a.ok_or_else(|| parse_err("ases.tsv", 0, format!("node {v} missing"))))
+        .collect::<Result<_, _>>()?;
+
+    // ixps.tsv
+    let ixps_text = fs::read_to_string(dir.join("ixps.tsv"))?;
+    let mut ixps = Vec::new();
+    for (i, line) in ixps_text.lines().enumerate() {
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(parse_err(
+                "ixps.tsv",
+                i + 1,
+                format!("expected 4 tab-separated fields, got {}", fields.len()),
+            ));
+        }
+        let country = world.id_of(fields[1]).ok_or_else(|| {
+            parse_err("ixps.tsv", i + 1, format!("unknown country code {:?}", fields[1]))
+        })?;
+        let large = match fields[2] {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(parse_err(
+                    "ixps.tsv",
+                    i + 1,
+                    format!("large flag must be 0 or 1, got {other:?}"),
+                ))
+            }
+        };
+        let mut participants: Vec<NodeId> = Vec::new();
+        if !fields[3].is_empty() {
+            for p in fields[3].split(',') {
+                let id: NodeId = p
+                    .parse()
+                    .map_err(|e| parse_err("ixps.tsv", i + 1, format!("bad participant: {e}")))?;
+                if id as usize >= graph.node_count() {
+                    return Err(parse_err(
+                        "ixps.tsv",
+                        i + 1,
+                        format!("participant {id} out of range"),
+                    ));
+                }
+                participants.push(id);
+            }
+        }
+        participants.sort_unstable();
+        participants.dedup();
+        ixps.push(Ixp {
+            name: fields[0].to_owned(),
+            country,
+            participants,
+            large,
+        });
+    }
+
+    Ok(AsTopology {
+        graph,
+        ases,
+        ixps,
+        world,
+        merge_report: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::generate;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kclique_io_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let topo = generate(&ModelConfig::tiny(42)).unwrap();
+        let dir = tmpdir("roundtrip");
+        save_dataset(&topo, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        assert_eq!(topo.graph, loaded.graph);
+        assert_eq!(topo.ases, loaded.ases);
+        assert_eq!(topo.ixps, loaded.ixps);
+        assert!(loaded.merge_report.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loaded_dataset_supports_analysis() {
+        let topo = generate(&ModelConfig::tiny(7)).unwrap();
+        let dir = tmpdir("analysis");
+        save_dataset(&topo, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        let a = cpm::percolate(&topo.graph);
+        let b = cpm::percolate(&loaded.graph);
+        assert_eq!(a.total_communities(), b.total_communities());
+        assert_eq!(topo.tag_summary(), loaded.tag_summary());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_location() {
+        let topo = generate(&ModelConfig::tiny(1)).unwrap();
+        let dir = tmpdir("malformed");
+        save_dataset(&topo, &dir).unwrap();
+        // Corrupt a tier name on line 3 of ases.tsv.
+        let path = dir.join("ases.tsv");
+        let text = fs::read_to_string(&path).unwrap();
+        let corrupted: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 2 {
+                    let mut f: Vec<&str> = l.split('\t').collect();
+                    f[2] = "galactic";
+                    f.join("\t")
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        fs::write(&path, corrupted).unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("ases.tsv:3"), "unexpected message: {msg}");
+        assert!(msg.contains("galactic"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        let err = load_dataset(Path::new("/nonexistent/kclique")).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+}

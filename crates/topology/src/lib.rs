@@ -1,0 +1,51 @@
+//! Synthetic Internet AS-level topology with IXP and geographical side
+//! datasets — the data substrate of the reproduction.
+//!
+//! The paper analyses a merge of three April-2010 measurement datasets
+//! (35,390 ASes, 152,233 links) correlated with an IXP dataset (232
+//! exchanges) and a geographical dataset (MaxMind-derived country lists).
+//! Those artefacts are not redistributable, so this crate generates a
+//! *mechanistically equivalent* topology: the generator plants exactly
+//! the structures the paper attributes its findings to (Tier-1 mesh,
+//! customer–provider hierarchy, large overlapping European IXP cliques,
+//! country-local regional IXPs, multi-homing triangles), emits the two
+//! side datasets with ground truth, and optionally pushes everything
+//! through a simulated three-campaign measurement/merge/cleanup pipeline
+//! mirroring the paper's §2.1 (final graph = largest connected
+//! component). See `DESIGN.md` §1 for the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), topology::InvalidConfig> {
+//! use topology::{generate, ModelConfig};
+//!
+//! let topo = generate(&ModelConfig::tiny(42))?;
+//! let summary = topo.tag_summary();
+//! assert_eq!(
+//!     summary.on_ixp + summary.not_on_ixp,
+//!     topo.graph.node_count()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod evolve;
+pub mod io;
+mod measure;
+mod model;
+mod plant;
+mod sample;
+pub mod tags;
+pub mod world;
+
+pub use config::ModelConfig;
+pub use evolve::{evolve, ChurnReport, EvolveConfig};
+pub use measure::{EdgeKind, MergeReport};
+pub use model::{generate, AsInfo, AsTopology, InvalidConfig, Ixp, IxpId, Tier};
+pub use tags::{GeoTag, TagSummary};
+pub use world::{Continent, Country, CountryId, World};

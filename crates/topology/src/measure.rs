@@ -1,0 +1,234 @@
+//! Simulated measurement campaigns and the merge/cleanup pipeline.
+//!
+//! The paper's Topology dataset (§2.1) merges three public measurement
+//! collections (CAIDA IPv4 Routed /24 AS Links, DIMES, IRL), then removes
+//! spurious data; the result is a single connected component. We simulate
+//! the same pipeline:
+//!
+//! 1. three *campaigns*, each observing every true edge with a
+//!    kind-dependent probability (peering links at IXPs are notoriously
+//!    under-observed compared to customer–provider links) and injecting a
+//!    few spurious edges (measurement artefacts);
+//! 2. a *merge* (union of campaigns, tracking how many campaigns saw each
+//!    edge);
+//! 3. a *cleanup* that removes suspicious edges — seen by only one
+//!    campaign *and* with no common neighbour in the merged graph (random
+//!    false links almost never close a triangle, true AS links usually
+//!    do);
+//! 4. restriction to the largest connected component.
+
+use crate::config::ModelConfig;
+use asgraph::{subgraph, Graph, GraphBuilder, NodeId};
+use rand::prelude::*;
+use std::collections::HashMap;
+
+/// Kind of a ground-truth AS relationship; determines observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Customer–provider link (well observed from BGP vantage points).
+    Transit,
+    /// Settlement-free peering (often invisible to route collectors).
+    Peering,
+}
+
+/// Statistics of the measurement/merge/cleanup pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Ground-truth edge count.
+    pub true_edges: usize,
+    /// Edges observed by each of the three campaigns (including spurious).
+    pub campaign_edge_counts: [usize; 3],
+    /// Distinct edges after the union.
+    pub union_edges: usize,
+    /// Spurious edges injected across campaigns.
+    pub spurious_injected: usize,
+    /// Edges removed by the cleanup heuristic.
+    pub removed_by_cleanup: usize,
+    /// True edges never observed by any campaign.
+    pub true_edges_missed: usize,
+    /// Nodes outside the largest connected component (dropped).
+    pub nodes_dropped: usize,
+    /// Final node count.
+    pub final_nodes: usize,
+    /// Final edge count.
+    pub final_edges: usize,
+}
+
+/// Runs the pipeline. Returns the final graph (largest component,
+/// re-indexed), the sorted original ids of its nodes, and the report.
+pub(crate) fn simulate<R: Rng>(
+    n: usize,
+    truth: &[(NodeId, NodeId, EdgeKind)],
+    config: &ModelConfig,
+    rng: &mut R,
+) -> (Graph, Vec<NodeId>, MergeReport) {
+    // 1. campaigns -------------------------------------------------------
+    let mut seen_by: HashMap<(NodeId, NodeId), u8> = HashMap::new();
+    let mut campaign_edge_counts = [0usize; 3];
+    let mut spurious_injected = 0usize;
+    let spurious_per_campaign = ((truth.len() as f64) * config.spurious_fraction).round() as usize;
+    for count in campaign_edge_counts.iter_mut() {
+        for &(u, v, kind) in truth {
+            let p = match kind {
+                EdgeKind::Transit => config.transit_visibility,
+                EdgeKind::Peering => config.peering_visibility,
+            };
+            if rng.random_bool(p) {
+                *seen_by.entry((u, v)).or_insert(0) += 1;
+                *count += 1;
+            }
+        }
+        for _ in 0..spurious_per_campaign {
+            let a = rng.random_range(0..n) as NodeId;
+            let b = rng.random_range(0..n) as NodeId;
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            *seen_by.entry(key).or_insert(0) += 1;
+            *count += 1;
+            spurious_injected += 1;
+        }
+    }
+    let union_edges = seen_by.len();
+    let true_edges_missed = truth
+        .iter()
+        .filter(|&&(u, v, _)| !seen_by.contains_key(&(u, v)))
+        .count();
+
+    // 2. merge ------------------------------------------------------------
+    let mut b = GraphBuilder::with_nodes(n);
+    for &(u, v) in seen_by.keys() {
+        b.add_edge(u, v);
+    }
+    let merged = b.build();
+
+    // 3. cleanup ------------------------------------------------------------
+    let mut keep = GraphBuilder::with_nodes(n);
+    let mut removed_by_cleanup = 0usize;
+    for (&(u, v), &times) in &seen_by {
+        let suspicious = times <= 1 && merged.common_neighbor_count(u, v) == 0;
+        if suspicious {
+            removed_by_cleanup += 1;
+        } else {
+            keep.add_edge(u, v);
+        }
+    }
+    let cleaned = keep.build();
+
+    // 4. largest connected component -----------------------------------
+    let cc = asgraph::components::connected_components(&cleaned);
+    let members = cc.members();
+    let largest = members
+        .iter()
+        .max_by_key(|m| m.len())
+        .cloned()
+        .unwrap_or_default();
+    let nodes_dropped = n - largest.len();
+    let sub = subgraph::induced(&cleaned, largest);
+
+    let report = MergeReport {
+        true_edges: truth.len(),
+        campaign_edge_counts,
+        union_edges,
+        spurious_injected,
+        removed_by_cleanup,
+        true_edges_missed,
+        nodes_dropped,
+        final_nodes: sub.graph.node_count(),
+        final_edges: sub.graph.edge_count(),
+    };
+    (sub.graph, sub.original_ids, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn ring_truth(n: usize) -> Vec<(NodeId, NodeId, EdgeKind)> {
+        (0..n)
+            .map(|i| {
+                (
+                    i as NodeId,
+                    ((i + 1) % n) as NodeId,
+                    if i % 2 == 0 {
+                        EdgeKind::Transit
+                    } else {
+                        EdgeKind::Peering
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn test_config() -> ModelConfig {
+        ModelConfig::tiny(0)
+    }
+
+    #[test]
+    fn perfect_visibility_preserves_truth() {
+        let mut cfg = test_config();
+        cfg.transit_visibility = 1.0;
+        cfg.peering_visibility = 1.0;
+        cfg.spurious_fraction = 0.0;
+        let truth = ring_truth(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, kept, report) = simulate(50, &truth, &cfg, &mut rng);
+        assert_eq!(g.edge_count(), 50);
+        assert_eq!(kept.len(), 50);
+        assert_eq!(report.true_edges_missed, 0);
+        assert_eq!(report.removed_by_cleanup, 0);
+        assert_eq!(report.nodes_dropped, 0);
+    }
+
+    #[test]
+    fn result_is_connected() {
+        let mut cfg = test_config();
+        cfg.peering_visibility = 0.5;
+        let truth = ring_truth(80);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, kept, _) = simulate(80, &truth, &cfg, &mut rng);
+        assert!(asgraph::components::is_connected(&g));
+        assert_eq!(g.node_count(), kept.len());
+        assert!(kept.windows(2).all(|w| w[0] < w[1]), "kept ids sorted");
+    }
+
+    #[test]
+    fn spurious_edges_mostly_cleaned() {
+        // A dense truth graph (triangle-rich) plus random spurious
+        // injections: cleanup should remove a decent share of them.
+        let mut truth = Vec::new();
+        for u in 0..30u32 {
+            for v in (u + 1)..30 {
+                if (u + v) % 3 != 0 {
+                    truth.push((u, v, EdgeKind::Transit));
+                }
+            }
+        }
+        // Isolated tail nodes 30..200 attract spurious links only.
+        let mut cfg = test_config();
+        cfg.spurious_fraction = 0.05;
+        cfg.transit_visibility = 1.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, kept, report) = simulate(200, &truth, &cfg, &mut rng);
+        assert!(report.spurious_injected > 0);
+        assert!(report.removed_by_cleanup > 0);
+        // Spurious-only tail nodes must not survive component selection
+        // unless a spurious edge slipped into the dense part.
+        assert!(kept.len() <= 40, "kept {} nodes", kept.len());
+    }
+
+    #[test]
+    fn report_accounting_consistent() {
+        let truth = ring_truth(60);
+        let cfg = test_config();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (g, _, report) = simulate(60, &truth, &cfg, &mut rng);
+        assert_eq!(report.true_edges, 60);
+        assert!(report.union_edges >= report.final_edges);
+        assert_eq!(report.final_edges, g.edge_count());
+        assert_eq!(report.final_nodes, g.node_count());
+        assert_eq!(report.final_nodes + report.nodes_dropped, 60);
+    }
+}

@@ -1,0 +1,150 @@
+//! Clique planting: the mechanism that gives the synthetic topology its
+//! k-clique community structure.
+//!
+//! The paper's crown/trunk/root anatomy arises from dense, overlapping
+//! peering meshes at IXPs. We reproduce the *effect* directly: chains of
+//! planted cliques whose pairwise overlaps control at which `k` they
+//! percolate together (two cliques sharing `o` members join the same
+//! community for every `k ≤ o + 1`).
+
+use asgraph::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Plants a chain of cliques inside `pool`.
+///
+/// The first clique takes `sizes[0]` members at random from `pool`; each
+/// subsequent clique of size `s` reuses `ceil(s * overlap_frac)` members
+/// of its predecessor (capped at `s - 1` and at the predecessor's size)
+/// and draws the rest fresh from `pool`. Returns the member list of each
+/// clique.
+///
+/// Pool entries may repeat across cliques (that is the point), but never
+/// within one clique. Sizes are clamped to the pool size.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty, any size is < 2, or `overlap_frac` is not
+/// in `[0, 1]`.
+pub(crate) fn plant_chain<R: Rng>(
+    rng: &mut R,
+    pool: &[NodeId],
+    sizes: &[usize],
+    overlap_frac: f64,
+) -> Vec<Vec<NodeId>> {
+    assert!(!pool.is_empty(), "empty planting pool");
+    assert!(
+        (0.0..=1.0).contains(&overlap_frac),
+        "overlap_frac {overlap_frac} not in [0, 1]"
+    );
+    let mut cliques: Vec<Vec<NodeId>> = Vec::with_capacity(sizes.len());
+    let mut shuffled: Vec<NodeId> = pool.to_vec();
+    for &raw_size in sizes {
+        assert!(raw_size >= 2, "clique size {raw_size} < 2");
+        let size = raw_size.min(pool.len());
+        let members: Vec<NodeId> = match cliques.last() {
+            None => {
+                shuffled.shuffle(rng);
+                shuffled[..size].to_vec()
+            }
+            Some(prev) => {
+                let want_shared = ((size as f64 * overlap_frac).ceil() as usize)
+                    .min(size - 1)
+                    .min(prev.len());
+                let mut prev_pool = prev.clone();
+                prev_pool.shuffle(rng);
+                let mut members: Vec<NodeId> = prev_pool[..want_shared].to_vec();
+                shuffled.shuffle(rng);
+                for &v in shuffled.iter() {
+                    if members.len() == size {
+                        break;
+                    }
+                    if !members.contains(&v) {
+                        members.push(v);
+                    }
+                }
+                members
+            }
+        };
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        cliques.push(members);
+    }
+    cliques
+}
+
+/// Expands cliques into their edge lists.
+pub(crate) fn clique_edges(cliques: &[Vec<NodeId>]) -> Vec<(NodeId, NodeId)> {
+    let mut edges = Vec::new();
+    for c in cliques {
+        for (i, &u) in c.iter().enumerate() {
+            for &v in &c[i + 1..] {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool(n: u32) -> Vec<NodeId> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn chain_sizes_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cliques = plant_chain(&mut rng, &pool(50), &[10, 8, 6], 0.7);
+        assert_eq!(cliques.len(), 3);
+        assert_eq!(cliques[0].len(), 10);
+        assert_eq!(cliques[1].len(), 8);
+        assert_eq!(cliques[2].len(), 6);
+    }
+
+    #[test]
+    fn consecutive_overlap_at_least_fraction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cliques = plant_chain(&mut rng, &pool(100), &[12, 10, 10, 8], 0.6);
+        for w in cliques.windows(2) {
+            let shared = w[1].iter().filter(|v| w[0].contains(v)).count();
+            let want = ((w[1].len() as f64) * 0.6).ceil() as usize;
+            assert!(shared >= want.min(w[1].len() - 1), "shared {shared} < {want}");
+        }
+    }
+
+    #[test]
+    fn members_unique_within_clique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in plant_chain(&mut rng, &pool(30), &[8, 8, 8], 0.9) {
+            let mut d = c.clone();
+            d.dedup();
+            assert_eq!(c.len(), d.len());
+        }
+    }
+
+    #[test]
+    fn sizes_clamped_to_pool() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cliques = plant_chain(&mut rng, &pool(5), &[12], 0.5);
+        assert_eq!(cliques[0].len(), 5);
+    }
+
+    #[test]
+    fn edges_of_triangle() {
+        let edges = clique_edges(&[vec![0, 1, 2]]);
+        assert_eq!(edges.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty planting pool")]
+    fn empty_pool_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = plant_chain(&mut rng, &[], &[3], 0.5);
+    }
+}

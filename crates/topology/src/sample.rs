@@ -1,0 +1,105 @@
+//! Weighted sampling helpers for the generator.
+
+use rand::Rng;
+
+/// Samples `k` distinct indices from `0..weights.len()` with probability
+/// proportional to `weights[i]`, using the Efraimidis–Spirakis exponential
+/// keys method. Entries with non-positive weight are never selected.
+///
+/// Returns fewer than `k` indices if fewer have positive weight.
+pub(crate) fn weighted_sample_without_replacement<R: Rng>(
+    rng: &mut R,
+    weights: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    // key_i = uniform^(1/w_i); the k largest keys form a weighted sample.
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0.0)
+        .map(|(i, &w)| {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            (u.powf(1.0 / w), i)
+        })
+        .collect();
+    let k = k.min(keyed.len());
+    keyed.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+    keyed.truncate(k);
+    let mut out: Vec<usize> = keyed.into_iter().map(|(_, i)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Samples one index from `0..weights.len()` proportionally to weight.
+/// Returns `None` if no weight is positive.
+pub(crate) fn weighted_pick<R: Rng>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|&&w| w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating-point slack: fall back to the last positive entry.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_size_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = vec![1.0; 20];
+        let s = weighted_sample_without_replacement(&mut rng, &w, 5);
+        assert_eq!(s.len(), 5);
+        let mut d = s.clone();
+        d.dedup();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn zero_weights_excluded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = vec![0.0, 1.0, 0.0, 1.0];
+        for _ in 0..20 {
+            let s = weighted_sample_without_replacement(&mut rng, &w, 4);
+            assert_eq!(s, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn heavier_weights_win_more_often() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = vec![10.0, 0.1];
+        let mut wins = 0;
+        for _ in 0..200 {
+            let s = weighted_sample_without_replacement(&mut rng, &w, 1);
+            if s == vec![0] {
+                wins += 1;
+            }
+        }
+        assert!(wins > 150, "heavy item won only {wins}/200");
+    }
+
+    #[test]
+    fn pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = vec![0.0, 5.0, 0.0];
+        for _ in 0..20 {
+            assert_eq!(weighted_pick(&mut rng, &w), Some(1));
+        }
+        assert_eq!(weighted_pick(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(weighted_pick(&mut rng, &[]), None);
+    }
+}

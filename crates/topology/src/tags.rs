@@ -1,0 +1,263 @@
+//! AS tagging (§2.4 of the paper) and tag-induced subgraphs.
+//!
+//! Two tag families correlate the topology with the side datasets:
+//!
+//! - **IXP tags**: an AS is *on-IXP* if it appears in at least one IXP's
+//!   participant list (Table 2.1);
+//! - **geographical tags**: *national* (all locations in one country),
+//!   *continental* (several countries, one continent), *worldwide*
+//!   (at least two continents), or *unknown* (absent from the
+//!   geographical dataset) — Table 2.2.
+//!
+//! A *tag-induced subgraph* (Palla et al. 2008) keeps every edge whose two
+//! endpoints both carry the tag: IXP-induced and country-induced
+//! subgraphs drive the paper's §4 interpretation of crown and root
+//! communities.
+
+use crate::model::{AsTopology, IxpId};
+use crate::world::CountryId;
+use asgraph::subgraph::{induced, InducedSubgraph};
+use asgraph::NodeId;
+
+/// Geographical footprint class of an AS (Table 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeoTag {
+    /// All points of presence in one country.
+    National,
+    /// Several countries, all in one continent.
+    Continental,
+    /// Points of presence on at least two continents.
+    Worldwide,
+    /// Not covered by the geographical dataset.
+    Unknown,
+}
+
+impl std::fmt::Display for GeoTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GeoTag::National => "national",
+            GeoTag::Continental => "continental",
+            GeoTag::Worldwide => "worldwide",
+            GeoTag::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate tag counts — the data behind Tables 2.1 and 2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagSummary {
+    /// ASes in at least one IXP participant list.
+    pub on_ixp: usize,
+    /// ASes in no participant list.
+    pub not_on_ixp: usize,
+    /// Single-country ASes.
+    pub national: usize,
+    /// Multi-country, single-continent ASes.
+    pub continental: usize,
+    /// Multi-continent ASes.
+    pub worldwide: usize,
+    /// ASes absent from the geographical dataset.
+    pub unknown: usize,
+}
+
+impl AsTopology {
+    /// Whether AS `v` participates in at least one IXP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_on_ixp(&self, v: NodeId) -> bool {
+        assert!((v as usize) < self.ases.len(), "AS {v} out of range");
+        self.ixps.iter().any(|x| x.has_participant(v))
+    }
+
+    /// Precomputed on-IXP flags for every AS (use this instead of
+    /// [`AsTopology::is_on_ixp`] in loops).
+    pub fn on_ixp_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.ases.len()];
+        for ixp in &self.ixps {
+            for &p in &ixp.participants {
+                flags[p as usize] = true;
+            }
+        }
+        flags
+    }
+
+    /// The geographical tag of AS `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn geo_tag(&self, v: NodeId) -> GeoTag {
+        let countries = &self.ases[v as usize].countries;
+        if countries.is_empty() {
+            GeoTag::Unknown
+        } else if countries.len() == 1 {
+            GeoTag::National
+        } else if self.world.common_continent(countries).is_some() {
+            GeoTag::Continental
+        } else {
+            GeoTag::Worldwide
+        }
+    }
+
+    /// Tag census over all ASes — Tables 2.1 and 2.2 in one struct.
+    pub fn tag_summary(&self) -> TagSummary {
+        let flags = self.on_ixp_flags();
+        let mut s = TagSummary::default();
+        for v in 0..self.ases.len() as NodeId {
+            if flags[v as usize] {
+                s.on_ixp += 1;
+            } else {
+                s.not_on_ixp += 1;
+            }
+            match self.geo_tag(v) {
+                GeoTag::National => s.national += 1,
+                GeoTag::Continental => s.continental += 1,
+                GeoTag::Worldwide => s.worldwide += 1,
+                GeoTag::Unknown => s.unknown += 1,
+            }
+        }
+        s
+    }
+
+    /// All ASes with a point of presence in `country`.
+    pub fn ases_in_country(&self, country: CountryId) -> Vec<NodeId> {
+        (0..self.ases.len() as NodeId)
+            .filter(|&v| self.ases[v as usize].countries.contains(&country))
+            .collect()
+    }
+
+    /// The subgraph induced by the participants of IXP `ixp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ixp` is out of range.
+    pub fn ixp_induced_subgraph(&self, ixp: IxpId) -> InducedSubgraph {
+        let participants = self.ixps[ixp as usize].participants.iter().copied();
+        induced(&self.graph, participants)
+    }
+
+    /// The subgraph induced by the ASes located in `country`.
+    pub fn country_induced_subgraph(&self, country: CountryId) -> InducedSubgraph {
+        induced(&self.graph, self.ases_in_country(country))
+    }
+
+    /// Whether every id in `members` participates in IXP `ixp` — i.e.
+    /// whether the community is a subgraph of the IXP-induced subgraph
+    /// (the paper's *full-share-IXP* condition).
+    pub fn fully_inside_ixp(&self, members: &[NodeId], ixp: IxpId) -> bool {
+        let x = &self.ixps[ixp as usize];
+        members.iter().all(|&v| x.has_participant(v))
+    }
+
+    /// Whether every id in `members` has a presence in `country`.
+    pub fn fully_inside_country(&self, members: &[NodeId], country: CountryId) -> bool {
+        members
+            .iter()
+            .all(|&v| self.ases[v as usize].countries.contains(&country))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::generate;
+
+    fn topo() -> AsTopology {
+        generate(&ModelConfig::tiny(42)).expect("valid config")
+    }
+
+    #[test]
+    fn summary_partitions_both_ways() {
+        let t = topo();
+        let s = t.tag_summary();
+        let n = t.ases.len();
+        assert_eq!(s.on_ixp + s.not_on_ixp, n);
+        assert_eq!(s.national + s.continental + s.worldwide + s.unknown, n);
+        // Shape of the paper's tables: most ASes are national and
+        // off-IXP; every class is represented.
+        assert!(s.national > n / 2);
+        assert!(s.not_on_ixp > s.on_ixp);
+        assert!(s.worldwide > 0);
+        assert!(s.continental > 0);
+        assert!(s.unknown > 0);
+    }
+
+    #[test]
+    fn geo_tags_match_country_lists() {
+        let t = topo();
+        for v in 0..t.ases.len() as NodeId {
+            let countries = &t.ases[v as usize].countries;
+            match t.geo_tag(v) {
+                GeoTag::Unknown => assert!(countries.is_empty()),
+                GeoTag::National => assert_eq!(countries.len(), 1),
+                GeoTag::Continental => {
+                    assert!(countries.len() >= 2);
+                    assert!(t.world.common_continent(countries).is_some());
+                }
+                GeoTag::Worldwide => {
+                    assert!(countries.len() >= 2);
+                    assert!(t.world.common_continent(countries).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_ixp_flags_agree_with_pointwise() {
+        let t = topo();
+        let flags = t.on_ixp_flags();
+        for v in 0..t.ases.len() as NodeId {
+            assert_eq!(flags[v as usize], t.is_on_ixp(v));
+        }
+    }
+
+    #[test]
+    fn ixp_induced_subgraph_has_participant_nodes() {
+        let t = topo();
+        let sub = t.ixp_induced_subgraph(0);
+        assert_eq!(
+            sub.original_ids,
+            t.ixps[0].participants,
+            "induced node set equals the participant list"
+        );
+        // Planted cliques make large-IXP subgraphs non-trivial.
+        assert!(sub.graph.edge_count() > 0);
+    }
+
+    #[test]
+    fn country_induced_subgraph_is_consistent() {
+        let t = topo();
+        let nl = t.world.id_of("NL").unwrap();
+        let sub = t.country_induced_subgraph(nl);
+        for (lu, lv) in sub.graph.edges() {
+            let (u, v) = (sub.to_original(lu), sub.to_original(lv));
+            assert!(t.ases[u as usize].countries.contains(&nl));
+            assert!(t.ases[v as usize].countries.contains(&nl));
+            assert!(t.graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn fully_inside_checks() {
+        let t = topo();
+        let p = &t.ixps[0].participants;
+        assert!(t.fully_inside_ixp(&p[..3.min(p.len())], 0));
+        // A node outside the participant list breaks the condition.
+        let outsider = (0..t.ases.len() as NodeId)
+            .find(|&v| !t.ixps[0].has_participant(v))
+            .expect("someone is not in IXP 0");
+        let mut members = p[..2.min(p.len())].to_vec();
+        members.push(outsider);
+        assert!(!t.fully_inside_ixp(&members, 0));
+    }
+
+    #[test]
+    fn geo_tag_display() {
+        assert_eq!(GeoTag::National.to_string(), "national");
+        assert_eq!(GeoTag::Unknown.to_string(), "unknown");
+    }
+}

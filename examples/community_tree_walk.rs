@@ -1,0 +1,69 @@
+//! Walk the k-clique community tree: the paper's Figure 4.2 as an API
+//! tour — main path, parallel branches, and Graphviz export.
+//!
+//! ```sh
+//! cargo run --release --example community_tree_walk
+//! ```
+
+use kclique::analysis::CommunityTree;
+use kclique::cpm;
+use kclique::topology::{generate, ModelConfig};
+
+fn main() -> Result<(), kclique::topology::InvalidConfig> {
+    let topo = generate(&ModelConfig::small(7))?;
+    let result = cpm::percolate(&topo.graph);
+    let tree = CommunityTree::build(&result);
+
+    // The main path: the chain of communities containing the top one.
+    println!("main path (ascending k):");
+    for id in tree.main_path() {
+        let node = tree.node(*id).expect("main path ids are valid");
+        println!(
+            "  {:>7}  size {:5}  children {}",
+            id.to_string(),
+            node.size,
+            node.children.len()
+        );
+    }
+
+    // Parallel branches: chains of communities that are *not* ancestors
+    // of the top community. The paper highlights branches spanning
+    // several k levels (nested parallel communities).
+    let branches = tree.branches();
+    let mut multi: Vec<_> = branches.iter().filter(|b| b.len() >= 2).collect();
+    multi.sort_by_key(|b| std::cmp::Reverse(b.len()));
+    println!(
+        "\n{} parallel branches, {} spanning >= 2 levels; the longest:",
+        branches.len(),
+        multi.len()
+    );
+    for b in multi.iter().take(5) {
+        let path: Vec<String> = b.iter().map(ToString::to_string).collect();
+        println!("  {}", path.join(" -> "));
+    }
+
+    // Nesting theorem in action: every community's members sit inside
+    // its parent.
+    let sample = tree
+        .iter()
+        .find(|n| n.id.k >= 4 && !n.is_main)
+        .expect("some parallel community exists");
+    let parent = result.parent(sample.id).expect("k >= 3 has a parent");
+    let child = result.community(sample.id).expect("valid id");
+    let parent_c = result.community(parent).expect("valid parent");
+    assert!(child.members.iter().all(|v| parent_c.contains(*v)));
+    println!(
+        "\nTheorem 1 check: {} ({} ASes) nests inside {} ({} ASes)",
+        sample.id,
+        child.size(),
+        parent,
+        parent_c.size()
+    );
+
+    // Export the picture (k <= 5 hidden, as in the paper's figure).
+    let dot = tree.to_dot(6);
+    let path = std::env::temp_dir().join("kclique_tree.dot");
+    std::fs::write(&path, dot).expect("write DOT file");
+    println!("\nwrote Graphviz tree to {}", path.display());
+    Ok(())
+}

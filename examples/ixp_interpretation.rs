@@ -1,0 +1,81 @@
+//! Interpret communities with the IXP and geographical datasets — the
+//! paper's §4 workflow: tag censuses, max-share / full-share IXPs, and
+//! the crown / trunk / root anatomy.
+//!
+//! ```sh
+//! cargo run --release --example ixp_interpretation
+//! ```
+
+use kclique::analysis::{analyze, Segment};
+use kclique::topology::ModelConfig;
+
+fn main() -> Result<(), kclique::topology::InvalidConfig> {
+    // One call: generate -> percolate (parallel) -> tree -> tags.
+    let analysis = analyze(&ModelConfig::small(42), 2)?;
+    let topo = &analysis.topo;
+
+    // Tables 2.1 / 2.2.
+    let tags = topo.tag_summary();
+    println!(
+        "tag census: {} on-IXP, {} not-on-IXP | {} national, {} continental, {} worldwide, {} unknown",
+        tags.on_ixp, tags.not_on_ixp, tags.national, tags.continental, tags.worldwide, tags.unknown
+    );
+
+    // The crown/trunk/root bands, derived from where full-share IXPs
+    // occur along k.
+    let b = analysis.bounds;
+    println!(
+        "bands: root k <= {}, trunk k in [{}:{}], crown k >= {}",
+        b.root_max_k,
+        b.root_max_k + 1,
+        b.crown_min_k - 1,
+        b.crown_min_k
+    );
+
+    // Inspect the top community the way §4.1 inspects the 36-clique
+    // community: members, geography, and its best-matching IXP.
+    let top = *analysis.tree.main_path().last().expect("non-empty tree");
+    let info = analysis
+        .infos
+        .iter()
+        .find(|i| i.id == top)
+        .expect("every community has a tag profile");
+    println!(
+        "\ntop community {top}: {} ASes, {:.0}% on-IXP",
+        info.size,
+        100.0 * info.on_ixp_fraction
+    );
+    if let Some((ixp, shared, frac)) = info.max_share_ixp {
+        println!(
+            "  max-share IXP: {} ({shared} members shared, {:.0}%)",
+            topo.ixps[ixp as usize].name,
+            100.0 * frac
+        );
+    }
+
+    // Root communities: small, regional, often inside one country.
+    let roots: Vec<_> = analysis
+        .infos
+        .iter()
+        .filter(|i| b.segment_of(i.id.k) == Segment::Root && !i.is_main)
+        .collect();
+    let contained = roots.iter().filter(|i| i.containing_country.is_some()).count();
+    println!(
+        "\nroot parallel communities: {} — {} fully inside one country",
+        roots.len(),
+        contained
+    );
+    for info in roots.iter().take(5) {
+        let country = info
+            .containing_country
+            .map(|c| topo.world.country(c).code)
+            .unwrap_or("—");
+        println!(
+            "  {:>7}: {} ASes, country {country}, {:.0}% on-IXP",
+            info.id.to_string(),
+            info.size,
+            100.0 * info.on_ixp_fraction
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Quickstart: generate a synthetic Internet, run clique percolation,
+//! and print the community profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use kclique::cpm;
+use kclique::topology::{generate, ModelConfig};
+
+fn main() -> Result<(), kclique::topology::InvalidConfig> {
+    // A seeded ~400-AS topology: same seed, same topology, every time.
+    let topo = generate(&ModelConfig::tiny(42))?;
+    println!(
+        "generated {} ASes, {} links, {} IXPs",
+        topo.graph.node_count(),
+        topo.graph.edge_count(),
+        topo.ixps.len()
+    );
+
+    // All k-clique communities, for every k, in one sweep.
+    let result = cpm::percolate(&topo.graph);
+    println!(
+        "{} communities across k = 2..={}",
+        result.total_communities(),
+        result.k_max().expect("the topology has edges")
+    );
+
+    for level in &result.levels {
+        let largest = level
+            .communities
+            .iter()
+            .map(cpm::Community::size)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "k = {:2}: {:3} communities, largest has {largest} ASes",
+            level.k,
+            level.communities.len()
+        );
+    }
+
+    // Communities overlap: pick the busiest AS and list its homes at k=4.
+    let busiest = topo
+        .graph
+        .node_ids()
+        .max_by_key(|&v| topo.graph.degree(v))
+        .expect("non-empty graph");
+    let homes = result.communities_containing(4, busiest);
+    println!(
+        "\nAS index {busiest} (degree {}) belongs to {} community(ies) at k = 4: {:?}",
+        topo.graph.degree(busiest),
+        homes.len(),
+        homes.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! End-to-end integration: the paper's qualitative findings must hold on
+//! the synthetic topology, exercised exclusively through the public
+//! facade API.
+
+use kclique::analysis::{analyze, overlap_report, Segment};
+use kclique::topology::ModelConfig;
+
+fn small_analysis() -> kclique::analysis::Analysis {
+    analyze(&ModelConfig::small(42), 2).expect("preset config is valid")
+}
+
+#[test]
+fn single_connected_component_gives_single_2_community() {
+    let analysis = small_analysis();
+    assert!(kclique::graph::components::is_connected(&analysis.topo.graph));
+    assert_eq!(analysis.result.level(2).unwrap().communities.len(), 1);
+    assert_eq!(
+        analysis.result.level(2).unwrap().communities[0].size(),
+        analysis.topo.graph.node_count()
+    );
+}
+
+#[test]
+fn main_path_sizes_decrease_with_k() {
+    let analysis = small_analysis();
+    let sizes: Vec<usize> = analysis
+        .tree
+        .main_path()
+        .iter()
+        .map(|id| analysis.tree.node(*id).unwrap().size)
+        .collect();
+    for w in sizes.windows(2) {
+        assert!(w[0] >= w[1], "main community grew with k: {sizes:?}");
+    }
+    // Figure 4.3's headline: the main community shrinks *rapidly*.
+    assert!(sizes[0] >= 10 * sizes[sizes.len() - 1]);
+}
+
+#[test]
+fn nesting_theorem_holds_everywhere() {
+    let analysis = small_analysis();
+    for (id, c) in analysis.result.iter() {
+        if id.k == 2 {
+            continue;
+        }
+        let parent = analysis.result.parent(id).expect("non-root has parent");
+        let pc = analysis.result.community(parent).unwrap();
+        assert!(
+            c.members.iter().all(|v| pc.contains(*v)),
+            "community {id} not inside its parent {parent}"
+        );
+    }
+}
+
+#[test]
+fn communities_at_low_k_outnumber_high_k() {
+    // Figure 4.1's shape.
+    let analysis = small_analysis();
+    let k_max = analysis.result.k_max().unwrap();
+    let low: usize = (3..=5)
+        .filter_map(|k| analysis.result.level(k))
+        .map(|l| l.communities.len())
+        .sum();
+    let high: usize = (k_max - 2..=k_max)
+        .filter_map(|k| analysis.result.level(k))
+        .map(|l| l.communities.len())
+        .sum();
+    assert!(low > 3 * high, "low-k {low} vs high-k {high}");
+}
+
+#[test]
+fn crown_communities_are_ixp_dominated() {
+    // §4.1: crown ASes participate in the large IXPs.
+    let analysis = small_analysis();
+    let crown: Vec<_> = analysis
+        .infos
+        .iter()
+        .filter(|i| analysis.bounds.segment_of(i.id.k) == Segment::Crown)
+        .collect();
+    assert!(!crown.is_empty(), "no crown communities detected");
+    for info in &crown {
+        assert!(
+            info.on_ixp_fraction > 0.85,
+            "crown community {} only {:.2} on-IXP",
+            info.id,
+            info.on_ixp_fraction
+        );
+    }
+    // Their best-matching exchanges are the large ones.
+    let large_max_share = crown
+        .iter()
+        .filter(|i| {
+            i.max_share_ixp
+                .is_some_and(|(x, _, _)| analysis.topo.ixps[x as usize].large)
+        })
+        .count();
+    assert!(large_max_share * 2 > crown.len());
+}
+
+#[test]
+fn root_communities_are_small_and_regional() {
+    // §4.3: root parallel communities are small AS groups, most fully
+    // inside one country.
+    let analysis = small_analysis();
+    let roots: Vec<_> = analysis
+        .infos
+        .iter()
+        .filter(|i| analysis.bounds.segment_of(i.id.k) == Segment::Root && !i.is_main)
+        .collect();
+    assert!(roots.len() >= 20, "only {} root parallels", roots.len());
+    let avg_size: f64 = roots.iter().map(|i| i.size as f64).sum::<f64>() / roots.len() as f64;
+    assert!(avg_size < 15.0, "root parallels too big: {avg_size}");
+    let contained = roots
+        .iter()
+        .filter(|i| i.containing_country.is_some())
+        .count();
+    assert!(
+        contained * 2 > roots.len(),
+        "only {contained}/{} country-contained",
+        roots.len()
+    );
+}
+
+#[test]
+fn parallel_main_overlap_behaves_like_the_paper() {
+    // §4: parallel communities mostly share members with their main
+    // community, with few disjoint exceptions.
+    let analysis = small_analysis();
+    let report = overlap_report(&analysis.result, &analysis.tree);
+    let mean = report.parallel_main_mean.expect("levels with parallels");
+    assert!(
+        (0.2..=1.0).contains(&mean),
+        "parallel-main mean {mean} out of plausible band"
+    );
+    let total_parallel: usize = report.per_k.iter().map(|s| s.parallel_count).sum();
+    assert!(
+        report.total_disjoint_from_main * 4 < total_parallel,
+        "{} of {} parallels disjoint from main",
+        report.total_disjoint_from_main,
+        total_parallel
+    );
+}
+
+#[test]
+fn tag_summary_partitions_the_node_set() {
+    let analysis = small_analysis();
+    let s = analysis.topo.tag_summary();
+    let n = analysis.topo.graph.node_count();
+    assert_eq!(s.on_ixp + s.not_on_ixp, n);
+    assert_eq!(s.national + s.continental + s.worldwide + s.unknown, n);
+    assert!(s.not_on_ixp > s.on_ixp, "Table 2.1 shape");
+    assert!(s.national * 2 > n, "Table 2.2 shape");
+}
+
+#[test]
+fn metric_rows_match_figure_4_4_regimes() {
+    let analysis = small_analysis();
+    let (main, parallel): (Vec<_>, Vec<_>) = analysis.rows.iter().partition(|r| r.is_main);
+    // Main communities at low k are large chains: low link density.
+    let main3 = main.iter().find(|r| r.id.k == 3).unwrap();
+    assert!(main3.link_density < 0.05);
+    assert!(main3.size > 500);
+    // Most parallel communities are clique-like: high density.
+    let dense = parallel.iter().filter(|r| r.link_density > 0.8).count();
+    assert!(dense * 2 > parallel.len());
+    // ODF is a fraction everywhere.
+    for r in &analysis.rows {
+        assert!((0.0..=1.0).contains(&r.average_odf));
+        assert!((0.0..=1.0).contains(&r.link_density));
+    }
+}
