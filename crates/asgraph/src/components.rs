@@ -103,7 +103,10 @@ pub fn is_connected(g: &Graph) -> bool {
 /// Panics if `source` is out of range.
 pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
     let n = g.node_count();
-    assert!((source as usize) < n, "source {source} out of range ({n} nodes)");
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range ({n} nodes)"
+    );
     let mut dist = vec![None; n];
     dist[source as usize] = Some(0);
     let mut queue = std::collections::VecDeque::new();

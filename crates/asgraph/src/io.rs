@@ -73,7 +73,12 @@ pub fn read_edge_list<R: BufRead>(mut reader: R) -> io::Result<Graph> {
 ///
 /// Propagates any error from the underlying writer.
 pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> io::Result<()> {
-    writeln!(writer, "# nodes: {} edges: {}", g.node_count(), g.edge_count())?;
+    writeln!(
+        writer,
+        "# nodes: {} edges: {}",
+        g.node_count(),
+        g.edge_count()
+    )?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u} {v}")?;
     }

@@ -93,7 +93,11 @@ pub fn community_metrics(g: &Graph, members: &[NodeId]) -> CommunityMetrics {
     } else {
         internal_edges as f64 / possible as f64
     };
-    let average_odf = if size == 0 { 0.0 } else { odf_sum / size as f64 };
+    let average_odf = if size == 0 {
+        0.0
+    } else {
+        odf_sum / size as f64
+    };
 
     CommunityMetrics {
         size,

@@ -44,8 +44,7 @@ pub struct RewireReport {
 /// ```
 pub fn rewire<R: Rng>(g: &Graph, attempts: usize, rng: &mut R) -> (Graph, RewireReport) {
     let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
-    let mut present: std::collections::HashSet<(NodeId, NodeId)> =
-        edges.iter().copied().collect();
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
     let m = edges.len();
     let mut successes = 0usize;
     if m >= 2 {
@@ -117,7 +116,19 @@ mod tests {
     #[test]
     fn graph_stays_simple() {
         let mut rng = StdRng::seed_from_u64(5);
-        let g = Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)]);
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
+        );
         let (h, _) = rewire(&g, 200, &mut rng);
         // from_edges would have deduplicated; equal edge counts prove no
         // duplicates were produced.

@@ -32,11 +32,7 @@ use std::collections::HashMap;
 pub fn communities(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
     let sub = k_dense_subgraph(g, k);
     let cc = asgraph::components::connected_components(&sub);
-    let mut out: Vec<Vec<NodeId>> = cc
-        .members()
-        .into_iter()
-        .filter(|m| m.len() >= 2)
-        .collect();
+    let mut out: Vec<Vec<NodeId>> = cc.members().into_iter().filter(|m| m.len() >= 2).collect();
     out.sort_unstable();
     out
 }
@@ -199,7 +195,17 @@ mod tests {
     fn dense_indices_nested() {
         let g = Graph::from_edges(
             6,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         );
         let (k_max, idx) = dense_indices(&g);
         assert_eq!(k_max, 4);

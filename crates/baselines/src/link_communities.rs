@@ -46,7 +46,6 @@ pub fn inclusive_jaccard(g: &Graph, a: NodeId, b: NodeId) -> f64 {
     // Inclusive: add self-membership. a ∈ N+(a); count a ∈ N(b) and
     // b ∈ N(a) via the has_edge relation (true for edge-sharing pairs in
     // this method, but compute generally).
-    let mut inter = inter;
     if g.has_edge(a, b) {
         inter += 2; // a ∈ N+(b) and b ∈ N+(a)
     }
@@ -116,8 +115,7 @@ pub fn link_communities(g: &Graph, t: f64) -> Vec<LinkCommunity> {
         .into_values()
         .map(|mut edges| {
             edges.sort_unstable();
-            let mut nodes: Vec<NodeId> =
-                edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+            let mut nodes: Vec<NodeId> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
             nodes.sort_unstable();
             nodes.dedup();
             LinkCommunity { edges, nodes }

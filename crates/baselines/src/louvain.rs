@@ -170,15 +170,13 @@ fn one_level(wg: &Weighted) -> (Vec<u32>, usize) {
             let l_home = links.get(&home).copied().unwrap_or(0.0);
             // delta(c) ∝ (l_vc − l_vhome) − k_v (tot_c − tot_home) / m2
             let mut best = (home, 0.0f64);
-            let mut candidates: Vec<(u32, f64)> =
-                links.iter().map(|(&c, &l)| (c, l)).collect();
-            candidates.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let mut candidates: Vec<(u32, f64)> = links.iter().map(|(&c, &l)| (c, l)).collect();
+            candidates.sort_unstable_by_key(|a| a.0);
             for (c, l) in candidates {
                 if c == home {
                     continue;
                 }
-                let gain = (l - l_home)
-                    - k_v * (tot[c as usize] - tot[home as usize]) / wg.m2;
+                let gain = (l - l_home) - k_v * (tot[c as usize] - tot[home as usize]) / wg.m2;
                 if gain > best.1 + 1e-12 {
                     best = (c, gain);
                 }
@@ -309,7 +307,10 @@ mod tests {
         let p = louvain(&topo.graph);
         assert_eq!(p.community.len(), topo.graph.node_count());
         assert!(p.community_count > 1);
-        assert!(p.community.iter().all(|&c| (c as usize) < p.community_count));
+        assert!(p
+            .community
+            .iter()
+            .all(|&c| (c as usize) < p.community_count));
         assert!(p.modularity > 0.2, "Q = {}", p.modularity);
         let total: usize = p.members().iter().map(Vec::len).sum();
         assert_eq!(total, topo.graph.node_count());

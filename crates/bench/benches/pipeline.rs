@@ -8,14 +8,10 @@ fn full_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("analyze/tiny400", |b| {
-        b.iter(|| {
-            black_box(kclique_core::analyze(&topology::ModelConfig::tiny(42), 2).unwrap())
-        })
+        b.iter(|| black_box(kclique_core::analyze(&topology::ModelConfig::tiny(42), 2).unwrap()))
     });
     group.bench_function("analyze/small2000", |b| {
-        b.iter(|| {
-            black_box(kclique_core::analyze(&topology::ModelConfig::small(42), 2).unwrap())
-        })
+        b.iter(|| black_box(kclique_core::analyze(&topology::ModelConfig::small(42), 2).unwrap()))
     });
     group.finish();
 }

@@ -10,7 +10,12 @@ fn graph_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_primitives");
     group.bench_function("build_from_edges", |b| {
         let edges: Vec<_> = g.edges().collect();
-        b.iter(|| black_box(asgraph::Graph::from_edges(g.node_count(), edges.iter().copied())))
+        b.iter(|| {
+            black_box(asgraph::Graph::from_edges(
+                g.node_count(),
+                edges.iter().copied(),
+            ))
+        })
     });
     group.bench_function("connected_components", |b| {
         b.iter(|| black_box(asgraph::components::connected_components(&g)))

@@ -1,7 +1,16 @@
 //! Shared fixtures for the Criterion benchmarks.
+//!
+//! With the `memprof` feature the crate additionally exposes
+//! [`memprof`], a counting global allocator used by the `stream-mem`
+//! binary to compare peak heap usage of batch vs streaming percolation.
 
-#![forbid(unsafe_code)]
+// memprof implements GlobalAlloc, which is inherently unsafe; the rest
+// of the crate stays forbidden.
+#![cfg_attr(not(feature = "memprof"), forbid(unsafe_code))]
 #![warn(missing_docs)]
+
+#[cfg(feature = "memprof")]
+pub mod memprof;
 
 use asgraph::{Graph, GraphBuilder};
 use rand::prelude::*;

@@ -65,6 +65,32 @@ pub enum Command {
         /// Edge-list file.
         input: PathBuf,
     },
+    /// Streaming CPM: percolate without materialising the clique set or
+    /// overlap graph (optionally replaying an on-disk clique log).
+    StreamPercolate {
+        /// Edge-list file (mutually exclusive with `log`).
+        input: Option<PathBuf>,
+        /// Clique-log file written by `clique-log build`.
+        log: Option<PathBuf>,
+        /// Specific k (mutually exclusive with `all_k`).
+        k: Option<u32>,
+        /// Sweep every level and print the summary table.
+        all_k: bool,
+        /// Use the O(nodes) last-clique-seen approximation.
+        approx: bool,
+    },
+    /// Enumerate maximal cliques once and write a replayable clique log.
+    CliqueLogBuild {
+        /// Edge-list file.
+        input: PathBuf,
+        /// Output clique-log file.
+        out: PathBuf,
+    },
+    /// Print a clique log's header summary.
+    CliqueLogInfo {
+        /// Clique-log file.
+        log: PathBuf,
+    },
     /// Degree-preserving rewiring: write a null-model edge list.
     Rewire {
         /// Edge-list file.
@@ -92,6 +118,9 @@ USAGE:
   kclique-cli analyze     --dataset <dir>
   kclique-cli baselines   --input <edges>
   kclique-cli rewire      --input <edges> --output <edges> [--swaps <n>] [--seed <u64>]
+  kclique-cli stream-percolate (--input <edges> | --log <file>) (--k <n> | --all-k) [--approx]
+  kclique-cli clique-log  build --input <edges> --out <file>
+  kclique-cli clique-log  info  --log <file>
   kclique-cli help
 ";
 
@@ -179,6 +208,58 @@ impl Command {
                     None => 42,
                 },
             }),
+            "stream-percolate" => {
+                let input = get("--input").map(PathBuf::from);
+                let log = get("--log").map(PathBuf::from);
+                match (&input, &log) {
+                    (None, None) => {
+                        return Err(
+                            "stream-percolate needs --input <edges> or --log <file>".to_owned()
+                        )
+                    }
+                    (Some(_), Some(_)) => {
+                        return Err("--input and --log are mutually exclusive".to_owned())
+                    }
+                    _ => {}
+                }
+                let k = match get("--k") {
+                    Some(v) => Some(v.parse::<u32>().map_err(|e| format!("bad --k: {e}"))?),
+                    None => None,
+                };
+                let all_k = has("--all-k");
+                if k.is_none() && !all_k {
+                    return Err("stream-percolate needs --k <n> or --all-k".to_owned());
+                }
+                if k.is_some() && all_k {
+                    return Err("--k and --all-k are mutually exclusive".to_owned());
+                }
+                if let Some(k) = k {
+                    if k < 2 {
+                        return Err("--k must be at least 2".to_owned());
+                    }
+                }
+                let approx = has("--approx");
+                if approx && all_k {
+                    return Err("--approx only applies to a single --k pass".to_owned());
+                }
+                Ok(Command::StreamPercolate {
+                    input,
+                    log,
+                    k,
+                    all_k,
+                    approx,
+                })
+            }
+            "clique-log" => match rest.first().map(String::as_str) {
+                Some("build") => Ok(Command::CliqueLogBuild {
+                    input: PathBuf::from(required("--input")?),
+                    out: PathBuf::from(required("--out")?),
+                }),
+                Some("info") => Ok(Command::CliqueLogInfo {
+                    log: PathBuf::from(required("--log")?),
+                }),
+                _ => Err("clique-log needs a subcommand: build | info".to_owned()),
+            },
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown command {other:?}")),
         }
@@ -244,11 +325,16 @@ impl Command {
                 table.row(vec!["max degree".into(), deg.max.to_string()]);
                 table.row(vec![
                     "connected components".into(),
-                    asgraph::components::connected_components(&g).count().to_string(),
+                    asgraph::components::connected_components(&g)
+                        .count()
+                        .to_string(),
                 ]);
                 table.row(vec!["degeneracy".into(), cores.degeneracy().to_string()]);
                 table.row(vec!["maximal cliques".into(), cliques.len().to_string()]);
-                table.row(vec!["largest clique".into(), cliques.max_size().to_string()]);
+                table.row(vec![
+                    "largest clique".into(),
+                    cliques.max_size().to_string(),
+                ]);
                 table.row(vec![
                     "triangles".into(),
                     asgraph::metrics::triangle_count(&g).to_string(),
@@ -366,6 +452,96 @@ impl Command {
                 print!("{}", table.render());
                 Ok(())
             }
+            Command::StreamPercolate {
+                input,
+                log,
+                k,
+                all_k,
+                approx,
+            } => {
+                // Both source kinds funnel through the same dyn-dispatch
+                // path; the graph (if any) must outlive the source.
+                let graph;
+                let mut graph_src;
+                let mut log_src;
+                let source: &mut dyn cpm_stream::CliqueSource = if let Some(input) = input {
+                    graph = load_graph(input)?;
+                    graph_src = cpm_stream::GraphSource::new(&graph);
+                    &mut graph_src
+                } else {
+                    let log = log.as_ref().expect("parse guarantees input xor log");
+                    log_src = cpm_stream::LogSource::open(log)
+                        .map_err(|e| format!("{}: {e}", log.display()))?;
+                    &mut log_src
+                };
+                if *all_k {
+                    let result = cpm_stream::stream_percolate(source).map_err(|e| e.to_string())?;
+                    let mut table = Table::new(vec!["k", "communities", "largest"]);
+                    for level in &result.levels {
+                        let largest = level
+                            .communities
+                            .iter()
+                            .map(cpm::Community::size)
+                            .max()
+                            .unwrap_or(0);
+                        table.row(vec![
+                            level.k.to_string(),
+                            level.communities.len().to_string(),
+                            largest.to_string(),
+                        ]);
+                    }
+                    print!("{}", table.render());
+                } else {
+                    let k = k.expect("parse guarantees k for non-all-k") as usize;
+                    let mode = if *approx {
+                        cpm_stream::Mode::LastSeen
+                    } else {
+                        cpm_stream::Mode::Exact
+                    };
+                    let mut p =
+                        cpm_stream::StreamPercolator::with_mode(source.node_count(), k, mode);
+                    source
+                        .replay(&mut |clique| p.push(clique))
+                        .map_err(|e| e.to_string())?;
+                    let mut comms: Vec<Vec<asgraph::NodeId>> =
+                        p.finish().into_iter().map(|c| c.members).collect();
+                    comms.sort_unstable();
+                    let tag = if *approx { " (approx)" } else { "" };
+                    println!("# {} {k}-clique communities{tag}", comms.len());
+                    for (i, c) in comms.iter().enumerate() {
+                        let ids: Vec<String> = c.iter().map(ToString::to_string).collect();
+                        println!("{i}\t{}", ids.join(" "));
+                    }
+                }
+                Ok(())
+            }
+            Command::CliqueLogBuild { input, out } => {
+                let g = load_graph(input)?;
+                let info = cpm_stream::write_clique_log(&g, out)
+                    .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+                println!(
+                    "wrote {} cliques over {} nodes (largest {}) to {}",
+                    info.clique_count,
+                    info.node_count,
+                    info.max_size,
+                    out.display()
+                );
+                Ok(())
+            }
+            Command::CliqueLogInfo { log } => {
+                let reader = cpm_stream::CliqueLogReader::open(log)
+                    .map_err(|e| format!("{}: {e}", log.display()))?;
+                let info = reader.info();
+                let mut table = Table::new(vec!["field", "value"]);
+                table.row(vec!["nodes".into(), info.node_count.to_string()]);
+                table.row(vec!["cliques".into(), info.clique_count.to_string()]);
+                table.row(vec!["largest clique".into(), info.max_size.to_string()]);
+                if let Ok(meta) = std::fs::metadata(log) {
+                    table.row(vec!["file bytes".into(), meta.len().to_string()]);
+                }
+                print!("{}", table.render());
+                Ok(())
+            }
             Command::Rewire {
                 input,
                 output,
@@ -469,6 +645,121 @@ mod tests {
             }
         );
         assert!(parse(&["rewire", "--input", "a"]).is_err());
+    }
+
+    #[test]
+    fn parses_stream_percolate() {
+        let c = parse(&["stream-percolate", "--input", "g.txt", "--k", "4"]).unwrap();
+        assert_eq!(
+            c,
+            Command::StreamPercolate {
+                input: Some(PathBuf::from("g.txt")),
+                log: None,
+                k: Some(4),
+                all_k: false,
+                approx: false,
+            }
+        );
+        let c = parse(&["stream-percolate", "--log", "c.log", "--all-k"]).unwrap();
+        assert!(matches!(
+            c,
+            Command::StreamPercolate {
+                input: None,
+                all_k: true,
+                ..
+            }
+        ));
+        let c = parse(&[
+            "stream-percolate",
+            "--input",
+            "g.txt",
+            "--k",
+            "3",
+            "--approx",
+        ])
+        .unwrap();
+        assert!(matches!(c, Command::StreamPercolate { approx: true, .. }));
+    }
+
+    #[test]
+    fn stream_percolate_validation() {
+        // Needs exactly one source and exactly one of --k / --all-k.
+        assert!(parse(&["stream-percolate", "--k", "3"]).is_err());
+        assert!(parse(&["stream-percolate", "--input", "a", "--log", "b", "--k", "3"]).is_err());
+        assert!(parse(&["stream-percolate", "--input", "a"]).is_err());
+        assert!(parse(&["stream-percolate", "--input", "a", "--k", "3", "--all-k"]).is_err());
+        assert!(parse(&["stream-percolate", "--input", "a", "--k", "1"]).is_err());
+        assert!(parse(&["stream-percolate", "--input", "a", "--all-k", "--approx"]).is_err());
+    }
+
+    #[test]
+    fn parses_clique_log() {
+        let c = parse(&["clique-log", "build", "--input", "g.txt", "--out", "c.log"]).unwrap();
+        assert_eq!(
+            c,
+            Command::CliqueLogBuild {
+                input: PathBuf::from("g.txt"),
+                out: PathBuf::from("c.log"),
+            }
+        );
+        let c = parse(&["clique-log", "info", "--log", "c.log"]).unwrap();
+        assert_eq!(
+            c,
+            Command::CliqueLogInfo {
+                log: PathBuf::from("c.log"),
+            }
+        );
+        assert!(parse(&["clique-log"]).is_err());
+        assert!(parse(&["clique-log", "verify"]).is_err());
+        assert!(parse(&["clique-log", "build", "--input", "g.txt"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_streaming_pipeline() {
+        let dir = std::env::temp_dir().join(format!("kclique_cli_stream_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("toy.edges");
+        std::fs::write(&edges, "0 1\n0 2\n1 2\n1 3\n2 3\n").unwrap();
+
+        let log = dir.join("toy.cliquelog");
+        Command::CliqueLogBuild {
+            input: edges.clone(),
+            out: log.clone(),
+        }
+        .run()
+        .unwrap();
+        Command::CliqueLogInfo { log: log.clone() }.run().unwrap();
+        for (input, log_arg) in [(Some(edges.clone()), None), (None, Some(log.clone()))] {
+            Command::StreamPercolate {
+                input: input.clone(),
+                log: log_arg.clone(),
+                k: Some(3),
+                all_k: false,
+                approx: false,
+            }
+            .run()
+            .unwrap();
+            Command::StreamPercolate {
+                input,
+                log: log_arg,
+                k: None,
+                all_k: true,
+                approx: false,
+            }
+            .run()
+            .unwrap();
+        }
+        Command::StreamPercolate {
+            input: Some(edges),
+            log: None,
+            k: Some(3),
+            all_k: false,
+            approx: true,
+        }
+        .run()
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::clique_set::CliqueSet;
 use asgraph::{Graph, NodeId};
+use std::ops::ControlFlow;
 
 /// Intersection of a sorted slice with a sorted slice, into a fresh vec.
 fn intersect(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
@@ -69,7 +70,13 @@ pub fn basic(g: &Graph) -> CliqueSet {
     out
 }
 
-fn basic_rec(g: &Graph, r: &mut Vec<NodeId>, p: Vec<NodeId>, mut x: Vec<NodeId>, out: &mut CliqueSet) {
+fn basic_rec(
+    g: &Graph,
+    r: &mut Vec<NodeId>,
+    p: Vec<NodeId>,
+    mut x: Vec<NodeId>,
+    out: &mut CliqueSet,
+) {
     if p.is_empty() && x.is_empty() {
         out.push(r);
         return;
@@ -99,10 +106,29 @@ pub fn pivot(g: &Graph) -> CliqueSet {
     out
 }
 
-fn pivot_rec(g: &Graph, r: &mut Vec<NodeId>, p: Vec<NodeId>, mut x: Vec<NodeId>, out: &mut CliqueSet) {
+fn pivot_rec(g: &Graph, r: &mut Vec<NodeId>, p: Vec<NodeId>, x: Vec<NodeId>, out: &mut CliqueSet) {
+    let _ = pivot_rec_visit(g, r, p, x, &mut |clique| {
+        out.push(clique);
+        ControlFlow::Continue(())
+    });
+}
+
+/// The pivoted recursion in visitor form: maximal cliques are handed to
+/// `visit` as they are found, without being collected anywhere. The
+/// visitor can stop the whole enumeration by returning
+/// [`ControlFlow::Break`].
+fn pivot_rec_visit<F>(
+    g: &Graph,
+    r: &mut Vec<NodeId>,
+    p: Vec<NodeId>,
+    mut x: Vec<NodeId>,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
     if p.is_empty() && x.is_empty() {
-        out.push(r);
-        return;
+        return visit(r);
     }
     // Pivot: u in P ∪ X maximising |P ∩ N(u)|.
     let pivot_vertex = p
@@ -132,13 +158,15 @@ fn pivot_rec(g: &Graph, r: &mut Vec<NodeId>, p: Vec<NodeId>, mut x: Vec<NodeId>,
     for v in candidates {
         let nv = g.neighbors(v);
         r.push(v);
-        pivot_rec(g, r, intersect(&p_cur, nv), intersect(&x, nv), out);
+        let flow = pivot_rec_visit(g, r, intersect(&p_cur, nv), intersect(&x, nv), visit);
         r.pop();
+        flow?;
         let pos = p_cur.binary_search(&v).expect("v still in P");
         p_cur.remove(pos);
         let pos = x.binary_search(&v).unwrap_err();
         x.insert(pos, v);
     }
+    ControlFlow::Continue(())
 }
 
 /// Enumerates maximal cliques with the degeneracy-ordered outer loop and
@@ -170,6 +198,23 @@ pub fn degeneracy(g: &Graph) -> CliqueSet {
 /// Exposed at crate level so the parallel enumerator can partition the
 /// outer loop.
 pub(crate) fn top_level_subproblem(g: &Graph, v: NodeId, rank: &[u32], out: &mut CliqueSet) {
+    let _ = top_level_visit(g, v, rank, &mut |clique| {
+        out.push(clique);
+        ControlFlow::Continue(())
+    });
+}
+
+/// Visitor form of [`top_level_subproblem`]: cliques are passed to
+/// `visit` instead of collected.
+pub(crate) fn top_level_visit<F>(
+    g: &Graph,
+    v: NodeId,
+    rank: &[u32],
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
     let rv = rank[v as usize];
     let mut p = Vec::new();
     let mut x = Vec::new();
@@ -182,7 +227,7 @@ pub(crate) fn top_level_subproblem(g: &Graph, v: NodeId, rank: &[u32], out: &mut
     }
     // Neighbour lists are sorted by id, so p and x are too.
     let mut r = vec![v];
-    pivot_rec(g, &mut r, p, x, out);
+    pivot_rec_visit(g, &mut r, p, x, visit)
 }
 
 #[cfg(test)]

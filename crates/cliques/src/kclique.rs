@@ -44,12 +44,8 @@ pub fn for_each_k_clique<F: FnMut(&[NodeId])>(g: &Graph, k: usize, mut f: F) {
         if k == 1 {
             f(&partial);
         } else {
-            let candidates: Vec<NodeId> = g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&w| w > v)
-                .collect();
+            let candidates: Vec<NodeId> =
+                g.neighbors(v).iter().copied().filter(|&w| w > v).collect();
             extend(g, k, &mut partial, &candidates, &mut f);
         }
         partial.pop();
@@ -110,7 +106,10 @@ mod tests {
     fn complete_graph_counts() {
         let g = Graph::complete(6);
         for k in 0..=7 {
-            assert_eq!(count_k_cliques(&g, k), if k == 0 { 0 } else { binomial(6, k) });
+            assert_eq!(
+                count_k_cliques(&g, k),
+                if k == 0 { 0 } else { binomial(6, k) }
+            );
         }
     }
 
@@ -149,7 +148,16 @@ mod tests {
     fn all_outputs_are_cliques() {
         let g = Graph::from_edges(
             6,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         );
         for c in enumerate_k_cliques(&g, 3) {
             for (i, &u) in c.iter().enumerate() {

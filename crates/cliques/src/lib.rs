@@ -38,7 +38,8 @@ pub mod parallel;
 
 pub use clique_set::{Clique, CliqueSet};
 
-use asgraph::Graph;
+use asgraph::{Graph, NodeId};
+use std::ops::ControlFlow;
 
 /// Enumerates all maximal cliques of `g` with the recommended algorithm
 /// (degeneracy-ordered Bron–Kerbosch with Tomita pivoting).
@@ -47,4 +48,54 @@ use asgraph::Graph;
 /// maximality (they extend no other clique).
 pub fn max_cliques(g: &Graph) -> CliqueSet {
     bron_kerbosch::degeneracy(g)
+}
+
+/// Visits every maximal clique of `g` as it is found, without collecting
+/// the clique set — the streaming counterpart of [`max_cliques`] and the
+/// enumeration front-end of the `cpm-stream` crate.
+///
+/// Cliques are emitted by the same degeneracy-ordered Bron–Kerbosch
+/// recursion as [`max_cliques`] (identical cliques, identical order), but
+/// the only live state is the recursion stack: peak memory stays
+/// proportional to the graph instead of the clique census. The visitor
+/// receives each clique as a sorted member slice valid only for the
+/// duration of the call, and can abort the enumeration early by
+/// returning [`ControlFlow::Break`]; the function then returns `Break`
+/// too.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use std::ops::ControlFlow;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// let mut sizes = Vec::new();
+/// cliques::for_each_max_clique(&g, |clique| {
+///     sizes.push(clique.len());
+///     ControlFlow::Continue(())
+/// });
+/// assert_eq!(sizes, vec![3, 3]); // two triangles
+///
+/// // Early exit: stop at the first clique of size >= 3.
+/// let mut found = None;
+/// cliques::for_each_max_clique(&g, |clique| {
+///     if clique.len() >= 3 {
+///         found = Some(clique.to_vec());
+///         ControlFlow::Break(())
+///     } else {
+///         ControlFlow::Continue(())
+///     }
+/// });
+/// assert!(found.is_some());
+/// ```
+pub fn for_each_max_clique<F>(g: &Graph, mut visit: F) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    let ordering = asgraph::ordering::degeneracy_order(g);
+    for &v in &ordering.order {
+        bron_kerbosch::top_level_visit(g, v, &ordering.rank, &mut visit)?;
+    }
+    ControlFlow::Continue(())
 }

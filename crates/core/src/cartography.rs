@@ -113,11 +113,7 @@ impl NodeCartography {
         if standard.is_empty() {
             return 0.0;
         }
-        let changed = standard
-            .iter()
-            .zip(&scaled)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = standard.iter().zip(&scaled).filter(|(a, b)| a != b).count();
         changed as f64 / standard.len() as f64
     }
 }
@@ -131,7 +127,11 @@ impl NodeCartography {
 pub fn cartography(g: &Graph, assignment: &[u32]) -> NodeCartography {
     assert_eq!(assignment.len(), g.node_count(), "assignment length");
     let n = g.node_count();
-    let c_max = assignment.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let c_max = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
 
     // Within-community degree of every node.
     let mut within = vec![0usize; n];
@@ -211,7 +211,16 @@ mod tests {
         // but splits its edges across both.
         let g = Graph::from_edges(
             7,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 0), (6, 3)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (6, 0),
+                (6, 3),
+            ],
         );
         let assignment = [0, 0, 0, 1, 1, 1, 0];
         let cart = cartography(&g, &assignment);

@@ -79,12 +79,7 @@ pub struct EvolutionStep {
 /// let step = match_covers(&r0, &r1, 3, 0.3);
 /// assert_eq!(step.matches[0].event, Event::Grew);
 /// ```
-pub fn match_covers(
-    old: &CpmResult,
-    new: &CpmResult,
-    k: u32,
-    threshold: f64,
-) -> EvolutionStep {
+pub fn match_covers(old: &CpmResult, new: &CpmResult, k: u32, threshold: f64) -> EvolutionStep {
     assert!(
         threshold > 0.0 && threshold <= 1.0,
         "threshold {threshold} not in (0, 1]"

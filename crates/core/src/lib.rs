@@ -49,8 +49,8 @@ mod tree;
 
 pub use distributions::{all_cover_distributions, cover_distributions, CoverDistributions};
 pub use metrics::{metric_rows, split_series, MetricRow};
-pub use pipeline::{analyze, analyze_topology, Analysis};
 pub use overlap::{overlap_report, KOverlapStats, OverlapReport};
+pub use pipeline::{analyze, analyze_topology, Analysis};
 pub use tags_analysis::{
     community_tag_infos, segment_bounds, segment_summaries, CommunityTagInfo, Segment,
     SegmentBounds, SegmentSummary,

@@ -5,9 +5,7 @@
 //! readout.
 
 use crate::metrics::{metric_rows, MetricRow};
-use crate::tags_analysis::{
-    community_tag_infos, segment_bounds, CommunityTagInfo, SegmentBounds,
-};
+use crate::tags_analysis::{community_tag_infos, segment_bounds, CommunityTagInfo, SegmentBounds};
 use crate::tree::CommunityTree;
 use cpm::CpmResult;
 use topology::{generate, AsTopology, InvalidConfig, ModelConfig};

@@ -82,10 +82,14 @@ impl ScatterPlot {
             (lo.min(0.0), if hi > lo { hi } else { lo + 1.0 })
         };
 
-        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-9) * (WIDTH - MARGIN_L - MARGIN_R);
+        let sx = |x: f64| {
+            MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-9) * (WIDTH - MARGIN_L - MARGIN_R)
+        };
         let sy = |y: f64| {
             let v = if self.log_y { y.log10() } else { y };
-            HEIGHT - MARGIN_B - (v - y_min) / (y_max - y_min).max(1e-9) * (HEIGHT - MARGIN_T - MARGIN_B)
+            HEIGHT
+                - MARGIN_B
+                - (v - y_min) / (y_max - y_min).max(1e-9) * (HEIGHT - MARGIN_T - MARGIN_B)
         };
 
         // Axes.
@@ -244,7 +248,9 @@ fn format_tick(t: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

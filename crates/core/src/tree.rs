@@ -296,7 +296,7 @@ mod tests {
         let branches = tree.branches();
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].len(), 2); // parallel K4 at k=3 and k=4
-        // The branch runs ascending k.
+                                          // The branch runs ascending k.
         assert!(branches[0][0].k < branches[0][1].k);
     }
 

@@ -130,10 +130,7 @@ mod tests {
     #[test]
     fn k2_is_any_arc() {
         let g = DiGraph::from_arcs(4, [(0, 1), (2, 3)]);
-        assert_eq!(
-            directed_communities(&g, 2),
-            vec![vec![0, 1], vec![2, 3]]
-        );
+        assert_eq!(directed_communities(&g, 2), vec![vec![0, 1], vec![2, 3]]);
     }
 
     #[test]
@@ -153,10 +150,7 @@ mod tests {
     #[test]
     fn cyclic_triangle_excluded_but_chain_continues() {
         // Two triangles sharing an edge: one transitive, one cyclic.
-        let g = DiGraph::from_arcs(
-            4,
-            [(0, 1), (0, 2), (1, 2), (3, 1), (2, 3)],
-        );
+        let g = DiGraph::from_arcs(4, [(0, 1), (0, 2), (1, 2), (3, 1), (2, 3)]);
         // {0,1,2} transitive; {1,2,3} has arcs 1->2, 2->3, 3->1: cyclic.
         assert_eq!(directed_communities(&g, 3), vec![vec![0, 1, 2]]);
     }

@@ -49,4 +49,4 @@ pub mod weighted;
 pub use dsu::Dsu;
 pub use overlap::{build_vertex_index, overlap_edges, OverlapEdge, VertexCliqueIndex};
 pub use percolation::{percolate, percolate_at, percolate_with_cliques};
-pub use result::{Community, CommunityId, CpmResult, KLevel};
+pub use result::{canonical_members, Community, CommunityId, CpmResult, KLevel};

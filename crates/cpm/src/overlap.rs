@@ -37,10 +37,7 @@ impl VertexCliqueIndex {
     /// Clique ids containing vertex `v` (empty slice when out of range,
     /// since trailing vertices may appear in no clique).
     pub fn cliques_of(&self, v: NodeId) -> &[u32] {
-        self.lists
-            .get(v as usize)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.lists.get(v as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of indexed vertices.
@@ -80,7 +77,14 @@ pub fn overlap_edges(cliques: &CliqueSet, index: &VertexCliqueIndex) -> Vec<Over
     let mut counts: Vec<u32> = vec![0; cliques.len()];
     let mut touched: Vec<u32> = Vec::new();
     for i in 0..cliques.len() {
-        count_overlaps_of(cliques, index, i as u32, &mut counts, &mut touched, &mut edges);
+        count_overlaps_of(
+            cliques,
+            index,
+            i as u32,
+            &mut counts,
+            &mut touched,
+            &mut edges,
+        );
     }
     edges
 }
@@ -147,8 +151,16 @@ mod tests {
         assert_eq!(
             edges,
             vec![
-                OverlapEdge { a: 0, b: 1, overlap: 2 },
-                OverlapEdge { a: 1, b: 2, overlap: 1 },
+                OverlapEdge {
+                    a: 0,
+                    b: 1,
+                    overlap: 2
+                },
+                OverlapEdge {
+                    a: 1,
+                    b: 2,
+                    overlap: 1
+                },
             ]
         );
     }

@@ -69,7 +69,14 @@ pub fn overlap_edges_parallel(
         let mut counts = vec![0u32; n];
         let mut touched = Vec::new();
         for i in 0..n {
-            count_overlaps_of(cliques, index, i as u32, &mut counts, &mut touched, &mut edges);
+            count_overlaps_of(
+                cliques,
+                index,
+                i as u32,
+                &mut counts,
+                &mut touched,
+                &mut edges,
+            );
         }
         return edges;
     }

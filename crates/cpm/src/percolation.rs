@@ -106,11 +106,7 @@ pub fn percolate_at(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
     }
     let mut out: Vec<Vec<NodeId>> = groups
         .into_values()
-        .map(|mut m| {
-            m.sort_unstable();
-            m.dedup();
-            m
-        })
+        .map(crate::result::canonical_members)
         .collect();
     out.sort_unstable();
     out
@@ -179,9 +175,7 @@ pub(crate) fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge
             for &ci in &c.clique_ids {
                 members.extend_from_slice(cliques.get(ci as usize));
             }
-            members.sort_unstable();
-            members.dedup();
-            c.members = members;
+            c.members = crate::result::canonical_members(members);
         }
 
         // Theorem 1: link each level-(k+1) community to the level-k
@@ -270,10 +264,7 @@ mod tests {
     fn chain_of_triangles_percolates() {
         // Triangles {0,1,2}, {1,2,3}, {2,3,4}: each consecutive pair
         // shares an edge, so all merge into one 3-clique community.
-        let g = Graph::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)],
-        );
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]);
         let r = percolate(&g);
         let l3 = r.level(3).unwrap();
         assert_eq!(l3.communities.len(), 1);

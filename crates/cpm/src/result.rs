@@ -3,6 +3,24 @@
 use asgraph::NodeId;
 use cliques::CliqueSet;
 
+/// Canonicalises a community member list: sorts ascending and removes
+/// duplicates (a node appears once however many of the community's
+/// cliques contain it).
+///
+/// Shared by the batch sweep and the `cpm-stream` online percolator so
+/// both produce byte-identical member lists.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cpm::canonical_members(vec![3, 1, 3, 2]), vec![1, 2, 3]);
+/// ```
+pub fn canonical_members(mut members: Vec<NodeId>) -> Vec<NodeId> {
+    members.sort_unstable();
+    members.dedup();
+    members
+}
+
 /// Identifier of a k-clique community: its `k` and its index within that
 /// level, mirroring the paper's `k<k>id<idx>` labels (Figure 4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

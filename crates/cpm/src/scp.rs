@@ -226,10 +226,7 @@ mod tests {
 
     #[test]
     fn triangle_chain() {
-        let g = Graph::from_edges(
-            5,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)],
-        );
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]);
         assert_eq!(scp_communities(&g, 3), vec![vec![0, 1, 2, 3, 4]]);
     }
 
@@ -252,7 +249,17 @@ mod tests {
 
     #[test]
     fn insertion_order_does_not_matter() {
-        let edges = [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)];
+        let edges = [
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+        ];
         let forward = {
             let mut s = Scp::new(3);
             for &(u, v) in &edges {

@@ -90,14 +90,15 @@ fn main() {
     );
 
     // CPM: is there a k-level community containing the whole mesh?
-    let cpm_has_it = analysis.result.level(t1_count.min(
-        analysis.result.k_max().unwrap_or(2),
-    )).is_some_and(|level| {
-        level
-            .communities
-            .iter()
-            .any(|c| tier1s.iter().all(|&v| c.contains(v)))
-    });
+    let cpm_has_it = analysis
+        .result
+        .level(t1_count.min(analysis.result.k_max().unwrap_or(2)))
+        .is_some_and(|level| {
+            level
+                .communities
+                .iter()
+                .any(|c| tier1s.iter().all(|&v| c.contains(v)))
+        });
     println!("CPM: some {t1_count}-clique community contains the entire mesh: {cpm_has_it} (paper: yes, by construction)");
 
     // GCE: expand from the largest seeds (the Tier-1 mesh is inside one

@@ -70,7 +70,10 @@ fn main() {
                 .map(|l| l.communities.len())
                 .unwrap_or(0)
                 .to_string(),
-            null.level(k).map(|l| l.communities.len()).unwrap_or(0).to_string(),
+            null.level(k)
+                .map(|l| l.communities.len())
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     print!("{}", table.render());

@@ -15,7 +15,9 @@ fn main() {
     let picks = [3u32, (k_max / 2).max(3), k_max.saturating_sub(2).max(3)];
 
     for &k in &picks {
-        let Some(level) = analysis.result.level(k) else { continue };
+        let Some(level) = analysis.result.level(k) else {
+            continue;
+        };
         let d = kclique_core::cover_distributions(level, n);
 
         println!("\n=== k = {k} ===");

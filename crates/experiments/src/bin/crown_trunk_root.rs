@@ -16,12 +16,8 @@ fn main() {
     let analysis = opts.run_analysis();
     let topo = &analysis.topo;
     let bounds = analysis.bounds;
-    let summaries = kclique_core::segment_summaries(
-        &topo.graph,
-        &analysis.result,
-        &analysis.infos,
-        bounds,
-    );
+    let summaries =
+        kclique_core::segment_summaries(&topo.graph, &analysis.result, &analysis.infos, bounds);
 
     println!("§4.1–4.3 — crown / trunk / root segmentation");
     println!(

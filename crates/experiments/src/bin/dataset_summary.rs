@@ -18,13 +18,31 @@ fn main() {
         let mut table = Table::new(vec!["pipeline stage", "value"]);
         table.row(vec!["ground-truth edges".into(), r.true_edges.to_string()]);
         for (i, c) in r.campaign_edge_counts.iter().enumerate() {
-            table.row(vec![format!("campaign {} observations", i + 1), c.to_string()]);
+            table.row(vec![
+                format!("campaign {} observations", i + 1),
+                c.to_string(),
+            ]);
         }
-        table.row(vec!["union (merged) edges".into(), r.union_edges.to_string()]);
-        table.row(vec!["spurious injected".into(), r.spurious_injected.to_string()]);
-        table.row(vec!["removed by cleanup".into(), r.removed_by_cleanup.to_string()]);
-        table.row(vec!["true edges never observed".into(), r.true_edges_missed.to_string()]);
-        table.row(vec!["nodes outside largest component".into(), r.nodes_dropped.to_string()]);
+        table.row(vec![
+            "union (merged) edges".into(),
+            r.union_edges.to_string(),
+        ]);
+        table.row(vec![
+            "spurious injected".into(),
+            r.spurious_injected.to_string(),
+        ]);
+        table.row(vec![
+            "removed by cleanup".into(),
+            r.removed_by_cleanup.to_string(),
+        ]);
+        table.row(vec![
+            "true edges never observed".into(),
+            r.true_edges_missed.to_string(),
+        ]);
+        table.row(vec![
+            "nodes outside largest component".into(),
+            r.nodes_dropped.to_string(),
+        ]);
         table.row(vec!["final ASes".into(), r.final_nodes.to_string()]);
         table.row(vec!["final connections".into(), r.final_edges.to_string()]);
         println!("{}", table.render());
@@ -38,7 +56,10 @@ fn main() {
     for (size, count) in &hist {
         table.row(vec![size.to_string(), count.to_string()]);
     }
-    println!("Maximal cliques: {} total (paper: 2,730,916)", cliques.len());
+    println!(
+        "Maximal cliques: {} total (paper: 2,730,916)",
+        cliques.len()
+    );
     // Find the densest band covering ~88% the way the paper reports
     // [18:28]: report the tightest band holding >= 80% of cliques.
     let (lo, hi, frac) = dominant_band(&hist, cliques.len());
@@ -50,8 +71,7 @@ fn main() {
     // combinatorial blow-up of mid-k cliques (2.7 M — the reason CPM took
     // 93 h on 48 cores). Our synthetic graph keeps the dense zone without
     // the blow-up, so also report the band among non-trivial cliques.
-    let nontrivial: Vec<(usize, usize)> =
-        hist.iter().copied().filter(|&(s, _)| s >= 5).collect();
+    let nontrivial: Vec<(usize, usize)> = hist.iter().copied().filter(|&(s, _)| s >= 5).collect();
     let nt_total: usize = nontrivial.iter().map(|&(_, c)| c).sum();
     let (nlo, nhi, nfrac) = dominant_band(&nontrivial, nt_total);
     println!(

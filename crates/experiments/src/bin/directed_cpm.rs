@@ -67,7 +67,12 @@ fn main() {
             k.to_string(),
             undirected.len().to_string(),
             directed.len().to_string(),
-            undirected.iter().map(Vec::len).max().unwrap_or(0).to_string(),
+            undirected
+                .iter()
+                .map(Vec::len)
+                .max()
+                .unwrap_or(0)
+                .to_string(),
             directed.iter().map(Vec::len).max().unwrap_or(0).to_string(),
         ]);
     }

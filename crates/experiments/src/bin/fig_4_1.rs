@@ -12,7 +12,10 @@ fn main() {
 
     let mut table = Table::new(vec!["k", "communities"]);
     for level in &analysis.result.levels {
-        table.row(vec![level.k.to_string(), level.communities.len().to_string()]);
+        table.row(vec![
+            level.k.to_string(),
+            level.communities.len().to_string(),
+        ]);
     }
     println!("Figure 4.1 — number of k-clique communities vs k");
     println!(

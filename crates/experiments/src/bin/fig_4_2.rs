@@ -37,7 +37,10 @@ fn main() {
             sizes.join(","),
         ]);
     }
-    println!("parallel branches: {} (paper shows branches at [11:17], [18:20], [26:29], [31:35])", branches.len());
+    println!(
+        "parallel branches: {} (paper shows branches at [11:17], [18:20], [26:29], [31:35])",
+        branches.len()
+    );
     let long_branches = branches.iter().filter(|b| b.len() >= 2).count();
     println!("branches spanning >= 2 levels: {long_branches}");
     if let Some(mean) = tree.mean_absorption_time() {

@@ -20,7 +20,11 @@ fn main() {
         table.row(vec![
             r.id.k.to_string(),
             r.id.to_string(),
-            if r.is_main { "main".into() } else { "parallel".into() },
+            if r.is_main {
+                "main".into()
+            } else {
+                "parallel".into()
+            },
             f3(r.link_density),
             f3(r.average_odf),
         ]);
@@ -76,13 +80,12 @@ fn main() {
             |r: &kclique_core::MetricRow| r.average_odf,
         ),
     ] {
-        let series = |rows: &[&kclique_core::MetricRow], label: &str, filled| {
-            kclique_core::svg::Series {
+        let series =
+            |rows: &[&kclique_core::MetricRow], label: &str, filled| kclique_core::svg::Series {
                 name: label.into(),
                 points: rows.iter().map(|r| (r.id.k as f64, extract(r))).collect(),
                 filled,
-            }
-        };
+            };
         let plot = kclique_core::svg::ScatterPlot {
             title: title.into(),
             x_label: "k".into(),
@@ -92,7 +95,10 @@ fn main() {
                 "value".into()
             },
             log_y: false,
-            series: vec![series(&main, "main", true), series(&parallel, "parallel", false)],
+            series: vec![
+                series(&main, "main", true),
+                series(&parallel, "parallel", false),
+            ],
         };
         opts.write_artifact(name, &plot.to_svg());
     }

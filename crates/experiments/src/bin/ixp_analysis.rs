@@ -49,9 +49,7 @@ fn main() {
         .min();
     println!("§4 — IXP tag analysis\n");
     match threshold {
-        Some(k) => println!(
-            "every community with k >= {k} is > 90% on-IXP (paper: k >= 16)"
-        ),
+        Some(k) => println!("every community with k >= {k} is > 90% on-IXP (paper: k >= 16)"),
         None => println!("no k threshold gives uniformly > 90% on-IXP communities"),
     }
 
@@ -98,9 +96,7 @@ fn main() {
         "root band (k <= {}): {} full-shares at small regional IXPs (paper: WIX, KhIX, SIX, ...)",
         analysis.bounds.root_max_k, root_small
     );
-    println!(
-        "trunk band: {trunk_none} full-shares (paper: none)\n"
-    );
+    println!("trunk band: {trunk_none} full-shares (paper: none)\n");
 
     // Max-share of the top community, the paper's AMS-IX anecdote.
     if let Some(top) = analysis.tree.main_path().last() {

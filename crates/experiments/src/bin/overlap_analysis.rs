@@ -30,7 +30,10 @@ fn main() {
             s.parallel_main_min.map_or("-".into(), f3),
             s.parallel_disjoint_from_main.to_string(),
             s.parallel_parallel_avg.map_or("-".into(), f3),
-            format!("{}/{}", s.parallel_parallel_disjoint, s.parallel_parallel_pairs),
+            format!(
+                "{}/{}",
+                s.parallel_parallel_disjoint, s.parallel_parallel_pairs
+            ),
         ]);
     }
 

@@ -22,7 +22,11 @@ fn main() {
         summary.not_on_ixp.to_string(),
         pct(summary.not_on_ixp as f64 / n as f64),
     ]);
-    println!("Table 2.1 — IXP tagging ({} IXPs, {} ASes)", analysis.topo.ixps.len(), n);
+    println!(
+        "Table 2.1 — IXP tagging ({} IXPs, {} ASes)",
+        analysis.topo.ixps.len(),
+        n
+    );
     println!("paper: on-IXP 4,462 (12.6%) | not-on-IXP 30,928 (87.4%)\n");
     print!("{}", table.render());
     opts.write_artifact("table_2_1.tsv", &table.to_tsv());

@@ -87,7 +87,10 @@ fn main() {
     let alpha = alpha.expect("heavy tail exists");
     assert!(alpha > 1.6 && alpha < 3.2, "alpha {alpha} out of band");
     let assort = assort.expect("degree variance exists");
-    assert!(assort < 0.0, "AS graph must be disassortative, got {assort}");
+    assert!(
+        assort < 0.0,
+        "AS graph must be disassortative, got {assort}"
+    );
     assert!(clustering > 3.0 * null_clustering.max(1e-6) || clustering > 0.1);
     println!("\nall realism checks passed");
     opts.write_artifact("topology_validation.tsv", &table.to_tsv());

@@ -58,7 +58,10 @@ fn main() {
             )
         })
         .count();
-    println!("\nTier-1 ASes classified as hubs: {tier1_hubs}/{}", config.tier1_count);
+    println!(
+        "\nTier-1 ASes classified as hubs: {tier1_hubs}/{}",
+        config.tier1_count
+    );
 
     // The heuristic-threshold criticism, quantified.
     let mut sens = Table::new(vec!["threshold scaling", "ASes reclassified"]);

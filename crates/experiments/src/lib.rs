@@ -164,7 +164,14 @@ mod tests {
     #[test]
     fn full_flags() {
         let o = parse(&[
-            "--scale", "tiny", "--seed", "7", "--threads", "2", "--out", "/tmp/x",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--out",
+            "/tmp/x",
         ])
         .unwrap();
         assert_eq!(o.scale, "tiny");
@@ -185,8 +192,10 @@ mod tests {
     #[test]
     fn config_presets() {
         for (scale, expect_n) in [("tiny", 400usize), ("small", 2000), ("full", 35000)] {
-            let mut o = Options::default();
-            o.scale = scale.to_owned();
+            let o = Options {
+                scale: scale.to_owned(),
+                ..Default::default()
+            };
             assert_eq!(o.config().n_ases, expect_n);
         }
     }

@@ -1,0 +1,88 @@
+//! Memory-bounded streaming clique percolation.
+//!
+//! The batch pipeline (`cliques::max_cliques` → `cpm::percolate`) holds
+//! the full maximal-clique set, the vertex→clique index, and the
+//! clique-overlap edge list in memory at once — on AS-level topology
+//! graphs the overlap list is the peak-memory term. This crate runs the
+//! same analysis as a stream: cliques flow out of the enumerator (or off
+//! an on-disk log) one at a time and fold directly into an online
+//! union–find, so no clique set and no overlap graph is ever
+//! materialised.
+//!
+//! The three moving parts:
+//!
+//! - [`StreamPercolator`] — the online single-`k` engine
+//!   ([`Mode::Exact`] per-node postings, or Baudin-style
+//!   [`Mode::LastSeen`] with O(nodes) percolation state);
+//! - [`CliqueSource`] — replayable clique streams: [`GraphSource`]
+//!   re-enumerates per pass, [`LogSource`] replays a clique log written
+//!   once by [`CliqueLogWriter`];
+//! - [`stream_percolate`] / [`stream_percolate_at`] — the descending-`k`
+//!   sweep (community tree included) and the single-level pass.
+//!
+//! ```
+//! use asgraph::Graph;
+//! use cpm_stream::{stream_percolate_at, GraphSource};
+//!
+//! // Two triangles glued on an edge form one k=3 community.
+//! let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+//! let covers = stream_percolate_at(&mut GraphSource::new(&g), 3).unwrap();
+//! assert_eq!(covers, vec![vec![0, 1, 2, 3]]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod log;
+mod percolate;
+mod source;
+
+pub use log::{CliqueLogInfo, CliqueLogReader, CliqueLogWriter};
+pub use percolate::{
+    stream_percolate, stream_percolate_at, Mode, StreamCpmResult, StreamPercolator,
+};
+pub use source::{CliqueSource, GraphSource, LogSource, StreamError};
+
+use asgraph::Graph;
+use std::path::Path;
+
+/// Enumerates `g`'s maximal cliques once and writes them all to a clique
+/// log at `path`, returning the log's summary header.
+///
+/// The resulting file can be replayed any number of times through
+/// [`LogSource`] — one Bron–Kerbosch pass serving every `k` level.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the log.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// let dir = std::env::temp_dir().join("cpm-stream-doc");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("example.cliquelog");
+/// let info = cpm_stream::write_clique_log(&g, &path).unwrap();
+/// assert_eq!(info.clique_count, 2);
+/// assert_eq!(info.max_size, 3);
+/// std::fs::remove_file(&path).ok();
+/// ```
+pub fn write_clique_log(g: &Graph, path: impl AsRef<Path>) -> Result<CliqueLogInfo, StreamError> {
+    let mut writer = CliqueLogWriter::create(path, g.node_count() as u32)?;
+    let mut source = GraphSource::new(g);
+    let mut io_err: Option<std::io::Error> = None;
+    source.replay(&mut |clique| {
+        if io_err.is_none() {
+            if let Err(e) = writer.push(clique) {
+                io_err = Some(e);
+            }
+        }
+    })?;
+    if let Some(e) = io_err {
+        return Err(e.into());
+    }
+    Ok(writer.finish()?)
+}

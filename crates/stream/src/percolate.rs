@@ -1,0 +1,540 @@
+//! The online clique percolator: cliques in, communities out, nothing
+//! quadratic in between.
+//!
+//! `cpm::percolate` keeps three big structures alive at once: the full
+//! [`cliques::CliqueSet`], the vertex→clique index, and the materialised
+//! clique-overlap edge list (the quadratic-ish term that dominates peak
+//! memory on Internet-scale inputs). The streaming percolator consumes
+//! each maximal clique the moment the enumerator (or the on-disk clique
+//! log) produces it and folds it straight into a union–find, following
+//! Baudin, Magnien & Tabourier's memory-efficient CPM: the only
+//! per-clique state retained is what future overlap tests can still
+//! need.
+//!
+//! Two fidelity modes:
+//!
+//! - [`Mode::Exact`] — per-node postings (`node → ids of cliques seen
+//!   through it`). An incoming clique counts its overlap with exactly
+//!   the cliques sharing at least one node, via one merge-count pass
+//!   over its members' postings, and unions those overlapping in
+//!   ≥ k−1 nodes. Memory: the postings (≤ total clique memberships — the
+//!   same order as the batch path's vertex index) plus the DSU, but
+//!   never the clique member arena *or* the overlap edge list.
+//!   Community-equivalent to `cpm::percolate` (property-tested).
+//! - [`Mode::LastSeen`] — Baudin et al.'s almost-exact variant: each
+//!   node remembers only the *last* clique seen through it, so
+//!   percolation state is O(nodes) + DSU. A clique that overlaps an old
+//!   clique in ≥ k−1 nodes without sharing k−1 nodes with any *latest*
+//!   clique of those nodes can be missed, splitting one true community
+//!   in two — communities are always unions of true sub-communities
+//!   (never over-merged), which the property tests assert.
+
+use crate::source::CliqueSource;
+use crate::StreamError;
+use asgraph::NodeId;
+use cpm::{canonical_members, Community, Dsu, KLevel};
+use std::collections::HashMap;
+
+/// How much per-node history the percolator keeps (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Exact CPM: per-node postings lists.
+    #[default]
+    Exact,
+    /// Baudin-style almost-exact: per-node last-clique-seen only.
+    LastSeen,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Online single-`k` clique percolation over a stream of maximal
+/// cliques.
+///
+/// Feed every maximal clique of the graph (any order) to
+/// [`StreamPercolator::push`], then call [`StreamPercolator::finish`].
+///
+/// # Example
+///
+/// ```
+/// use cpm_stream::StreamPercolator;
+///
+/// // Two triangles sharing an edge percolate into one k=3 community.
+/// let mut p = StreamPercolator::new(4, 3);
+/// p.push(&[0, 1, 2]);
+/// p.push(&[1, 2, 3]);
+/// let communities = p.finish();
+/// assert_eq!(communities.len(), 1);
+/// assert_eq!(communities[0].members, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct StreamPercolator {
+    k: usize,
+    mode: Mode,
+    /// Per accepted clique: its size.
+    sizes: Vec<u32>,
+    /// Per accepted clique: its ordinal in the full stream (also counting
+    /// cliques below size k), so multi-k passes agree on clique identity.
+    ordinals: Vec<u32>,
+    dsu: Dsu,
+    /// Exact: `node -> accepted cliques containing it`, ids ascending.
+    postings: Vec<Vec<u32>>,
+    /// LastSeen: `node -> last accepted clique containing it`.
+    last_seen: Vec<u32>,
+    /// LastSeen: member accumulator per DSU root (small-to-large merged).
+    root_members: Vec<Vec<NodeId>>,
+    /// Scratch: per accepted clique, overlap count with the incoming one.
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+    /// Cliques offered so far, accepted or not.
+    seen: u32,
+}
+
+impl StreamPercolator {
+    /// Creates an exact percolator for a graph of `n` vertices at level
+    /// `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self::with_mode(n, k, Mode::Exact)
+    }
+
+    /// Creates a percolator with an explicit fidelity [`Mode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn with_mode(n: usize, k: usize, mode: Mode) -> Self {
+        assert!(k >= 2, "clique percolation needs k >= 2, got {k}");
+        StreamPercolator {
+            k,
+            mode,
+            sizes: Vec::new(),
+            ordinals: Vec::new(),
+            dsu: Dsu::new(0),
+            postings: match mode {
+                Mode::Exact => vec![Vec::new(); n],
+                Mode::LastSeen => Vec::new(),
+            },
+            last_seen: match mode {
+                Mode::Exact => Vec::new(),
+                Mode::LastSeen => vec![NONE; n],
+            },
+            root_members: Vec::new(),
+            counts: Vec::new(),
+            touched: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// The percolation level.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Cliques accepted so far (size ≥ k).
+    pub fn clique_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Folds the next clique of the stream into the union–find. Members
+    /// must be sorted strictly ascending; cliques smaller than `k` are
+    /// counted (for stream ordinals) but otherwise ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member id is outside the vertex space declared at
+    /// construction.
+    pub fn push(&mut self, clique: &[NodeId]) {
+        debug_assert!(
+            clique.windows(2).all(|w| w[0] < w[1]),
+            "clique members must be sorted strictly ascending: {clique:?}"
+        );
+        let ordinal = self.seen;
+        self.seen += 1;
+        if clique.len() < self.k {
+            return;
+        }
+        let id = self.dsu.push();
+        self.sizes.push(clique.len() as u32);
+        self.ordinals.push(ordinal);
+        self.counts.push(0);
+        let need = (self.k - 1) as u32;
+
+        match self.mode {
+            Mode::Exact => {
+                // One merge-count pass over the postings of the clique's
+                // members: counts[c] ends as |clique ∩ c| for every prior
+                // clique c sharing at least one node.
+                for &v in clique {
+                    for &c in &self.postings[v as usize] {
+                        if self.counts[c as usize] == 0 {
+                            self.touched.push(c);
+                        }
+                        self.counts[c as usize] += 1;
+                    }
+                }
+                for i in 0..self.touched.len() {
+                    let c = self.touched[i];
+                    if self.counts[c as usize] >= need {
+                        self.dsu.union(id, c);
+                    }
+                    self.counts[c as usize] = 0;
+                }
+                self.touched.clear();
+                for &v in clique {
+                    self.postings[v as usize].push(id);
+                }
+            }
+            Mode::LastSeen => {
+                // Count only against the snapshot of each member's last
+                // clique — O(|clique|) state probes, O(n) total memory.
+                for &v in clique {
+                    let c = self.last_seen[v as usize];
+                    if c != NONE {
+                        if self.counts[c as usize] == 0 {
+                            self.touched.push(c);
+                        }
+                        self.counts[c as usize] += 1;
+                    }
+                }
+                for i in 0..self.touched.len() {
+                    let c = self.touched[i];
+                    if self.counts[c as usize] >= need {
+                        self.dsu.union(id, c);
+                    }
+                    self.counts[c as usize] = 0;
+                }
+                self.touched.clear();
+                for &v in clique {
+                    self.last_seen[v as usize] = id;
+                }
+                // Accumulate members at the clique's current root,
+                // merging small-to-large when unions moved roots.
+                self.root_members.push(Vec::new());
+                let root = self.dsu.find(id) as usize;
+                let mut members = std::mem::take(&mut self.root_members[id as usize]);
+                members.extend_from_slice(clique);
+                if root != id as usize {
+                    if self.root_members[root].len() < members.len() {
+                        let old = std::mem::replace(&mut self.root_members[root], members);
+                        self.root_members[root].extend_from_slice(&old);
+                    } else {
+                        self.root_members[root].extend_from_slice(&members);
+                    }
+                } else {
+                    self.root_members[id as usize] = members;
+                }
+                // Unions may also have moved *other* roots under `root`;
+                // sweep their member lists lazily in finish().
+            }
+        }
+    }
+
+    /// Closes the stream and returns the `k`-clique communities,
+    /// deterministically ordered by their smallest member clique's stream
+    /// ordinal. Each community carries its member vertices (sorted,
+    /// deduplicated) and the stream ordinals of its cliques in
+    /// `clique_ids`.
+    pub fn finish(mut self) -> Vec<Community> {
+        let clique_count = self.sizes.len();
+        let mut root_to_idx: HashMap<u32, u32> = HashMap::new();
+        let mut communities: Vec<Community> = Vec::new();
+        for id in 0..clique_count as u32 {
+            let root = self.dsu.find(id);
+            let idx = *root_to_idx.entry(root).or_insert_with(|| {
+                communities.push(Community {
+                    members: Vec::new(),
+                    clique_ids: Vec::new(),
+                    parent: None,
+                });
+                (communities.len() - 1) as u32
+            });
+            communities[idx as usize]
+                .clique_ids
+                .push(self.ordinals[id as usize]);
+        }
+
+        match self.mode {
+            Mode::Exact => {
+                // Members from the postings: node v belongs to every
+                // community whose root owns one of v's cliques.
+                for v in 0..self.postings.len() {
+                    for i in 0..self.postings[v].len() {
+                        let c = self.postings[v][i];
+                        let idx = root_to_idx[&self.dsu.find(c)] as usize;
+                        // Nodes arrive in ascending order, so a duplicate
+                        // (node in several cliques of one community) is
+                        // always the current tail.
+                        if communities[idx].members.last() != Some(&(v as NodeId)) {
+                            communities[idx].members.push(v as NodeId);
+                        }
+                    }
+                }
+            }
+            Mode::LastSeen => {
+                // Members were accumulated at roots as unions happened;
+                // fold any list stranded at a non-root by later unions.
+                for id in 0..clique_count {
+                    let root = self.dsu.find(id as u32) as usize;
+                    if root != id && !self.root_members[id].is_empty() {
+                        let stranded = std::mem::take(&mut self.root_members[id]);
+                        self.root_members[root].extend_from_slice(&stranded);
+                    }
+                }
+                for (root, members) in self.root_members.into_iter().enumerate() {
+                    if members.is_empty() {
+                        continue;
+                    }
+                    let idx = root_to_idx[&self.dsu.find(root as u32)] as usize;
+                    communities[idx].members = canonical_members(members);
+                }
+            }
+        }
+        communities
+    }
+}
+
+/// The multi-level streaming result: one [`KLevel`] per `k` from 2 to
+/// `k_max`, with parent links forming the k-clique community tree —
+/// the streaming counterpart of [`cpm::CpmResult`], minus the retained
+/// clique set (`clique_ids` are stream ordinals instead).
+#[derive(Debug, Clone)]
+pub struct StreamCpmResult {
+    /// Levels for `k = 2..=k_max`, ascending; empty if no clique of size
+    /// ≥ 2 was streamed.
+    pub levels: Vec<KLevel>,
+}
+
+impl StreamCpmResult {
+    /// The largest `k` with at least one community.
+    pub fn k_max(&self) -> Option<u32> {
+        self.levels.last().map(|l| l.k)
+    }
+
+    /// The communities at level `k`, if `2 <= k <= k_max`.
+    pub fn level(&self, k: u32) -> Option<&KLevel> {
+        if k < 2 {
+            return None;
+        }
+        self.levels.get((k - 2) as usize)
+    }
+
+    /// Total community count across all levels.
+    pub fn total_communities(&self) -> usize {
+        self.levels.iter().map(|l| l.communities.len()).sum()
+    }
+}
+
+/// Runs one streaming percolation pass at level `k` over `source`,
+/// returning the communities' member lists in canonical order — the
+/// streaming counterpart of [`cpm::percolate_at`].
+///
+/// # Errors
+///
+/// Fails only if the source does (I/O on a clique log).
+pub fn stream_percolate_at<S: CliqueSource + ?Sized>(
+    source: &mut S,
+    k: usize,
+) -> Result<Vec<Vec<NodeId>>, StreamError> {
+    if k < 2 {
+        return Ok(Vec::new());
+    }
+    let mut p = StreamPercolator::new(source.node_count(), k);
+    source.replay(&mut |clique| p.push(clique))?;
+    let mut covers: Vec<Vec<NodeId>> = p.finish().into_iter().map(|c| c.members).collect();
+    covers.sort_unstable();
+    Ok(covers)
+}
+
+/// Runs the full descending-`k` sweep by replaying `source` once per
+/// level, producing every community and the community tree without ever
+/// holding the clique set or overlap graph in memory — the streaming
+/// counterpart of [`cpm::percolate`].
+///
+/// # Errors
+///
+/// Fails only if the source does (I/O on a clique log).
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use cpm_stream::GraphSource;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// let result = cpm_stream::stream_percolate(&mut GraphSource::new(&g)).unwrap();
+/// assert_eq!(result.k_max(), Some(3));
+/// assert_eq!(result.level(3).unwrap().communities.len(), 1);
+/// ```
+pub fn stream_percolate<S: CliqueSource + ?Sized>(
+    source: &mut S,
+) -> Result<StreamCpmResult, StreamError> {
+    // Sizing pass: k_max without retaining anything.
+    let mut k_max = 0usize;
+    source.replay(&mut |clique| k_max = k_max.max(clique.len()))?;
+    if k_max < 2 {
+        return Ok(StreamCpmResult { levels: Vec::new() });
+    }
+
+    let n = source.node_count();
+    let mut levels_desc: Vec<KLevel> = Vec::new();
+    for k in (2..=k_max).rev() {
+        let mut p = StreamPercolator::new(n, k);
+        source.replay(&mut |clique| p.push(clique))?;
+        let communities = p.finish();
+
+        // Theorem 1 linking, on stream ordinals: the parent of a
+        // level-(k+1) community is the level-k community that now holds
+        // its representative clique.
+        let mut ordinal_to_idx: HashMap<u32, u32> = HashMap::new();
+        for (idx, c) in communities.iter().enumerate() {
+            for &ordinal in &c.clique_ids {
+                ordinal_to_idx.insert(ordinal, idx as u32);
+            }
+        }
+        if let Some(prev) = levels_desc.last_mut() {
+            for pc in &mut prev.communities {
+                let rep = pc.clique_ids[0];
+                pc.parent = Some(ordinal_to_idx[&rep]);
+            }
+        }
+        levels_desc.push(KLevel {
+            k: k as u32,
+            communities,
+        });
+    }
+    levels_desc.reverse();
+    Ok(StreamCpmResult {
+        levels: levels_desc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::GraphSource;
+    use asgraph::Graph;
+
+    #[test]
+    fn two_k4s_sharing_triangle_merge_at_k4() {
+        let g = Graph::from_edges(
+            5,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (1, 4),
+                (2, 4),
+                (3, 4),
+            ],
+        );
+        let covers = stream_percolate_at(&mut GraphSource::new(&g), 4).unwrap();
+        assert_eq!(covers, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn bowtie_splits_at_k3() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let covers = stream_percolate_at(&mut GraphSource::new(&g), 3).unwrap();
+        assert_eq!(covers, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        let k2 = stream_percolate_at(&mut GraphSource::new(&g), 2).unwrap();
+        assert_eq!(k2.len(), 1);
+    }
+
+    #[test]
+    fn full_sweep_matches_batch_on_fixture() {
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+            ],
+        );
+        let batch = cpm::percolate(&g);
+        let stream = stream_percolate(&mut GraphSource::new(&g)).unwrap();
+        assert_eq!(stream.k_max(), batch.k_max());
+        for k in 2..=batch.k_max().unwrap() {
+            let mut b: Vec<Vec<NodeId>> = batch
+                .level(k)
+                .unwrap()
+                .communities
+                .iter()
+                .map(|c| c.members.clone())
+                .collect();
+            b.sort_unstable();
+            let mut s: Vec<Vec<NodeId>> = stream
+                .level(k)
+                .unwrap()
+                .communities
+                .iter()
+                .map(|c| c.members.clone())
+                .collect();
+            s.sort_unstable();
+            assert_eq!(s, b, "level {k}");
+        }
+    }
+
+    #[test]
+    fn parents_contain_children() {
+        let g = Graph::complete(6);
+        let r = stream_percolate(&mut GraphSource::new(&g)).unwrap();
+        for (i, level) in r.levels.iter().enumerate() {
+            for c in &level.communities {
+                if level.k == 2 {
+                    assert!(c.parent.is_none());
+                } else {
+                    let below = &r.levels[i - 1];
+                    let p = &below.communities[c.parent.unwrap() as usize];
+                    assert!(c.members.iter().all(|&v| p.contains(v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let r = stream_percolate(&mut GraphSource::new(&Graph::empty(0))).unwrap();
+        assert!(r.levels.is_empty());
+        let r = stream_percolate(&mut GraphSource::new(&Graph::empty(5))).unwrap();
+        assert!(r.levels.is_empty());
+        assert_eq!(r.total_communities(), 0);
+    }
+
+    #[test]
+    fn last_seen_mode_never_over_merges() {
+        // On a clique chain the last-seen heuristic is exact; assert it
+        // agrees here and never merges what Exact keeps apart.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]);
+        let mut exact = StreamPercolator::new(5, 3);
+        let mut approx = StreamPercolator::with_mode(5, 3, Mode::LastSeen);
+        let _ = cliques::for_each_max_clique(&g, |c| {
+            let mut c = c.to_vec();
+            c.sort_unstable();
+            exact.push(&c);
+            approx.push(&c);
+            std::ops::ControlFlow::Continue(())
+        });
+        let exact: Vec<_> = exact.finish().into_iter().map(|c| c.members).collect();
+        let approx: Vec<_> = approx.finish().into_iter().map(|c| c.members).collect();
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k1_is_rejected() {
+        let _ = StreamPercolator::new(3, 1);
+    }
+}

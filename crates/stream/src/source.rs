@@ -1,0 +1,194 @@
+//! Where the clique stream comes from: live enumeration or a log replay.
+//!
+//! The descending-`k` sweep in [`crate::stream_percolate`] needs the
+//! same maximal-clique stream several times. [`CliqueSource`] abstracts
+//! over the two ways to get it:
+//!
+//! - [`GraphSource`] re-runs Bron–Kerbosch over the in-memory graph on
+//!   every replay — zero extra memory, enumeration cost paid per level;
+//! - [`LogSource`] replays the compact on-disk clique log written by
+//!   [`crate::CliqueLogWriter`], so the (often much more expensive)
+//!   enumeration runs exactly once and every further pass is a
+//!   sequential decode.
+
+use crate::log::CliqueLogReader;
+use asgraph::{Graph, NodeId};
+use std::fmt;
+use std::ops::ControlFlow;
+use std::path::{Path, PathBuf};
+
+/// Errors surfaced while pulling cliques out of a source.
+///
+/// Live enumeration over a [`Graph`] cannot fail; every variant today is
+/// an I/O or format problem with an on-disk clique log.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Reading or decoding the clique log failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "clique log i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// A replayable stream of maximal cliques over a fixed vertex space.
+///
+/// Each [`replay`](CliqueSource::replay) call must deliver every maximal
+/// clique exactly once, members sorted strictly ascending, in the same
+/// order on every call (the multi-`k` sweep relies on stable stream
+/// ordinals to link parents across levels).
+pub trait CliqueSource {
+    /// Size of the vertex id space: every member id is `< node_count()`.
+    fn node_count(&self) -> usize;
+
+    /// Streams every maximal clique through `visit`, start to finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from on-disk sources.
+    fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError>;
+}
+
+/// Live [`CliqueSource`]: re-enumerates the graph's maximal cliques on
+/// every replay via [`cliques::for_each_max_clique`].
+#[derive(Debug)]
+pub struct GraphSource<'g> {
+    graph: &'g Graph,
+    scratch: Vec<NodeId>,
+}
+
+impl<'g> GraphSource<'g> {
+    /// Wraps a graph as a replayable clique source.
+    pub fn new(graph: &'g Graph) -> Self {
+        GraphSource {
+            graph,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl CliqueSource for GraphSource<'_> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError> {
+        let scratch = &mut self.scratch;
+        let _ = cliques::for_each_max_clique(self.graph, |clique| {
+            // Bron–Kerbosch emits members in recursion order; sources
+            // promise ascending order, so sort into a reused scratch.
+            scratch.clear();
+            scratch.extend_from_slice(clique);
+            scratch.sort_unstable();
+            visit(scratch);
+            ControlFlow::Continue(())
+        });
+        Ok(())
+    }
+}
+
+/// On-disk [`CliqueSource`]: replays a finished clique log, opening a
+/// fresh sequential reader per pass.
+#[derive(Debug, Clone)]
+pub struct LogSource {
+    path: PathBuf,
+    node_count: usize,
+}
+
+impl LogSource {
+    /// Opens the log once to validate its header and capture the vertex
+    /// space.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, truncated, or not a finished clique
+    /// log.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StreamError> {
+        let path = path.as_ref().to_path_buf();
+        let reader = CliqueLogReader::open(&path)?;
+        let node_count = reader.info().node_count as usize;
+        Ok(LogSource { path, node_count })
+    }
+}
+
+impl CliqueSource for LogSource {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError> {
+        let mut reader = CliqueLogReader::open(&self.path)?;
+        reader.for_each(|clique| visit(clique))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::CliqueLogWriter;
+
+    fn collect<S: CliqueSource>(source: &mut S) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        source.replay(&mut |c| out.push(c.to_vec())).unwrap();
+        out
+    }
+
+    #[test]
+    fn graph_source_emits_sorted_cliques_repeatably() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let mut src = GraphSource::new(&g);
+        let first = collect(&mut src);
+        assert!(first.iter().all(|c| c.windows(2).all(|w| w[0] < w[1])));
+        let mut sorted: Vec<_> = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        assert_eq!(collect(&mut src), first, "replay must be deterministic");
+    }
+
+    #[test]
+    fn log_source_round_trips_graph_source() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        let dir = std::env::temp_dir().join("cpm-stream-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round-trip.cliquelog");
+
+        let mut writer = CliqueLogWriter::create(&path, g.node_count() as u32).unwrap();
+        let mut via_graph = Vec::new();
+        GraphSource::new(&g)
+            .replay(&mut |c| {
+                writer.push(c).unwrap();
+                via_graph.push(c.to_vec());
+            })
+            .unwrap();
+        writer.finish().unwrap();
+
+        let mut log = LogSource::open(&path).unwrap();
+        assert_eq!(log.node_count(), g.node_count());
+        assert_eq!(collect(&mut log), via_graph);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn log_source_open_rejects_missing_file() {
+        assert!(LogSource::open("/nonexistent/missing.cliquelog").is_err());
+    }
+}

@@ -218,9 +218,15 @@ impl ModelConfig {
             ("peering_visibility", self.peering_visibility),
             ("ixp_noise_peering", self.ixp_noise_peering),
             ("crown_core_density", self.crown_core_density),
-            ("regional_ixp_clique_fraction", self.regional_ixp_clique_fraction),
+            (
+                "regional_ixp_clique_fraction",
+                self.regional_ixp_clique_fraction,
+            ),
             ("unknown_geo_fraction", self.unknown_geo_fraction),
-            ("multihoming_country_fraction", self.multihoming_country_fraction),
+            (
+                "multihoming_country_fraction",
+                self.multihoming_country_fraction,
+            ),
             ("spurious_fraction", self.spurious_fraction),
         ] {
             if !(0.0..=1.0).contains(&p) {

@@ -118,8 +118,8 @@ pub fn evolve(topo: &AsTopology, config: &EvolveConfig) -> (AsTopology, ChurnRep
             edges_removed += 1;
             continue;
         }
-        let touches_tier1 = topo.ases[u as usize].tier == Tier::Tier1
-            || topo.ases[v as usize].tier == Tier::Tier1;
+        let touches_tier1 =
+            topo.ases[u as usize].tier == Tier::Tier1 || topo.ases[v as usize].tier == Tier::Tier1;
         if !touches_tier1 && rng.random_bool(config.edge_death_rate) {
             edges_removed += 1;
             continue;
@@ -166,9 +166,12 @@ pub fn evolve(topo: &AsTopology, config: &EvolveConfig) -> (AsTopology, ChurnRep
     }
 
     // --- fresh peering inside IXPs.
-    let peer_births = ((topo.graph.edge_count() as f64) * config.peering_birth_rate).round() as usize;
+    let peer_births =
+        ((topo.graph.edge_count() as f64) * config.peering_birth_rate).round() as usize;
     for _ in 0..peer_births {
-        let Some(ixp) = topo.ixps.choose(&mut rng) else { break };
+        let Some(ixp) = topo.ixps.choose(&mut rng) else {
+            break;
+        };
         if ixp.participants.len() < 2 {
             continue;
         }
@@ -217,10 +220,7 @@ mod tests {
     fn ids_are_stable_and_births_appended() {
         let t0 = base();
         let (t1, churn) = evolve(&t0, &EvolveConfig::default());
-        assert_eq!(
-            t1.graph.node_count(),
-            t0.graph.node_count() + churn.births
-        );
+        assert_eq!(t1.graph.node_count(), t0.graph.node_count() + churn.births);
         // Surviving ASes keep asn and tier at the same index.
         for v in 0..t0.graph.node_count() {
             assert_eq!(t0.ases[v].asn, t1.ases[v].asn);
@@ -272,7 +272,13 @@ mod tests {
     #[test]
     fn churn_report_accounting() {
         let t0 = base();
-        let (t1, churn) = evolve(&t0, &EvolveConfig { seed: 9, ..Default::default() });
+        let (t1, churn) = evolve(
+            &t0,
+            &EvolveConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(
             t1.graph.edge_count(),
             t0.graph.edge_count() - churn.edges_removed + churn.edges_added
@@ -282,7 +288,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let t0 = base();
-        let cfg = EvolveConfig { seed: 7, ..Default::default() };
+        let cfg = EvolveConfig {
+            seed: 7,
+            ..Default::default()
+        };
         let (a, _) = evolve(&t0, &cfg);
         let (b, _) = evolve(&t0, &cfg);
         assert_eq!(a.graph, b.graph);
@@ -307,10 +316,19 @@ mod tests {
         // Three steps of churn: the big-IXP crown structure persists.
         let mut topo = base();
         for step in 0..3u64 {
-            let (next, _) = evolve(&topo, &EvolveConfig { seed: step, ..Default::default() });
+            let (next, _) = evolve(
+                &topo,
+                &EvolveConfig {
+                    seed: step,
+                    ..Default::default()
+                },
+            );
             topo = next;
         }
         let result = cpm::percolate(&topo.graph);
-        assert!(result.k_max().unwrap_or(0) >= 8, "crown dissolved under churn");
+        assert!(
+            result.k_max().unwrap_or(0) >= 8,
+            "crown dissolved under churn"
+        );
     }
 }

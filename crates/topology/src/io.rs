@@ -211,7 +211,11 @@ pub fn load_dataset(dir: &Path) -> Result<AsTopology, LoadError> {
             ));
         }
         let country = world.id_of(fields[1]).ok_or_else(|| {
-            parse_err("ixps.tsv", i + 1, format!("unknown country code {:?}", fields[1]))
+            parse_err(
+                "ixps.tsv",
+                i + 1,
+                format!("unknown country code {:?}", fields[1]),
+            )
         })?;
         let large = match fields[2] {
             "1" => true,

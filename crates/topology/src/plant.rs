@@ -114,7 +114,10 @@ mod tests {
         for w in cliques.windows(2) {
             let shared = w[1].iter().filter(|v| w[0].contains(v)).count();
             let want = ((w[1].len() as f64) * 0.6).ceil() as usize;
-            assert!(shared >= want.min(w[1].len() - 1), "shared {shared} < {want}");
+            assert!(
+                shared >= want.min(w[1].len() - 1),
+                "shared {shared} < {want}"
+            );
         }
     }
 

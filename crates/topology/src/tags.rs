@@ -220,8 +220,7 @@ mod tests {
         let t = topo();
         let sub = t.ixp_induced_subgraph(0);
         assert_eq!(
-            sub.original_ids,
-            t.ixps[0].participants,
+            sub.original_ids, t.ixps[0].participants,
             "induced node set equals the participant list"
         );
         // Planted cliques make large-IXP subgraphs non-trivial.

@@ -67,51 +67,211 @@ impl World {
         use Continent::*;
         let countries = vec![
             // Europe (the paper's crown communities live here).
-            Country { code: "NL", continent: Europe, weight: 3.0 },
-            Country { code: "DE", continent: Europe, weight: 5.0 },
-            Country { code: "GB", continent: Europe, weight: 4.5 },
-            Country { code: "FR", continent: Europe, weight: 3.0 },
-            Country { code: "IT", continent: Europe, weight: 2.5 },
-            Country { code: "ES", continent: Europe, weight: 1.8 },
-            Country { code: "PL", continent: Europe, weight: 2.2 },
-            Country { code: "RU", continent: Europe, weight: 6.0 },
-            Country { code: "UA", continent: Europe, weight: 2.5 },
-            Country { code: "SE", continent: Europe, weight: 1.5 },
-            Country { code: "CH", continent: Europe, weight: 1.2 },
-            Country { code: "AT", continent: Europe, weight: 1.0 },
-            Country { code: "CZ", continent: Europe, weight: 1.1 },
-            Country { code: "SK", continent: Europe, weight: 0.6 },
-            Country { code: "RO", continent: Europe, weight: 1.6 },
-            Country { code: "BG", continent: Europe, weight: 0.9 },
+            Country {
+                code: "NL",
+                continent: Europe,
+                weight: 3.0,
+            },
+            Country {
+                code: "DE",
+                continent: Europe,
+                weight: 5.0,
+            },
+            Country {
+                code: "GB",
+                continent: Europe,
+                weight: 4.5,
+            },
+            Country {
+                code: "FR",
+                continent: Europe,
+                weight: 3.0,
+            },
+            Country {
+                code: "IT",
+                continent: Europe,
+                weight: 2.5,
+            },
+            Country {
+                code: "ES",
+                continent: Europe,
+                weight: 1.8,
+            },
+            Country {
+                code: "PL",
+                continent: Europe,
+                weight: 2.2,
+            },
+            Country {
+                code: "RU",
+                continent: Europe,
+                weight: 6.0,
+            },
+            Country {
+                code: "UA",
+                continent: Europe,
+                weight: 2.5,
+            },
+            Country {
+                code: "SE",
+                continent: Europe,
+                weight: 1.5,
+            },
+            Country {
+                code: "CH",
+                continent: Europe,
+                weight: 1.2,
+            },
+            Country {
+                code: "AT",
+                continent: Europe,
+                weight: 1.0,
+            },
+            Country {
+                code: "CZ",
+                continent: Europe,
+                weight: 1.1,
+            },
+            Country {
+                code: "SK",
+                continent: Europe,
+                weight: 0.6,
+            },
+            Country {
+                code: "RO",
+                continent: Europe,
+                weight: 1.6,
+            },
+            Country {
+                code: "BG",
+                continent: Europe,
+                weight: 0.9,
+            },
             // North America.
-            Country { code: "US", continent: NorthAmerica, weight: 14.0 },
-            Country { code: "CA", continent: NorthAmerica, weight: 2.0 },
-            Country { code: "MX", continent: NorthAmerica, weight: 0.8 },
+            Country {
+                code: "US",
+                continent: NorthAmerica,
+                weight: 14.0,
+            },
+            Country {
+                code: "CA",
+                continent: NorthAmerica,
+                weight: 2.0,
+            },
+            Country {
+                code: "MX",
+                continent: NorthAmerica,
+                weight: 0.8,
+            },
             // South America.
-            Country { code: "BR", continent: SouthAmerica, weight: 2.5 },
-            Country { code: "AR", continent: SouthAmerica, weight: 0.9 },
-            Country { code: "CL", continent: SouthAmerica, weight: 0.5 },
-            Country { code: "CO", continent: SouthAmerica, weight: 0.5 },
+            Country {
+                code: "BR",
+                continent: SouthAmerica,
+                weight: 2.5,
+            },
+            Country {
+                code: "AR",
+                continent: SouthAmerica,
+                weight: 0.9,
+            },
+            Country {
+                code: "CL",
+                continent: SouthAmerica,
+                weight: 0.5,
+            },
+            Country {
+                code: "CO",
+                continent: SouthAmerica,
+                weight: 0.5,
+            },
             // Asia.
-            Country { code: "JP", continent: Asia, weight: 2.0 },
-            Country { code: "CN", continent: Asia, weight: 2.5 },
-            Country { code: "KR", continent: Asia, weight: 1.2 },
-            Country { code: "IN", continent: Asia, weight: 2.0 },
-            Country { code: "ID", continent: Asia, weight: 1.2 },
-            Country { code: "SG", continent: Asia, weight: 0.8 },
-            Country { code: "HK", continent: Asia, weight: 0.9 },
-            Country { code: "TH", continent: Asia, weight: 0.6 },
-            Country { code: "TR", continent: Asia, weight: 1.3 },
-            Country { code: "IL", continent: Asia, weight: 0.6 },
+            Country {
+                code: "JP",
+                continent: Asia,
+                weight: 2.0,
+            },
+            Country {
+                code: "CN",
+                continent: Asia,
+                weight: 2.5,
+            },
+            Country {
+                code: "KR",
+                continent: Asia,
+                weight: 1.2,
+            },
+            Country {
+                code: "IN",
+                continent: Asia,
+                weight: 2.0,
+            },
+            Country {
+                code: "ID",
+                continent: Asia,
+                weight: 1.2,
+            },
+            Country {
+                code: "SG",
+                continent: Asia,
+                weight: 0.8,
+            },
+            Country {
+                code: "HK",
+                continent: Asia,
+                weight: 0.9,
+            },
+            Country {
+                code: "TH",
+                continent: Asia,
+                weight: 0.6,
+            },
+            Country {
+                code: "TR",
+                continent: Asia,
+                weight: 1.3,
+            },
+            Country {
+                code: "IL",
+                continent: Asia,
+                weight: 0.6,
+            },
             // Oceania.
-            Country { code: "AU", continent: Oceania, weight: 1.6 },
-            Country { code: "NZ", continent: Oceania, weight: 0.6 },
+            Country {
+                code: "AU",
+                continent: Oceania,
+                weight: 1.6,
+            },
+            Country {
+                code: "NZ",
+                continent: Oceania,
+                weight: 0.6,
+            },
             // Africa.
-            Country { code: "ZA", continent: Africa, weight: 0.8 },
-            Country { code: "EG", continent: Africa, weight: 0.4 },
-            Country { code: "NG", continent: Africa, weight: 0.4 },
-            Country { code: "KE", continent: Africa, weight: 0.3 },
-            Country { code: "MA", continent: Africa, weight: 0.3 },
+            Country {
+                code: "ZA",
+                continent: Africa,
+                weight: 0.8,
+            },
+            Country {
+                code: "EG",
+                continent: Africa,
+                weight: 0.4,
+            },
+            Country {
+                code: "NG",
+                continent: Africa,
+                weight: 0.4,
+            },
+            Country {
+                code: "KE",
+                continent: Africa,
+                weight: 0.3,
+            },
+            Country {
+                code: "MA",
+                continent: Africa,
+                weight: 0.3,
+            },
         ];
         World { countries }
     }
@@ -209,7 +369,9 @@ mod tests {
         let w = World::standard();
         let eu = w.countries_in(Continent::Europe);
         assert_eq!(eu.len(), 16);
-        assert!(eu.iter().all(|&id| w.country(id).continent == Continent::Europe));
+        assert!(eu
+            .iter()
+            .all(|&id| w.country(id).continent == Continent::Europe));
     }
 
     #[test]

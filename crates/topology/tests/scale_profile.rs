@@ -23,7 +23,12 @@ fn default_scale_profile() {
         result.total_communities()
     );
     for level in &result.levels {
-        let max = level.communities.iter().map(|c| c.size()).max().unwrap_or(0);
+        let max = level
+            .communities
+            .iter()
+            .map(|c| c.size())
+            .max()
+            .unwrap_or(0);
         println!(
             "k={:2} communities={:4} max_size={max}",
             level.k,

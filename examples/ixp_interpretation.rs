@@ -59,7 +59,10 @@ fn main() -> Result<(), kclique::topology::InvalidConfig> {
         .iter()
         .filter(|i| b.segment_of(i.id.k) == Segment::Root && !i.is_main)
         .collect();
-    let contained = roots.iter().filter(|i| i.containing_country.is_some()).count();
+    let contained = roots
+        .iter()
+        .filter(|i| i.containing_country.is_some())
+        .count();
     println!(
         "\nroot parallel communities: {} — {} fully inside one country",
         roots.len(),

@@ -17,21 +17,30 @@ fn main() {
     for &(u, v, w) in &[
         (0u32, 1u32, 10.0f64),
         (0, 2, 9.0),
-        (1, 2, 12.0),   // backbone triangle
+        (1, 2, 12.0), // backbone triangle
         (3, 4, 0.3),
         (3, 5, 0.2),
-        (4, 5, 0.4),    // regional triangle
+        (4, 5, 0.4), // regional triangle
         (2, 3, 2.0),
-        (1, 3, 2.0),    // glue triangle {1,2,3} of medium intensity
-        (2, 4, 2.0),    // glue triangle {2,3,4} chains into {3,4,5}
+        (1, 3, 2.0), // glue triangle {1,2,3} of medium intensity
+        (2, 4, 2.0), // glue triangle {2,3,4} chains into {3,4,5}
     ] {
         b.add_edge(u, v, w);
     }
     let g = b.build();
 
-    println!("unthresholded (I0 = 0): {:?}", weighted_communities(&g, 3, 0.0));
-    println!("I0 = 1.0:               {:?}", weighted_communities(&g, 3, 1.0));
-    println!("I0 = 5.0:               {:?}", weighted_communities(&g, 3, 5.0));
+    println!(
+        "unthresholded (I0 = 0): {:?}",
+        weighted_communities(&g, 3, 0.0)
+    );
+    println!(
+        "I0 = 1.0:               {:?}",
+        weighted_communities(&g, 3, 1.0)
+    );
+    println!(
+        "I0 = 5.0:               {:?}",
+        weighted_communities(&g, 3, 5.0)
+    );
 
     // The CFinder recipe for choosing I0: sweep and watch the giant
     // community break apart.

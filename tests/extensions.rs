@@ -27,9 +27,7 @@ fn scp_and_reduction_agree_on_the_topology() {
 #[test]
 fn weighted_with_uniform_weights_matches_unweighted() {
     let topo = tiny();
-    let mut b = kclique::graph::weighted::WeightedGraphBuilder::with_nodes(
-        topo.graph.node_count(),
-    );
+    let mut b = kclique::graph::weighted::WeightedGraphBuilder::with_nodes(topo.graph.node_count());
     for (u, v) in topo.graph.edges() {
         b.add_edge(u, v, 1.0);
     }
@@ -91,17 +89,19 @@ fn evolution_chain_keeps_analysis_runnable() {
     let mut topo = tiny();
     let mut results = vec![cpm::percolate(&topo.graph)];
     for step in 0..2u64 {
-        let (next, churn) = evolve(&topo, &EvolveConfig { seed: step, ..Default::default() });
+        let (next, churn) = evolve(
+            &topo,
+            &EvolveConfig {
+                seed: step,
+                ..Default::default()
+            },
+        );
         assert!(churn.births > 0);
         results.push(cpm::percolate(&next.graph));
         topo = next;
     }
     let step = kclique::analysis::evolution::match_covers(&results[0], &results[1], 4, 0.3);
-    let matched = step
-        .matches
-        .iter()
-        .filter(|m| m.new.is_some())
-        .count();
+    let matched = step.matches.iter().filter(|m| m.new.is_some()).count();
     assert!(matched > 0, "no community survived one churn step");
     let lifetimes = kclique::analysis::evolution::lifetimes(&results, 4, 0.3);
     assert!(!lifetimes.is_empty());

@@ -12,7 +12,9 @@ fn small_analysis() -> kclique::analysis::Analysis {
 #[test]
 fn single_connected_component_gives_single_2_community() {
     let analysis = small_analysis();
-    assert!(kclique::graph::components::is_connected(&analysis.topo.graph));
+    assert!(kclique::graph::components::is_connected(
+        &analysis.topo.graph
+    ));
     assert_eq!(analysis.result.level(2).unwrap().communities.len(), 1);
     assert_eq!(
         analysis.result.level(2).unwrap().communities[0].size(),

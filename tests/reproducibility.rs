@@ -47,7 +47,9 @@ fn measurement_toggle_only_shrinks_the_graph() {
     let measured = generate(&with).unwrap();
     let truth = generate(&without).unwrap();
     assert!(measured.graph.node_count() <= truth.graph.node_count());
-    assert!(measured.graph.edge_count() <= truth.graph.edge_count() + truth.graph.edge_count() / 50);
+    assert!(
+        measured.graph.edge_count() <= truth.graph.edge_count() + truth.graph.edge_count() / 50
+    );
     assert!(measured.merge_report.is_some());
     assert!(truth.merge_report.is_none());
 }

@@ -1,0 +1,214 @@
+//! Offline, dependency-free subset of the `criterion` API.
+//!
+//! The container cannot reach crates.io, so the workspace vendors a
+//! minimal harness with criterion's call shape — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function(id, |b| b.iter(..))` — that measures wall-clock time
+//! and prints `name  median  (iters/sample, samples)` lines. No
+//! statistical regression analysis, plots, or saved baselines.
+//!
+//! Honours `CRITERION_SAMPLE_MS` (per-benchmark sampling budget in
+//! milliseconds, default 300) so CI can keep bench runs brief.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 20, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Extends the per-benchmark measurement budget (accepted for call
+    /// compatibility; the budget is controlled by `CRITERION_SAMPLE_MS`).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it `iters_per_sample` times per timed
+    /// sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    // Calibration pass: one iteration, to size iters-per-sample so the
+    // whole benchmark stays within the budget.
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let Some(&first) = bencher.samples.first() else {
+        println!("{id:<50} (no measurement: closure never called iter)");
+        return;
+    };
+    let budget = sample_budget();
+    let per_sample = budget / sample_size.max(1) as u32;
+    let iters = if first.is_zero() {
+        1000
+    } else {
+        (per_sample.as_nanos() / first.as_nanos().max(1)).clamp(1, 1000) as u64
+    };
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+    };
+    let deadline = Instant::now() + budget;
+    let mut samples = Vec::with_capacity(sample_size);
+    for i in 0..sample_size {
+        bencher.samples.clear();
+        f(&mut bencher);
+        samples.append(&mut bencher.samples);
+        if i >= 2 && Instant::now() > deadline {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{id:<50} {:>12} ({iters} iters/sample, {} samples)",
+        format_duration(median),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("test_group");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(unit_group, trivial);
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "10");
+        unit_group();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline, dependency-free subset of the `crossbeam` API.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so the only
+//! piece of `crossbeam` this workspace uses — [`scope`] — is a thin
+//! wrapper over [`std::thread::scope`] preserving crossbeam's call shape:
+//! the spawn closure receives the scope again (callers here ignore it as
+//! `|_|`), and the whole scope returns a `Result` to `.expect()` on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::thread;
+
+/// A handle to a spawned scoped thread, joinable before the scope ends.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result (`Err` holds
+    /// the panic payload if it panicked).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// The scope passed to the closure of [`scope`]; spawns threads that may
+/// borrow from the enclosing stack frame.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that borrow local data.
+///
+/// All threads spawned in the scope are joined (or have panicked) before
+/// this returns. Unlike crossbeam — which collects stray child panics
+/// into the `Err` variant — unjoined panics propagate as a panic of the
+/// scope itself; every caller in this workspace joins all its handles, so
+/// the `Result` is always `Ok` and exists only for call-site
+/// compatibility.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partials: Vec<u64> = Vec::new();
+        super::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..2 {
+                let data = &data;
+                handles.push(scope.spawn(move |_| data.iter().skip(t).step_by(2).sum::<u64>()));
+            }
+            for h in handles {
+                partials.push(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(partials.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let r = super::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}
