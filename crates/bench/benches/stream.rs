@@ -39,6 +39,22 @@ fn stream_vs_batch(c: &mut Criterion) {
                 .expect("in-memory source")
         });
     });
+    // The set kernel only accelerates the enumeration half of the
+    // stream; the log bytes (and every community) stay identical.
+    for kernel in [cpm_stream::Kernel::Merge, cpm_stream::Kernel::Bitset] {
+        group.bench_function(format!("stream_percolate_all_k/{kernel}"), |b| {
+            b.iter(|| {
+                cpm_stream::stream_percolate(&mut GraphSource::with_kernel(black_box(g), kernel))
+                    .expect("in-memory source")
+            });
+        });
+        group.bench_function(format!("clique_log_build/{kernel}"), |b| {
+            let path = dir.join(format!("rebuild-{kernel}.cliquelog"));
+            b.iter(|| {
+                cpm_stream::write_clique_log_with(black_box(g), kernel, &path).expect("log build")
+            });
+        });
+    }
     group.finish();
 
     std::fs::remove_dir_all(&dir).ok();

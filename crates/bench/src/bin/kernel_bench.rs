@@ -1,0 +1,224 @@
+//! Machine-readable merge-vs-bitset kernel benchmark.
+//!
+//! ```text
+//! cargo run --release -p bench --features memprof --bin kernel-bench -- \
+//!     [--substrate tiny|small|sparse|dense|all] [--threads <n>] \
+//!     [--iters <n>] [--seed <u64>] [--out BENCH_kernel.json]
+//! ```
+//!
+//! For every (substrate, operation, kernel) combination this times
+//! `--iters` runs, reports the median wall time, and measures the peak
+//! heap growth of one run through the `memprof` counting allocator. The
+//! JSON written to `--out` (stdout gets a human table) is the record
+//! committed as `BENCH_kernel.json` and checked by the CI smoke job.
+//!
+//! Operations: `enumerate` (sequential maximal cliques), `enumerate_par`
+//! (work-stealing, `--threads` workers), `overlap` (clique-overlap
+//! counting), `percolate` (full sequential CPM), `percolate_par`.
+
+use cliques::Kernel;
+use cpm::{build_vertex_index, overlap_edges_with};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: bench::memprof::CountingAlloc = bench::memprof::CountingAlloc;
+
+struct Record {
+    substrate: String,
+    op: &'static str,
+    kernel: Kernel,
+    threads: usize,
+    median_ns: u128,
+    peak_bytes: usize,
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `iters` runs of `f` and measures one run's peak heap growth.
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, usize) {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_nanos());
+        drop(out);
+    }
+    let (_, peak) = bench::memprof::measure_peak(&mut f);
+    (median_ns(samples), peak)
+}
+
+fn bench_substrate(
+    name: &str,
+    g: &asgraph::Graph,
+    threads: usize,
+    iters: usize,
+    records: &mut Vec<Record>,
+) {
+    let mut cliques = cliques::max_cliques(g);
+    cliques.canonicalize();
+    let index = build_vertex_index(&cliques, g.node_count());
+
+    for kernel in [Kernel::Merge, Kernel::Bitset, Kernel::Auto] {
+        let mut push = |op, threads, (median_ns, peak_bytes)| {
+            records.push(Record {
+                substrate: name.to_owned(),
+                op,
+                kernel,
+                threads,
+                median_ns,
+                peak_bytes,
+            });
+        };
+        push(
+            "enumerate",
+            1,
+            measure(iters, || cliques::max_cliques_with(g, kernel)),
+        );
+        push(
+            "enumerate_par",
+            threads,
+            measure(iters, || {
+                cliques::parallel::max_cliques_parallel_with(g, threads, kernel)
+            }),
+        );
+        push(
+            "overlap",
+            1,
+            measure(iters, || overlap_edges_with(&cliques, &index, kernel)),
+        );
+        push(
+            "percolate",
+            1,
+            measure(iters, || cpm::percolate_with_kernel(g, kernel)),
+        );
+        push(
+            "percolate_par",
+            threads,
+            measure(iters, || {
+                cpm::parallel::percolate_parallel_with_kernel(g, threads, kernel)
+            }),
+        );
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string we emit is an identifier-like token; keep the writer
+    // honest anyway.
+    assert!(
+        s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || "-_".contains(c)),
+        "unexpected character in JSON token {s:?}"
+    );
+    s
+}
+
+fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"peak_bytes\": {}}}{}\n",
+            json_escape_free(&r.substrate),
+            json_escape_free(r.op),
+            json_escape_free(&r.kernel.to_string()),
+            r.threads,
+            r.median_ns,
+            r.peak_bytes,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let substrate = get("--substrate").unwrap_or_else(|| "all".to_owned());
+    let threads: usize = get("--threads").map_or(4, |v| v.parse().expect("bad --threads"));
+    let iters: usize = get("--iters").map_or(9, |v| v.parse().expect("bad --iters"));
+    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_kernel.json".to_owned());
+
+    let mut substrates: Vec<(&str, asgraph::Graph)> = Vec::new();
+    let want = |name: &str| substrate == "all" || substrate == name;
+    if want("sparse") {
+        substrates.push(("sparse300", bench::random_graph(300, 0.05, seed)));
+    }
+    if want("dense") {
+        substrates.push(("dense60", bench::random_graph(60, 0.5, seed)));
+    }
+    if want("tiny") {
+        substrates.push(("tiny-internet", bench::tiny_internet(seed).graph));
+    }
+    if want("small") {
+        substrates.push(("small-internet", bench::small_internet(seed).graph));
+    }
+    if substrates.is_empty() {
+        eprintln!(
+            "unknown --substrate {substrate:?}; expected tiny | small | sparse | dense | all"
+        );
+        std::process::exit(2);
+    }
+
+    let mut records = Vec::new();
+    for (name, g) in &substrates {
+        eprintln!(
+            "benching {name}: {} nodes, {} edges ({iters} iters, {threads} threads)",
+            g.node_count(),
+            g.edge_count()
+        );
+        bench_substrate(name, g, threads, iters, &mut records);
+    }
+
+    println!(
+        "{:<16} {:<14} {:<7} {:>3} {:>14} {:>12}",
+        "substrate", "op", "kernel", "thr", "median_ns", "peak_bytes"
+    );
+    for r in &records {
+        println!(
+            "{:<16} {:<14} {:<7} {:>3} {:>14} {:>12}",
+            r.substrate, r.op, r.kernel, r.threads, r.median_ns, r.peak_bytes
+        );
+    }
+    // Speedup summary: bitset vs merge per (substrate, op).
+    for (name, _) in &substrates {
+        for op in [
+            "enumerate",
+            "enumerate_par",
+            "overlap",
+            "percolate",
+            "percolate_par",
+        ] {
+            let find = |k: Kernel| {
+                records
+                    .iter()
+                    .find(|r| r.substrate == *name && r.op == op && r.kernel == k)
+                    .map(|r| r.median_ns)
+            };
+            if let (Some(m), Some(b)) = (find(Kernel::Merge), find(Kernel::Bitset)) {
+                println!(
+                    "speedup {name}/{op}: bitset is {:.2}x vs merge",
+                    m as f64 / b.max(1) as f64
+                );
+            }
+            // Auto vs merge is the user-visible change: merge was the
+            // only (implicit) kernel before `--kernel` existed.
+            if let (Some(m), Some(a)) = (find(Kernel::Merge), find(Kernel::Auto)) {
+                println!(
+                    "speedup {name}/{op}: auto is {:.2}x vs merge",
+                    m as f64 / a.max(1) as f64
+                );
+            }
+        }
+    }
+
+    std::fs::write(&out_path, to_json(&records)).expect("cannot write bench JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -32,6 +32,8 @@ pub enum Command {
         k: Option<u32>,
         /// Print every level.
         all_k: bool,
+        /// Set kernel for enumeration and overlap counting.
+        kernel: cliques::Kernel,
     },
     /// Print the community tree (Graphviz DOT) to stdout.
     Tree {
@@ -78,6 +80,9 @@ pub enum Command {
         all_k: bool,
         /// Use the O(nodes) last-clique-seen approximation.
         approx: bool,
+        /// Set kernel for the per-replay clique enumeration (live
+        /// `--input` sources only; a log replay does no enumeration).
+        kernel: cliques::Kernel,
     },
     /// Enumerate maximal cliques once and write a replayable clique log.
     CliqueLogBuild {
@@ -85,6 +90,8 @@ pub enum Command {
         input: PathBuf,
         /// Output clique-log file.
         out: PathBuf,
+        /// Set kernel for the single enumeration pass.
+        kernel: cliques::Kernel,
     },
     /// Print a clique log's header summary.
     CliqueLogInfo {
@@ -111,7 +118,7 @@ pub const USAGE: &str = "\
 kclique-cli — k-clique communities for AS-level topologies
 
 USAGE:
-  kclique-cli communities --input <edges> (--k <n> | --all-k)
+  kclique-cli communities --input <edges> (--k <n> | --all-k) [--kernel auto|bitset|merge]
   kclique-cli tree        --input <edges> [--min-k <n>]
   kclique-cli stats       --input <edges>
   kclique-cli generate    [--scale tiny|small|default|full] [--seed <u64>] --out <dir>
@@ -119,9 +126,15 @@ USAGE:
   kclique-cli baselines   --input <edges>
   kclique-cli rewire      --input <edges> --output <edges> [--swaps <n>] [--seed <u64>]
   kclique-cli stream-percolate (--input <edges> | --log <file>) (--k <n> | --all-k) [--approx]
-  kclique-cli clique-log  build --input <edges> --out <file>
+                          [--kernel auto|bitset|merge]
+  kclique-cli clique-log  build --input <edges> --out <file> [--kernel auto|bitset|merge]
   kclique-cli clique-log  info  --log <file>
   kclique-cli help
+
+The set kernel (--kernel) picks the Bron–Kerbosch / overlap-counting
+representation: `merge` walks sorted adjacency lists, `bitset` uses dense
+word-wise bitmaps, and `auto` (default) chooses per subproblem. Every
+kernel produces identical output; only the speed differs.
 ";
 
 impl Command {
@@ -144,6 +157,12 @@ impl Command {
         let required = |flag: &str| -> Result<String, String> {
             get(flag).ok_or_else(|| format!("missing required flag {flag}"))
         };
+        let kernel = || -> Result<cliques::Kernel, String> {
+            match get("--kernel") {
+                Some(v) => v.parse().map_err(|e: String| format!("bad --kernel: {e}")),
+                None => Ok(cliques::Kernel::Auto),
+            }
+        };
 
         match sub.as_str() {
             "communities" => {
@@ -164,7 +183,12 @@ impl Command {
                         return Err("--k must be at least 2".to_owned());
                     }
                 }
-                Ok(Command::Communities { input, k, all_k })
+                Ok(Command::Communities {
+                    input,
+                    k,
+                    all_k,
+                    kernel: kernel()?,
+                })
             }
             "tree" => Ok(Command::Tree {
                 input: PathBuf::from(required("--input")?),
@@ -248,12 +272,14 @@ impl Command {
                     k,
                     all_k,
                     approx,
+                    kernel: kernel()?,
                 })
             }
             "clique-log" => match rest.first().map(String::as_str) {
                 Some("build") => Ok(Command::CliqueLogBuild {
                     input: PathBuf::from(required("--input")?),
                     out: PathBuf::from(required("--out")?),
+                    kernel: kernel()?,
                 }),
                 Some("info") => Ok(Command::CliqueLogInfo {
                     log: PathBuf::from(required("--log")?),
@@ -276,10 +302,15 @@ impl Command {
                 print!("{USAGE}");
                 Ok(())
             }
-            Command::Communities { input, k, all_k } => {
+            Command::Communities {
+                input,
+                k,
+                all_k,
+                kernel,
+            } => {
                 let g = load_graph(input)?;
                 if *all_k {
-                    let result = cpm::percolate(&g);
+                    let result = cpm::percolate_with_kernel(&g, *kernel);
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
                         let largest = level
@@ -297,7 +328,7 @@ impl Command {
                     print!("{}", table.render());
                 } else {
                     let k = k.expect("parse guarantees k for non-all-k");
-                    let comms = cpm::percolate_at(&g, k as usize);
+                    let comms = cpm::percolate_at_with_kernel(&g, k as usize, *kernel);
                     println!("# {} {k}-clique communities", comms.len());
                     for (i, c) in comms.iter().enumerate() {
                         let ids: Vec<String> = c.iter().map(ToString::to_string).collect();
@@ -458,6 +489,7 @@ impl Command {
                 k,
                 all_k,
                 approx,
+                kernel,
             } => {
                 // Both source kinds funnel through the same dyn-dispatch
                 // path; the graph (if any) must outlive the source.
@@ -466,7 +498,7 @@ impl Command {
                 let mut log_src;
                 let source: &mut dyn cpm_stream::CliqueSource = if let Some(input) = input {
                     graph = load_graph(input)?;
-                    graph_src = cpm_stream::GraphSource::new(&graph);
+                    graph_src = cpm_stream::GraphSource::with_kernel(&graph, *kernel);
                     &mut graph_src
                 } else {
                     let log = log.as_ref().expect("parse guarantees input xor log");
@@ -515,9 +547,9 @@ impl Command {
                 }
                 Ok(())
             }
-            Command::CliqueLogBuild { input, out } => {
+            Command::CliqueLogBuild { input, out, kernel } => {
                 let g = load_graph(input)?;
-                let info = cpm_stream::write_clique_log(&g, out)
+                let info = cpm_stream::write_clique_log_with(&g, *kernel, out)
                     .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
                 println!(
                     "wrote {} cliques over {} nodes (largest {}) to {}",
@@ -590,11 +622,43 @@ mod tests {
             Command::Communities {
                 input: PathBuf::from("g.txt"),
                 k: Some(4),
-                all_k: false
+                all_k: false,
+                kernel: cliques::Kernel::Auto,
             }
         );
         let c = parse(&["communities", "--input", "g.txt", "--all-k"]).unwrap();
         assert!(matches!(c, Command::Communities { all_k: true, .. }));
+    }
+
+    #[test]
+    fn parses_kernel_flag() {
+        for (name, want) in [
+            ("auto", cliques::Kernel::Auto),
+            ("bitset", cliques::Kernel::Bitset),
+            ("merge", cliques::Kernel::Merge),
+        ] {
+            let c = parse(&[
+                "communities",
+                "--input",
+                "g.txt",
+                "--k",
+                "3",
+                "--kernel",
+                name,
+            ])
+            .unwrap();
+            assert!(matches!(c, Command::Communities { kernel, .. } if kernel == want));
+        }
+        assert!(parse(&[
+            "communities",
+            "--input",
+            "g.txt",
+            "--k",
+            "3",
+            "--kernel",
+            "quantum"
+        ])
+        .is_err());
     }
 
     #[test]
@@ -658,6 +722,7 @@ mod tests {
                 k: Some(4),
                 all_k: false,
                 approx: false,
+                kernel: cliques::Kernel::Auto,
             }
         );
         let c = parse(&["stream-percolate", "--log", "c.log", "--all-k"]).unwrap();
@@ -700,6 +765,7 @@ mod tests {
             Command::CliqueLogBuild {
                 input: PathBuf::from("g.txt"),
                 out: PathBuf::from("c.log"),
+                kernel: cliques::Kernel::Auto,
             }
         );
         let c = parse(&["clique-log", "info", "--log", "c.log"]).unwrap();
@@ -726,6 +792,7 @@ mod tests {
         Command::CliqueLogBuild {
             input: edges.clone(),
             out: log.clone(),
+            kernel: cliques::Kernel::Bitset,
         }
         .run()
         .unwrap();
@@ -737,6 +804,7 @@ mod tests {
                 k: Some(3),
                 all_k: false,
                 approx: false,
+                kernel: cliques::Kernel::Auto,
             }
             .run()
             .unwrap();
@@ -746,6 +814,7 @@ mod tests {
                 k: None,
                 all_k: true,
                 approx: false,
+                kernel: cliques::Kernel::Merge,
             }
             .run()
             .unwrap();
@@ -756,6 +825,7 @@ mod tests {
             k: Some(3),
             all_k: false,
             approx: true,
+            kernel: cliques::Kernel::Auto,
         }
         .run()
         .unwrap();
@@ -796,6 +866,7 @@ mod tests {
             input: edges.clone(),
             k: Some(3),
             all_k: false,
+            kernel: cliques::Kernel::Auto,
         }
         .run()
         .unwrap();

@@ -17,6 +17,7 @@
 //! are linear merges.
 
 use crate::clique_set::CliqueSet;
+use crate::kernel::{top_level_visit_bitset, BitsetScratch, Kernel};
 use asgraph::{Graph, NodeId};
 use std::ops::ControlFlow;
 
@@ -81,13 +82,15 @@ fn basic_rec(
         out.push(r);
         return;
     }
-    let mut p_rest = p;
-    while let Some(&v) = p_rest.first() {
+    // Walk P with a cursor: `p[i..]` is the not-yet-processed tail, so no
+    // O(n) front shift per iteration (v itself is excluded from the
+    // recursive P by `∩ N(v)`, since the graph has no self loops).
+    for i in 0..p.len() {
+        let v = p[i];
         let nv = g.neighbors(v);
         r.push(v);
-        basic_rec(g, r, intersect(&p_rest, nv), intersect(&x, nv), out);
+        basic_rec(g, r, intersect(&p[i..], nv), intersect(&x, nv), out);
         r.pop();
-        p_rest.remove(0);
         // insert v into x keeping it sorted
         let pos = x.binary_search(&v).unwrap_err();
         x.insert(pos, v);
@@ -184,10 +187,20 @@ where
 /// assert_eq!(cliques.get(0), &[0, 1, 2, 3]);
 /// ```
 pub fn degeneracy(g: &Graph) -> CliqueSet {
+    degeneracy_with(g, Kernel::Auto)
+}
+
+/// [`degeneracy`] with an explicit set [`Kernel`].
+///
+/// All kernels produce identical cliques in identical order (the bitset
+/// kernel replicates the merge kernel's recursion tree exactly); `Auto`
+/// decides per subproblem from the local vertex-set size.
+pub fn degeneracy_with(g: &Graph, kernel: Kernel) -> CliqueSet {
     let mut out = CliqueSet::new();
     let ordering = asgraph::ordering::degeneracy_order(g);
+    let mut scratch = BitsetScratch::default();
     for &v in &ordering.order {
-        top_level_subproblem(g, v, &ordering.rank, &mut out);
+        top_level_subproblem(g, v, &ordering.rank, kernel, &mut scratch, &mut out);
     }
     out
 }
@@ -197,11 +210,39 @@ pub fn degeneracy(g: &Graph) -> CliqueSet {
 ///
 /// Exposed at crate level so the parallel enumerator can partition the
 /// outer loop.
-pub(crate) fn top_level_subproblem(g: &Graph, v: NodeId, rank: &[u32], out: &mut CliqueSet) {
-    let _ = top_level_visit(g, v, rank, &mut |clique| {
+pub(crate) fn top_level_subproblem(
+    g: &Graph,
+    v: NodeId,
+    rank: &[u32],
+    kernel: Kernel,
+    scratch: &mut BitsetScratch,
+    out: &mut CliqueSet,
+) {
+    let _ = top_level_visit_with(g, v, rank, kernel, scratch, &mut |clique| {
         out.push(clique);
         ControlFlow::Continue(())
     });
+}
+
+/// Kernel dispatch for one top-level subproblem: the bitset kernel when
+/// the local vertex set (all neighbours of `v`) fits the kernel's
+/// threshold, the merge kernel otherwise.
+pub(crate) fn top_level_visit_with<F>(
+    g: &Graph,
+    v: NodeId,
+    rank: &[u32],
+    kernel: Kernel,
+    scratch: &mut BitsetScratch,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    if kernel.use_bitset(g.degree(v)) {
+        top_level_visit_bitset(g, v, rank, scratch, visit)
+    } else {
+        top_level_visit(g, v, rank, visit)
+    }
 }
 
 /// Visitor form of [`top_level_subproblem`]: cliques are passed to
@@ -323,6 +364,36 @@ mod tests {
         assert!(bb.iter().all(|c| c.len() == 3));
         assert_eq!(bb, pp);
         assert_eq!(bb, dd);
+    }
+
+    #[test]
+    fn bitset_and_merge_kernels_emit_identically() {
+        // Not just the same cliques: the same cliques in the same order,
+        // because the bitset kernel replicates the merge recursion tree.
+        let graphs = [
+            Graph::empty(4),
+            Graph::complete(6),
+            Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
+            Graph::from_edges(
+                7,
+                [
+                    (0, 1),
+                    (0, 2),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (3, 5),
+                    (4, 5),
+                    (5, 6),
+                ],
+            ),
+        ];
+        for g in &graphs {
+            let merge = degeneracy_with(g, Kernel::Merge);
+            let bitset = degeneracy_with(g, Kernel::Bitset);
+            assert_eq!(merge, bitset, "kernels diverged on {g:?}");
+            assert_eq!(merge, degeneracy_with(g, Kernel::Auto));
+        }
     }
 
     #[test]

@@ -34,20 +34,29 @@
 pub mod bron_kerbosch;
 mod clique_set;
 pub mod kclique;
+mod kernel;
 pub mod parallel;
 
 pub use clique_set::{Clique, CliqueSet};
+pub use kernel::{Kernel, AUTO_BITSET_MAX_LOCAL};
 
 use asgraph::{Graph, NodeId};
 use std::ops::ControlFlow;
 
 /// Enumerates all maximal cliques of `g` with the recommended algorithm
-/// (degeneracy-ordered Bron–Kerbosch with Tomita pivoting).
+/// (degeneracy-ordered Bron–Kerbosch with Tomita pivoting) and the
+/// default [`Kernel::Auto`] set kernel.
 ///
 /// Isolated vertices count as maximal 1-cliques, matching the definition of
 /// maximality (they extend no other clique).
 pub fn max_cliques(g: &Graph) -> CliqueSet {
     bron_kerbosch::degeneracy(g)
+}
+
+/// [`max_cliques`] with an explicit set [`Kernel`]. Every kernel yields
+/// identical cliques in identical order.
+pub fn max_cliques_with(g: &Graph, kernel: Kernel) -> CliqueSet {
+    bron_kerbosch::degeneracy_with(g, kernel)
 }
 
 /// Visits every maximal clique of `g` as it is found, without collecting
@@ -89,13 +98,30 @@ pub fn max_cliques(g: &Graph) -> CliqueSet {
 /// });
 /// assert!(found.is_some());
 /// ```
-pub fn for_each_max_clique<F>(g: &Graph, mut visit: F) -> ControlFlow<()>
+pub fn for_each_max_clique<F>(g: &Graph, visit: F) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    for_each_max_clique_with(g, Kernel::Auto, visit)
+}
+
+/// [`for_each_max_clique`] with an explicit set [`Kernel`]. The stream of
+/// cliques (contents and order) is identical whatever the kernel.
+pub fn for_each_max_clique_with<F>(g: &Graph, kernel: Kernel, mut visit: F) -> ControlFlow<()>
 where
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
     let ordering = asgraph::ordering::degeneracy_order(g);
+    let mut scratch = Default::default();
     for &v in &ordering.order {
-        bron_kerbosch::top_level_visit(g, v, &ordering.rank, &mut visit)?;
+        bron_kerbosch::top_level_visit_with(
+            g,
+            v,
+            &ordering.rank,
+            kernel,
+            &mut scratch,
+            &mut visit,
+        )?;
     }
     ControlFlow::Continue(())
 }

@@ -3,21 +3,36 @@
 //! The clique-enumeration half of the "Lightweight Parallel Clique
 //! Percolation Method" (Gregori, Lenzini, Mainardi, Orsini): the
 //! degeneracy-ordered outer loop of Bron–Kerbosch is embarrassingly
-//! parallel — each outer vertex spawns an independent subproblem — so we
-//! deal outer vertices to worker threads round-robin (which also balances
-//! load, since consecutive vertices in degeneracy order tend to have
-//! similar subproblem sizes) and merge thread-local [`CliqueSet`]s at the
-//! end.
+//! parallel — each outer vertex spawns an independent subproblem.
+//!
+//! Scheduling is an atomic-counter **work-stealing deal**: workers claim
+//! chunks of [`STEAL_CHUNK`] consecutive outer vertices from a shared
+//! counter until the order is exhausted. On power-law graphs a handful of
+//! IXP-core subproblems dominate the total work; the static round-robin
+//! stripe this replaced would leave every other worker idle while one
+//! finished its oversized stripe, whereas dynamic claiming keeps all
+//! workers busy to the tail. Each claimed chunk produces its own
+//! [`CliqueSet`], and chunks are merged in ascending chunk order, so the
+//! output is *identical to the sequential enumeration* — independent of
+//! thread count and scheduling races.
 
 use crate::bron_kerbosch::top_level_subproblem;
 use crate::clique_set::CliqueSet;
+use crate::kernel::{BitsetScratch, Kernel};
 use asgraph::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Enumerates all maximal cliques of `g` using `threads` worker threads.
+/// Outer vertices claimed per `fetch_add`. Small enough that the heavy
+/// hub subproblems of an AS-like graph cannot hide behind one claim,
+/// large enough that the shared counter is not contended.
+pub const STEAL_CHUNK: usize = 16;
+
+/// Enumerates all maximal cliques of `g` using `threads` worker threads
+/// and the default [`Kernel::Auto`] set kernel.
 ///
-/// Output is identical (up to order) to
-/// [`degeneracy`](crate::bron_kerbosch::degeneracy); results are merged in
-/// worker order so the result is deterministic for a fixed thread count.
+/// Output is identical — same cliques, same order — to
+/// [`degeneracy`](crate::bron_kerbosch::degeneracy) for every thread
+/// count: work-stolen chunks are merged back in chunk order.
 ///
 /// # Panics
 ///
@@ -34,43 +49,68 @@ use asgraph::Graph;
 /// assert_eq!(cliques.len(), 1);
 /// ```
 pub fn max_cliques_parallel(g: &Graph, threads: usize) -> CliqueSet {
+    max_cliques_parallel_with(g, threads, Kernel::Auto)
+}
+
+/// [`max_cliques_parallel`] with an explicit set [`Kernel`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn max_cliques_parallel_with(g: &Graph, threads: usize, kernel: Kernel) -> CliqueSet {
     assert!(threads > 0, "need at least one thread");
     let ordering = asgraph::ordering::degeneracy_order(g);
     if threads == 1 || g.node_count() < 2 * threads {
         let mut out = CliqueSet::new();
+        let mut scratch = BitsetScratch::default();
         for &v in &ordering.order {
-            top_level_subproblem(g, v, &ordering.rank, &mut out);
+            top_level_subproblem(g, v, &ordering.rank, kernel, &mut scratch, &mut out);
         }
         return out;
     }
 
     let rank = &ordering.rank;
     let order = &ordering.order;
-    let mut partials: Vec<CliqueSet> = Vec::with_capacity(threads);
+    let next = AtomicUsize::new(0);
+    let next_ref = &next;
+
+    // Each worker returns (chunk start, cliques of that chunk) pairs.
+    let mut chunks: Vec<(usize, CliqueSet)> = Vec::new();
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
+        for _ in 0..threads {
             handles.push(scope.spawn(move |_| {
-                let mut local = CliqueSet::new();
-                let mut i = t;
-                while i < order.len() {
-                    top_level_subproblem(g, order[i], rank, &mut local);
-                    i += threads;
+                let mut local: Vec<(usize, CliqueSet)> = Vec::new();
+                let mut scratch = BitsetScratch::default();
+                loop {
+                    let start = next_ref.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
+                    if start >= order.len() {
+                        break;
+                    }
+                    let end = (start + STEAL_CHUNK).min(order.len());
+                    let mut set = CliqueSet::new();
+                    for &v in &order[start..end] {
+                        top_level_subproblem(g, v, rank, kernel, &mut scratch, &mut set);
+                    }
+                    local.push((start, set));
                 }
                 local
             }));
         }
         for h in handles {
-            partials.push(h.join().expect("clique worker panicked"));
+            chunks.extend(h.join().expect("clique worker panicked"));
         }
     })
     .expect("crossbeam scope failed");
 
-    let total: usize = partials.iter().map(CliqueSet::total_members).sum();
-    let count: usize = partials.iter().map(CliqueSet::len).sum();
+    // Reassemble in chunk order: the result is the sequential enumeration
+    // order, whatever the scheduling races did.
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let total: usize = chunks.iter().map(|(_, s)| s.total_members()).sum();
+    let count: usize = chunks.iter().map(|(_, s)| s.len()).sum();
     let mut out = CliqueSet::with_capacity(count, total);
-    for p in &partials {
-        out.merge(p);
+    for (_, set) in &chunks {
+        out.merge(set);
     }
     out
 }
@@ -78,7 +118,7 @@ pub fn max_cliques_parallel(g: &Graph, threads: usize) -> CliqueSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bron_kerbosch::degeneracy;
+    use crate::bron_kerbosch::{degeneracy, degeneracy_with};
 
     fn canonical(mut s: CliqueSet) -> CliqueSet {
         s.sort_canonical();
@@ -106,6 +146,31 @@ mod tests {
         for threads in 1..=4 {
             let par = canonical(max_cliques_parallel(&g, threads));
             assert_eq!(seq, par, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn work_stealing_preserves_sequential_order() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 120u32;
+        let mut b = asgraph::GraphBuilder::with_nodes(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(0.1) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        // Not just the same set: the exact same enumeration order, for
+        // every kernel and thread count.
+        for kernel in [Kernel::Auto, Kernel::Bitset, Kernel::Merge] {
+            let seq = degeneracy_with(&g, kernel);
+            for threads in [2, 3, 4, 7] {
+                let par = max_cliques_parallel_with(&g, threads, kernel);
+                assert_eq!(seq, par, "kernel {kernel}, threads {threads}");
+            }
         }
     }
 

@@ -4,9 +4,10 @@
 use asgraph::{Graph, NodeId};
 use cliques::bron_kerbosch::{basic, degeneracy, pivot};
 use cliques::kclique::{count_k_cliques, enumerate_k_cliques};
-use cliques::parallel::max_cliques_parallel;
-use cliques::CliqueSet;
+use cliques::parallel::{max_cliques_parallel, max_cliques_parallel_with};
+use cliques::{max_cliques_with, CliqueSet, Kernel};
 use proptest::prelude::*;
+use std::ops::ControlFlow;
 
 fn edge_soup(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
     prop::collection::vec((0..n, 0..n), 0..max_edges)
@@ -29,6 +30,39 @@ proptest! {
         prop_assert_eq!(&b, &p);
         prop_assert_eq!(&b, &d);
         prop_assert_eq!(&b, &par);
+    }
+
+    /// The bitset and merge set kernels are interchangeable: identical
+    /// cliques in the identical emission order (not merely set-equal),
+    /// through every front-end — collecting, visitor, and parallel —
+    /// and both agree with the kernel-free textbook recursion.
+    #[test]
+    fn set_kernels_equivalent(edges in edge_soup(20, 90)) {
+        let g = Graph::from_edges(20, edges);
+        let merge = max_cliques_with(&g, Kernel::Merge);
+        let bitset = max_cliques_with(&g, Kernel::Bitset);
+        let auto = max_cliques_with(&g, Kernel::Auto);
+        prop_assert_eq!(&merge, &bitset);
+        prop_assert_eq!(&merge, &auto);
+
+        // The streaming visitor path sees the same stream.
+        for kernel in [Kernel::Bitset, Kernel::Merge] {
+            let mut streamed = CliqueSet::new();
+            let _ = cliques::for_each_max_clique_with(&g, kernel, |c| {
+                streamed.push(c);
+                ControlFlow::Continue(())
+            });
+            prop_assert_eq!(&streamed, &merge);
+        }
+
+        // Work stealing keeps the sequential order under every kernel.
+        for kernel in [Kernel::Bitset, Kernel::Merge] {
+            let par = max_cliques_parallel_with(&g, 3, kernel);
+            prop_assert_eq!(&par, &merge);
+        }
+
+        // And the kernelled enumerations match the 1973 recursion.
+        prop_assert_eq!(canonical(bitset), canonical(basic(&g)));
     }
 
     /// Every reported clique is a clique and is maximal; every vertex

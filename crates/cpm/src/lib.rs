@@ -47,6 +47,11 @@ pub mod scp;
 pub mod weighted;
 
 pub use dsu::Dsu;
-pub use overlap::{build_vertex_index, overlap_edges, OverlapEdge, VertexCliqueIndex};
-pub use percolation::{percolate, percolate_at, percolate_with_cliques};
+pub use overlap::{
+    build_vertex_index, overlap_edges, overlap_edges_with, OverlapEdge, VertexCliqueIndex,
+};
+pub use percolation::{
+    percolate, percolate_at, percolate_at_with_kernel, percolate_with_cliques,
+    percolate_with_cliques_kernel, percolate_with_kernel,
+};
 pub use result::{canonical_members, Community, CommunityId, CpmResult, KLevel};

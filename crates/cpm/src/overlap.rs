@@ -7,9 +7,28 @@
 //! only cliques sharing at least one vertex can overlap, so scanning each
 //! vertex's clique list suffices. This is the heart of what makes CPM
 //! tractable — and the phase the Lightweight Parallel CPM parallelises.
+//!
+//! Two counting kernels, selected by [`cliques::Kernel`]:
+//!
+//! - **merge** — the classic counting pass: per clique `i`, bump a
+//!   clique-indexed counter for every posting of every member. Each
+//!   increment is a random read-modify-write into a `cliques.len()`-sized
+//!   array plus first-touch bookkeeping.
+//! - **bitset** — the clique's members become a bitmap over the vertex
+//!   space; candidate cliques are *discovered* with a stamp array (one
+//!   branch per posting, no counter RMW) and each candidate's overlap is
+//!   then a branchless probe of the bitmap.
+//!
+//! `Kernel::Auto` always counts with **merge** here. The bitset probe
+//! looked attractive on paper but measures 0.65–0.77× merge's speed on
+//! every substrate in `BENCH_kernel.json`: its discovery pass walks the
+//! same postings merge walks, and the per-candidate bitmap probes are
+//! pure extra work on top (the enumeration side is where bitsets win,
+//! 2–4.5×). The explicit `Kernel::Bitset` path stays as the
+//! equivalence-tested second implementation.
 
 use asgraph::NodeId;
-use cliques::CliqueSet;
+use cliques::{CliqueSet, Kernel};
 
 /// One edge of the clique-overlap graph: cliques `a < b` share `overlap`
 /// vertices (`overlap >= 1`).
@@ -21,6 +40,14 @@ pub struct OverlapEdge {
     pub b: u32,
     /// `|C_a ∩ C_b|`.
     pub overlap: u32,
+}
+
+/// Whether `kernel` counts overlaps with the bitmap probe. `Auto` means
+/// merge: the measured numbers (see the module docs and
+/// `BENCH_kernel.json`) show the stamp-discovery + probe combination is
+/// strictly more work than the fused counting loop, on every substrate.
+pub(crate) fn overlap_uses_bitset(kernel: Kernel, _cliques: &CliqueSet) -> bool {
+    matches!(kernel, Kernel::Bitset)
 }
 
 /// Inverted index: for every graph vertex, the ids of the cliques that
@@ -69,56 +96,161 @@ pub fn build_vertex_index(cliques: &CliqueSet, n: usize) -> VertexCliqueIndex {
 }
 
 /// Computes every overlap edge (pairs of cliques sharing ≥ 1 vertex)
-/// sequentially.
+/// sequentially with the default [`Kernel::Auto`].
 ///
 /// Returned edges are unique with `a < b`, in ascending `(a, b)` order.
 pub fn overlap_edges(cliques: &CliqueSet, index: &VertexCliqueIndex) -> Vec<OverlapEdge> {
+    overlap_edges_with(cliques, index, Kernel::Auto)
+}
+
+/// [`overlap_edges`] with an explicit counting [`Kernel`]. Both kernels
+/// produce identical edges in identical order.
+pub fn overlap_edges_with(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    kernel: Kernel,
+) -> Vec<OverlapEdge> {
     let mut edges = Vec::new();
-    let mut counts: Vec<u32> = vec![0; cliques.len()];
-    let mut touched: Vec<u32> = Vec::new();
+    let mut scratch = OverlapScratch::new(cliques, overlap_uses_bitset(kernel, cliques));
     for i in 0..cliques.len() {
-        count_overlaps_of(
-            cliques,
-            index,
-            i as u32,
-            &mut counts,
-            &mut touched,
-            &mut edges,
-        );
+        scratch.count_overlaps_of(cliques, index, i as u32, &mut edges);
     }
     edges
 }
 
-/// Counts the overlaps of clique `i` against all cliques with larger id,
-/// appending the resulting edges. `counts` must be a zeroed scratch vector
-/// of length `cliques.len()`; it is restored to zero before returning.
-pub(crate) fn count_overlaps_of(
-    cliques: &CliqueSet,
-    index: &VertexCliqueIndex,
-    i: u32,
-    counts: &mut [u32],
-    touched: &mut Vec<u32>,
-    edges: &mut Vec<OverlapEdge>,
-) {
-    touched.clear();
-    for &v in cliques.get(i as usize) {
-        for &j in index.cliques_of(v) {
-            if j > i {
-                if counts[j as usize] == 0 {
-                    touched.push(j);
-                }
-                counts[j as usize] += 1;
-            }
+const UNSTAMPED: u32 = u32::MAX;
+
+/// Per-worker scratch state for overlap counting — one instance per
+/// thread in the parallel construction.
+#[derive(Debug)]
+pub(crate) struct OverlapScratch {
+    /// merge kernel: per-clique shared-member counters (zeroed between
+    /// cliques).
+    counts: Vec<u32>,
+    /// bitset kernel: member bitmap of the current clique over the vertex
+    /// space (cleared between cliques).
+    bits: Vec<u64>,
+    /// bitset kernel: `stamp[j] == i` marks clique `j` as already
+    /// discovered while processing clique `i` (clique ids are unique, so
+    /// the array never needs re-initialisation).
+    stamp: Vec<u32>,
+    /// Candidate cliques touched by the current clique.
+    touched: Vec<u32>,
+    use_bitset: bool,
+}
+
+impl OverlapScratch {
+    pub(crate) fn new(cliques: &CliqueSet, use_bitset: bool) -> Self {
+        // The vertex space bound: members are dense node ids; the index is
+        // built over `n >= max id + 1`, and so is the bitmap.
+        let max_vertex = cliques.iter().flatten().copied().max().map_or(0, |v| v + 1);
+        OverlapScratch {
+            counts: if use_bitset {
+                Vec::new()
+            } else {
+                vec![0; cliques.len()]
+            },
+            bits: if use_bitset {
+                vec![0; (max_vertex as usize).div_ceil(64)]
+            } else {
+                Vec::new()
+            },
+            stamp: if use_bitset {
+                vec![UNSTAMPED; cliques.len()]
+            } else {
+                Vec::new()
+            },
+            touched: Vec::new(),
+            use_bitset,
         }
     }
-    touched.sort_unstable();
-    for &j in touched.iter() {
-        edges.push(OverlapEdge {
-            a: i,
-            b: j,
-            overlap: counts[j as usize],
-        });
-        counts[j as usize] = 0;
+
+    /// Counts the overlaps of clique `i` against all cliques with larger
+    /// id, appending the resulting edges in ascending `b` order.
+    pub(crate) fn count_overlaps_of(
+        &mut self,
+        cliques: &CliqueSet,
+        index: &VertexCliqueIndex,
+        i: u32,
+        edges: &mut Vec<OverlapEdge>,
+    ) {
+        if self.use_bitset {
+            self.count_bitset(cliques, index, i, edges);
+        } else {
+            self.count_merge(cliques, index, i, edges);
+        }
+    }
+
+    fn count_merge(
+        &mut self,
+        cliques: &CliqueSet,
+        index: &VertexCliqueIndex,
+        i: u32,
+        edges: &mut Vec<OverlapEdge>,
+    ) {
+        self.touched.clear();
+        for &v in cliques.get(i as usize) {
+            for &j in index.cliques_of(v) {
+                if j > i {
+                    if self.counts[j as usize] == 0 {
+                        self.touched.push(j);
+                    }
+                    self.counts[j as usize] += 1;
+                }
+            }
+        }
+        self.touched.sort_unstable();
+        for &j in &self.touched {
+            edges.push(OverlapEdge {
+                a: i,
+                b: j,
+                overlap: self.counts[j as usize],
+            });
+            self.counts[j as usize] = 0;
+        }
+    }
+
+    fn count_bitset(
+        &mut self,
+        cliques: &CliqueSet,
+        index: &VertexCliqueIndex,
+        i: u32,
+        edges: &mut Vec<OverlapEdge>,
+    ) {
+        self.touched.clear();
+        let ci = cliques.get(i as usize);
+        // Discovery: one stamp test per posting, no counter traffic.
+        for &v in ci {
+            for &j in index.cliques_of(v) {
+                if j > i && self.stamp[j as usize] != i {
+                    self.stamp[j as usize] = i;
+                    self.touched.push(j);
+                }
+            }
+        }
+        if self.touched.is_empty() {
+            return;
+        }
+        for &v in ci {
+            self.bits[(v >> 6) as usize] |= 1u64 << (v & 63);
+        }
+        self.touched.sort_unstable();
+        for &j in &self.touched {
+            // Branchless bitmap probe of the candidate's members.
+            let overlap: u32 = cliques
+                .get(j as usize)
+                .iter()
+                .map(|&u| ((self.bits[(u >> 6) as usize] >> (u & 63)) & 1) as u32)
+                .sum();
+            edges.push(OverlapEdge {
+                a: i,
+                b: j,
+                overlap,
+            });
+        }
+        for &v in ci {
+            self.bits[(v >> 6) as usize] = 0;
+        }
     }
 }
 
@@ -166,10 +298,40 @@ mod tests {
     }
 
     #[test]
+    fn kernels_agree_in_content_and_order() {
+        let s = set(&[
+            &[0, 1, 2, 3, 4],
+            &[1, 2, 3, 4, 5],
+            &[0, 2, 4, 6],
+            &[5, 6, 7],
+            &[7, 8],
+            &[0, 8],
+        ]);
+        let idx = build_vertex_index(&s, 9);
+        let merge = overlap_edges_with(&s, &idx, Kernel::Merge);
+        let bitset = overlap_edges_with(&s, &idx, Kernel::Bitset);
+        assert_eq!(merge, bitset);
+        assert_eq!(merge, overlap_edges_with(&s, &idx, Kernel::Auto));
+    }
+
+    #[test]
+    fn auto_counts_overlaps_with_merge() {
+        let small = set(&[&[0, 1], &[1, 2]]);
+        let large = set(&[&[0, 1, 2, 3, 4, 5, 6, 7, 8], &[1, 2, 3, 4, 5, 6, 7, 8, 9]]);
+        // Auto = merge for overlap counting, whatever the clique sizes:
+        // the bitset probe measured slower on every substrate.
+        assert!(!overlap_uses_bitset(Kernel::Auto, &small));
+        assert!(!overlap_uses_bitset(Kernel::Auto, &large));
+        assert!(overlap_uses_bitset(Kernel::Bitset, &small));
+        assert!(!overlap_uses_bitset(Kernel::Merge, &large));
+    }
+
+    #[test]
     fn disjoint_cliques_have_no_edges() {
         let s = set(&[&[0, 1], &[2, 3]]);
         let idx = build_vertex_index(&s, 4);
         assert!(overlap_edges(&s, &idx).is_empty());
+        assert!(overlap_edges_with(&s, &idx, Kernel::Bitset).is_empty());
     }
 
     #[test]
@@ -189,5 +351,6 @@ mod tests {
         let idx = build_vertex_index(&s, 0);
         assert!(idx.is_empty());
         assert!(overlap_edges(&s, &idx).is_empty());
+        assert!(overlap_edges_with(&s, &idx, Kernel::Bitset).is_empty());
     }
 }

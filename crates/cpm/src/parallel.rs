@@ -6,22 +6,35 @@
 //! both embarrassingly parallel, while the percolation itself is cheap —
 //! is reproduced here with crossbeam scoped threads:
 //!
-//! 1. maximal cliques: degeneracy outer loop striped across workers
-//!    (delegated to [`cliques::parallel`]);
-//! 2. overlap edges: clique ids striped across workers, each with its own
-//!    scratch counter, merging thread-local edge buffers;
+//! 1. maximal cliques: the degeneracy outer loop under an atomic-counter
+//!    work-stealing deal (delegated to [`cliques::parallel`]);
+//! 2. overlap edges: clique ids claimed in chunks of [`OVERLAP_CHUNK`]
+//!    from a shared counter, each worker with its own scratch kernel
+//!    state; per-chunk edge buffers are reassembled in chunk order, so
+//!    the edge list is *identical* to the sequential construction —
+//!    independent of thread count and scheduling races;
 //! 3. the descending-k DSU sweep runs sequentially (linear, negligible).
 //!
 //! Output is bit-identical to the sequential [`crate::percolate`]; the
 //! tests assert it and the bench suite measures the speedup.
 
-use crate::overlap::{build_vertex_index, count_overlaps_of, OverlapEdge, VertexCliqueIndex};
+use crate::overlap::{
+    build_vertex_index, overlap_uses_bitset, OverlapEdge, OverlapScratch, VertexCliqueIndex,
+};
 use crate::percolation::percolate_from_overlaps;
 use crate::result::CpmResult;
 use asgraph::Graph;
-use cliques::CliqueSet;
+use cliques::{CliqueSet, Kernel};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Runs the full CPM pipeline with `threads` workers.
+/// Clique ids claimed per `fetch_add` during parallel overlap counting.
+/// Overlap counting per clique is much cheaper than a Bron–Kerbosch
+/// subproblem, so chunks are coarser than the enumerator's to keep the
+/// shared counter cold.
+pub const OVERLAP_CHUNK: usize = 256;
+
+/// Runs the full CPM pipeline with `threads` workers and the default
+/// [`Kernel::Auto`] set kernel.
 ///
 /// # Panics
 ///
@@ -38,21 +51,33 @@ use cliques::CliqueSet;
 /// assert_eq!(seq.total_communities(), par.total_communities());
 /// ```
 pub fn percolate_parallel(g: &Graph, threads: usize) -> CpmResult {
+    percolate_parallel_with_kernel(g, threads, Kernel::Auto)
+}
+
+/// [`percolate_parallel`] with an explicit set [`Kernel`] for both the
+/// clique enumeration and the overlap counting phases. The result is
+/// identical whatever the kernel or thread count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn percolate_parallel_with_kernel(g: &Graph, threads: usize, kernel: Kernel) -> CpmResult {
     assert!(threads > 0, "need at least one thread");
-    let mut cliques = cliques::parallel::max_cliques_parallel(g, threads);
-    // Same canonicalisation as the sequential path: the result is then
-    // identical whatever the thread count.
-    cliques.sort_canonical();
+    let mut cliques = cliques::parallel::max_cliques_parallel_with(g, threads, kernel);
+    // Same canonicalisation entry point as the sequential path: the
+    // result is then identical whatever the thread count.
+    cliques.canonicalize();
     let index = build_vertex_index(&cliques, g.node_count());
-    let edges = overlap_edges_parallel(&cliques, &index, threads);
+    let edges = overlap_edges_parallel_with(&cliques, &index, threads, kernel);
     percolate_from_overlaps(cliques, edges)
 }
 
-/// Computes all clique-overlap edges with `threads` workers.
+/// Computes all clique-overlap edges with `threads` workers and the
+/// default [`Kernel::Auto`].
 ///
-/// Edges are returned grouped by worker stripe; order differs from the
-/// sequential construction but the percolation result is order-invariant
-/// (communities are keyed by ascending clique id).
+/// The edge list is identical (content *and* order) to the sequential
+/// [`crate::overlap::overlap_edges`]: work-stolen chunks are merged back
+/// in chunk order.
 ///
 /// # Panics
 ///
@@ -62,58 +87,67 @@ pub fn overlap_edges_parallel(
     index: &VertexCliqueIndex,
     threads: usize,
 ) -> Vec<OverlapEdge> {
+    overlap_edges_parallel_with(cliques, index, threads, Kernel::Auto)
+}
+
+/// [`overlap_edges_parallel`] with an explicit counting [`Kernel`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn overlap_edges_parallel_with(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    threads: usize,
+    kernel: Kernel,
+) -> Vec<OverlapEdge> {
     assert!(threads > 0, "need at least one thread");
     let n = cliques.len();
+    let use_bitset = overlap_uses_bitset(kernel, cliques);
     if threads == 1 || n < 2 * threads {
         let mut edges = Vec::new();
-        let mut counts = vec![0u32; n];
-        let mut touched = Vec::new();
+        let mut scratch = OverlapScratch::new(cliques, use_bitset);
         for i in 0..n {
-            count_overlaps_of(
-                cliques,
-                index,
-                i as u32,
-                &mut counts,
-                &mut touched,
-                &mut edges,
-            );
+            scratch.count_overlaps_of(cliques, index, i as u32, &mut edges);
         }
         return edges;
     }
 
-    let mut buffers: Vec<Vec<OverlapEdge>> = Vec::with_capacity(threads);
+    let next = AtomicUsize::new(0);
+    let next_ref = &next;
+    let mut chunks: Vec<(usize, Vec<OverlapEdge>)> = Vec::new();
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
+        for _ in 0..threads {
             handles.push(scope.spawn(move |_| {
-                let mut edges = Vec::new();
-                let mut counts = vec![0u32; n];
-                let mut touched = Vec::new();
-                let mut i = t;
-                while i < n {
-                    count_overlaps_of(
-                        cliques,
-                        index,
-                        i as u32,
-                        &mut counts,
-                        &mut touched,
-                        &mut edges,
-                    );
-                    i += threads;
+                let mut local: Vec<(usize, Vec<OverlapEdge>)> = Vec::new();
+                let mut scratch = OverlapScratch::new(cliques, use_bitset);
+                loop {
+                    let start = next_ref.fetch_add(OVERLAP_CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + OVERLAP_CHUNK).min(n);
+                    let mut edges = Vec::new();
+                    for i in start..end {
+                        scratch.count_overlaps_of(cliques, index, i as u32, &mut edges);
+                    }
+                    local.push((start, edges));
                 }
-                edges
+                local
             }));
         }
         for h in handles {
-            buffers.push(h.join().expect("overlap worker panicked"));
+            chunks.extend(h.join().expect("overlap worker panicked"));
         }
     })
     .expect("crossbeam scope failed");
 
-    let total: usize = buffers.iter().map(Vec::len).sum();
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let total: usize = chunks.iter().map(|(_, e)| e.len()).sum();
     let mut edges = Vec::with_capacity(total);
-    for b in buffers {
-        edges.extend(b);
+    for (_, chunk) in chunks {
+        edges.extend(chunk);
     }
     edges
 }
@@ -121,7 +155,7 @@ pub fn overlap_edges_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::overlap::overlap_edges;
+    use crate::overlap::{overlap_edges, overlap_edges_with};
     use crate::percolate;
 
     fn random_graph(n: u32, p: f64, seed: u64) -> Graph {
@@ -139,17 +173,24 @@ mod tests {
     }
 
     #[test]
-    fn parallel_edges_match_sequential() {
+    fn parallel_edges_match_sequential_exactly() {
         let g = random_graph(50, 0.2, 3);
         let cliques = cliques::max_cliques(&g);
         let index = build_vertex_index(&cliques, g.node_count());
-        let mut seq = overlap_edges(&cliques, &index);
-        for threads in 1..=4 {
-            let mut par = overlap_edges_parallel(&cliques, &index, threads);
-            par.sort_unstable();
-            seq.sort_unstable();
-            assert_eq!(seq, par, "threads = {threads}");
+        for kernel in [Kernel::Auto, Kernel::Bitset, Kernel::Merge] {
+            let seq = overlap_edges_with(&cliques, &index, kernel);
+            for threads in 1..=4 {
+                let par = overlap_edges_parallel_with(&cliques, &index, threads, kernel);
+                // Work-stealing chunks are merged in order: not just the
+                // same edges — the same sequence.
+                assert_eq!(seq, par, "kernel {kernel}, threads {threads}");
+            }
         }
+        // And the kernels agree with the historical default.
+        assert_eq!(
+            overlap_edges(&cliques, &index),
+            overlap_edges_parallel(&cliques, &index, 4)
+        );
     }
 
     #[test]

@@ -20,10 +20,10 @@
 //! `tests/oracle.rs` verify this against the literal definition.
 
 use crate::dsu::Dsu;
-use crate::overlap::{build_vertex_index, overlap_edges, OverlapEdge};
+use crate::overlap::{build_vertex_index, overlap_edges_with, OverlapEdge};
 use crate::result::{Community, CpmResult, KLevel};
 use asgraph::{Graph, NodeId};
-use cliques::CliqueSet;
+use cliques::{CliqueSet, Kernel};
 use std::collections::HashMap;
 
 /// Runs clique percolation on `g`, producing the communities of every
@@ -43,8 +43,15 @@ use std::collections::HashMap;
 /// assert_eq!(level3.communities[0].members, vec![0, 1, 2, 3]);
 /// ```
 pub fn percolate(g: &Graph) -> CpmResult {
-    let cliques = cliques::max_cliques(g);
-    percolate_with_cliques(g.node_count(), cliques)
+    percolate_with_kernel(g, Kernel::Auto)
+}
+
+/// [`percolate`] with an explicit set [`Kernel`] for the clique
+/// enumeration and overlap counting phases. Every kernel produces an
+/// identical result; only the running time differs.
+pub fn percolate_with_kernel(g: &Graph, kernel: Kernel) -> CpmResult {
+    let cliques = cliques::max_cliques_with(g, kernel);
+    percolate_with_cliques_kernel(g.node_count(), cliques, kernel)
 }
 
 /// Runs percolation on pre-computed maximal cliques (e.g. from the
@@ -54,13 +61,27 @@ pub fn percolate(g: &Graph) -> CpmResult {
 /// # Panics
 ///
 /// Panics if a clique member id is `>= n`.
-pub fn percolate_with_cliques(n: usize, mut cliques: CliqueSet) -> CpmResult {
+pub fn percolate_with_cliques(n: usize, cliques: CliqueSet) -> CpmResult {
+    percolate_with_cliques_kernel(n, cliques, Kernel::Auto)
+}
+
+/// [`percolate_with_cliques`] with an explicit overlap-counting
+/// [`Kernel`].
+///
+/// # Panics
+///
+/// Panics if a clique member id is `>= n`.
+pub fn percolate_with_cliques_kernel(
+    n: usize,
+    mut cliques: CliqueSet,
+    kernel: Kernel,
+) -> CpmResult {
     // Canonical clique order makes community indices (and hence the
     // whole result) independent of how the cliques were enumerated —
     // sequential and parallel pipelines yield identical results.
-    cliques.sort_canonical();
+    cliques.canonicalize();
     let index = build_vertex_index(&cliques, n);
-    let edges = overlap_edges(&cliques, &index);
+    let edges = overlap_edges_with(&cliques, &index, kernel);
     percolate_from_overlaps(cliques, edges)
 }
 
@@ -80,13 +101,19 @@ pub fn percolate_with_cliques(n: usize, mut cliques: CliqueSet) -> CpmResult {
 /// assert_eq!(comms, vec![vec![0, 1, 2], vec![2, 3, 4]]);
 /// ```
 pub fn percolate_at(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
+    percolate_at_with_kernel(g, k, Kernel::Auto)
+}
+
+/// [`percolate_at`] with an explicit set [`Kernel`]. The communities are
+/// identical whatever the kernel.
+pub fn percolate_at_with_kernel(g: &Graph, k: usize, kernel: Kernel) -> Vec<Vec<NodeId>> {
     if k < 2 {
         return Vec::new();
     }
-    let mut cliques = cliques::max_cliques(g);
-    cliques.sort_canonical();
+    let mut cliques = cliques::max_cliques_with(g, kernel);
+    cliques.canonicalize();
     let index = build_vertex_index(&cliques, g.node_count());
-    let edges = overlap_edges(&cliques, &index);
+    let edges = overlap_edges_with(&cliques, &index, kernel);
 
     let mut dsu = Dsu::new(cliques.len());
     for e in &edges {

@@ -43,6 +43,8 @@ pub use percolate::{
 };
 pub use source::{CliqueSource, GraphSource, LogSource, StreamError};
 
+pub use cliques::Kernel;
+
 use asgraph::Graph;
 use std::path::Path;
 
@@ -71,8 +73,23 @@ use std::path::Path;
 /// std::fs::remove_file(&path).ok();
 /// ```
 pub fn write_clique_log(g: &Graph, path: impl AsRef<Path>) -> Result<CliqueLogInfo, StreamError> {
+    write_clique_log_with(g, cliques::Kernel::Auto, path)
+}
+
+/// [`write_clique_log`] with an explicit set [`cliques::Kernel`] for the
+/// single enumeration pass. The log bytes are identical whatever the
+/// kernel — only the enumeration speed differs.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the log.
+pub fn write_clique_log_with(
+    g: &Graph,
+    kernel: cliques::Kernel,
+    path: impl AsRef<Path>,
+) -> Result<CliqueLogInfo, StreamError> {
     let mut writer = CliqueLogWriter::create(path, g.node_count() as u32)?;
-    let mut source = GraphSource::new(g);
+    let mut source = GraphSource::with_kernel(g, kernel);
     let mut io_err: Option<std::io::Error> = None;
     source.replay(&mut |clique| {
         if io_err.is_none() {

@@ -72,14 +72,23 @@ pub trait CliqueSource {
 #[derive(Debug)]
 pub struct GraphSource<'g> {
     graph: &'g Graph,
+    kernel: cliques::Kernel,
     scratch: Vec<NodeId>,
 }
 
 impl<'g> GraphSource<'g> {
     /// Wraps a graph as a replayable clique source.
     pub fn new(graph: &'g Graph) -> Self {
+        Self::with_kernel(graph, cliques::Kernel::Auto)
+    }
+
+    /// [`GraphSource::new`] with an explicit set [`cliques::Kernel`] for
+    /// the per-replay Bron–Kerbosch runs. The clique stream (contents and
+    /// order) is identical whatever the kernel.
+    pub fn with_kernel(graph: &'g Graph, kernel: cliques::Kernel) -> Self {
         GraphSource {
             graph,
+            kernel,
             scratch: Vec::new(),
         }
     }
@@ -92,7 +101,7 @@ impl CliqueSource for GraphSource<'_> {
 
     fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError> {
         let scratch = &mut self.scratch;
-        let _ = cliques::for_each_max_clique(self.graph, |clique| {
+        let _ = cliques::for_each_max_clique_with(self.graph, self.kernel, |clique| {
             // Bron–Kerbosch emits members in recursion order; sources
             // promise ascending order, so sort into a reused scratch.
             scratch.clear();

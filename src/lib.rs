@@ -74,3 +74,8 @@ pub mod baselines {
 pub mod analysis {
     pub use kclique_core::*;
 }
+
+/// Memory-bounded streaming percolation (re-export of `cpm-stream`).
+pub mod stream {
+    pub use cpm_stream::*;
+}
