@@ -14,7 +14,10 @@
 //!
 //! Operations: `enumerate` (sequential maximal cliques), `enumerate_par`
 //! (work-stealing, `--threads` workers), `overlap` (clique-overlap
-//! counting), `percolate` (full sequential CPM), `percolate_par`.
+//! counting), `percolate` (full sequential CPM), `percolate_par`, and
+//! `sweep` (the union/grouping phase alone, from prebuilt overlap
+//! strata — so end-to-end time decomposes into enumerate + overlap +
+//! sweep; the row includes one clone of the inputs per run).
 
 use cliques::Kernel;
 use cpm::{build_vertex_index, overlap_edges_with};
@@ -102,6 +105,24 @@ fn bench_substrate(
             }),
         );
     }
+
+    // The previously-unattributed phase: the descending-k union/grouping
+    // sweep alone, from prebuilt strata (min-overlap 2, as the pipeline
+    // builds them — k = 2 chains off the posting lists inside the
+    // sweep). One row (the sweep is kernel-independent); timing includes
+    // cloning the inputs.
+    let strata = cpm::overlap_strata_min(&cliques, &index, Kernel::Auto, 2);
+    let (median_ns, peak_bytes) = measure(iters, || {
+        cpm::percolate_from_strata(cliques.clone(), strata.clone(), &index)
+    });
+    records.push(Record {
+        substrate: name.to_owned(),
+        op: "sweep",
+        kernel: Kernel::Auto,
+        threads: 1,
+        median_ns,
+        peak_bytes,
+    });
 }
 
 fn json_escape_free(s: &str) -> &str {

@@ -1,0 +1,187 @@
+//! Before/after record for the fused overlap→union sweep.
+//!
+//! ```text
+//! cargo run --release -p bench --features memprof --bin sweep-bench -- \
+//!     [--threads <n>] [--iters <n>] [--seed <u64>] [--out BENCH_sweep.json]
+//! ```
+//!
+//! For each preset this times the full percolation under both sweep
+//! implementations — `legacy` (flat `OverlapEdge` list, sort-free
+//! re-bucketing copy, HashMap grouping) and `fused` (per-overlap radix
+//! strata, saturating counts, root-indexed grouping) — sequentially and
+//! through the parallel pipeline at `--threads` workers. The "before"
+//! row is `percolate`/`legacy` (the pre-PR default); the "after" row is
+//! `percolate_par`/`fused` (the post-PR default entry point). Median
+//! wall time over `--iters` runs plus one peak-heap measurement through
+//! the `memprof` counting allocator, written as identifier-safe JSON
+//! and committed as `BENCH_sweep.json`.
+
+use cliques::Kernel;
+use cpm::Sweep;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: bench::memprof::CountingAlloc = bench::memprof::CountingAlloc;
+
+struct Record {
+    substrate: String,
+    op: &'static str,
+    sweep: Sweep,
+    threads: usize,
+    median_ns: u128,
+    peak_bytes: usize,
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `iters` runs of `f` and measures one run's peak heap growth.
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, usize) {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_nanos());
+        drop(out);
+    }
+    let (_, peak) = bench::memprof::measure_peak(&mut f);
+    (median_ns(samples), peak)
+}
+
+fn bench_substrate(
+    name: &str,
+    g: &asgraph::Graph,
+    threads: usize,
+    iters: usize,
+    records: &mut Vec<Record>,
+) {
+    for sweep in [Sweep::Legacy, Sweep::Fused] {
+        let mut push = |op, threads, (median_ns, peak_bytes)| {
+            records.push(Record {
+                substrate: name.to_owned(),
+                op,
+                sweep,
+                threads,
+                median_ns,
+                peak_bytes,
+            });
+        };
+        push(
+            "percolate",
+            1,
+            measure(iters, || cpm::percolate_with(g, Kernel::Auto, sweep)),
+        );
+        push(
+            "percolate_par",
+            threads,
+            measure(iters, || {
+                cpm::parallel::percolate_parallel_with(g, threads, Kernel::Auto, sweep)
+            }),
+        );
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string we emit is an identifier-like token; keep the writer
+    // honest anyway.
+    assert!(
+        s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || "-_".contains(c)),
+        "unexpected character in JSON token {s:?}"
+    );
+    s
+}
+
+fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"sweep\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"peak_bytes\": {}}}{}\n",
+            json_escape_free(&r.substrate),
+            json_escape_free(r.op),
+            json_escape_free(&r.sweep.to_string()),
+            r.threads,
+            r.median_ns,
+            r.peak_bytes,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let threads: usize = get("--threads").map_or(4, |v| v.parse().expect("bad --threads"));
+    let iters: usize = get("--iters").map_or(9, |v| v.parse().expect("bad --iters"));
+    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+
+    let substrates: Vec<(&str, asgraph::Graph)> = vec![
+        ("dense60", bench::random_graph(60, 0.5, seed)),
+        ("tiny-internet", bench::tiny_internet(seed).graph),
+        ("small-internet", bench::small_internet(seed).graph),
+    ];
+
+    let mut records = Vec::new();
+    for (name, g) in &substrates {
+        eprintln!(
+            "benching {name}: {} nodes, {} edges ({iters} iters, {threads} threads)",
+            g.node_count(),
+            g.edge_count()
+        );
+        bench_substrate(name, g, threads, iters, &mut records);
+    }
+
+    println!(
+        "{:<16} {:<14} {:<7} {:>3} {:>14} {:>12}",
+        "substrate", "op", "sweep", "thr", "median_ns", "peak_bytes"
+    );
+    for r in &records {
+        println!(
+            "{:<16} {:<14} {:<7} {:>3} {:>14} {:>12}",
+            r.substrate, r.op, r.sweep, r.threads, r.median_ns, r.peak_bytes
+        );
+    }
+    // Before/after summary. "Before" is what the pre-PR binary ran by
+    // default (legacy sequential percolate); "after" is the post-PR
+    // default entry point under the same conditions plus the parallel
+    // headline the acceptance gate checks.
+    for (name, _) in &substrates {
+        let find = |op: &str, sweep: Sweep| {
+            records
+                .iter()
+                .find(|r| r.substrate == *name && r.op == op && r.sweep == sweep)
+        };
+        if let (Some(before), Some(seq), Some(par)) = (
+            find("percolate", Sweep::Legacy),
+            find("percolate", Sweep::Fused),
+            find("percolate_par", Sweep::Fused),
+        ) {
+            println!(
+                "speedup {name}: fused percolate is {:.2}x vs legacy (seq)",
+                before.median_ns as f64 / seq.median_ns.max(1) as f64
+            );
+            println!(
+                "speedup {name}: fused percolate_par ({threads}t) is {:.2}x vs legacy seq percolate",
+                before.median_ns as f64 / par.median_ns.max(1) as f64
+            );
+            println!(
+                "peak {name}: fused percolate uses {:.1}% of legacy ({} vs {} bytes)",
+                100.0 * seq.peak_bytes as f64 / before.peak_bytes.max(1) as f64,
+                seq.peak_bytes,
+                before.peak_bytes
+            );
+        }
+    }
+
+    std::fs::write(&out_path, to_json(&records)).expect("cannot write bench JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -34,6 +34,8 @@ pub enum Command {
         all_k: bool,
         /// Set kernel for enumeration and overlap counting.
         kernel: cliques::Kernel,
+        /// Overlap→union pipeline (fused default, legacy cross-check).
+        sweep: cpm::Sweep,
     },
     /// Print the community tree (Graphviz DOT) to stdout.
     Tree {
@@ -83,6 +85,8 @@ pub enum Command {
         /// Set kernel for the per-replay clique enumeration (live
         /// `--input` sources only; a log replay does no enumeration).
         kernel: cliques::Kernel,
+        /// Overlap→union pipeline (fused default, legacy cross-check).
+        sweep: cpm::Sweep,
     },
     /// Enumerate maximal cliques once and write a replayable clique log.
     CliqueLogBuild {
@@ -119,6 +123,7 @@ kclique-cli — k-clique communities for AS-level topologies
 
 USAGE:
   kclique-cli communities --input <edges> (--k <n> | --all-k) [--kernel auto|bitset|merge]
+                          [--sweep fused|legacy]
   kclique-cli tree        --input <edges> [--min-k <n>]
   kclique-cli stats       --input <edges>
   kclique-cli generate    [--scale tiny|small|default|full] [--seed <u64>] --out <dir>
@@ -126,7 +131,7 @@ USAGE:
   kclique-cli baselines   --input <edges>
   kclique-cli rewire      --input <edges> --output <edges> [--swaps <n>] [--seed <u64>]
   kclique-cli stream-percolate (--input <edges> | --log <file>) (--k <n> | --all-k) [--approx]
-                          [--kernel auto|bitset|merge]
+                          [--kernel auto|bitset|merge] [--sweep fused|legacy]
   kclique-cli clique-log  build --input <edges> --out <file> [--kernel auto|bitset|merge]
   kclique-cli clique-log  info  --log <file>
   kclique-cli help
@@ -135,6 +140,12 @@ The set kernel (--kernel) picks the Bron–Kerbosch / overlap-counting
 representation: `merge` walks sorted adjacency lists, `bitset` uses dense
 word-wise bitmaps, and `auto` (default) chooses per subproblem. Every
 kernel produces identical output; only the speed differs.
+
+The sweep (--sweep) picks the overlap→union pipeline: `fused` (default)
+streams overlap pairs into per-overlap strata and unions them with
+threshold saturation; `legacy` materialises the flat overlap-edge list as
+in the previous release. Both produce identical communities — legacy
+exists as an equivalence cross-check and will be removed.
 ";
 
 impl Command {
@@ -163,6 +174,12 @@ impl Command {
                 None => Ok(cliques::Kernel::Auto),
             }
         };
+        let sweep = || -> Result<cpm::Sweep, String> {
+            match get("--sweep") {
+                Some(v) => v.parse().map_err(|e: String| format!("bad --sweep: {e}")),
+                None => Ok(cpm::Sweep::default()),
+            }
+        };
 
         match sub.as_str() {
             "communities" => {
@@ -188,6 +205,7 @@ impl Command {
                     k,
                     all_k,
                     kernel: kernel()?,
+                    sweep: sweep()?,
                 })
             }
             "tree" => Ok(Command::Tree {
@@ -273,6 +291,7 @@ impl Command {
                     all_k,
                     approx,
                     kernel: kernel()?,
+                    sweep: sweep()?,
                 })
             }
             "clique-log" => match rest.first().map(String::as_str) {
@@ -307,10 +326,11 @@ impl Command {
                 k,
                 all_k,
                 kernel,
+                sweep,
             } => {
                 let g = load_graph(input)?;
                 if *all_k {
-                    let result = cpm::percolate_with_kernel(&g, *kernel);
+                    let result = cpm::percolate_with(&g, *kernel, *sweep);
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
                         let largest = level
@@ -328,7 +348,7 @@ impl Command {
                     print!("{}", table.render());
                 } else {
                     let k = k.expect("parse guarantees k for non-all-k");
-                    let comms = cpm::percolate_at_with_kernel(&g, k as usize, *kernel);
+                    let comms = cpm::percolate_at_with(&g, k as usize, *kernel, *sweep);
                     println!("# {} {k}-clique communities", comms.len());
                     for (i, c) in comms.iter().enumerate() {
                         let ids: Vec<String> = c.iter().map(ToString::to_string).collect();
@@ -490,6 +510,7 @@ impl Command {
                 all_k,
                 approx,
                 kernel,
+                sweep,
             } => {
                 // Both source kinds funnel through the same dyn-dispatch
                 // path; the graph (if any) must outlive the source.
@@ -507,7 +528,8 @@ impl Command {
                     &mut log_src
                 };
                 if *all_k {
-                    let result = cpm_stream::stream_percolate(source).map_err(|e| e.to_string())?;
+                    let result = cpm_stream::stream_percolate_with(source, *sweep)
+                        .map_err(|e| e.to_string())?;
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
                         let largest = level
@@ -530,8 +552,12 @@ impl Command {
                     } else {
                         cpm_stream::Mode::Exact
                     };
-                    let mut p =
-                        cpm_stream::StreamPercolator::with_mode(source.node_count(), k, mode);
+                    let mut p = cpm_stream::StreamPercolator::with_options(
+                        source.node_count(),
+                        k,
+                        mode,
+                        *sweep,
+                    );
                     source
                         .replay(&mut |clique| p.push(clique))
                         .map_err(|e| e.to_string())?;
@@ -624,6 +650,7 @@ mod tests {
                 k: Some(4),
                 all_k: false,
                 kernel: cliques::Kernel::Auto,
+                sweep: cpm::Sweep::Fused,
             }
         );
         let c = parse(&["communities", "--input", "g.txt", "--all-k"]).unwrap();
@@ -656,6 +683,43 @@ mod tests {
             "--k",
             "3",
             "--kernel",
+            "quantum"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn parses_sweep_flag() {
+        for (name, want) in [("fused", cpm::Sweep::Fused), ("legacy", cpm::Sweep::Legacy)] {
+            let c = parse(&[
+                "communities",
+                "--input",
+                "g.txt",
+                "--k",
+                "3",
+                "--sweep",
+                name,
+            ])
+            .unwrap();
+            assert!(matches!(c, Command::Communities { sweep, .. } if sweep == want));
+            let c = parse(&[
+                "stream-percolate",
+                "--input",
+                "g.txt",
+                "--all-k",
+                "--sweep",
+                name,
+            ])
+            .unwrap();
+            assert!(matches!(c, Command::StreamPercolate { sweep, .. } if sweep == want));
+        }
+        assert!(parse(&[
+            "communities",
+            "--input",
+            "g.txt",
+            "--k",
+            "3",
+            "--sweep",
             "quantum"
         ])
         .is_err());
@@ -723,6 +787,7 @@ mod tests {
                 all_k: false,
                 approx: false,
                 kernel: cliques::Kernel::Auto,
+                sweep: cpm::Sweep::Fused,
             }
         );
         let c = parse(&["stream-percolate", "--log", "c.log", "--all-k"]).unwrap();
@@ -805,6 +870,7 @@ mod tests {
                 all_k: false,
                 approx: false,
                 kernel: cliques::Kernel::Auto,
+                sweep: cpm::Sweep::Fused,
             }
             .run()
             .unwrap();
@@ -815,6 +881,7 @@ mod tests {
                 all_k: true,
                 approx: false,
                 kernel: cliques::Kernel::Merge,
+                sweep: cpm::Sweep::Legacy,
             }
             .run()
             .unwrap();
@@ -826,6 +893,7 @@ mod tests {
             all_k: false,
             approx: true,
             kernel: cliques::Kernel::Auto,
+            sweep: cpm::Sweep::Fused,
         }
         .run()
         .unwrap();
@@ -867,6 +935,16 @@ mod tests {
             k: Some(3),
             all_k: false,
             kernel: cliques::Kernel::Auto,
+            sweep: cpm::Sweep::Fused,
+        }
+        .run()
+        .unwrap();
+        Command::Communities {
+            input: edges.clone(),
+            k: None,
+            all_k: true,
+            kernel: cliques::Kernel::Auto,
+            sweep: cpm::Sweep::Legacy,
         }
         .run()
         .unwrap();

@@ -38,20 +38,29 @@
 
 pub mod directed;
 mod dsu;
+mod dsu_concurrent;
 pub mod naive;
 pub mod overlap;
 pub mod parallel;
 mod percolation;
 mod result;
 pub mod scp;
+mod sweep;
 pub mod weighted;
 
 pub use dsu::Dsu;
+pub use dsu_concurrent::ConcurrentDsu;
 pub use overlap::{
-    build_vertex_index, overlap_edges, overlap_edges_with, OverlapEdge, VertexCliqueIndex,
+    build_vertex_index, build_vertex_index_min_size, overlap_edges, overlap_edges_with,
+    OverlapEdge, VertexCliqueIndex,
 };
 pub use percolation::{
-    percolate, percolate_at, percolate_at_with_kernel, percolate_with_cliques,
-    percolate_with_cliques_kernel, percolate_with_kernel,
+    percolate, percolate_at, percolate_at_with, percolate_at_with_kernel, percolate_from_overlaps,
+    percolate_with, percolate_with_cliques, percolate_with_cliques_kernel,
+    percolate_with_cliques_sweep, percolate_with_kernel,
 };
 pub use result::{canonical_members, Community, CommunityId, CpmResult, KLevel};
+pub use sweep::{
+    overlap_strata, overlap_strata_min, overlap_strata_with, percolate_from_strata, OverlapStrata,
+    Sweep,
+};

@@ -13,7 +13,11 @@
 //! - **merge** — the classic counting pass: per clique `i`, bump a
 //!   clique-indexed counter for every posting of every member. Each
 //!   increment is a random read-modify-write into a `cliques.len()`-sized
-//!   array plus first-touch bookkeeping.
+//!   array plus first-touch bookkeeping. On graphs small enough that a
+//!   clique fits one machine word (≤ 64 vertices) the counting pass is
+//!   replaced by a word-parallel scan: every clique becomes a `u64`
+//!   member mask and `|C_i ∩ C_j|` is a single `popcount(and)` over a
+//!   table that fits in L1 — no postings, no counter traffic.
 //! - **bitset** — the clique's members become a bitmap over the vertex
 //!   space; candidate cliques are *discovered* with a stamp array (one
 //!   branch per posting, no counter RMW) and each candidate's overlap is
@@ -86,8 +90,29 @@ impl VertexCliqueIndex {
 ///
 /// Panics if a clique member is `>= n`.
 pub fn build_vertex_index(cliques: &CliqueSet, n: usize) -> VertexCliqueIndex {
+    build_vertex_index_min_size(cliques, n, 0)
+}
+
+/// [`build_vertex_index`] restricted to cliques of size ≥ `min_size`.
+///
+/// Single-level percolation at `k` only ever joins cliques of size ≥ `k`
+/// (smaller cliques cannot reach overlap `k−1`), so indexing them is
+/// wasted postings; this builder drops them up front. Lists remain in
+/// ascending clique-id order.
+///
+/// # Panics
+///
+/// Panics if a clique member is `>= n`.
+pub fn build_vertex_index_min_size(
+    cliques: &CliqueSet,
+    n: usize,
+    min_size: usize,
+) -> VertexCliqueIndex {
     let mut lists = vec![Vec::new(); n];
     for (i, c) in cliques.iter().enumerate() {
+        if c.len() < min_size {
+            continue;
+        }
         for &v in c {
             lists[v as usize].push(i as u32);
         }
@@ -111,14 +136,23 @@ pub fn overlap_edges_with(
     kernel: Kernel,
 ) -> Vec<OverlapEdge> {
     let mut edges = Vec::new();
-    let mut scratch = OverlapScratch::new(cliques, overlap_uses_bitset(kernel, cliques));
+    let mut scratch = OverlapScratch::for_kernel(cliques, kernel);
     for i in 0..cliques.len() {
-        scratch.count_overlaps_of(cliques, index, i as u32, &mut edges);
+        scratch.count_overlaps_of(cliques, index, i as u32, |a, b, overlap| {
+            edges.push(OverlapEdge { a, b, overlap });
+        });
     }
     edges
 }
 
 const UNSTAMPED: u32 = u32::MAX;
+
+/// Upper clique-count bound for the word-parallel merge path. The
+/// all-pairs mask scan does `len²/2` popcounts; on pathological ≤ 64
+/// vertex inputs with enormous clique counts (Moon–Moser style) that
+/// would lose to the postings walk, so cap where the scan stays
+/// comfortably ahead (8192² / 2 ≈ 33 M cheap ops).
+const MASK_PATH_MAX_CLIQUES: usize = 1 << 13;
 
 /// Per-worker scratch state for overlap counting — one instance per
 /// thread in the parallel construction.
@@ -136,16 +170,34 @@ pub(crate) struct OverlapScratch {
     stamp: Vec<u32>,
     /// Candidate cliques touched by the current clique.
     touched: Vec<u32>,
+    /// merge kernel, ≤ 64 vertex graphs: one member mask per clique, so
+    /// overlaps are single popcounts (empty when the path is disabled).
+    masks: Vec<u64>,
     use_bitset: bool,
 }
 
 impl OverlapScratch {
+    /// Scratch sized for `cliques`, choosing the counting loop `kernel`
+    /// selects.
+    pub(crate) fn for_kernel(cliques: &CliqueSet, kernel: Kernel) -> Self {
+        OverlapScratch::new(cliques, overlap_uses_bitset(kernel, cliques))
+    }
+
     pub(crate) fn new(cliques: &CliqueSet, use_bitset: bool) -> Self {
         // The vertex space bound: members are dense node ids; the index is
         // built over `n >= max id + 1`, and so is the bitmap.
         let max_vertex = cliques.iter().flatten().copied().max().map_or(0, |v| v + 1);
+        let masks: Vec<u64> =
+            if !use_bitset && max_vertex <= 64 && cliques.len() <= MASK_PATH_MAX_CLIQUES {
+                cliques
+                    .iter()
+                    .map(|c| c.iter().fold(0u64, |m, &v| m | 1u64 << v))
+                    .collect()
+            } else {
+                Vec::new()
+            };
         OverlapScratch {
-            counts: if use_bitset {
+            counts: if use_bitset || !masks.is_empty() {
                 Vec::new()
             } else {
                 vec![0; cliques.len()]
@@ -161,23 +213,30 @@ impl OverlapScratch {
                 Vec::new()
             },
             touched: Vec::new(),
+            masks,
             use_bitset,
         }
     }
 
     /// Counts the overlaps of clique `i` against all cliques with larger
-    /// id, appending the resulting edges in ascending `b` order.
+    /// id, calling `emit(i, j, overlap)` once per overlapping pair in
+    /// ascending `j` order.
+    ///
+    /// The sink form (rather than a `Vec<OverlapEdge>` out-parameter)
+    /// lets callers route pairs wherever they go next — a flat edge list
+    /// for the legacy pipeline, per-overlap strata for the fused one —
+    /// without an intermediate copy.
     pub(crate) fn count_overlaps_of(
         &mut self,
         cliques: &CliqueSet,
         index: &VertexCliqueIndex,
         i: u32,
-        edges: &mut Vec<OverlapEdge>,
+        emit: impl FnMut(u32, u32, u32),
     ) {
         if self.use_bitset {
-            self.count_bitset(cliques, index, i, edges);
+            self.count_bitset(cliques, index, i, emit);
         } else {
-            self.count_merge(cliques, index, i, edges);
+            self.count_merge(cliques, index, i, emit);
         }
     }
 
@@ -186,26 +245,40 @@ impl OverlapScratch {
         cliques: &CliqueSet,
         index: &VertexCliqueIndex,
         i: u32,
-        edges: &mut Vec<OverlapEdge>,
+        mut emit: impl FnMut(u32, u32, u32),
     ) {
+        if !self.masks.is_empty() {
+            // Word-parallel path: the mask table is L1-resident and the
+            // scan is branch-light (on dense substrates almost every
+            // pair overlaps), so this beats walking postings even
+            // though it visits non-overlapping pairs too.
+            let mi = self.masks[i as usize];
+            for (dj, &mj) in self.masks[i as usize + 1..].iter().enumerate() {
+                let o = (mi & mj).count_ones();
+                if o > 0 {
+                    emit(i, i + 1 + dj as u32, o);
+                }
+            }
+            return;
+        }
         self.touched.clear();
         for &v in cliques.get(i as usize) {
-            for &j in index.cliques_of(v) {
-                if j > i {
-                    if self.counts[j as usize] == 0 {
-                        self.touched.push(j);
-                    }
-                    self.counts[j as usize] += 1;
+            let posts = index.cliques_of(v);
+            // Postings are ascending (the index is filled in clique-id
+            // order), so binary-search to the `> i` suffix instead of
+            // testing every posting — on average this halves the scan of
+            // the hottest loop in the pipeline.
+            let start = posts.partition_point(|&j| j <= i);
+            for &j in &posts[start..] {
+                if self.counts[j as usize] == 0 {
+                    self.touched.push(j);
                 }
+                self.counts[j as usize] += 1;
             }
         }
         self.touched.sort_unstable();
         for &j in &self.touched {
-            edges.push(OverlapEdge {
-                a: i,
-                b: j,
-                overlap: self.counts[j as usize],
-            });
+            emit(i, j, self.counts[j as usize]);
             self.counts[j as usize] = 0;
         }
     }
@@ -215,11 +288,13 @@ impl OverlapScratch {
         cliques: &CliqueSet,
         index: &VertexCliqueIndex,
         i: u32,
-        edges: &mut Vec<OverlapEdge>,
+        mut emit: impl FnMut(u32, u32, u32),
     ) {
         self.touched.clear();
         let ci = cliques.get(i as usize);
         // Discovery: one stamp test per posting, no counter traffic.
+        // Deliberately the full-walk form (no partition_point), so the
+        // two kernels stay independently-implemented cross-checks.
         for &v in ci {
             for &j in index.cliques_of(v) {
                 if j > i && self.stamp[j as usize] != i {
@@ -242,11 +317,7 @@ impl OverlapScratch {
                 .iter()
                 .map(|&u| ((self.bits[(u >> 6) as usize] >> (u & 63)) & 1) as u32)
                 .sum();
-            edges.push(OverlapEdge {
-                a: i,
-                b: j,
-                overlap,
-            });
+            emit(i, j, overlap);
         }
         for &v in ci {
             self.bits[(v >> 6) as usize] = 0;

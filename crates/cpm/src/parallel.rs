@@ -8,21 +8,30 @@
 //!
 //! 1. maximal cliques: the degeneracy outer loop under an atomic-counter
 //!    work-stealing deal (delegated to [`cliques::parallel`]);
-//! 2. overlap edges: clique ids claimed in chunks of [`OVERLAP_CHUNK`]
+//! 2. overlap counting: clique ids claimed in chunks of [`OVERLAP_CHUNK`]
 //!    from a shared counter, each worker with its own scratch kernel
-//!    state; per-chunk edge buffers are reassembled in chunk order, so
-//!    the edge list is *identical* to the sequential construction —
-//!    independent of thread count and scheduling races;
-//! 3. the descending-k DSU sweep runs sequentially (linear, negligible).
+//!    state; per-chunk outputs are reassembled in chunk order, so the
+//!    result is *identical* to the sequential construction — independent
+//!    of thread count and scheduling races. Under the default
+//!    [`Sweep::Fused`] workers emit straight into per-chunk overlap
+//!    strata; under [`Sweep::Legacy`] into flat edge buffers;
+//! 3. the descending-k sweep: under [`Sweep::Fused`] each stratum is
+//!    drained across threads over a lock-free [`ConcurrentDsu`], with a
+//!    barrier between strata ([`percolate_from_strata_parallel`]); under
+//!    [`Sweep::Legacy`] it runs sequentially as in PR 2.
 //!
 //! Output is bit-identical to the sequential [`crate::percolate`]; the
 //! tests assert it and the bench suite measures the speedup.
 
+use crate::dsu_concurrent::ConcurrentDsu;
 use crate::overlap::{
     build_vertex_index, overlap_uses_bitset, OverlapEdge, OverlapScratch, VertexCliqueIndex,
 };
-use crate::percolation::percolate_from_overlaps;
-use crate::result::CpmResult;
+use crate::percolation::{percolate_from_overlaps, LevelSnapshotter};
+use crate::result::{CpmResult, KLevel};
+use crate::sweep::{
+    chain_union_postings, overlap_strata_min, percolate_from_strata, OverlapStrata, Sweep,
+};
 use asgraph::Graph;
 use cliques::{CliqueSet, Kernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,6 +41,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// subproblem, so chunks are coarser than the enumerator's to keep the
 /// shared counter cold.
 pub const OVERLAP_CHUNK: usize = 256;
+
+/// Stratum pairs claimed per `fetch_add` while draining one overlap
+/// stratum into the concurrent union–find. A union is a handful of
+/// atomic ops, so chunks are coarse to keep the shared counter out of
+/// the way.
+pub const UNION_CHUNK: usize = 2048;
+
+/// Below this many pairs a stratum is drained on the calling thread:
+/// spawning a scope costs more than the unions.
+const PAR_UNION_MIN: usize = 4 * UNION_CHUNK;
 
 /// Runs the full CPM pipeline with `threads` workers and the default
 /// [`Kernel::Auto`] set kernel.
@@ -62,14 +81,46 @@ pub fn percolate_parallel(g: &Graph, threads: usize) -> CpmResult {
 ///
 /// Panics if `threads == 0`.
 pub fn percolate_parallel_with_kernel(g: &Graph, threads: usize, kernel: Kernel) -> CpmResult {
+    percolate_parallel_with(g, threads, kernel, Sweep::default())
+}
+
+/// [`percolate_parallel`] with explicit [`Kernel`] and [`Sweep`]. The
+/// result is identical whatever the kernel, sweep, or thread count.
+///
+/// Under [`Sweep::Fused`] *every* phase after enumeration is parallel
+/// too: overlap counting emits straight into per-chunk strata, and the
+/// percolation drains each stratum across threads over a
+/// [`ConcurrentDsu`] (see [`percolate_from_strata_parallel`]). Under
+/// [`Sweep::Legacy`] the PR-2 pipeline runs: parallel flat edge list,
+/// sequential sweep.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn percolate_parallel_with(
+    g: &Graph,
+    threads: usize,
+    kernel: Kernel,
+    sweep: Sweep,
+) -> CpmResult {
     assert!(threads > 0, "need at least one thread");
     let mut cliques = cliques::parallel::max_cliques_parallel_with(g, threads, kernel);
     // Same canonicalisation entry point as the sequential path: the
     // result is then identical whatever the thread count.
     cliques.canonicalize();
     let index = build_vertex_index(&cliques, g.node_count());
-    let edges = overlap_edges_parallel_with(&cliques, &index, threads, kernel);
-    percolate_from_overlaps(cliques, edges)
+    match sweep {
+        Sweep::Fused => {
+            // min_overlap = 2: the o = 1 stratum is never stored — the
+            // k = 2 level is chained straight off the posting lists.
+            let strata = overlap_strata_parallel_min(&cliques, &index, threads, kernel, 2);
+            percolate_from_strata_parallel(cliques, strata, threads, &index)
+        }
+        Sweep::Legacy => {
+            let edges = overlap_edges_parallel_with(&cliques, &index, threads, kernel);
+            percolate_from_overlaps(cliques, edges)
+        }
+    }
 }
 
 /// Computes all clique-overlap edges with `threads` workers and the
@@ -108,7 +159,9 @@ pub fn overlap_edges_parallel_with(
         let mut edges = Vec::new();
         let mut scratch = OverlapScratch::new(cliques, use_bitset);
         for i in 0..n {
-            scratch.count_overlaps_of(cliques, index, i as u32, &mut edges);
+            scratch.count_overlaps_of(cliques, index, i as u32, |a, b, overlap| {
+                edges.push(OverlapEdge { a, b, overlap });
+            });
         }
         return edges;
     }
@@ -130,7 +183,9 @@ pub fn overlap_edges_parallel_with(
                     let end = (start + OVERLAP_CHUNK).min(n);
                     let mut edges = Vec::new();
                     for i in start..end {
-                        scratch.count_overlaps_of(cliques, index, i as u32, &mut edges);
+                        scratch.count_overlaps_of(cliques, index, i as u32, |a, b, overlap| {
+                            edges.push(OverlapEdge { a, b, overlap });
+                        });
                     }
                     local.push((start, edges));
                 }
@@ -152,11 +207,204 @@ pub fn overlap_edges_parallel_with(
     edges
 }
 
+/// Computes the overlap stratification with `threads` workers and the
+/// default [`Kernel::Auto`].
+///
+/// Identical — stratum for stratum, pair for pair, in order — to the
+/// sequential [`crate::overlap_strata`]: workers emit into per-chunk
+/// mini-strata which are concatenated in ascending chunk order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn overlap_strata_parallel(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    threads: usize,
+) -> OverlapStrata {
+    overlap_strata_parallel_with(cliques, index, threads, Kernel::Auto)
+}
+
+/// [`overlap_strata_parallel`] with an explicit counting [`Kernel`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn overlap_strata_parallel_with(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    threads: usize,
+    kernel: Kernel,
+) -> OverlapStrata {
+    overlap_strata_parallel_min(cliques, index, threads, kernel, 1)
+}
+
+/// [`overlap_strata_parallel_with`] restricted to pairs with overlap ≥
+/// `min_overlap` (see [`crate::overlap_strata_min`] for why the fused
+/// pipeline passes 2).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn overlap_strata_parallel_min(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    threads: usize,
+    kernel: Kernel,
+    min_overlap: u32,
+) -> OverlapStrata {
+    assert!(threads > 0, "need at least one thread");
+    let n = cliques.len();
+    if threads == 1 || n < 2 * threads {
+        return overlap_strata_min(cliques, index, kernel, min_overlap);
+    }
+
+    let max_size = cliques.max_size();
+    let use_bitset = overlap_uses_bitset(kernel, cliques);
+    let next = AtomicUsize::new(0);
+    let next_ref = &next;
+    let mut chunks: Vec<(usize, OverlapStrata)> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<(usize, OverlapStrata)> = Vec::new();
+                let mut scratch = OverlapScratch::new(cliques, use_bitset);
+                loop {
+                    let start = next_ref.fetch_add(OVERLAP_CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + OVERLAP_CHUNK).min(n);
+                    let mut strata = OverlapStrata::new(max_size);
+                    for i in start..end {
+                        scratch.count_overlaps_of(cliques, index, i as u32, |a, b, o| {
+                            strata.push(a, b, o);
+                        });
+                        // Unconditional emit + per-clique discard: see
+                        // `clear_below`.
+                        strata.clear_below(min_overlap);
+                    }
+                    local.push((start, strata));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            chunks.extend(h.join().expect("overlap worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    // Chunk-ordered reassembly, one exact-capacity allocation per
+    // stratum; chunks are dropped as they are absorbed, so the peak is
+    // one copy of the pairs plus the largest in-flight chunk.
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut strata = OverlapStrata::new(max_size);
+    for o in 1..max_size {
+        let total: usize = chunks.iter().map(|(_, c)| c.stratum(o).len()).sum();
+        strata.reserve(o, total);
+    }
+    for (_, mut chunk) in chunks {
+        strata.absorb(&mut chunk);
+    }
+    strata
+}
+
+/// The parallel fused sweep: descending k, each stratum drained across
+/// `threads` workers over a lock-free [`ConcurrentDsu`], with the
+/// crossbeam scope join as the barrier between strata.
+///
+/// The barrier is what preserves Theorem 1: each level's communities and
+/// the previous level's parent links are snapshotted from quiescent
+/// union–find state, after stratum `k−1` has fully drained and before
+/// stratum `k−2` starts. Within a stratum, union order is free —
+/// union–find is confluent, and union-by-index makes even the *roots*
+/// deterministic (the minimum clique id of each component), so the
+/// result is bit-identical to the sequential
+/// [`crate::percolate_from_strata`] at every thread count.
+///
+/// As in the sequential sweep, `index` must be the unfiltered inverted
+/// index of `cliques`: it supplies the k = 2 level (posting-list
+/// chaining) and stratum 1 is ignored.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn percolate_from_strata_parallel(
+    cliques: CliqueSet,
+    mut strata: OverlapStrata,
+    threads: usize,
+    index: &VertexCliqueIndex,
+) -> CpmResult {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 {
+        return percolate_from_strata(cliques, strata, index);
+    }
+    let k_max = cliques.max_size();
+    if k_max < 2 {
+        return CpmResult {
+            cliques,
+            levels: Vec::new(),
+        };
+    }
+
+    let dsu = ConcurrentDsu::new(cliques.len());
+    let mut snap = LevelSnapshotter::new(cliques.len());
+    let mut levels_desc: Vec<KLevel> = Vec::with_capacity(k_max - 1);
+    for k in (3..=k_max).rev() {
+        let pairs = strata.take(k - 1);
+        if pairs.len() < PAR_UNION_MIN {
+            for &(a, b) in &pairs {
+                dsu.union(a, b);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (next_ref, pairs_ref, dsu_ref) = (&next, pairs.as_slice(), &dsu);
+            crossbeam::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(move |_| loop {
+                        let start = next_ref.fetch_add(UNION_CHUNK, Ordering::Relaxed);
+                        if start >= pairs_ref.len() {
+                            break;
+                        }
+                        let end = (start + UNION_CHUNK).min(pairs_ref.len());
+                        for &(a, b) in &pairs_ref[start..end] {
+                            dsu_ref.union(a, b);
+                        }
+                    });
+                }
+                // Scope join = the per-stratum barrier: every union of
+                // stratum k−1 happens-before the snapshot below.
+            })
+            .expect("union worker panicked");
+        }
+        drop(pairs);
+        let level = snap.snapshot(&cliques, k, &mut |x| dsu.find(x), levels_desc.last_mut());
+        levels_desc.push(level);
+    }
+    // k = 2 off the posting lists, as in the sequential sweep. The
+    // chain is Σ |postings| unions — far below PAR_UNION_MIN territory
+    // in practice — so it runs inline on the calling thread.
+    drop(strata.take(1));
+    chain_union_postings(index, &mut |a, b| {
+        dsu.union(a, b);
+    });
+    let level = snap.snapshot(&cliques, 2, &mut |x| dsu.find(x), levels_desc.last_mut());
+    levels_desc.push(level);
+    levels_desc.reverse();
+    CpmResult {
+        cliques,
+        levels: levels_desc,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::overlap::{overlap_edges, overlap_edges_with};
     use crate::percolate;
+    use crate::sweep::overlap_strata_with;
 
     fn random_graph(n: u32, p: f64, seed: u64) -> Graph {
         use rand::prelude::*;
@@ -206,6 +454,62 @@ mod tests {
             ms.sort();
             mp.sort();
             assert_eq!(ms, mp, "level {}", ls.k);
+        }
+    }
+
+    #[test]
+    fn parallel_strata_match_sequential_exactly() {
+        let g = random_graph(50, 0.2, 3);
+        let cliques = cliques::max_cliques(&g);
+        let index = build_vertex_index(&cliques, g.node_count());
+        for kernel in [Kernel::Auto, Kernel::Bitset, Kernel::Merge] {
+            let seq = overlap_strata_with(&cliques, &index, kernel);
+            for threads in 1..=4 {
+                let par = overlap_strata_parallel_with(&cliques, &index, threads, kernel);
+                // Chunk-ordered reassembly: same strata, same order.
+                assert_eq!(seq, par, "kernel {kernel}, threads {threads}");
+            }
+        }
+        assert_eq!(
+            crate::overlap_strata(&cliques, &index),
+            overlap_strata_parallel(&cliques, &index, 4)
+        );
+    }
+
+    #[test]
+    fn fused_and_legacy_parallel_sweeps_are_bit_identical() {
+        let g = random_graph(60, 0.15, 9);
+        let reference = percolate(&g);
+        for threads in [1, 2, 3, 7] {
+            for sweep in [Sweep::Fused, Sweep::Legacy] {
+                let par = percolate_parallel_with(&g, threads, Kernel::Auto, sweep);
+                assert_eq!(reference.cliques, par.cliques, "{sweep}, threads {threads}");
+                assert_eq!(reference.levels, par.levels, "{sweep}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn strata_sweep_crosses_the_parallel_union_threshold() {
+        // Force the multi-threaded stratum drain (pairs >= PAR_UNION_MIN),
+        // not just the small-stratum sequential fallback: a chain of
+        // 3-cliques {i, i+1, i+2} puts every consecutive pair in stratum
+        // 2 (the smallest stratum the sweep drains from pairs — o = 1
+        // comes off the posting lists), and the chain is long enough to
+        // clear the threshold.
+        let n = 2 * PAR_UNION_MIN as u32;
+        let mut cliques = CliqueSet::new();
+        for i in 0..n {
+            cliques.push(&[i, i + 1, i + 2]);
+        }
+        let index = build_vertex_index(&cliques, n as usize + 2);
+        let strata = crate::overlap_strata(&cliques, &index);
+        assert!(strata.stratum(2).len() >= PAR_UNION_MIN);
+        let seq = percolate_from_strata(cliques.clone(), strata.clone(), &index);
+        let par = percolate_from_strata_parallel(cliques, strata, 4, &index);
+        assert_eq!(seq.levels, par.levels);
+        for level in &par.levels {
+            assert_eq!(level.communities.len(), 1, "chain fully merges at every k");
         }
     }
 

@@ -20,11 +20,13 @@
 //! `tests/oracle.rs` verify this against the literal definition.
 
 use crate::dsu::Dsu;
-use crate::overlap::{build_vertex_index, overlap_edges_with, OverlapEdge};
+use crate::overlap::{
+    build_vertex_index, build_vertex_index_min_size, overlap_edges_with, OverlapEdge,
+};
 use crate::result::{Community, CpmResult, KLevel};
+use crate::sweep::{overlap_strata_min, percolate_from_strata, Sweep};
 use asgraph::{Graph, NodeId};
 use cliques::{CliqueSet, Kernel};
-use std::collections::HashMap;
 
 /// Runs clique percolation on `g`, producing the communities of every
 /// `k` from 2 to the largest clique size and their tree links.
@@ -50,8 +52,15 @@ pub fn percolate(g: &Graph) -> CpmResult {
 /// enumeration and overlap counting phases. Every kernel produces an
 /// identical result; only the running time differs.
 pub fn percolate_with_kernel(g: &Graph, kernel: Kernel) -> CpmResult {
+    percolate_with(g, kernel, Sweep::default())
+}
+
+/// [`percolate`] with an explicit [`Kernel`] *and* [`Sweep`]. Every
+/// combination produces a bit-identical result; kernel and sweep only
+/// change speed and peak memory.
+pub fn percolate_with(g: &Graph, kernel: Kernel, sweep: Sweep) -> CpmResult {
     let cliques = cliques::max_cliques_with(g, kernel);
-    percolate_with_cliques_kernel(g.node_count(), cliques, kernel)
+    percolate_with_cliques_sweep(g.node_count(), cliques, kernel, sweep)
 }
 
 /// Runs percolation on pre-computed maximal cliques (e.g. from the
@@ -71,18 +80,38 @@ pub fn percolate_with_cliques(n: usize, cliques: CliqueSet) -> CpmResult {
 /// # Panics
 ///
 /// Panics if a clique member id is `>= n`.
-pub fn percolate_with_cliques_kernel(
+pub fn percolate_with_cliques_kernel(n: usize, cliques: CliqueSet, kernel: Kernel) -> CpmResult {
+    percolate_with_cliques_sweep(n, cliques, kernel, Sweep::default())
+}
+
+/// [`percolate_with_cliques`] with explicit [`Kernel`] and [`Sweep`].
+///
+/// # Panics
+///
+/// Panics if a clique member id is `>= n`.
+pub fn percolate_with_cliques_sweep(
     n: usize,
     mut cliques: CliqueSet,
     kernel: Kernel,
+    sweep: Sweep,
 ) -> CpmResult {
     // Canonical clique order makes community indices (and hence the
     // whole result) independent of how the cliques were enumerated —
     // sequential and parallel pipelines yield identical results.
     cliques.canonicalize();
     let index = build_vertex_index(&cliques, n);
-    let edges = overlap_edges_with(&cliques, &index, kernel);
-    percolate_from_overlaps(cliques, edges)
+    match sweep {
+        Sweep::Fused => {
+            // min_overlap = 2: k = 2 is chained off the posting lists
+            // inside the sweep, so o = 1 pairs are never stored.
+            let strata = overlap_strata_min(&cliques, &index, kernel, 2);
+            percolate_from_strata(cliques, strata, &index)
+        }
+        Sweep::Legacy => {
+            let edges = overlap_edges_with(&cliques, &index, kernel);
+            percolate_from_overlaps(cliques, edges)
+        }
+    }
 }
 
 /// Computes the k-clique communities of a single level without building
@@ -107,40 +136,110 @@ pub fn percolate_at(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
 /// [`percolate_at`] with an explicit set [`Kernel`]. The communities are
 /// identical whatever the kernel.
 pub fn percolate_at_with_kernel(g: &Graph, k: usize, kernel: Kernel) -> Vec<Vec<NodeId>> {
+    percolate_at_with(g, k, kernel, Sweep::default())
+}
+
+/// [`percolate_at`] with explicit [`Kernel`] and [`Sweep`].
+///
+/// The fused path never materialises overlap edges at all: it counts
+/// with saturation at the threshold `k−1` (counts are only ever *used*
+/// thresholded here), unions the moment a pair saturates, skips pairs
+/// already known connected, and only indexes cliques of size ≥ `k`
+/// (smaller cliques cannot reach the threshold).
+pub fn percolate_at_with(g: &Graph, k: usize, kernel: Kernel, sweep: Sweep) -> Vec<Vec<NodeId>> {
     if k < 2 {
         return Vec::new();
     }
     let mut cliques = cliques::max_cliques_with(g, kernel);
     cliques.canonicalize();
-    let index = build_vertex_index(&cliques, g.node_count());
-    let edges = overlap_edges_with(&cliques, &index, kernel);
 
     let mut dsu = Dsu::new(cliques.len());
-    for e in &edges {
-        if e.overlap as usize >= k - 1 {
-            dsu.union(e.a, e.b);
+    match sweep {
+        Sweep::Fused => {
+            // Overlap ≥ k−1 forces both sizes ≥ k, so undersized cliques
+            // can neither join nor mediate a union: drop their postings.
+            let index = build_vertex_index_min_size(&cliques, g.node_count(), k);
+            let need = (k - 1) as u32;
+            let mut counts = vec![0u32; cliques.len()];
+            let mut touched: Vec<u32> = Vec::new();
+            for i in 0..cliques.len() {
+                if cliques.size(i) < k {
+                    continue;
+                }
+                let iu = i as u32;
+                for &v in cliques.get(i) {
+                    let posts = index.cliques_of(v);
+                    let start = posts.partition_point(|&j| j <= iu);
+                    for &j in &posts[start..] {
+                        let c = &mut counts[j as usize];
+                        if *c == 0 {
+                            touched.push(j);
+                            // DSU-aware prune: an already-connected pair
+                            // has nothing left to prove — saturate it so
+                            // every later posting is one compare.
+                            if dsu.same(iu, j) {
+                                *c = need;
+                                continue;
+                            }
+                        }
+                        if *c < need {
+                            *c += 1;
+                            if *c == need {
+                                dsu.union(iu, j);
+                            }
+                        }
+                    }
+                }
+                for &j in &touched {
+                    counts[j as usize] = 0;
+                }
+                touched.clear();
+            }
+        }
+        Sweep::Legacy => {
+            let index = build_vertex_index(&cliques, g.node_count());
+            let edges = overlap_edges_with(&cliques, &index, kernel);
+            for e in &edges {
+                if e.overlap as usize >= k - 1 {
+                    dsu.union(e.a, e.b);
+                }
+            }
         }
     }
-    let mut groups: HashMap<u32, Vec<NodeId>> = HashMap::new();
+
+    // Root-indexed compaction: one find per active clique, no hashing.
+    let mut group_of_root = vec![u32::MAX; cliques.len()];
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
     for i in 0..cliques.len() {
         if cliques.size(i) < k {
             continue;
         }
-        groups
-            .entry(dsu.find(i as u32))
-            .or_default()
-            .extend_from_slice(cliques.get(i));
+        let root = dsu.find(i as u32) as usize;
+        let gi = if group_of_root[root] == u32::MAX {
+            group_of_root[root] = groups.len() as u32;
+            groups.push(Vec::new());
+            groups.len() - 1
+        } else {
+            group_of_root[root] as usize
+        };
+        groups[gi].extend_from_slice(cliques.get(i));
     }
     let mut out: Vec<Vec<NodeId>> = groups
-        .into_values()
+        .into_iter()
         .map(crate::result::canonical_members)
         .collect();
     out.sort_unstable();
     out
 }
 
-/// The sweep itself, given cliques and their overlap edges.
-pub(crate) fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge>) -> CpmResult {
+/// The legacy sweep, given cliques and their flat overlap-edge list.
+///
+/// Re-buckets the edges by overlap, then runs the same descending-k
+/// drain as [`percolate_from_strata`](crate::percolate_from_strata) —
+/// the flat list plus the re-bucket copy is exactly the memory the fused
+/// sweep avoids. Kept public for one release as the equivalence
+/// cross-check behind `--sweep legacy`.
+pub fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge>) -> CpmResult {
     let k_max = cliques.max_size();
     if k_max < 2 {
         return CpmResult {
@@ -149,12 +248,8 @@ pub(crate) fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge
         };
     }
 
-    // Bucket cliques by size and edges by overlap so each is activated
+    // Re-bucket the flat list by overlap so each edge is activated
     // exactly once during the descending sweep.
-    let mut cliques_of_size: Vec<Vec<u32>> = vec![Vec::new(); k_max + 1];
-    for i in 0..cliques.len() {
-        cliques_of_size[cliques.size(i)].push(i as u32);
-    }
     let mut edges_of_overlap: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k_max];
     for e in edges {
         debug_assert!(
@@ -166,7 +261,8 @@ pub(crate) fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge
     }
 
     let mut dsu = Dsu::new(cliques.len());
-    let mut levels_desc: Vec<KLevel> = Vec::new();
+    let mut snap = LevelSnapshotter::new(cliques.len());
+    let mut levels_desc: Vec<KLevel> = Vec::with_capacity(k_max - 1);
 
     for k in (2..=k_max).rev() {
         // Activate edges with overlap == k-1 (larger overlaps were
@@ -176,25 +272,77 @@ pub(crate) fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge
         for &(a, b) in &edges_of_overlap[k - 1] {
             dsu.union(a, b);
         }
+        let level = snap.snapshot(&cliques, k, &mut |x| dsu.find(x), levels_desc.last_mut());
+        levels_desc.push(level);
+    }
 
-        // Snapshot: group active cliques (size >= k) by DSU root.
-        // Iterating clique ids in ascending order makes community indices
-        // deterministic regardless of union order.
-        let mut root_to_idx: HashMap<u32, u32> = HashMap::new();
+    levels_desc.reverse();
+    CpmResult {
+        cliques,
+        levels: levels_desc,
+    }
+}
+
+/// Shared level-construction state for the multi-k sweeps: groups the
+/// active cliques of one level by union–find root and wires the
+/// Theorem-1 parent links of the level above.
+///
+/// Replaces the old per-level `HashMap<root, idx>` with a root-indexed
+/// `Vec` plus an epoch stamp — one `find` per active clique, no hashing,
+/// no per-level allocation (the two arrays are reused across levels).
+/// Community indices are assigned first-seen-root in ascending clique-id
+/// order, which keeps the result independent of union order, DSU root
+/// identity, and thread count.
+pub(crate) struct LevelSnapshotter {
+    /// `idx_of_root[r]` = community index for root `r` at the current
+    /// level; only valid where `stamp[r] == epoch`.
+    idx_of_root: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl LevelSnapshotter {
+    pub(crate) fn new(num_cliques: usize) -> Self {
+        LevelSnapshotter {
+            idx_of_root: vec![0; num_cliques],
+            stamp: vec![u32::MAX; num_cliques],
+            epoch: 0,
+        }
+    }
+
+    /// Builds level `k` from the current union–find state (queried via
+    /// `find`), linking `prev` — the level `k+1` snapshot, if any — to
+    /// its parents per Theorem 1.
+    ///
+    /// Must be called on quiescent union–find state: in the parallel
+    /// sweep this runs after the per-stratum barrier.
+    pub(crate) fn snapshot(
+        &mut self,
+        cliques: &CliqueSet,
+        k: usize,
+        find: &mut dyn FnMut(u32) -> u32,
+        prev: Option<&mut KLevel>,
+    ) -> KLevel {
+        self.epoch += 1;
         let mut communities: Vec<Community> = Vec::new();
         for i in 0..cliques.len() {
             if cliques.size(i) < k {
                 continue;
             }
-            let root = dsu.find(i as u32);
-            let idx = *root_to_idx.entry(root).or_insert_with(|| {
+            let root = find(i as u32) as usize;
+            let idx = if self.stamp[root] == self.epoch {
+                self.idx_of_root[root]
+            } else {
+                self.stamp[root] = self.epoch;
+                let idx = communities.len() as u32;
+                self.idx_of_root[root] = idx;
                 communities.push(Community {
                     members: Vec::new(),
                     clique_ids: Vec::new(),
                     parent: None,
                 });
-                (communities.len() - 1) as u32
-            });
+                idx
+            };
             communities[idx as usize].clique_ids.push(i as u32);
         }
         for c in &mut communities {
@@ -207,24 +355,21 @@ pub(crate) fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge
 
         // Theorem 1: link each level-(k+1) community to the level-k
         // community that now contains its representative clique.
-        if let Some(prev) = levels_desc.last_mut() {
+        if let Some(prev) = prev {
             for pc in &mut prev.communities {
-                let rep = pc.clique_ids[0];
-                let root = dsu.find(rep);
-                pc.parent = Some(root_to_idx[&root]);
+                let root = find(pc.clique_ids[0]) as usize;
+                debug_assert_eq!(
+                    self.stamp[root], self.epoch,
+                    "a level-(k+1) community's cliques stay active at level k"
+                );
+                pc.parent = Some(self.idx_of_root[root]);
             }
         }
 
-        levels_desc.push(KLevel {
+        KLevel {
             k: k as u32,
             communities,
-        });
-    }
-
-    levels_desc.reverse();
-    CpmResult {
-        cliques,
-        levels: levels_desc,
+        }
     }
 }
 

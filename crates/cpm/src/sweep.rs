@@ -1,0 +1,377 @@
+//! The fused overlap→union sweep: overlap-stratified edge buckets.
+//!
+//! The legacy pipeline materialises one flat `Vec<OverlapEdge>` (12
+//! bytes per edge, with an `overlap` field), then *re-buckets* it by
+//! overlap value inside the percolation sweep — a full extra pass over
+//! the dominant data structure, with both copies alive at the peak. The
+//! fused pipeline ([`Sweep::Fused`], the default) deletes the
+//! intermediate: the counting kernels emit each `(a, b)` pair straight
+//! into its overlap stratum of an [`OverlapStrata`] (8 bytes per edge,
+//! the overlap value is the bucket index), and the descending-k sweep
+//! drains the strata in place, releasing each one as its level
+//! completes. The legacy path stays selectable (`--sweep legacy`) as an
+//! equivalence cross-check for one release; both produce bit-identical
+//! [`CpmResult`]s (property-tested).
+//!
+//! The strata are also what make the percolation phase parallelisable:
+//! a stratum's unions are an unordered set (union–find is confluent —
+//! any union order yields the same partition), so
+//! [`crate::parallel::percolate_from_strata_parallel`] can drain one
+//! stratum with many workers over a [`crate::ConcurrentDsu`] and only
+//! barrier *between* strata, which is exactly what Theorem 1 needs (the
+//! parent of a level-k community is read from the union–find state
+//! after stratum k−1 has fully drained and before stratum k−2 starts).
+//!
+//! One stratum never materialises at all: overlap ≥ 1 just means "the
+//! cliques share a vertex", so the k = 2 level (connected components of
+//! the overlap graph) is reached by chain-unioning each vertex's
+//! posting list in the inverted index — `Σ |postings|` unions instead
+//! of the (dominant, typically majority) o = 1 pair stratum. The fused
+//! builders therefore skip o = 1 pairs entirely
+//! ([`overlap_strata_min`] with `min_overlap = 2`), and
+//! [`percolate_from_strata`] ignores stratum 1 even when present.
+
+use crate::dsu::Dsu;
+use crate::overlap::{OverlapScratch, VertexCliqueIndex};
+use crate::percolation::LevelSnapshotter;
+use crate::result::CpmResult;
+use cliques::{CliqueSet, Kernel};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which overlap→union pipeline the percolation entry points run.
+///
+/// Parsed from the CLI `--sweep` flag (`fused | legacy`). Both sweeps
+/// produce bit-identical results for every graph, kernel, and thread
+/// count; only speed and peak memory differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sweep {
+    /// Overlap-stratified buckets, no materialised edge list, concurrent
+    /// per-stratum unions in the parallel pipeline. The default.
+    #[default]
+    Fused,
+    /// The PR-2 pipeline: flat `Vec<OverlapEdge>`, re-bucketed inside a
+    /// fully sequential sweep. Kept for one release as the equivalence
+    /// cross-check.
+    Legacy,
+}
+
+impl FromStr for Sweep {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fused" => Ok(Sweep::Fused),
+            "legacy" => Ok(Sweep::Legacy),
+            other => Err(format!("unknown sweep {other:?} (expected fused | legacy)")),
+        }
+    }
+}
+
+impl fmt::Display for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sweep::Fused => "fused",
+            Sweep::Legacy => "legacy",
+        })
+    }
+}
+
+/// The clique-overlap graph, stored stratified: `stratum(o)` holds every
+/// clique pair `(a, b)` with `a < b` sharing exactly `o` members, in
+/// ascending `(a, b)` order.
+///
+/// Built by [`overlap_strata`] /
+/// [`crate::parallel::overlap_strata_parallel`]; consumed by
+/// [`percolate_from_strata`]. Compared to the flat
+/// [`crate::OverlapEdge`] list this drops the per-edge overlap field
+/// (the stratum index carries it) and the implicit sort-by-overlap the
+/// sweep used to perform.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OverlapStrata {
+    /// `buckets[o]` = pairs with overlap exactly `o`; index 0 stays
+    /// empty (distinct cliques sharing 0 members have no edge).
+    buckets: Vec<Vec<(u32, u32)>>,
+}
+
+impl OverlapStrata {
+    /// An empty stratification for cliques of maximal size `max_size`
+    /// (overlaps are always `< max_size`).
+    pub fn new(max_size: usize) -> Self {
+        OverlapStrata {
+            buckets: vec![Vec::new(); max_size],
+        }
+    }
+
+    /// Records that cliques `a < b` share exactly `overlap >= 1`
+    /// members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap` is 0 or not below the `max_size` the strata
+    /// were created for.
+    #[inline]
+    pub fn push(&mut self, a: u32, b: u32, overlap: u32) {
+        debug_assert!(a < b, "overlap pairs are canonical: {a} < {b}");
+        debug_assert!(overlap >= 1, "an overlap edge shares at least one member");
+        self.buckets[overlap as usize].push((a, b));
+    }
+
+    /// The pairs sharing exactly `overlap` members (empty when out of
+    /// range).
+    pub fn stratum(&self, overlap: usize) -> &[(u32, u32)] {
+        self.buckets.get(overlap).map_or(&[], Vec::as_slice)
+    }
+
+    /// Largest representable overlap value plus one (the `max_size` the
+    /// strata were created for).
+    pub fn max_size(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total pairs across all strata.
+    pub fn edge_count(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no pair has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Removes and returns one stratum, releasing its memory to the
+    /// caller (the sweep drops each stratum as its level completes).
+    pub(crate) fn take(&mut self, overlap: usize) -> Vec<(u32, u32)> {
+        match self.buckets.get_mut(overlap) {
+            Some(b) => std::mem::take(b),
+            None => Vec::new(),
+        }
+    }
+
+    /// Pre-sizes stratum `overlap` for `additional` more pairs (used by
+    /// the parallel chunk reassembly to allocate each stratum exactly
+    /// once).
+    pub(crate) fn reserve(&mut self, overlap: usize, additional: usize) {
+        if let Some(b) = self.buckets.get_mut(overlap) {
+            b.reserve_exact(additional);
+        }
+    }
+
+    /// Empties every stratum below `min_overlap`, keeping capacity.
+    ///
+    /// The min-overlap builders push *unconditionally* — the overlap
+    /// value is an unpredictable data-dependent quantity, and a filter
+    /// branch in the hottest emit path costs more than letting the
+    /// sub-threshold pairs land in their bucket — then discard them
+    /// here after each clique, so the bucket never outgrows one
+    /// clique's worth of pairs.
+    pub(crate) fn clear_below(&mut self, min_overlap: u32) {
+        for b in self.buckets.iter_mut().take(min_overlap as usize).skip(1) {
+            b.clear();
+        }
+    }
+
+    /// Appends every stratum of `chunk` onto `self`, draining `chunk`.
+    /// Called in ascending chunk order, this reproduces the sequential
+    /// emission order exactly.
+    pub(crate) fn absorb(&mut self, chunk: &mut OverlapStrata) {
+        debug_assert!(chunk.buckets.len() <= self.buckets.len());
+        for (o, bucket) in chunk.buckets.iter_mut().enumerate() {
+            if !bucket.is_empty() {
+                self.buckets[o].append(bucket);
+            }
+        }
+    }
+}
+
+/// Computes the overlap stratification sequentially with the default
+/// [`Kernel::Auto`].
+///
+/// Stratum contents equal the legacy [`crate::overlap_edges`] filtered
+/// by overlap value, in the same relative order.
+pub fn overlap_strata(cliques: &CliqueSet, index: &VertexCliqueIndex) -> OverlapStrata {
+    overlap_strata_with(cliques, index, Kernel::Auto)
+}
+
+/// [`overlap_strata`] with an explicit counting [`Kernel`].
+pub fn overlap_strata_with(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    kernel: Kernel,
+) -> OverlapStrata {
+    overlap_strata_min(cliques, index, kernel, 1)
+}
+
+/// [`overlap_strata_with`] restricted to pairs with overlap ≥
+/// `min_overlap`.
+///
+/// The fused pipeline passes `min_overlap = 2`: the o = 1 stratum —
+/// usually the largest — is only ever consumed at k = 2, where
+/// [`percolate_from_strata`] reaches the same components by
+/// chain-unioning posting lists instead, so those pairs need never be
+/// stored.
+pub fn overlap_strata_min(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    kernel: Kernel,
+    min_overlap: u32,
+) -> OverlapStrata {
+    let mut strata = OverlapStrata::new(cliques.max_size());
+    let mut scratch = OverlapScratch::for_kernel(cliques, kernel);
+    for i in 0..cliques.len() {
+        scratch.count_overlaps_of(cliques, index, i as u32, |a, b, o| strata.push(a, b, o));
+        strata.clear_below(min_overlap);
+    }
+    strata
+}
+
+/// The sequential fused sweep: descending k, draining stratum `k−1`
+/// into the union–find at each level and snapshotting communities plus
+/// Theorem-1 parent links.
+///
+/// `index` must be the unfiltered inverted index of `cliques` (as built
+/// by [`crate::build_vertex_index`]): it supplies the k = 2 level,
+/// where "overlap ≥ 1" degenerates to "share a vertex" and each
+/// vertex's posting list is chain-unioned directly — so stratum 1 is
+/// ignored (and dropped) even when `strata` contains it, and the fused
+/// builders skip it entirely ([`overlap_strata_min`]).
+///
+/// Bit-identical to the legacy
+/// [`crate::percolate_from_overlaps`] on the same cliques.
+pub fn percolate_from_strata(
+    cliques: CliqueSet,
+    mut strata: OverlapStrata,
+    index: &VertexCliqueIndex,
+) -> CpmResult {
+    let k_max = cliques.max_size();
+    if k_max < 2 {
+        return CpmResult {
+            cliques,
+            levels: Vec::new(),
+        };
+    }
+
+    let mut dsu = Dsu::new(cliques.len());
+    let mut snap = LevelSnapshotter::new(cliques.len());
+    let mut levels_desc = Vec::with_capacity(k_max - 1);
+    for k in (3..=k_max).rev() {
+        // Activate stratum k−1 (strictly larger overlaps drained at
+        // higher levels), then free it — peak memory shrinks as the
+        // sweep descends instead of holding every edge to the end.
+        let pairs = strata.take(k - 1);
+        for &(a, b) in &pairs {
+            dsu.union(a, b);
+        }
+        drop(pairs);
+        let level = snap.snapshot(&cliques, k, &mut |x| dsu.find(x), levels_desc.last_mut());
+        levels_desc.push(level);
+    }
+    // k = 2: sharing a vertex is all overlap ≥ 1 asks, so the posting
+    // lists *are* the edges — chain-unioning them yields the same
+    // transitive closure as the (never materialised) o = 1 stratum.
+    drop(strata.take(1));
+    chain_union_postings(index, &mut |a, b| {
+        dsu.union(a, b);
+    });
+    let level = snap.snapshot(&cliques, 2, &mut |x| dsu.find(x), levels_desc.last_mut());
+    levels_desc.push(level);
+    levels_desc.reverse();
+    CpmResult {
+        cliques,
+        levels: levels_desc,
+    }
+}
+
+/// Calls `union(first, other)` for every posting list, linking all
+/// cliques that share a vertex — the k = 2 connectivity — in
+/// `Σ |postings|` unions.
+pub(crate) fn chain_union_postings(index: &VertexCliqueIndex, union: &mut impl FnMut(u32, u32)) {
+    for v in 0..index.len() {
+        if let Some((&first, rest)) = index.cliques_of(v as u32).split_first() {
+            for &c in rest {
+                union(first, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlap::{build_vertex_index, overlap_edges_with};
+
+    fn set(cliques: &[&[asgraph::NodeId]]) -> CliqueSet {
+        let mut s = CliqueSet::new();
+        for c in cliques {
+            s.push(c);
+        }
+        s
+    }
+
+    #[test]
+    fn sweep_parses_and_displays() {
+        assert_eq!("fused".parse::<Sweep>().unwrap(), Sweep::Fused);
+        assert_eq!("legacy".parse::<Sweep>().unwrap(), Sweep::Legacy);
+        assert!("quantum".parse::<Sweep>().is_err());
+        assert_eq!(Sweep::default(), Sweep::Fused);
+        assert_eq!(Sweep::Legacy.to_string(), "legacy");
+    }
+
+    #[test]
+    fn strata_match_flat_edges_per_stratum() {
+        let s = set(&[
+            &[0, 1, 2, 3, 4],
+            &[1, 2, 3, 4, 5],
+            &[0, 2, 4, 6],
+            &[5, 6, 7],
+            &[7, 8],
+            &[0, 8],
+        ]);
+        let idx = build_vertex_index(&s, 9);
+        for kernel in [Kernel::Auto, Kernel::Merge, Kernel::Bitset] {
+            let flat = overlap_edges_with(&s, &idx, kernel);
+            let strata = overlap_strata_with(&s, &idx, kernel);
+            assert_eq!(strata.edge_count(), flat.len());
+            for o in 0..strata.max_size() {
+                let expect: Vec<(u32, u32)> = flat
+                    .iter()
+                    .filter(|e| e.overlap as usize == o)
+                    .map(|e| (e.a, e.b))
+                    .collect();
+                assert_eq!(strata.stratum(o), expect.as_slice(), "stratum {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_strata() {
+        let s = CliqueSet::new();
+        let idx = build_vertex_index(&s, 0);
+        let strata = overlap_strata(&s, &idx);
+        assert!(strata.is_empty());
+        assert_eq!(strata.edge_count(), 0);
+        assert_eq!(strata.stratum(3), &[]);
+        let r = percolate_from_strata(s, strata, &idx);
+        assert!(r.levels.is_empty());
+    }
+
+    #[test]
+    fn fused_sweep_matches_legacy_on_fixture() {
+        let s = set(&[&[0, 1, 2, 3], &[1, 2, 3, 4], &[3, 4, 5], &[6, 7]]);
+        let idx = build_vertex_index(&s, 8);
+        let legacy =
+            crate::percolate_from_overlaps(s.clone(), overlap_edges_with(&s, &idx, Kernel::Auto));
+        let fused = percolate_from_strata(s.clone(), overlap_strata(&s, &idx), &idx);
+        assert_eq!(legacy.cliques, fused.cliques);
+        assert_eq!(legacy.levels, fused.levels);
+        assert_eq!(fused.k_max(), Some(4));
+        // The pipeline shape: o = 1 pairs never stored, k = 2 chained
+        // off the posting lists — same result.
+        let min = percolate_from_strata(
+            s.clone(),
+            overlap_strata_min(&s, &idx, Kernel::Auto, 2),
+            &idx,
+        );
+        assert_eq!(legacy.levels, min.levels);
+    }
+}

@@ -133,4 +133,35 @@ proptest! {
             prop_assert_eq!(cover_at(&seq, k), cover_at(&par, k));
         }
     }
+
+    /// The fused sweep is bit-identical to the legacy pipeline — full
+    /// `CpmResult`, tree parents included — sequentially and at every
+    /// tested thread count.
+    #[test]
+    fn fused_sweep_is_bit_identical_to_legacy(edges in edge_soup(14, 50)) {
+        let g = Graph::from_edges(14, edges);
+        let legacy = cpm::percolate_with(&g, cliques::Kernel::Auto, cpm::Sweep::Legacy);
+        let fused = cpm::percolate_with(&g, cliques::Kernel::Auto, cpm::Sweep::Fused);
+        prop_assert_eq!(&legacy.cliques, &fused.cliques);
+        prop_assert_eq!(&legacy.levels, &fused.levels);
+        for threads in [1usize, 2, 4, 7] {
+            for sweep in [cpm::Sweep::Fused, cpm::Sweep::Legacy] {
+                let par = cpm::parallel::percolate_parallel_with(
+                    &g, threads, cliques::Kernel::Auto, sweep,
+                );
+                prop_assert_eq!(&legacy.cliques, &par.cliques, "{} threads, {}", threads, sweep);
+                prop_assert_eq!(&legacy.levels, &par.levels, "{} threads, {}", threads, sweep);
+            }
+        }
+    }
+
+    /// The fused single-level path (saturating counts, DSU pruning,
+    /// size-filtered index) finds exactly the legacy covers.
+    #[test]
+    fn fused_percolate_at_agrees(edges in edge_soup(14, 50), k in 2usize..6) {
+        let g = Graph::from_edges(14, edges);
+        let legacy = cpm::percolate_at_with(&g, k, cliques::Kernel::Auto, cpm::Sweep::Legacy);
+        let fused = cpm::percolate_at_with(&g, k, cliques::Kernel::Auto, cpm::Sweep::Fused);
+        prop_assert_eq!(legacy, fused);
+    }
 }

@@ -39,11 +39,13 @@ mod source;
 
 pub use log::{CliqueLogInfo, CliqueLogReader, CliqueLogWriter};
 pub use percolate::{
-    stream_percolate, stream_percolate_at, Mode, StreamCpmResult, StreamPercolator,
+    stream_percolate, stream_percolate_at, stream_percolate_at_with, stream_percolate_with, Mode,
+    StreamCpmResult, StreamPercolator,
 };
 pub use source::{CliqueSource, GraphSource, LogSource, StreamError};
 
 pub use cliques::Kernel;
+pub use cpm::Sweep;
 
 use asgraph::Graph;
 use std::path::Path;

@@ -32,7 +32,7 @@
 use crate::source::CliqueSource;
 use crate::StreamError;
 use asgraph::NodeId;
-use cpm::{canonical_members, Community, Dsu, KLevel};
+use cpm::{canonical_members, Community, Dsu, KLevel, Sweep};
 use std::collections::HashMap;
 
 /// How much per-node history the percolator keeps (see module docs).
@@ -70,6 +70,7 @@ const NONE: u32 = u32::MAX;
 pub struct StreamPercolator {
     k: usize,
     mode: Mode,
+    sweep: Sweep,
     /// Per accepted clique: its size.
     sizes: Vec<u32>,
     /// Per accepted clique: its ordinal in the full stream (also counting
@@ -106,10 +107,28 @@ impl StreamPercolator {
     ///
     /// Panics if `k < 2`.
     pub fn with_mode(n: usize, k: usize, mode: Mode) -> Self {
+        Self::with_options(n, k, mode, Sweep::default())
+    }
+
+    /// Creates a percolator with explicit [`Mode`] and [`Sweep`].
+    ///
+    /// Under [`Sweep::Fused`] (the default) overlap counts saturate at
+    /// the threshold `k−1` and the union fires the instant a pair
+    /// reaches it — counts are only ever *used* thresholded here, so
+    /// every increment past `k−1` is wasted work — and pairs already in
+    /// the same component are skipped outright. [`Sweep::Legacy`] keeps
+    /// the PR-1 count-fully-then-threshold loop as an equivalence
+    /// cross-check; communities are identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn with_options(n: usize, k: usize, mode: Mode, sweep: Sweep) -> Self {
         assert!(k >= 2, "clique percolation needs k >= 2, got {k}");
         StreamPercolator {
             k,
             mode,
+            sweep,
             sizes: Vec::new(),
             ordinals: Vec::new(),
             dsu: Dsu::new(0),
@@ -167,22 +186,54 @@ impl StreamPercolator {
                 // One merge-count pass over the postings of the clique's
                 // members: counts[c] ends as |clique ∩ c| for every prior
                 // clique c sharing at least one node.
-                for &v in clique {
-                    for &c in &self.postings[v as usize] {
-                        if self.counts[c as usize] == 0 {
-                            self.touched.push(c);
+                match self.sweep {
+                    Sweep::Fused => {
+                        // Saturating count: the union fires the moment a
+                        // pair reaches the threshold, increments past it
+                        // are skipped, and a pair already connected is
+                        // saturated at first touch.
+                        for &v in clique {
+                            for &c in &self.postings[v as usize] {
+                                let cnt = &mut self.counts[c as usize];
+                                if *cnt == 0 {
+                                    self.touched.push(c);
+                                    if self.dsu.same(id, c) {
+                                        *cnt = need;
+                                        continue;
+                                    }
+                                }
+                                if *cnt < need {
+                                    *cnt += 1;
+                                    if *cnt == need {
+                                        self.dsu.union(id, c);
+                                    }
+                                }
+                            }
                         }
-                        self.counts[c as usize] += 1;
+                        for &c in &self.touched {
+                            self.counts[c as usize] = 0;
+                        }
+                        self.touched.clear();
+                    }
+                    Sweep::Legacy => {
+                        for &v in clique {
+                            for &c in &self.postings[v as usize] {
+                                if self.counts[c as usize] == 0 {
+                                    self.touched.push(c);
+                                }
+                                self.counts[c as usize] += 1;
+                            }
+                        }
+                        for i in 0..self.touched.len() {
+                            let c = self.touched[i];
+                            if self.counts[c as usize] >= need {
+                                self.dsu.union(id, c);
+                            }
+                            self.counts[c as usize] = 0;
+                        }
+                        self.touched.clear();
                     }
                 }
-                for i in 0..self.touched.len() {
-                    let c = self.touched[i];
-                    if self.counts[c as usize] >= need {
-                        self.dsu.union(id, c);
-                    }
-                    self.counts[c as usize] = 0;
-                }
-                self.touched.clear();
                 for &v in clique {
                     self.postings[v as usize].push(id);
                 }
@@ -190,23 +241,52 @@ impl StreamPercolator {
             Mode::LastSeen => {
                 // Count only against the snapshot of each member's last
                 // clique — O(|clique|) state probes, O(n) total memory.
-                for &v in clique {
-                    let c = self.last_seen[v as usize];
-                    if c != NONE {
-                        if self.counts[c as usize] == 0 {
-                            self.touched.push(c);
+                match self.sweep {
+                    Sweep::Fused => {
+                        for &v in clique {
+                            let c = self.last_seen[v as usize];
+                            if c != NONE {
+                                let cnt = &mut self.counts[c as usize];
+                                if *cnt == 0 {
+                                    self.touched.push(c);
+                                    if self.dsu.same(id, c) {
+                                        *cnt = need;
+                                        continue;
+                                    }
+                                }
+                                if *cnt < need {
+                                    *cnt += 1;
+                                    if *cnt == need {
+                                        self.dsu.union(id, c);
+                                    }
+                                }
+                            }
                         }
-                        self.counts[c as usize] += 1;
+                        for &c in &self.touched {
+                            self.counts[c as usize] = 0;
+                        }
+                        self.touched.clear();
+                    }
+                    Sweep::Legacy => {
+                        for &v in clique {
+                            let c = self.last_seen[v as usize];
+                            if c != NONE {
+                                if self.counts[c as usize] == 0 {
+                                    self.touched.push(c);
+                                }
+                                self.counts[c as usize] += 1;
+                            }
+                        }
+                        for i in 0..self.touched.len() {
+                            let c = self.touched[i];
+                            if self.counts[c as usize] >= need {
+                                self.dsu.union(id, c);
+                            }
+                            self.counts[c as usize] = 0;
+                        }
+                        self.touched.clear();
                     }
                 }
-                for i in 0..self.touched.len() {
-                    let c = self.touched[i];
-                    if self.counts[c as usize] >= need {
-                        self.dsu.union(id, c);
-                    }
-                    self.counts[c as usize] = 0;
-                }
-                self.touched.clear();
                 for &v in clique {
                     self.last_seen[v as usize] = id;
                 }
@@ -239,19 +319,21 @@ impl StreamPercolator {
     /// `clique_ids`.
     pub fn finish(mut self) -> Vec<Community> {
         let clique_count = self.sizes.len();
-        let mut root_to_idx: HashMap<u32, u32> = HashMap::new();
+        // Root-indexed compaction (no hashing): roots are clique ids, so
+        // a plain vec maps root → community index in one find pass.
+        let mut idx_of_root: Vec<u32> = vec![u32::MAX; clique_count];
         let mut communities: Vec<Community> = Vec::new();
         for id in 0..clique_count as u32 {
-            let root = self.dsu.find(id);
-            let idx = *root_to_idx.entry(root).or_insert_with(|| {
+            let root = self.dsu.find(id) as usize;
+            if idx_of_root[root] == u32::MAX {
+                idx_of_root[root] = communities.len() as u32;
                 communities.push(Community {
                     members: Vec::new(),
                     clique_ids: Vec::new(),
                     parent: None,
                 });
-                (communities.len() - 1) as u32
-            });
-            communities[idx as usize]
+            }
+            communities[idx_of_root[root] as usize]
                 .clique_ids
                 .push(self.ordinals[id as usize]);
         }
@@ -263,7 +345,7 @@ impl StreamPercolator {
                 for v in 0..self.postings.len() {
                     for i in 0..self.postings[v].len() {
                         let c = self.postings[v][i];
-                        let idx = root_to_idx[&self.dsu.find(c)] as usize;
+                        let idx = idx_of_root[self.dsu.find(c) as usize] as usize;
                         // Nodes arrive in ascending order, so a duplicate
                         // (node in several cliques of one community) is
                         // always the current tail.
@@ -287,7 +369,7 @@ impl StreamPercolator {
                     if members.is_empty() {
                         continue;
                     }
-                    let idx = root_to_idx[&self.dsu.find(root as u32)] as usize;
+                    let idx = idx_of_root[self.dsu.find(root as u32) as usize] as usize;
                     communities[idx].members = canonical_members(members);
                 }
             }
@@ -338,10 +420,24 @@ pub fn stream_percolate_at<S: CliqueSource + ?Sized>(
     source: &mut S,
     k: usize,
 ) -> Result<Vec<Vec<NodeId>>, StreamError> {
+    stream_percolate_at_with(source, k, Sweep::default())
+}
+
+/// [`stream_percolate_at`] with an explicit [`Sweep`]. Identical
+/// communities either way.
+///
+/// # Errors
+///
+/// Fails only if the source does (I/O on a clique log).
+pub fn stream_percolate_at_with<S: CliqueSource + ?Sized>(
+    source: &mut S,
+    k: usize,
+    sweep: Sweep,
+) -> Result<Vec<Vec<NodeId>>, StreamError> {
     if k < 2 {
         return Ok(Vec::new());
     }
-    let mut p = StreamPercolator::new(source.node_count(), k);
+    let mut p = StreamPercolator::with_options(source.node_count(), k, Mode::Exact, sweep);
     source.replay(&mut |clique| p.push(clique))?;
     let mut covers: Vec<Vec<NodeId>> = p.finish().into_iter().map(|c| c.members).collect();
     covers.sort_unstable();
@@ -371,6 +467,19 @@ pub fn stream_percolate_at<S: CliqueSource + ?Sized>(
 pub fn stream_percolate<S: CliqueSource + ?Sized>(
     source: &mut S,
 ) -> Result<StreamCpmResult, StreamError> {
+    stream_percolate_with(source, Sweep::default())
+}
+
+/// [`stream_percolate`] with an explicit [`Sweep`] threaded into every
+/// per-level pass. Identical result either way.
+///
+/// # Errors
+///
+/// Fails only if the source does (I/O on a clique log).
+pub fn stream_percolate_with<S: CliqueSource + ?Sized>(
+    source: &mut S,
+    sweep: Sweep,
+) -> Result<StreamCpmResult, StreamError> {
     // Sizing pass: k_max without retaining anything.
     let mut k_max = 0usize;
     source.replay(&mut |clique| k_max = k_max.max(clique.len()))?;
@@ -381,7 +490,7 @@ pub fn stream_percolate<S: CliqueSource + ?Sized>(
     let n = source.node_count();
     let mut levels_desc: Vec<KLevel> = Vec::new();
     for k in (2..=k_max).rev() {
-        let mut p = StreamPercolator::new(n, k);
+        let mut p = StreamPercolator::with_options(n, k, Mode::Exact, sweep);
         source.replay(&mut |clique| p.push(clique))?;
         let communities = p.finish();
 
@@ -530,6 +639,44 @@ mod tests {
         let exact: Vec<_> = exact.finish().into_iter().map(|c| c.members).collect();
         let approx: Vec<_> = approx.finish().into_iter().map(|c| c.members).collect();
         assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn fused_and_legacy_sweeps_agree_in_both_modes() {
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+            ],
+        );
+        for k in 2..=4 {
+            let fused =
+                stream_percolate_at_with(&mut GraphSource::new(&g), k, Sweep::Fused).unwrap();
+            let legacy =
+                stream_percolate_at_with(&mut GraphSource::new(&g), k, Sweep::Legacy).unwrap();
+            assert_eq!(fused, legacy, "exact mode, k={k}");
+
+            let mut covers = Vec::new();
+            for sweep in [Sweep::Fused, Sweep::Legacy] {
+                let mut p = StreamPercolator::with_options(8, k, Mode::LastSeen, sweep);
+                let mut src = GraphSource::new(&g);
+                src.replay(&mut |c| p.push(c)).unwrap();
+                covers.push(p.finish());
+            }
+            assert_eq!(covers[0], covers[1], "last-seen mode, k={k}");
+        }
+        let fused = stream_percolate_with(&mut GraphSource::new(&g), Sweep::Fused).unwrap();
+        let legacy = stream_percolate_with(&mut GraphSource::new(&g), Sweep::Legacy).unwrap();
+        assert_eq!(fused.levels, legacy.levels, "full sweep");
     }
 
     #[test]

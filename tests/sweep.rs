@@ -1,0 +1,96 @@
+//! Fused-sweep equivalence on realistic substrates.
+//!
+//! The unit and property tests in `crates/cpm` prove fused ≡ legacy on
+//! random edge soups; here the oracle is the seeded `InternetModel` —
+//! power-law degrees, dense IXP cores, deep overlap strata — and the
+//! assertion is full bit-identity of the `CpmResult` (community tree
+//! parents included) across sweeps, kernels, and thread counts, plus
+//! agreement of the streaming percolator under both sweeps.
+
+use kclique::cliques::Kernel;
+use kclique::cpm::{self, Sweep};
+use kclique::stream::{self, GraphSource};
+use kclique::topology::{generate, ModelConfig};
+
+fn internet_graph(seed: u64) -> kclique::graph::Graph {
+    generate(&ModelConfig::tiny(seed))
+        .expect("preset config is valid")
+        .graph
+}
+
+fn assert_same_result(a: &cpm::CpmResult, b: &cpm::CpmResult, what: &str) {
+    assert_eq!(a.cliques, b.cliques, "{what}: cliques differ");
+    assert_eq!(a.levels, b.levels, "{what}: levels differ");
+}
+
+#[test]
+fn fused_matches_legacy_on_internet_model() {
+    for seed in [7, 23] {
+        let g = internet_graph(seed);
+        let legacy = cpm::percolate_with(&g, Kernel::Auto, Sweep::Legacy);
+        let fused = cpm::percolate_with(&g, Kernel::Auto, Sweep::Fused);
+        assert_same_result(&legacy, &fused, &format!("seed {seed}"));
+        assert!(
+            legacy.k_max().unwrap_or(0) >= 3,
+            "seed {seed}: fixture too sparse to exercise the strata"
+        );
+    }
+}
+
+#[test]
+fn fused_sweep_is_thread_count_invariant() {
+    // The concurrent union–find races freely inside each stratum; the
+    // result must not depend on how many workers raced, and must equal
+    // the legacy sequential sweep bit for bit.
+    let g = internet_graph(3);
+    let reference = cpm::percolate_with(&g, Kernel::Auto, Sweep::Legacy);
+    for kernel in [Kernel::Auto, Kernel::Bitset, Kernel::Merge] {
+        for threads in [1, 2, 4, 7] {
+            let par = cpm::parallel::percolate_parallel_with(&g, threads, kernel, Sweep::Fused);
+            assert_same_result(
+                &reference,
+                &par,
+                &format!("threads {threads}, kernel {kernel}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn strata_match_flat_edges_on_internet_model() {
+    let g = internet_graph(11);
+    let cliques = {
+        let mut c = kclique::cliques::max_cliques(&g);
+        c.canonicalize();
+        c
+    };
+    let index = cpm::build_vertex_index(&cliques, g.node_count());
+    let flat = cpm::overlap_edges(&cliques, &index);
+    for threads in [1, 4] {
+        let strata = cpm::parallel::overlap_strata_parallel(&cliques, &index, threads);
+        assert_eq!(strata.edge_count(), flat.len(), "threads {threads}");
+        for o in 1..strata.max_size() {
+            let expect: Vec<(u32, u32)> = flat
+                .iter()
+                .filter(|e| e.overlap as usize == o)
+                .map(|e| (e.a, e.b))
+                .collect();
+            assert_eq!(
+                strata.stratum(o),
+                expect.as_slice(),
+                "threads {threads}, stratum {o}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_sweeps_agree_on_internet_model() {
+    let g = internet_graph(5);
+    let fused = stream::stream_percolate_with(&mut GraphSource::new(&g), Sweep::Fused)
+        .expect("in-memory replay cannot fail");
+    let legacy = stream::stream_percolate_with(&mut GraphSource::new(&g), Sweep::Legacy)
+        .expect("in-memory replay cannot fail");
+    assert_eq!(fused.levels, legacy.levels);
+    assert!(fused.k_max().unwrap_or(0) >= 3, "fixture too sparse");
+}
