@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --features memprof --bin kernel-bench -- \
-//!     [--substrate tiny|small|sparse|dense|all] [--threads <n>] \
+//!     [--substrate tiny|small|sparse|dense|all] [--threads <n>|auto] \
 //!     [--iters <n>] [--seed <u64>] [--out BENCH_kernel.json]
 //! ```
 //!
@@ -30,7 +30,7 @@ struct Record {
     substrate: String,
     op: &'static str,
     kernel: Kernel,
-    threads: usize,
+    threads: exec::Threads,
     median_ns: u128,
     peak_bytes: usize,
 }
@@ -56,7 +56,7 @@ fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, usize) {
 fn bench_substrate(
     name: &str,
     g: &asgraph::Graph,
-    threads: usize,
+    threads: exec::Threads,
     iters: usize,
     records: &mut Vec<Record>,
 ) {
@@ -77,7 +77,7 @@ fn bench_substrate(
         };
         push(
             "enumerate",
-            1,
+            exec::Threads::Fixed(1),
             measure(iters, || cliques::max_cliques_with(g, kernel)),
         );
         push(
@@ -89,12 +89,12 @@ fn bench_substrate(
         );
         push(
             "overlap",
-            1,
+            exec::Threads::Fixed(1),
             measure(iters, || overlap_edges_with(&cliques, &index, kernel)),
         );
         push(
             "percolate",
-            1,
+            exec::Threads::Fixed(1),
             measure(iters, || cpm::percolate_with_kernel(g, kernel)),
         );
         push(
@@ -119,7 +119,7 @@ fn bench_substrate(
         substrate: name.to_owned(),
         op: "sweep",
         kernel: Kernel::Auto,
-        threads: 1,
+        threads: exec::Threads::Fixed(1),
         median_ns,
         peak_bytes,
     });
@@ -139,12 +139,16 @@ fn json_escape_free(s: &str) -> &str {
 fn to_json(records: &[Record]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        // A fixed count stays a JSON number; `auto` becomes a string.
+        let threads = match r.threads {
+            exec::Threads::Auto => "\"auto\"".to_owned(),
+            exec::Threads::Fixed(n) => n.to_string(),
+        };
         out.push_str(&format!(
-            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \"median_ns\": {}, \"peak_bytes\": {}}}{}\n",
+            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"kernel\": \"{}\", \"threads\": {threads}, \"median_ns\": {}, \"peak_bytes\": {}}}{}\n",
             json_escape_free(&r.substrate),
             json_escape_free(r.op),
             json_escape_free(&r.kernel.to_string()),
-            r.threads,
             r.median_ns,
             r.peak_bytes,
             if i + 1 < records.len() { "," } else { "" },
@@ -162,7 +166,8 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let substrate = get("--substrate").unwrap_or_else(|| "all".to_owned());
-    let threads: usize = get("--threads").map_or(4, |v| v.parse().expect("bad --threads"));
+    let threads: exec::Threads =
+        get("--threads").map_or(exec::Threads::Auto, |v| v.parse().expect("bad --threads"));
     let iters: usize = get("--iters").map_or(9, |v| v.parse().expect("bad --iters"));
     let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
     let out_path = get("--out").unwrap_or_else(|| "BENCH_kernel.json".to_owned());

@@ -1,0 +1,257 @@
+//! Thread-scaling record for the persistent executor.
+//!
+//! ```text
+//! cargo run --release -p bench --bin pool-bench -- \
+//!     [--substrate tiny|medium|sparse|dense|all] [--iters <n>] \
+//!     [--seed <u64>] [--out BENCH_pool.json] [--check]
+//! ```
+//!
+//! For each substrate this times the three pool-backed phases —
+//! `enumerate` (work-stealing Bron–Kerbosch), `overlap` (stratified
+//! overlap counting), `percolate` (the full fused pipeline) — at fixed
+//! worker counts 1/2/4/8 plus one `auto` row, all through the same
+//! persistent `exec::Pool`. The JSON written to `--out` is the record
+//! committed as `BENCH_pool.json`.
+//!
+//! `--check` turns the run into a CI gate: on every substrate, the
+//! 4-worker and `auto` rows of each phase must not be slower than 1.2×
+//! the 1-worker row. The bound is deliberately loose — on a single-core
+//! runner extra workers are pure overhead and the gate then measures
+//! exactly that overhead, which the persistent pool is supposed to keep
+//! negligible; on a multi-core runner real speedups clear it easily.
+
+use cliques::Kernel;
+use exec::Threads;
+use std::time::Instant;
+
+/// Fixed worker counts of the scaling curve; one `auto` row is added.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Record {
+    substrate: String,
+    op: &'static str,
+    threads: Threads,
+    median_ns: u128,
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_nanos());
+        drop(out);
+    }
+    median_ns(samples)
+}
+
+fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut Vec<Record>) {
+    let mut cliques = cliques::max_cliques(g);
+    cliques.canonicalize();
+    let index = cpm::build_vertex_index(&cliques, g.node_count());
+
+    let mut rows: Vec<Threads> = THREAD_COUNTS.iter().map(|&t| Threads::Fixed(t)).collect();
+    rows.push(Threads::Auto);
+    for threads in rows {
+        let mut push = |op, median_ns| {
+            records.push(Record {
+                substrate: name.to_owned(),
+                op,
+                threads,
+                median_ns,
+            });
+        };
+        push(
+            "enumerate",
+            measure(iters, || {
+                cliques::parallel::max_cliques_parallel(g, threads)
+            }),
+        );
+        push(
+            "overlap",
+            measure(iters, || {
+                cpm::parallel::overlap_strata_parallel_min(
+                    &cliques,
+                    &index,
+                    threads,
+                    Kernel::Auto,
+                    2,
+                )
+            }),
+        );
+        push(
+            "percolate",
+            measure(iters, || cpm::parallel::percolate_parallel(g, threads)),
+        );
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    assert!(
+        s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || "-_".contains(c)),
+        "unexpected character in JSON token {s:?}"
+    );
+    s
+}
+
+fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let threads = match r.threads {
+            Threads::Auto => "\"auto\"".to_owned(),
+            Threads::Fixed(n) => n.to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"threads\": {threads}, \"median_ns\": {}}}{}\n",
+            json_escape_free(&r.substrate),
+            json_escape_free(r.op),
+            r.median_ns,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The `--check` gate: 4-worker and auto rows within `BOUND`× of the
+/// 1-worker row for every (substrate, op). Returns violation messages.
+fn check(records: &[Record]) -> Vec<String> {
+    const BOUND: f64 = 1.2;
+    let mut violations = Vec::new();
+    let find = |sub: &str, op: &str, threads: Threads| {
+        records
+            .iter()
+            .find(|r| r.substrate == sub && r.op == op && r.threads == threads)
+            .map(|r| r.median_ns)
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for r in records {
+        if !seen.contains(&r.substrate.as_str()) {
+            seen.push(&r.substrate);
+        }
+    }
+    for sub in seen {
+        for op in ["enumerate", "overlap", "percolate"] {
+            let Some(base) = find(sub, op, Threads::Fixed(1)) else {
+                continue;
+            };
+            for threads in [Threads::Fixed(4), Threads::Auto] {
+                if let Some(t) = find(sub, op, threads) {
+                    let ratio = t as f64 / base.max(1) as f64;
+                    if ratio > BOUND {
+                        violations.push(format!(
+                            "{sub}/{op} @ {threads} workers is {ratio:.2}x the 1-worker time \
+                             (bound {BOUND}x)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let substrate = get("--substrate").unwrap_or_else(|| "all".to_owned());
+    let iters: usize = get("--iters").map_or(7, |v| v.parse().expect("bad --iters"));
+    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_pool.json".to_owned());
+
+    let mut substrates: Vec<(&str, asgraph::Graph)> = Vec::new();
+    let want = |name: &str| substrate == "all" || substrate == name;
+    if want("sparse") {
+        substrates.push(("sparse300", bench::random_graph(300, 0.05, seed)));
+    }
+    if want("dense") {
+        substrates.push(("dense60", bench::random_graph(60, 0.5, seed)));
+    }
+    if want("tiny") {
+        substrates.push(("tiny-internet", bench::tiny_internet(seed).graph));
+    }
+    if want("medium") {
+        substrates.push(("medium-internet", bench::medium_internet(seed).graph));
+    }
+    if substrates.is_empty() {
+        eprintln!(
+            "unknown --substrate {substrate:?}; expected tiny | medium | sparse | dense | all"
+        );
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "machine parallelism: {} hardware threads",
+        exec::available_parallelism()
+    );
+    let mut records = Vec::new();
+    for (name, g) in &substrates {
+        eprintln!(
+            "benching {name}: {} nodes, {} edges ({iters} iters)",
+            g.node_count(),
+            g.edge_count()
+        );
+        bench_substrate(name, g, iters, &mut records);
+    }
+
+    println!(
+        "{:<16} {:<10} {:>5} {:>14}",
+        "substrate", "op", "thr", "median_ns"
+    );
+    for r in &records {
+        println!(
+            "{:<16} {:<10} {:>5} {:>14}",
+            r.substrate,
+            r.op,
+            r.threads.to_string(),
+            r.median_ns
+        );
+    }
+    // Scaling summary: each fixed count vs the 1-worker row.
+    for (name, _) in &substrates {
+        for op in ["enumerate", "overlap", "percolate"] {
+            let find = |threads: Threads| {
+                records
+                    .iter()
+                    .find(|r| r.substrate == *name && r.op == op && r.threads == threads)
+                    .map(|r| r.median_ns)
+            };
+            if let Some(base) = find(Threads::Fixed(1)) {
+                for t in THREAD_COUNTS.iter().skip(1) {
+                    if let Some(ns) = find(Threads::Fixed(*t)) {
+                        println!(
+                            "scaling {name}/{op}: {t} workers run {:.2}x vs 1",
+                            base as f64 / ns.max(1) as f64
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    std::fs::write(&out_path, to_json(&records)).expect("cannot write bench JSON");
+    eprintln!("wrote {out_path}");
+
+    if has("--check") {
+        let violations = check(&records);
+        if violations.is_empty() {
+            eprintln!("check passed: 4-worker and auto rows within 1.2x of sequential");
+        } else {
+            for v in &violations {
+                eprintln!("check FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -39,3 +39,10 @@ pub fn tiny_internet(seed: u64) -> topology::AsTopology {
 pub fn small_internet(seed: u64) -> topology::AsTopology {
     topology::generate(&topology::ModelConfig::small(seed)).expect("preset is valid")
 }
+
+/// The medium-preset synthetic Internet (~10,000 ASes) — the
+/// parallel-scaling substrate: big enough that one percolation run
+/// dwarfs pool fan-out overhead.
+pub fn medium_internet(seed: u64) -> topology::AsTopology {
+    topology::generate(&topology::ModelConfig::medium(seed)).expect("preset is valid")
+}

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static TOTAL: AtomicUsize = AtomicUsize::new(0);
 
 /// [`System`] with live/peak byte accounting on every (de)allocation.
 pub struct CountingAlloc;
@@ -18,6 +19,7 @@ pub struct CountingAlloc;
 fn on_alloc(size: usize) {
     let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
     PEAK.fetch_max(now, Ordering::Relaxed);
+    TOTAL.fetch_add(size, Ordering::Relaxed);
 }
 
 fn on_dealloc(size: usize) {
@@ -73,6 +75,13 @@ pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// Cumulative bytes ever allocated (never decremented) — the metric
+/// that exposes allocation churn invisible to live/peak accounting,
+/// e.g. scratch buffers freed and re-grown on every call.
+pub fn total_allocated_bytes() -> usize {
+    TOTAL.load(Ordering::Relaxed)
+}
+
 /// Measures `f`'s peak heap growth: runs it and returns
 /// `(result, peak_bytes_above_entry_live_size)`.
 pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
@@ -80,4 +89,12 @@ pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
     reset_peak();
     let out = f();
     (out, peak_bytes().saturating_sub(before))
+}
+
+/// Measures `f`'s cumulative allocation volume: runs it and returns
+/// `(result, total_bytes_allocated_during_f)`.
+pub fn measure_total<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = total_allocated_bytes();
+    let out = f();
+    (out, total_allocated_bytes() - before)
 }

@@ -34,8 +34,10 @@ pub enum Command {
         all_k: bool,
         /// Set kernel for enumeration and overlap counting.
         kernel: cliques::Kernel,
-        /// Overlap→union pipeline (fused default, legacy cross-check).
-        sweep: cpm::Sweep,
+        /// Worker-count policy for the parallel pipeline.
+        threads: exec::Threads,
+        /// Deprecated `--sweep` value, warned about and ignored.
+        deprecated_sweep: Option<String>,
     },
     /// Print the community tree (Graphviz DOT) to stdout.
     Tree {
@@ -85,8 +87,10 @@ pub enum Command {
         /// Set kernel for the per-replay clique enumeration (live
         /// `--input` sources only; a log replay does no enumeration).
         kernel: cliques::Kernel,
-        /// Overlap→union pipeline (fused default, legacy cross-check).
-        sweep: cpm::Sweep,
+        /// Worker-count policy for the multi-k wave sweep.
+        threads: exec::Threads,
+        /// Deprecated `--sweep` value, warned about and ignored.
+        deprecated_sweep: Option<String>,
     },
     /// Enumerate maximal cliques once and write a replayable clique log.
     CliqueLogBuild {
@@ -123,15 +127,15 @@ kclique-cli — k-clique communities for AS-level topologies
 
 USAGE:
   kclique-cli communities --input <edges> (--k <n> | --all-k) [--kernel auto|bitset|merge]
-                          [--sweep fused|legacy]
+                          [--threads <n>|auto]
   kclique-cli tree        --input <edges> [--min-k <n>]
   kclique-cli stats       --input <edges>
-  kclique-cli generate    [--scale tiny|small|default|full] [--seed <u64>] --out <dir>
+  kclique-cli generate    [--scale tiny|small|medium|default|full] [--seed <u64>] --out <dir>
   kclique-cli analyze     --dataset <dir>
   kclique-cli baselines   --input <edges>
   kclique-cli rewire      --input <edges> --output <edges> [--swaps <n>] [--seed <u64>]
   kclique-cli stream-percolate (--input <edges> | --log <file>) (--k <n> | --all-k) [--approx]
-                          [--kernel auto|bitset|merge] [--sweep fused|legacy]
+                          [--kernel auto|bitset|merge] [--threads <n>|auto]
   kclique-cli clique-log  build --input <edges> --out <file> [--kernel auto|bitset|merge]
   kclique-cli clique-log  info  --log <file>
   kclique-cli help
@@ -141,11 +145,13 @@ representation: `merge` walks sorted adjacency lists, `bitset` uses dense
 word-wise bitmaps, and `auto` (default) chooses per subproblem. Every
 kernel produces identical output; only the speed differs.
 
-The sweep (--sweep) picks the overlap→union pipeline: `fused` (default)
-streams overlap pairs into per-overlap strata and unions them with
-threshold saturation; `legacy` materialises the flat overlap-edge list as
-in the previous release. Both produce identical communities — legacy
-exists as an equivalence cross-check and will be removed.
+The worker count (--threads) sizes the persistent thread pool: a fixed
+`<n>` forces that many workers, `auto` (default) scales with the input
+and falls back to sequential when the work would not amortise the
+fan-out. Output is bit-identical at every thread count.
+
+The --sweep flag of previous releases is deprecated: the fused sweep is
+now the only pipeline. The flag is accepted and ignored, with a warning.
 ";
 
 impl Command {
@@ -174,12 +180,15 @@ impl Command {
                 None => Ok(cliques::Kernel::Auto),
             }
         };
-        let sweep = || -> Result<cpm::Sweep, String> {
-            match get("--sweep") {
-                Some(v) => v.parse().map_err(|e: String| format!("bad --sweep: {e}")),
-                None => Ok(cpm::Sweep::default()),
+        let threads = || -> Result<exec::Threads, String> {
+            match get("--threads") {
+                Some(v) => v.parse().map_err(|e: String| format!("bad --threads: {e}")),
+                None => Ok(exec::Threads::Auto),
             }
         };
+        // Deprecated, value-carrying, ignored: warn at run time so old
+        // scripts keep working for one more release.
+        let deprecated_sweep = || get("--sweep");
 
         match sub.as_str() {
             "communities" => {
@@ -205,7 +214,8 @@ impl Command {
                     k,
                     all_k,
                     kernel: kernel()?,
-                    sweep: sweep()?,
+                    threads: threads()?,
+                    deprecated_sweep: deprecated_sweep(),
                 })
             }
             "tree" => Ok(Command::Tree {
@@ -220,7 +230,7 @@ impl Command {
             }),
             "generate" => {
                 let scale = get("--scale").unwrap_or_else(|| "small".to_owned());
-                if !["tiny", "small", "default", "full"].contains(&scale.as_str()) {
+                if !["tiny", "small", "medium", "default", "full"].contains(&scale.as_str()) {
                     return Err(format!("unknown scale {scale:?}"));
                 }
                 Ok(Command::Generate {
@@ -291,7 +301,8 @@ impl Command {
                     all_k,
                     approx,
                     kernel: kernel()?,
-                    sweep: sweep()?,
+                    threads: threads()?,
+                    deprecated_sweep: deprecated_sweep(),
                 })
             }
             "clique-log" => match rest.first().map(String::as_str) {
@@ -326,11 +337,14 @@ impl Command {
                 k,
                 all_k,
                 kernel,
-                sweep,
+                threads,
+                deprecated_sweep,
             } => {
+                warn_deprecated_sweep(deprecated_sweep);
                 let g = load_graph(input)?;
                 if *all_k {
-                    let result = cpm::percolate_with(&g, *kernel, *sweep);
+                    let result =
+                        cpm::parallel::percolate_parallel_with_kernel(&g, *threads, *kernel);
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
                         let largest = level
@@ -348,7 +362,7 @@ impl Command {
                     print!("{}", table.render());
                 } else {
                     let k = k.expect("parse guarantees k for non-all-k");
-                    let comms = cpm::percolate_at_with(&g, k as usize, *kernel, *sweep);
+                    let comms = cpm::percolate_at_with_kernel(&g, k as usize, *kernel);
                     println!("# {} {k}-clique communities", comms.len());
                     for (i, c) in comms.iter().enumerate() {
                         let ids: Vec<String> = c.iter().map(ToString::to_string).collect();
@@ -406,6 +420,7 @@ impl Command {
             Command::Generate { scale, seed, out } => {
                 let config = match scale.as_str() {
                     "tiny" => topology::ModelConfig::tiny(*seed),
+                    "medium" => topology::ModelConfig::medium(*seed),
                     "default" => topology::ModelConfig::default_scale(*seed),
                     "full" => topology::ModelConfig::full_scale(*seed),
                     _ => topology::ModelConfig::small(*seed),
@@ -510,8 +525,10 @@ impl Command {
                 all_k,
                 approx,
                 kernel,
-                sweep,
+                threads,
+                deprecated_sweep,
             } => {
+                warn_deprecated_sweep(deprecated_sweep);
                 // Both source kinds funnel through the same dyn-dispatch
                 // path; the graph (if any) must outlive the source.
                 let graph;
@@ -528,7 +545,7 @@ impl Command {
                     &mut log_src
                 };
                 if *all_k {
-                    let result = cpm_stream::stream_percolate_with(source, *sweep)
+                    let result = cpm_stream::stream_percolate_parallel(source, *threads)
                         .map_err(|e| e.to_string())?;
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
@@ -552,12 +569,8 @@ impl Command {
                     } else {
                         cpm_stream::Mode::Exact
                     };
-                    let mut p = cpm_stream::StreamPercolator::with_options(
-                        source.node_count(),
-                        k,
-                        mode,
-                        *sweep,
-                    );
+                    let mut p =
+                        cpm_stream::StreamPercolator::with_mode(source.node_count(), k, mode);
                     source
                         .replay(&mut |clique| p.push(clique))
                         .map_err(|e| e.to_string())?;
@@ -626,6 +639,14 @@ impl Command {
     }
 }
 
+fn warn_deprecated_sweep(value: &Option<String>) {
+    if let Some(v) = value {
+        eprintln!(
+            "warning: --sweep {v} is deprecated and ignored; the fused sweep is the only pipeline"
+        );
+    }
+}
+
 fn load_graph(path: &PathBuf) -> Result<asgraph::Graph, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -650,7 +671,8 @@ mod tests {
                 k: Some(4),
                 all_k: false,
                 kernel: cliques::Kernel::Auto,
-                sweep: cpm::Sweep::Fused,
+                threads: exec::Threads::Auto,
+                deprecated_sweep: None,
             }
         );
         let c = parse(&["communities", "--input", "g.txt", "--all-k"]).unwrap();
@@ -689,40 +711,66 @@ mod tests {
     }
 
     #[test]
-    fn parses_sweep_flag() {
-        for (name, want) in [("fused", cpm::Sweep::Fused), ("legacy", cpm::Sweep::Legacy)] {
+    fn parses_threads_flag() {
+        for (name, want) in [
+            ("auto", exec::Threads::Auto),
+            ("1", exec::Threads::Fixed(1)),
+            ("4", exec::Threads::Fixed(4)),
+        ] {
             let c = parse(&[
                 "communities",
                 "--input",
                 "g.txt",
                 "--k",
                 "3",
-                "--sweep",
+                "--threads",
                 name,
             ])
             .unwrap();
-            assert!(matches!(c, Command::Communities { sweep, .. } if sweep == want));
+            assert!(matches!(c, Command::Communities { threads, .. } if threads == want));
             let c = parse(&[
                 "stream-percolate",
                 "--input",
                 "g.txt",
                 "--all-k",
-                "--sweep",
+                "--threads",
                 name,
             ])
             .unwrap();
-            assert!(matches!(c, Command::StreamPercolate { sweep, .. } if sweep == want));
+            assert!(matches!(c, Command::StreamPercolate { threads, .. } if threads == want));
         }
-        assert!(parse(&[
-            "communities",
-            "--input",
-            "g.txt",
-            "--k",
-            "3",
-            "--sweep",
-            "quantum"
-        ])
-        .is_err());
+        for bad in ["0", "-1", "many"] {
+            assert!(parse(&[
+                "communities",
+                "--input",
+                "g.txt",
+                "--k",
+                "3",
+                "--threads",
+                bad
+            ])
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn deprecated_sweep_flag_is_accepted_and_recorded() {
+        // Any value parses — the flag is a warned-about no-op now.
+        for v in ["fused", "legacy", "quantum"] {
+            let c = parse(&["communities", "--input", "g.txt", "--k", "3", "--sweep", v]).unwrap();
+            assert!(
+                matches!(c, Command::Communities { ref deprecated_sweep, .. }
+                    if deprecated_sweep.as_deref() == Some(v))
+            );
+        }
+        let c = parse(&["communities", "--input", "g.txt", "--k", "3"]).unwrap();
+        assert!(matches!(
+            c,
+            Command::Communities {
+                deprecated_sweep: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -787,7 +835,8 @@ mod tests {
                 all_k: false,
                 approx: false,
                 kernel: cliques::Kernel::Auto,
-                sweep: cpm::Sweep::Fused,
+                threads: exec::Threads::Auto,
+                deprecated_sweep: None,
             }
         );
         let c = parse(&["stream-percolate", "--log", "c.log", "--all-k"]).unwrap();
@@ -870,7 +919,8 @@ mod tests {
                 all_k: false,
                 approx: false,
                 kernel: cliques::Kernel::Auto,
-                sweep: cpm::Sweep::Fused,
+                threads: exec::Threads::Auto,
+                deprecated_sweep: None,
             }
             .run()
             .unwrap();
@@ -881,7 +931,8 @@ mod tests {
                 all_k: true,
                 approx: false,
                 kernel: cliques::Kernel::Merge,
-                sweep: cpm::Sweep::Legacy,
+                threads: exec::Threads::Fixed(2),
+                deprecated_sweep: Some("legacy".into()),
             }
             .run()
             .unwrap();
@@ -893,7 +944,8 @@ mod tests {
             all_k: false,
             approx: true,
             kernel: cliques::Kernel::Auto,
-            sweep: cpm::Sweep::Fused,
+            threads: exec::Threads::Auto,
+            deprecated_sweep: None,
         }
         .run()
         .unwrap();
@@ -935,7 +987,8 @@ mod tests {
             k: Some(3),
             all_k: false,
             kernel: cliques::Kernel::Auto,
-            sweep: cpm::Sweep::Fused,
+            threads: exec::Threads::Auto,
+            deprecated_sweep: None,
         }
         .run()
         .unwrap();
@@ -944,7 +997,8 @@ mod tests {
             k: None,
             all_k: true,
             kernel: cliques::Kernel::Auto,
-            sweep: cpm::Sweep::Legacy,
+            threads: exec::Threads::Fixed(2),
+            deprecated_sweep: Some("legacy".into()),
         }
         .run()
         .unwrap();

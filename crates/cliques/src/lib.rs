@@ -8,8 +8,8 @@
 //!   Tomita pivoting, and the Eppstein–Löffler–Strash degeneracy-ordered
 //!   outer loop (the practical default for sparse Internet-like graphs).
 //! - [`parallel`] — a multi-threaded enumerator partitioning the degeneracy
-//!   outer loop across crossbeam scoped threads; one half of the
-//!   "Lightweight Parallel CPM" of Gregori et al.
+//!   outer loop across the persistent [`exec::Pool`] worker team; one half
+//!   of the "Lightweight Parallel CPM" of Gregori et al.
 //! - [`CliqueSet`] — the result container with the size histogram used for
 //!   the paper's maximal-clique census.
 //! - [`kclique`] — exhaustive listing of (not necessarily maximal)

@@ -5,30 +5,48 @@
 //! degeneracy-ordered outer loop of Bron–Kerbosch is embarrassingly
 //! parallel — each outer vertex spawns an independent subproblem.
 //!
-//! Scheduling is an atomic-counter **work-stealing deal**: workers claim
-//! chunks of [`STEAL_CHUNK`] consecutive outer vertices from a shared
-//! counter until the order is exhausted. On power-law graphs a handful of
-//! IXP-core subproblems dominate the total work; the static round-robin
-//! stripe this replaced would leave every other worker idle while one
-//! finished its oversized stripe, whereas dynamic claiming keeps all
-//! workers busy to the tail. Each claimed chunk produces its own
-//! [`CliqueSet`], and chunks are merged in ascending chunk order, so the
-//! output is *identical to the sequential enumeration* — independent of
-//! thread count and scheduling races.
+//! Scheduling is an atomic-counter **work-stealing deal** over the
+//! persistent [`exec::Pool`]: workers claim chunks of [`STEAL_CHUNK`]
+//! consecutive outer vertices from a shared [`ChunkQueue`] until the
+//! order is exhausted. On power-law graphs a handful of IXP-core
+//! subproblems dominate the total work; the static round-robin stripe
+//! this replaced would leave every other worker idle while one finished
+//! its oversized stripe, whereas dynamic claiming keeps all workers
+//! busy to the tail. Each claimed chunk produces its own [`CliqueSet`],
+//! and chunks are merged in ascending chunk order, so the output is
+//! *identical to the sequential enumeration* — independent of thread
+//! count and scheduling races.
+//!
+//! Two things distinguish this from the per-call `crossbeam::scope`
+//! version it replaced: workers are warm pool threads (woken, not
+//! spawned), and each worker's [`BitsetScratch`] lives in its pool
+//! arena, so the bitset row pool and local-index buffers persist across
+//! calls instead of being reallocated every time. [`Threads::Auto`]
+//! (the default for the CLI) additionally routes graphs below a work
+//! threshold to the sequential path, so tiny substrates never pay
+//! parallel overhead at all.
 
 use crate::bron_kerbosch::top_level_subproblem;
 use crate::clique_set::CliqueSet;
 use crate::kernel::{BitsetScratch, Kernel};
 use asgraph::Graph;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use exec::{ChunkQueue, Pool, Threads};
+use std::sync::Mutex;
 
-/// Outer vertices claimed per `fetch_add`. Small enough that the heavy
+/// Outer vertices claimed per queue chunk. Small enough that the heavy
 /// hub subproblems of an AS-like graph cannot hide behind one claim,
 /// large enough that the shared counter is not contended.
 pub const STEAL_CHUNK: usize = 16;
 
-/// Enumerates all maximal cliques of `g` using `threads` worker threads
-/// and the default [`Kernel::Auto`] set kernel.
+/// The `Threads::Auto` grain: edges of enumeration work per worker
+/// before adding that worker pays. Below `2 × grain` edges the whole
+/// enumeration runs on the calling thread (with pooled scratch), which
+/// is what fixes the tiny-substrate `enumerate_par` regression.
+const AUTO_EDGES_PER_WORKER: usize = 2_048;
+
+/// Enumerates all maximal cliques of `g` using `threads` workers
+/// (`usize` or [`Threads`]; `Threads::Auto` scales with the graph) and
+/// the default [`Kernel::Auto`] set kernel.
 ///
 /// Output is identical — same cliques, same order — to
 /// [`degeneracy`](crate::bron_kerbosch::degeneracy) for every thread
@@ -36,7 +54,7 @@ pub const STEAL_CHUNK: usize = 16;
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads` is a fixed count of 0.
 ///
 /// # Example
 ///
@@ -48,7 +66,7 @@ pub const STEAL_CHUNK: usize = 16;
 /// let cliques = max_cliques_parallel(&g, 4);
 /// assert_eq!(cliques.len(), 1);
 /// ```
-pub fn max_cliques_parallel(g: &Graph, threads: usize) -> CliqueSet {
+pub fn max_cliques_parallel(g: &Graph, threads: impl Into<Threads>) -> CliqueSet {
     max_cliques_parallel_with(g, threads, Kernel::Auto)
 }
 
@@ -56,55 +74,53 @@ pub fn max_cliques_parallel(g: &Graph, threads: usize) -> CliqueSet {
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
-pub fn max_cliques_parallel_with(g: &Graph, threads: usize, kernel: Kernel) -> CliqueSet {
-    assert!(threads > 0, "need at least one thread");
+/// Panics if `threads` is a fixed count of 0.
+pub fn max_cliques_parallel_with(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    kernel: Kernel,
+) -> CliqueSet {
+    let mut workers = threads
+        .into()
+        .resolve(g.edge_count(), AUTO_EDGES_PER_WORKER);
+    if g.node_count() < 2 * workers {
+        workers = 1;
+    }
     let ordering = asgraph::ordering::degeneracy_order(g);
-    if threads == 1 || g.node_count() < 2 * threads {
-        let mut out = CliqueSet::new();
-        let mut scratch = BitsetScratch::default();
-        for &v in &ordering.order {
-            top_level_subproblem(g, v, &ordering.rank, kernel, &mut scratch, &mut out);
-        }
-        return out;
+    let order = ordering.order.as_slice();
+    let rank = ordering.rank.as_slice();
+    let pool = Pool::global();
+
+    if workers == 1 {
+        return pool.leader(|mut w| {
+            let scratch = w.scratch_with(BitsetScratch::default);
+            let mut out = CliqueSet::new();
+            for &v in order {
+                top_level_subproblem(g, v, rank, kernel, scratch, &mut out);
+            }
+            out
+        });
     }
 
-    let rank = &ordering.rank;
-    let order = &ordering.order;
-    let next = AtomicUsize::new(0);
-    let next_ref = &next;
-
-    // Each worker returns (chunk start, cliques of that chunk) pairs.
-    let mut chunks: Vec<(usize, CliqueSet)> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(move |_| {
-                let mut local: Vec<(usize, CliqueSet)> = Vec::new();
-                let mut scratch = BitsetScratch::default();
-                loop {
-                    let start = next_ref.fetch_add(STEAL_CHUNK, Ordering::Relaxed);
-                    if start >= order.len() {
-                        break;
-                    }
-                    let end = (start + STEAL_CHUNK).min(order.len());
-                    let mut set = CliqueSet::new();
-                    for &v in &order[start..end] {
-                        top_level_subproblem(g, v, rank, kernel, &mut scratch, &mut set);
-                    }
-                    local.push((start, set));
-                }
-                local
-            }));
+    // Each worker contributes (chunk start, cliques of that chunk)
+    // pairs; reassembly sorts by start, so the result is the sequential
+    // enumeration order whatever the scheduling races did.
+    let queue = ChunkQueue::new(order.len(), STEAL_CHUNK);
+    let chunks: Mutex<Vec<(usize, CliqueSet)>> = Mutex::new(Vec::new());
+    pool.run(workers, |mut w| {
+        let scratch = w.scratch_with(BitsetScratch::default);
+        let mut local: Vec<(usize, CliqueSet)> = Vec::new();
+        while let Some(range) = queue.claim() {
+            let mut set = CliqueSet::new();
+            for &v in &order[range.clone()] {
+                top_level_subproblem(g, v, rank, kernel, scratch, &mut set);
+            }
+            local.push((range.start, set));
         }
-        for h in handles {
-            chunks.extend(h.join().expect("clique worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+        chunks.lock().expect("clique worker panicked").extend(local);
+    });
 
-    // Reassemble in chunk order: the result is the sequential enumeration
-    // order, whatever the scheduling races did.
+    let mut chunks = chunks.into_inner().expect("clique worker panicked");
     chunks.sort_unstable_by_key(|&(start, _)| start);
     let total: usize = chunks.iter().map(|(_, s)| s.total_members()).sum();
     let count: usize = chunks.iter().map(|(_, s)| s.len()).sum();
@@ -172,6 +188,25 @@ mod tests {
                 assert_eq!(seq, par, "kernel {kernel}, threads {threads}");
             }
         }
+    }
+
+    #[test]
+    fn auto_threads_match_sequential() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let n = 80u32;
+        let mut b = asgraph::GraphBuilder::with_nodes(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(0.12) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let seq = degeneracy(&g);
+        let auto = max_cliques_parallel(&g, Threads::Auto);
+        assert_eq!(seq, auto);
     }
 
     #[test]

@@ -55,12 +55,10 @@ pub use overlap::{
     OverlapEdge, VertexCliqueIndex,
 };
 pub use percolation::{
-    percolate, percolate_at, percolate_at_with, percolate_at_with_kernel, percolate_from_overlaps,
-    percolate_with, percolate_with_cliques, percolate_with_cliques_kernel,
-    percolate_with_cliques_sweep, percolate_with_kernel,
+    percolate, percolate_at, percolate_at_with_kernel, percolate_with_cliques,
+    percolate_with_cliques_kernel, percolate_with_kernel,
 };
 pub use result::{canonical_members, Community, CommunityId, CpmResult, KLevel};
 pub use sweep::{
     overlap_strata, overlap_strata_min, overlap_strata_with, percolate_from_strata, OverlapStrata,
-    Sweep,
 };

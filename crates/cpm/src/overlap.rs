@@ -155,8 +155,11 @@ const UNSTAMPED: u32 = u32::MAX;
 const MASK_PATH_MAX_CLIQUES: usize = 1 << 13;
 
 /// Per-worker scratch state for overlap counting — one instance per
-/// thread in the parallel construction.
-#[derive(Debug)]
+/// worker in the parallel construction, living in that worker's
+/// [`exec::ScratchArena`] so the buffers stay warm across calls
+/// (construct with `default()`, then [`reset_for`](Self::reset_for)
+/// each call).
+#[derive(Debug, Default)]
 pub(crate) struct OverlapScratch {
     /// merge kernel: per-clique shared-member counters (zeroed between
     /// cliques).
@@ -184,37 +187,44 @@ impl OverlapScratch {
     }
 
     pub(crate) fn new(cliques: &CliqueSet, use_bitset: bool) -> Self {
+        let mut scratch = OverlapScratch::default();
+        scratch.reset_for(cliques, use_bitset);
+        scratch
+    }
+
+    /// Re-targets this scratch at a (possibly different) clique set,
+    /// reusing every buffer's allocation. Equivalent to a fresh
+    /// [`new`](Self::new) but warm: the pool's per-worker arenas call
+    /// this once per job instead of reallocating counts, stamps, and
+    /// mask tables from a cold heap.
+    pub(crate) fn reset_for(&mut self, cliques: &CliqueSet, use_bitset: bool) {
         // The vertex space bound: members are dense node ids; the index is
         // built over `n >= max id + 1`, and so is the bitmap.
         let max_vertex = cliques.iter().flatten().copied().max().map_or(0, |v| v + 1);
-        let masks: Vec<u64> =
-            if !use_bitset && max_vertex <= 64 && cliques.len() <= MASK_PATH_MAX_CLIQUES {
+        self.use_bitset = use_bitset;
+        self.touched.clear();
+        self.masks.clear();
+        if !use_bitset && max_vertex <= 64 && cliques.len() <= MASK_PATH_MAX_CLIQUES {
+            self.masks.extend(
                 cliques
                     .iter()
-                    .map(|c| c.iter().fold(0u64, |m, &v| m | 1u64 << v))
-                    .collect()
-            } else {
-                Vec::new()
-            };
-        OverlapScratch {
-            counts: if use_bitset || !masks.is_empty() {
-                Vec::new()
-            } else {
-                vec![0; cliques.len()]
-            },
-            bits: if use_bitset {
-                vec![0; (max_vertex as usize).div_ceil(64)]
-            } else {
-                Vec::new()
-            },
-            stamp: if use_bitset {
-                vec![UNSTAMPED; cliques.len()]
-            } else {
-                Vec::new()
-            },
-            touched: Vec::new(),
-            masks,
-            use_bitset,
+                    .map(|c| c.iter().fold(0u64, |m, &v| m | 1u64 << v)),
+            );
+        }
+        // `clear` + `resize` refills (counts zeroed, stamps unstamped —
+        // stale stamps from an earlier clique set must not survive)
+        // while keeping each buffer's capacity.
+        self.counts.clear();
+        if !use_bitset && self.masks.is_empty() {
+            self.counts.resize(cliques.len(), 0);
+        }
+        self.bits.clear();
+        if use_bitset {
+            self.bits.resize((max_vertex as usize).div_ceil(64), 0);
+        }
+        self.stamp.clear();
+        if use_bitset {
+            self.stamp.resize(cliques.len(), UNSTAMPED);
         }
     }
 

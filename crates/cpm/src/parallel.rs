@@ -4,60 +4,70 @@
 //! feasible on the 2010 AS topology (93 h on 48 cores). Its insight — the
 //! expensive phases are clique enumeration and clique-overlap counting,
 //! both embarrassingly parallel, while the percolation itself is cheap —
-//! is reproduced here with crossbeam scoped threads:
+//! is reproduced here on the persistent [`exec::Pool`]:
 //!
 //! 1. maximal cliques: the degeneracy outer loop under an atomic-counter
 //!    work-stealing deal (delegated to [`cliques::parallel`]);
 //! 2. overlap counting: clique ids claimed in chunks of [`OVERLAP_CHUNK`]
-//!    from a shared counter, each worker with its own scratch kernel
-//!    state; per-chunk outputs are reassembled in chunk order, so the
-//!    result is *identical* to the sequential construction — independent
-//!    of thread count and scheduling races. Under the default
-//!    [`Sweep::Fused`] workers emit straight into per-chunk overlap
-//!    strata; under [`Sweep::Legacy`] into flat edge buffers;
-//! 3. the descending-k sweep: under [`Sweep::Fused`] each stratum is
-//!    drained across threads over a lock-free [`ConcurrentDsu`], with a
-//!    barrier between strata ([`percolate_from_strata_parallel`]); under
-//!    [`Sweep::Legacy`] it runs sequentially as in PR 2.
+//!    from a shared [`ChunkQueue`], each worker counting with the
+//!    [`OverlapScratch`] resident in its pool arena (stamp arrays and
+//!    counters stay warm across calls); per-chunk strata are reassembled
+//!    in chunk order, so the result is *identical* to the sequential
+//!    construction — independent of thread count and scheduling races;
+//! 3. the descending-k sweep: one `pool.run` for the whole drain — each
+//!    stratum is claimed in chunks of [`UNION_CHUNK`] over a lock-free
+//!    [`ConcurrentDsu`], and the job's reusable barrier separates the
+//!    strata, with worker 0 snapshotting each level in between
+//!    ([`percolate_from_strata_parallel`]). The workers stay resident
+//!    from the first stratum to the last instead of being respawned
+//!    `k_max` times.
+//!
+//! Thread counts are [`Threads`] everywhere (plain integers coerce):
+//! `Threads::Auto` sizes each phase from its own work estimate and
+//! falls back to the sequential path below the grain, so tiny inputs
+//! never pay pool overhead.
 //!
 //! Output is bit-identical to the sequential [`crate::percolate`]; the
 //! tests assert it and the bench suite measures the speedup.
 
 use crate::dsu_concurrent::ConcurrentDsu;
-use crate::overlap::{
-    build_vertex_index, overlap_uses_bitset, OverlapEdge, OverlapScratch, VertexCliqueIndex,
-};
-use crate::percolation::{percolate_from_overlaps, LevelSnapshotter};
+use crate::overlap::{build_vertex_index, overlap_uses_bitset, OverlapScratch, VertexCliqueIndex};
+use crate::percolation::LevelSnapshotter;
 use crate::result::{CpmResult, KLevel};
-use crate::sweep::{
-    chain_union_postings, overlap_strata_min, percolate_from_strata, OverlapStrata, Sweep,
-};
+use crate::sweep::{chain_union_postings, percolate_from_strata, OverlapStrata};
 use asgraph::Graph;
 use cliques::{CliqueSet, Kernel};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use exec::{ChunkQueue, Pool, Threads};
+use std::sync::{Mutex, RwLock};
 
-/// Clique ids claimed per `fetch_add` during parallel overlap counting.
+/// Clique ids claimed per queue chunk during parallel overlap counting.
 /// Overlap counting per clique is much cheaper than a Bron–Kerbosch
 /// subproblem, so chunks are coarser than the enumerator's to keep the
 /// shared counter cold.
 pub const OVERLAP_CHUNK: usize = 256;
 
-/// Stratum pairs claimed per `fetch_add` while draining one overlap
+/// Stratum pairs claimed per queue chunk while draining one overlap
 /// stratum into the concurrent union–find. A union is a handful of
 /// atomic ops, so chunks are coarse to keep the shared counter out of
 /// the way.
 pub const UNION_CHUNK: usize = 2048;
 
-/// Below this many pairs a stratum is drained on the calling thread:
-/// spawning a scope costs more than the unions.
+/// Below this many pairs a stratum is drained by worker 0 alone:
+/// coordinating the team costs more than the unions.
 const PAR_UNION_MIN: usize = 4 * UNION_CHUNK;
 
-/// Runs the full CPM pipeline with `threads` workers and the default
-/// [`Kernel::Auto`] set kernel.
+/// The `Threads::Auto` grain for overlap counting: total clique
+/// memberships (the posting count, which bounds the counting work) per
+/// worker before adding that worker pays.
+const AUTO_MEMBERS_PER_WORKER: usize = 8_192;
+
+/// Runs the full CPM pipeline with `threads` workers (`usize` or
+/// [`Threads`]; `Threads::Auto` scales every phase with its work) and
+/// the default [`Kernel::Auto`] set kernel.
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads` is a fixed count of 0.
 ///
 /// # Example
 ///
@@ -69,7 +79,7 @@ const PAR_UNION_MIN: usize = 4 * UNION_CHUNK;
 /// let par = cpm::parallel::percolate_parallel(&g, 4);
 /// assert_eq!(seq.total_communities(), par.total_communities());
 /// ```
-pub fn percolate_parallel(g: &Graph, threads: usize) -> CpmResult {
+pub fn percolate_parallel(g: &Graph, threads: impl Into<Threads>) -> CpmResult {
     percolate_parallel_with_kernel(g, threads, Kernel::Auto)
 }
 
@@ -79,132 +89,22 @@ pub fn percolate_parallel(g: &Graph, threads: usize) -> CpmResult {
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
-pub fn percolate_parallel_with_kernel(g: &Graph, threads: usize, kernel: Kernel) -> CpmResult {
-    percolate_parallel_with(g, threads, kernel, Sweep::default())
-}
-
-/// [`percolate_parallel`] with explicit [`Kernel`] and [`Sweep`]. The
-/// result is identical whatever the kernel, sweep, or thread count.
-///
-/// Under [`Sweep::Fused`] *every* phase after enumeration is parallel
-/// too: overlap counting emits straight into per-chunk strata, and the
-/// percolation drains each stratum across threads over a
-/// [`ConcurrentDsu`] (see [`percolate_from_strata_parallel`]). Under
-/// [`Sweep::Legacy`] the PR-2 pipeline runs: parallel flat edge list,
-/// sequential sweep.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-pub fn percolate_parallel_with(
+/// Panics if `threads` is a fixed count of 0.
+pub fn percolate_parallel_with_kernel(
     g: &Graph,
-    threads: usize,
+    threads: impl Into<Threads>,
     kernel: Kernel,
-    sweep: Sweep,
 ) -> CpmResult {
-    assert!(threads > 0, "need at least one thread");
+    let threads = threads.into();
     let mut cliques = cliques::parallel::max_cliques_parallel_with(g, threads, kernel);
     // Same canonicalisation entry point as the sequential path: the
     // result is then identical whatever the thread count.
     cliques.canonicalize();
     let index = build_vertex_index(&cliques, g.node_count());
-    match sweep {
-        Sweep::Fused => {
-            // min_overlap = 2: the o = 1 stratum is never stored — the
-            // k = 2 level is chained straight off the posting lists.
-            let strata = overlap_strata_parallel_min(&cliques, &index, threads, kernel, 2);
-            percolate_from_strata_parallel(cliques, strata, threads, &index)
-        }
-        Sweep::Legacy => {
-            let edges = overlap_edges_parallel_with(&cliques, &index, threads, kernel);
-            percolate_from_overlaps(cliques, edges)
-        }
-    }
-}
-
-/// Computes all clique-overlap edges with `threads` workers and the
-/// default [`Kernel::Auto`].
-///
-/// The edge list is identical (content *and* order) to the sequential
-/// [`crate::overlap::overlap_edges`]: work-stolen chunks are merged back
-/// in chunk order.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-pub fn overlap_edges_parallel(
-    cliques: &CliqueSet,
-    index: &VertexCliqueIndex,
-    threads: usize,
-) -> Vec<OverlapEdge> {
-    overlap_edges_parallel_with(cliques, index, threads, Kernel::Auto)
-}
-
-/// [`overlap_edges_parallel`] with an explicit counting [`Kernel`].
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-pub fn overlap_edges_parallel_with(
-    cliques: &CliqueSet,
-    index: &VertexCliqueIndex,
-    threads: usize,
-    kernel: Kernel,
-) -> Vec<OverlapEdge> {
-    assert!(threads > 0, "need at least one thread");
-    let n = cliques.len();
-    let use_bitset = overlap_uses_bitset(kernel, cliques);
-    if threads == 1 || n < 2 * threads {
-        let mut edges = Vec::new();
-        let mut scratch = OverlapScratch::new(cliques, use_bitset);
-        for i in 0..n {
-            scratch.count_overlaps_of(cliques, index, i as u32, |a, b, overlap| {
-                edges.push(OverlapEdge { a, b, overlap });
-            });
-        }
-        return edges;
-    }
-
-    let next = AtomicUsize::new(0);
-    let next_ref = &next;
-    let mut chunks: Vec<(usize, Vec<OverlapEdge>)> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(move |_| {
-                let mut local: Vec<(usize, Vec<OverlapEdge>)> = Vec::new();
-                let mut scratch = OverlapScratch::new(cliques, use_bitset);
-                loop {
-                    let start = next_ref.fetch_add(OVERLAP_CHUNK, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + OVERLAP_CHUNK).min(n);
-                    let mut edges = Vec::new();
-                    for i in start..end {
-                        scratch.count_overlaps_of(cliques, index, i as u32, |a, b, overlap| {
-                            edges.push(OverlapEdge { a, b, overlap });
-                        });
-                    }
-                    local.push((start, edges));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            chunks.extend(h.join().expect("overlap worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-
-    chunks.sort_unstable_by_key(|&(start, _)| start);
-    let total: usize = chunks.iter().map(|(_, e)| e.len()).sum();
-    let mut edges = Vec::with_capacity(total);
-    for (_, chunk) in chunks {
-        edges.extend(chunk);
-    }
-    edges
+    // min_overlap = 2: the o = 1 stratum is never stored — the k = 2
+    // level is chained straight off the posting lists.
+    let strata = overlap_strata_parallel_min(&cliques, &index, threads, kernel, 2);
+    percolate_from_strata_parallel(cliques, strata, threads, &index)
 }
 
 /// Computes the overlap stratification with `threads` workers and the
@@ -216,11 +116,11 @@ pub fn overlap_edges_parallel_with(
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads` is a fixed count of 0.
 pub fn overlap_strata_parallel(
     cliques: &CliqueSet,
     index: &VertexCliqueIndex,
-    threads: usize,
+    threads: impl Into<Threads>,
 ) -> OverlapStrata {
     overlap_strata_parallel_with(cliques, index, threads, Kernel::Auto)
 }
@@ -229,11 +129,11 @@ pub fn overlap_strata_parallel(
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads` is a fixed count of 0.
 pub fn overlap_strata_parallel_with(
     cliques: &CliqueSet,
     index: &VertexCliqueIndex,
-    threads: usize,
+    threads: impl Into<Threads>,
     kernel: Kernel,
 ) -> OverlapStrata {
     overlap_strata_parallel_min(cliques, index, threads, kernel, 1)
@@ -245,60 +145,70 @@ pub fn overlap_strata_parallel_with(
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads` is a fixed count of 0.
 pub fn overlap_strata_parallel_min(
     cliques: &CliqueSet,
     index: &VertexCliqueIndex,
-    threads: usize,
+    threads: impl Into<Threads>,
     kernel: Kernel,
     min_overlap: u32,
 ) -> OverlapStrata {
-    assert!(threads > 0, "need at least one thread");
     let n = cliques.len();
-    if threads == 1 || n < 2 * threads {
-        return overlap_strata_min(cliques, index, kernel, min_overlap);
+    let mut workers = threads
+        .into()
+        .resolve(cliques.total_members(), AUTO_MEMBERS_PER_WORKER);
+    if n < 2 * workers {
+        workers = 1;
     }
-
     let max_size = cliques.max_size();
     let use_bitset = overlap_uses_bitset(kernel, cliques);
-    let next = AtomicUsize::new(0);
-    let next_ref = &next;
-    let mut chunks: Vec<(usize, OverlapStrata)> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(move |_| {
-                let mut local: Vec<(usize, OverlapStrata)> = Vec::new();
-                let mut scratch = OverlapScratch::new(cliques, use_bitset);
-                loop {
-                    let start = next_ref.fetch_add(OVERLAP_CHUNK, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + OVERLAP_CHUNK).min(n);
-                    let mut strata = OverlapStrata::new(max_size);
-                    for i in start..end {
-                        scratch.count_overlaps_of(cliques, index, i as u32, |a, b, o| {
-                            strata.push(a, b, o);
-                        });
-                        // Unconditional emit + per-clique discard: see
-                        // `clear_below`.
-                        strata.clear_below(min_overlap);
-                    }
-                    local.push((start, strata));
-                }
-                local
-            }));
+    let pool = Pool::global();
+
+    if workers == 1 {
+        // Sequential, but with the worker-0 arena's warm scratch.
+        return pool.leader(|mut w| {
+            let scratch = w.scratch_with(OverlapScratch::default);
+            scratch.reset_for(cliques, use_bitset);
+            let mut strata = OverlapStrata::new(max_size);
+            for i in 0..n {
+                scratch.count_overlaps_of(cliques, index, i as u32, |a, b, o| {
+                    strata.push(a, b, o);
+                });
+                // Unconditional emit + per-clique discard: see
+                // `clear_below`.
+                strata.clear_below(min_overlap);
+            }
+            strata
+        });
+    }
+
+    let queue = ChunkQueue::new(n, OVERLAP_CHUNK);
+    let chunks: Mutex<Vec<(usize, OverlapStrata)>> = Mutex::new(Vec::new());
+    pool.run(workers, |mut w| {
+        let scratch = w.scratch_with(OverlapScratch::default);
+        scratch.reset_for(cliques, use_bitset);
+        let mut local: Vec<(usize, OverlapStrata)> = Vec::new();
+        while let Some(range) = queue.claim() {
+            let start = range.start;
+            let mut strata = OverlapStrata::new(max_size);
+            for i in range {
+                scratch.count_overlaps_of(cliques, index, i as u32, |a, b, o| {
+                    strata.push(a, b, o);
+                });
+                strata.clear_below(min_overlap);
+            }
+            local.push((start, strata));
         }
-        for h in handles {
-            chunks.extend(h.join().expect("overlap worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
+        chunks
+            .lock()
+            .expect("overlap worker panicked")
+            .extend(local);
+    });
 
     // Chunk-ordered reassembly, one exact-capacity allocation per
     // stratum; chunks are dropped as they are absorbed, so the peak is
     // one copy of the pairs plus the largest in-flight chunk.
+    let mut chunks = chunks.into_inner().expect("overlap worker panicked");
     chunks.sort_unstable_by_key(|&(start, _)| start);
     let mut strata = OverlapStrata::new(max_size);
     for o in 1..max_size {
@@ -311,18 +221,22 @@ pub fn overlap_strata_parallel_min(
     strata
 }
 
-/// The parallel fused sweep: descending k, each stratum drained across
-/// `threads` workers over a lock-free [`ConcurrentDsu`], with the
-/// crossbeam scope join as the barrier between strata.
+/// The parallel fused sweep: one resident pool job drains every
+/// stratum in descending k over a lock-free [`ConcurrentDsu`], with the
+/// job's reusable barrier between strata.
 ///
 /// The barrier is what preserves Theorem 1: each level's communities and
-/// the previous level's parent links are snapshotted from quiescent
-/// union–find state, after stratum `k−1` has fully drained and before
-/// stratum `k−2` starts. Within a stratum, union order is free —
-/// union–find is confluent, and union-by-index makes even the *roots*
-/// deterministic (the minimum clique id of each component), so the
-/// result is bit-identical to the sequential
-/// [`crate::percolate_from_strata`] at every thread count.
+/// the previous level's parent links are snapshotted (by worker 0, while
+/// the other workers hold at the barrier) from quiescent union–find
+/// state, after stratum `k−1` has fully drained and before stratum `k−2`
+/// starts. Within a stratum, union order is free — union–find is
+/// confluent, and union-by-index makes even the *roots* deterministic
+/// (the minimum clique id of each component), so the result is
+/// bit-identical to the sequential [`crate::percolate_from_strata`] at
+/// every thread count. Strata smaller than the parallel threshold are
+/// drained by worker 0 alone; each stratum's memory is released right
+/// after its snapshot, preserving the descending-peak property of the
+/// sequential sweep.
 ///
 /// As in the sequential sweep, `index` must be the unfiltered inverted
 /// index of `cliques`: it supplies the k = 2 level (posting-list
@@ -330,17 +244,14 @@ pub fn overlap_strata_parallel_min(
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `threads` is a fixed count of 0.
 pub fn percolate_from_strata_parallel(
     cliques: CliqueSet,
     mut strata: OverlapStrata,
-    threads: usize,
+    threads: impl Into<Threads>,
     index: &VertexCliqueIndex,
 ) -> CpmResult {
-    assert!(threads > 0, "need at least one thread");
-    if threads == 1 {
-        return percolate_from_strata(cliques, strata, index);
-    }
+    let threads = threads.into();
     let k_max = cliques.max_size();
     if k_max < 2 {
         return CpmResult {
@@ -348,43 +259,80 @@ pub fn percolate_from_strata_parallel(
             levels: Vec::new(),
         };
     }
+    // Parallelism only pays where a single stratum clears the union
+    // threshold: resolve the worker count from the largest one.
+    let largest = (2..k_max.max(2))
+        .map(|o| strata.stratum(o).len())
+        .max()
+        .unwrap_or(0);
+    let workers = threads.resolve(largest, PAR_UNION_MIN);
+    if workers == 1 {
+        return percolate_from_strata(cliques, strata, index);
+    }
 
     let dsu = ConcurrentDsu::new(cliques.len());
-    let mut snap = LevelSnapshotter::new(cliques.len());
-    let mut levels_desc: Vec<KLevel> = Vec::with_capacity(k_max - 1);
-    for k in (3..=k_max).rev() {
-        let pairs = strata.take(k - 1);
-        if pairs.len() < PAR_UNION_MIN {
-            for &(a, b) in &pairs {
-                dsu.union(a, b);
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            let (next_ref, pairs_ref, dsu_ref) = (&next, pairs.as_slice(), &dsu);
-            crossbeam::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(move |_| loop {
-                        let start = next_ref.fetch_add(UNION_CHUNK, Ordering::Relaxed);
-                        if start >= pairs_ref.len() {
-                            break;
-                        }
-                        let end = (start + UNION_CHUNK).min(pairs_ref.len());
-                        for &(a, b) in &pairs_ref[start..end] {
+    // Strata in drain order (descending k ⇒ descending overlap), moved
+    // behind RwLocks: workers share them read-locked while draining,
+    // worker 0 write-locks to free each one after its snapshot.
+    let strata_desc: Vec<RwLock<Vec<(u32, u32)>>> = (3..=k_max)
+        .rev()
+        .map(|k| RwLock::new(strata.take(k - 1)))
+        .collect();
+    let queues: Vec<ChunkQueue> = strata_desc
+        .iter()
+        .map(|lock| {
+            let len = lock.read().map(|p| p.len()).unwrap_or(0);
+            // Sub-threshold strata get an empty queue: the team skips
+            // them and worker 0 drains inline.
+            ChunkQueue::new(if len >= PAR_UNION_MIN { len } else { 0 }, UNION_CHUNK)
+        })
+        .collect();
+    let seq_parts = Mutex::new((
+        LevelSnapshotter::new(cliques.len()),
+        Vec::<KLevel>::with_capacity(k_max - 1),
+    ));
+    let cliques_ref = &cliques;
+    let dsu_ref = &dsu;
+
+    Pool::global().run(workers, |w| {
+        for (si, lock) in strata_desc.iter().enumerate() {
+            let k = k_max - si;
+            {
+                let pairs = lock.read().expect("sweep worker panicked");
+                if queues[si].is_empty() {
+                    if w.is_leader() {
+                        for &(a, b) in pairs.iter() {
                             dsu_ref.union(a, b);
                         }
-                    });
+                    }
+                } else {
+                    while let Some(range) = queues[si].claim() {
+                        for &(a, b) in &pairs[range] {
+                            dsu_ref.union(a, b);
+                        }
+                    }
                 }
-                // Scope join = the per-stratum barrier: every union of
-                // stratum k−1 happens-before the snapshot below.
-            })
-            .expect("union worker panicked");
+            }
+            // Quiesce: every union of stratum k−1 happens-before the
+            // snapshot below.
+            w.barrier();
+            if w.is_leader() {
+                drop(std::mem::take(
+                    &mut *lock.write().expect("sweep worker panicked"),
+                ));
+                let (snap, levels) = &mut *seq_parts.lock().expect("sweep worker panicked");
+                let level =
+                    snap.snapshot(cliques_ref, k, &mut |x| dsu_ref.find(x), levels.last_mut());
+                levels.push(level);
+            }
+            // And hold stratum k−2 until the snapshot is taken.
+            w.barrier();
         }
-        drop(pairs);
-        let level = snap.snapshot(&cliques, k, &mut |x| dsu.find(x), levels_desc.last_mut());
-        levels_desc.push(level);
-    }
+    });
+
+    let (mut snap, mut levels_desc) = seq_parts.into_inner().expect("sweep worker panicked");
     // k = 2 off the posting lists, as in the sequential sweep. The
-    // chain is Σ |postings| unions — far below PAR_UNION_MIN territory
+    // chain is Σ |postings| unions — far below the parallel threshold
     // in practice — so it runs inline on the calling thread.
     drop(strata.take(1));
     chain_union_postings(index, &mut |a, b| {
@@ -402,7 +350,6 @@ pub fn percolate_from_strata_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::overlap::{overlap_edges, overlap_edges_with};
     use crate::percolate;
     use crate::sweep::overlap_strata_with;
 
@@ -418,27 +365,6 @@ mod tests {
             }
         }
         b.build()
-    }
-
-    #[test]
-    fn parallel_edges_match_sequential_exactly() {
-        let g = random_graph(50, 0.2, 3);
-        let cliques = cliques::max_cliques(&g);
-        let index = build_vertex_index(&cliques, g.node_count());
-        for kernel in [Kernel::Auto, Kernel::Bitset, Kernel::Merge] {
-            let seq = overlap_edges_with(&cliques, &index, kernel);
-            for threads in 1..=4 {
-                let par = overlap_edges_parallel_with(&cliques, &index, threads, kernel);
-                // Work-stealing chunks are merged in order: not just the
-                // same edges — the same sequence.
-                assert_eq!(seq, par, "kernel {kernel}, threads {threads}");
-            }
-        }
-        // And the kernels agree with the historical default.
-        assert_eq!(
-            overlap_edges(&cliques, &index),
-            overlap_edges_parallel(&cliques, &index, 4)
-        );
     }
 
     #[test]
@@ -477,22 +403,22 @@ mod tests {
     }
 
     #[test]
-    fn fused_and_legacy_parallel_sweeps_are_bit_identical() {
+    fn parallel_sweep_is_bit_identical_across_thread_counts() {
         let g = random_graph(60, 0.15, 9);
         let reference = percolate(&g);
-        for threads in [1, 2, 3, 7] {
-            for sweep in [Sweep::Fused, Sweep::Legacy] {
-                let par = percolate_parallel_with(&g, threads, Kernel::Auto, sweep);
-                assert_eq!(reference.cliques, par.cliques, "{sweep}, threads {threads}");
-                assert_eq!(reference.levels, par.levels, "{sweep}, threads {threads}");
-            }
+        for threads in [1usize, 2, 3, 7] {
+            let par = percolate_parallel(&g, threads);
+            assert_eq!(reference.cliques, par.cliques, "threads {threads}");
+            assert_eq!(reference.levels, par.levels, "threads {threads}");
         }
+        let auto = percolate_parallel(&g, Threads::Auto);
+        assert_eq!(reference.levels, auto.levels, "threads auto");
     }
 
     #[test]
     fn strata_sweep_crosses_the_parallel_union_threshold() {
         // Force the multi-threaded stratum drain (pairs >= PAR_UNION_MIN),
-        // not just the small-stratum sequential fallback: a chain of
+        // not just the small-stratum worker-0 fallback: a chain of
         // 3-cliques {i, i+1, i+2} puts every consecutive pair in stratum
         // 2 (the smallest stratum the sweep drains from pairs — o = 1
         // comes off the posting lists), and the chain is long enough to
@@ -511,6 +437,22 @@ mod tests {
         for level in &par.levels {
             assert_eq!(level.communities.len(), 1, "chain fully merges at every k");
         }
+    }
+
+    #[test]
+    fn auto_sweep_crosses_the_threshold_when_work_allows() {
+        // Same substrate as above through the Auto heuristic: resolves
+        // to >= 1 worker everywhere and still bit-identical.
+        let n = 2 * PAR_UNION_MIN as u32;
+        let mut cliques = CliqueSet::new();
+        for i in 0..n {
+            cliques.push(&[i, i + 1, i + 2]);
+        }
+        let index = build_vertex_index(&cliques, n as usize + 2);
+        let strata = crate::overlap_strata(&cliques, &index);
+        let seq = percolate_from_strata(cliques.clone(), strata.clone(), &index);
+        let auto = percolate_from_strata_parallel(cliques, strata, Threads::Auto, &index);
+        assert_eq!(seq.levels, auto.levels);
     }
 
     #[test]

@@ -20,11 +20,9 @@
 //! `tests/oracle.rs` verify this against the literal definition.
 
 use crate::dsu::Dsu;
-use crate::overlap::{
-    build_vertex_index, build_vertex_index_min_size, overlap_edges_with, OverlapEdge,
-};
+use crate::overlap::{build_vertex_index, build_vertex_index_min_size};
 use crate::result::{Community, CpmResult, KLevel};
-use crate::sweep::{overlap_strata_min, percolate_from_strata, Sweep};
+use crate::sweep::{overlap_strata_min, percolate_from_strata};
 use asgraph::{Graph, NodeId};
 use cliques::{CliqueSet, Kernel};
 
@@ -52,15 +50,8 @@ pub fn percolate(g: &Graph) -> CpmResult {
 /// enumeration and overlap counting phases. Every kernel produces an
 /// identical result; only the running time differs.
 pub fn percolate_with_kernel(g: &Graph, kernel: Kernel) -> CpmResult {
-    percolate_with(g, kernel, Sweep::default())
-}
-
-/// [`percolate`] with an explicit [`Kernel`] *and* [`Sweep`]. Every
-/// combination produces a bit-identical result; kernel and sweep only
-/// change speed and peak memory.
-pub fn percolate_with(g: &Graph, kernel: Kernel, sweep: Sweep) -> CpmResult {
     let cliques = cliques::max_cliques_with(g, kernel);
-    percolate_with_cliques_sweep(g.node_count(), cliques, kernel, sweep)
+    percolate_with_cliques_kernel(g.node_count(), cliques, kernel)
 }
 
 /// Runs percolation on pre-computed maximal cliques (e.g. from the
@@ -80,38 +71,20 @@ pub fn percolate_with_cliques(n: usize, cliques: CliqueSet) -> CpmResult {
 /// # Panics
 ///
 /// Panics if a clique member id is `>= n`.
-pub fn percolate_with_cliques_kernel(n: usize, cliques: CliqueSet, kernel: Kernel) -> CpmResult {
-    percolate_with_cliques_sweep(n, cliques, kernel, Sweep::default())
-}
-
-/// [`percolate_with_cliques`] with explicit [`Kernel`] and [`Sweep`].
-///
-/// # Panics
-///
-/// Panics if a clique member id is `>= n`.
-pub fn percolate_with_cliques_sweep(
+pub fn percolate_with_cliques_kernel(
     n: usize,
     mut cliques: CliqueSet,
     kernel: Kernel,
-    sweep: Sweep,
 ) -> CpmResult {
     // Canonical clique order makes community indices (and hence the
     // whole result) independent of how the cliques were enumerated —
     // sequential and parallel pipelines yield identical results.
     cliques.canonicalize();
     let index = build_vertex_index(&cliques, n);
-    match sweep {
-        Sweep::Fused => {
-            // min_overlap = 2: k = 2 is chained off the posting lists
-            // inside the sweep, so o = 1 pairs are never stored.
-            let strata = overlap_strata_min(&cliques, &index, kernel, 2);
-            percolate_from_strata(cliques, strata, &index)
-        }
-        Sweep::Legacy => {
-            let edges = overlap_edges_with(&cliques, &index, kernel);
-            percolate_from_overlaps(cliques, edges)
-        }
-    }
+    // min_overlap = 2: k = 2 is chained off the posting lists inside
+    // the sweep, so o = 1 pairs are never stored.
+    let strata = overlap_strata_min(&cliques, &index, kernel, 2);
+    percolate_from_strata(cliques, strata, &index)
 }
 
 /// Computes the k-clique communities of a single level without building
@@ -135,18 +108,13 @@ pub fn percolate_at(g: &Graph, k: usize) -> Vec<Vec<NodeId>> {
 
 /// [`percolate_at`] with an explicit set [`Kernel`]. The communities are
 /// identical whatever the kernel.
-pub fn percolate_at_with_kernel(g: &Graph, k: usize, kernel: Kernel) -> Vec<Vec<NodeId>> {
-    percolate_at_with(g, k, kernel, Sweep::default())
-}
-
-/// [`percolate_at`] with explicit [`Kernel`] and [`Sweep`].
 ///
-/// The fused path never materialises overlap edges at all: it counts
-/// with saturation at the threshold `k−1` (counts are only ever *used*
-/// thresholded here), unions the moment a pair saturates, skips pairs
-/// already known connected, and only indexes cliques of size ≥ `k`
-/// (smaller cliques cannot reach the threshold).
-pub fn percolate_at_with(g: &Graph, k: usize, kernel: Kernel, sweep: Sweep) -> Vec<Vec<NodeId>> {
+/// Never materialises overlap edges at all: it counts with saturation
+/// at the threshold `k−1` (counts are only ever *used* thresholded
+/// here), unions the moment a pair saturates, skips pairs already known
+/// connected, and only indexes cliques of size ≥ `k` (smaller cliques
+/// cannot reach the threshold).
+pub fn percolate_at_with_kernel(g: &Graph, k: usize, kernel: Kernel) -> Vec<Vec<NodeId>> {
     if k < 2 {
         return Vec::new();
     }
@@ -154,57 +122,44 @@ pub fn percolate_at_with(g: &Graph, k: usize, kernel: Kernel, sweep: Sweep) -> V
     cliques.canonicalize();
 
     let mut dsu = Dsu::new(cliques.len());
-    match sweep {
-        Sweep::Fused => {
-            // Overlap ≥ k−1 forces both sizes ≥ k, so undersized cliques
-            // can neither join nor mediate a union: drop their postings.
-            let index = build_vertex_index_min_size(&cliques, g.node_count(), k);
-            let need = (k - 1) as u32;
-            let mut counts = vec![0u32; cliques.len()];
-            let mut touched: Vec<u32> = Vec::new();
-            for i in 0..cliques.len() {
-                if cliques.size(i) < k {
-                    continue;
-                }
-                let iu = i as u32;
-                for &v in cliques.get(i) {
-                    let posts = index.cliques_of(v);
-                    let start = posts.partition_point(|&j| j <= iu);
-                    for &j in &posts[start..] {
-                        let c = &mut counts[j as usize];
-                        if *c == 0 {
-                            touched.push(j);
-                            // DSU-aware prune: an already-connected pair
-                            // has nothing left to prove — saturate it so
-                            // every later posting is one compare.
-                            if dsu.same(iu, j) {
-                                *c = need;
-                                continue;
-                            }
-                        }
-                        if *c < need {
-                            *c += 1;
-                            if *c == need {
-                                dsu.union(iu, j);
-                            }
-                        }
+    // Overlap ≥ k−1 forces both sizes ≥ k, so undersized cliques can
+    // neither join nor mediate a union: drop their postings.
+    let index = build_vertex_index_min_size(&cliques, g.node_count(), k);
+    let need = (k - 1) as u32;
+    let mut counts = vec![0u32; cliques.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    for i in 0..cliques.len() {
+        if cliques.size(i) < k {
+            continue;
+        }
+        let iu = i as u32;
+        for &v in cliques.get(i) {
+            let posts = index.cliques_of(v);
+            let start = posts.partition_point(|&j| j <= iu);
+            for &j in &posts[start..] {
+                let c = &mut counts[j as usize];
+                if *c == 0 {
+                    touched.push(j);
+                    // DSU-aware prune: an already-connected pair has
+                    // nothing left to prove — saturate it so every
+                    // later posting is one compare.
+                    if dsu.same(iu, j) {
+                        *c = need;
+                        continue;
                     }
                 }
-                for &j in &touched {
-                    counts[j as usize] = 0;
-                }
-                touched.clear();
-            }
-        }
-        Sweep::Legacy => {
-            let index = build_vertex_index(&cliques, g.node_count());
-            let edges = overlap_edges_with(&cliques, &index, kernel);
-            for e in &edges {
-                if e.overlap as usize >= k - 1 {
-                    dsu.union(e.a, e.b);
+                if *c < need {
+                    *c += 1;
+                    if *c == need {
+                        dsu.union(iu, j);
+                    }
                 }
             }
         }
+        for &j in &touched {
+            counts[j as usize] = 0;
+        }
+        touched.clear();
     }
 
     // Root-indexed compaction: one find per active clique, no hashing.
@@ -230,57 +185,6 @@ pub fn percolate_at_with(g: &Graph, k: usize, kernel: Kernel, sweep: Sweep) -> V
         .collect();
     out.sort_unstable();
     out
-}
-
-/// The legacy sweep, given cliques and their flat overlap-edge list.
-///
-/// Re-buckets the edges by overlap, then runs the same descending-k
-/// drain as [`percolate_from_strata`](crate::percolate_from_strata) —
-/// the flat list plus the re-bucket copy is exactly the memory the fused
-/// sweep avoids. Kept public for one release as the equivalence
-/// cross-check behind `--sweep legacy`.
-pub fn percolate_from_overlaps(cliques: CliqueSet, edges: Vec<OverlapEdge>) -> CpmResult {
-    let k_max = cliques.max_size();
-    if k_max < 2 {
-        return CpmResult {
-            cliques,
-            levels: Vec::new(),
-        };
-    }
-
-    // Re-bucket the flat list by overlap so each edge is activated
-    // exactly once during the descending sweep.
-    let mut edges_of_overlap: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k_max];
-    for e in edges {
-        debug_assert!(
-            (e.overlap as usize) < k_max,
-            "overlap {} must be < max clique size {k_max}",
-            e.overlap
-        );
-        edges_of_overlap[e.overlap as usize].push((e.a, e.b));
-    }
-
-    let mut dsu = Dsu::new(cliques.len());
-    let mut snap = LevelSnapshotter::new(cliques.len());
-    let mut levels_desc: Vec<KLevel> = Vec::with_capacity(k_max - 1);
-
-    for k in (2..=k_max).rev() {
-        // Activate edges with overlap == k-1 (larger overlaps were
-        // activated at higher levels). Both endpoints necessarily have
-        // size >= k because distinct maximal cliques overlap in strictly
-        // fewer nodes than either size.
-        for &(a, b) in &edges_of_overlap[k - 1] {
-            dsu.union(a, b);
-        }
-        let level = snap.snapshot(&cliques, k, &mut |x| dsu.find(x), levels_desc.last_mut());
-        levels_desc.push(level);
-    }
-
-    levels_desc.reverse();
-    CpmResult {
-        cliques,
-        levels: levels_desc,
-    }
 }
 
 /// Shared level-construction state for the multi-k sweeps: groups the

@@ -1,17 +1,19 @@
 //! The fused overlap→union sweep: overlap-stratified edge buckets.
 //!
-//! The legacy pipeline materialises one flat `Vec<OverlapEdge>` (12
-//! bytes per edge, with an `overlap` field), then *re-buckets* it by
-//! overlap value inside the percolation sweep — a full extra pass over
-//! the dominant data structure, with both copies alive at the peak. The
-//! fused pipeline ([`Sweep::Fused`], the default) deletes the
-//! intermediate: the counting kernels emit each `(a, b)` pair straight
-//! into its overlap stratum of an [`OverlapStrata`] (8 bytes per edge,
-//! the overlap value is the bucket index), and the descending-k sweep
-//! drains the strata in place, releasing each one as its level
-//! completes. The legacy path stays selectable (`--sweep legacy`) as an
-//! equivalence cross-check for one release; both produce bit-identical
-//! [`CpmResult`]s (property-tested).
+//! The legacy pipeline (removed after one release as an equivalence
+//! cross-check; `--sweep` is now a deprecated no-op) materialised one
+//! flat `Vec<OverlapEdge>` (12 bytes per edge, with an `overlap`
+//! field), then *re-bucketed* it by overlap value inside the
+//! percolation sweep — a full extra pass over the dominant data
+//! structure, with both copies alive at the peak. The fused pipeline
+//! deletes the intermediate: the counting kernels emit each `(a, b)`
+//! pair straight into its overlap stratum of an [`OverlapStrata`] (8
+//! bytes per edge, the overlap value is the bucket index), and the
+//! descending-k sweep drains the strata in place, releasing each one as
+//! its level completes. Equivalence is still guarded — no longer
+//! against a second pipeline, but against the definitional oracle
+//! ([`crate::naive`]) and the flat [`crate::overlap_edges`] builder in
+//! the property tests.
 //!
 //! The strata are also what make the percolation phase parallelisable:
 //! a stratum's unions are an unordered set (union–find is confluent —
@@ -36,46 +38,6 @@ use crate::overlap::{OverlapScratch, VertexCliqueIndex};
 use crate::percolation::LevelSnapshotter;
 use crate::result::CpmResult;
 use cliques::{CliqueSet, Kernel};
-use std::fmt;
-use std::str::FromStr;
-
-/// Which overlap→union pipeline the percolation entry points run.
-///
-/// Parsed from the CLI `--sweep` flag (`fused | legacy`). Both sweeps
-/// produce bit-identical results for every graph, kernel, and thread
-/// count; only speed and peak memory differ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Sweep {
-    /// Overlap-stratified buckets, no materialised edge list, concurrent
-    /// per-stratum unions in the parallel pipeline. The default.
-    #[default]
-    Fused,
-    /// The PR-2 pipeline: flat `Vec<OverlapEdge>`, re-bucketed inside a
-    /// fully sequential sweep. Kept for one release as the equivalence
-    /// cross-check.
-    Legacy,
-}
-
-impl FromStr for Sweep {
-    type Err = String;
-
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
-            "fused" => Ok(Sweep::Fused),
-            "legacy" => Ok(Sweep::Legacy),
-            other => Err(format!("unknown sweep {other:?} (expected fused | legacy)")),
-        }
-    }
-}
-
-impl fmt::Display for Sweep {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Sweep::Fused => "fused",
-            Sweep::Legacy => "legacy",
-        })
-    }
-}
 
 /// The clique-overlap graph, stored stratified: `stratum(o)` holds every
 /// clique pair `(a, b)` with `a < b` sharing exactly `o` members, in
@@ -236,8 +198,6 @@ pub fn overlap_strata_min(
 /// ignored (and dropped) even when `strata` contains it, and the fused
 /// builders skip it entirely ([`overlap_strata_min`]).
 ///
-/// Bit-identical to the legacy
-/// [`crate::percolate_from_overlaps`] on the same cliques.
 pub fn percolate_from_strata(
     cliques: CliqueSet,
     mut strata: OverlapStrata,
@@ -309,15 +269,6 @@ mod tests {
     }
 
     #[test]
-    fn sweep_parses_and_displays() {
-        assert_eq!("fused".parse::<Sweep>().unwrap(), Sweep::Fused);
-        assert_eq!("legacy".parse::<Sweep>().unwrap(), Sweep::Legacy);
-        assert!("quantum".parse::<Sweep>().is_err());
-        assert_eq!(Sweep::default(), Sweep::Fused);
-        assert_eq!(Sweep::Legacy.to_string(), "legacy");
-    }
-
-    #[test]
     fn strata_match_flat_edges_per_stratum() {
         let s = set(&[
             &[0, 1, 2, 3, 4],
@@ -356,22 +307,24 @@ mod tests {
     }
 
     #[test]
-    fn fused_sweep_matches_legacy_on_fixture() {
+    fn min_overlap_strata_sweep_matches_full_strata_on_fixture() {
         let s = set(&[&[0, 1, 2, 3], &[1, 2, 3, 4], &[3, 4, 5], &[6, 7]]);
         let idx = build_vertex_index(&s, 8);
-        let legacy =
-            crate::percolate_from_overlaps(s.clone(), overlap_edges_with(&s, &idx, Kernel::Auto));
         let fused = percolate_from_strata(s.clone(), overlap_strata(&s, &idx), &idx);
-        assert_eq!(legacy.cliques, fused.cliques);
-        assert_eq!(legacy.levels, fused.levels);
         assert_eq!(fused.k_max(), Some(4));
         // The pipeline shape: o = 1 pairs never stored, k = 2 chained
-        // off the posting lists — same result.
+        // off the posting lists — same result as full strata.
         let min = percolate_from_strata(
             s.clone(),
             overlap_strata_min(&s, &idx, Kernel::Auto, 2),
             &idx,
         );
-        assert_eq!(legacy.levels, min.levels);
+        assert_eq!(fused.levels, min.levels);
+        // And the sweep agrees with the definitional oracle level by
+        // level on the induced clique structure.
+        let l3 = min.level(3).unwrap();
+        assert_eq!(l3.communities.len(), 1);
+        // [3,4,5] chains in through its size-2 overlap with [1,2,3,4].
+        assert_eq!(l3.communities[0].members, vec![0, 1, 2, 3, 4, 5]);
     }
 }

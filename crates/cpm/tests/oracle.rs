@@ -134,34 +134,36 @@ proptest! {
         }
     }
 
-    /// The fused sweep is bit-identical to the legacy pipeline — full
-    /// `CpmResult`, tree parents included — sequentially and at every
-    /// tested thread count.
+    /// The pooled parallel pipeline is bit-identical to the sequential
+    /// one — full `CpmResult`, tree parents included — at every tested
+    /// worker count, fixed or auto-resolved.
     #[test]
-    fn fused_sweep_is_bit_identical_to_legacy(edges in edge_soup(14, 50)) {
+    fn parallel_is_bit_identical_across_thread_counts(edges in edge_soup(14, 50)) {
         let g = Graph::from_edges(14, edges);
-        let legacy = cpm::percolate_with(&g, cliques::Kernel::Auto, cpm::Sweep::Legacy);
-        let fused = cpm::percolate_with(&g, cliques::Kernel::Auto, cpm::Sweep::Fused);
-        prop_assert_eq!(&legacy.cliques, &fused.cliques);
-        prop_assert_eq!(&legacy.levels, &fused.levels);
-        for threads in [1usize, 2, 4, 7] {
-            for sweep in [cpm::Sweep::Fused, cpm::Sweep::Legacy] {
-                let par = cpm::parallel::percolate_parallel_with(
-                    &g, threads, cliques::Kernel::Auto, sweep,
-                );
-                prop_assert_eq!(&legacy.cliques, &par.cliques, "{} threads, {}", threads, sweep);
-                prop_assert_eq!(&legacy.levels, &par.levels, "{} threads, {}", threads, sweep);
-            }
+        let seq = percolate(&g);
+        for threads in [
+            exec::Threads::Fixed(1),
+            exec::Threads::Fixed(2),
+            exec::Threads::Fixed(4),
+            exec::Threads::Fixed(7),
+            exec::Threads::Auto,
+        ] {
+            let par = cpm::parallel::percolate_parallel(&g, threads);
+            prop_assert_eq!(&seq.cliques, &par.cliques, "{} threads", threads);
+            prop_assert_eq!(&seq.levels, &par.levels, "{} threads", threads);
         }
     }
 
     /// The fused single-level path (saturating counts, DSU pruning,
-    /// size-filtered index) finds exactly the legacy covers.
+    /// size-filtered index) finds exactly the covers of the all-k sweep
+    /// and of the literal definition.
     #[test]
-    fn fused_percolate_at_agrees(edges in edge_soup(14, 50), k in 2usize..6) {
+    fn percolate_at_agrees_with_sweep_and_definition(edges in edge_soup(14, 50), k in 2usize..6) {
         let g = Graph::from_edges(14, edges);
-        let legacy = cpm::percolate_at_with(&g, k, cliques::Kernel::Auto, cpm::Sweep::Legacy);
-        let fused = cpm::percolate_at_with(&g, k, cliques::Kernel::Auto, cpm::Sweep::Fused);
-        prop_assert_eq!(legacy, fused);
+        let single = cpm::percolate_at(&g, k);
+        let mut sorted = single.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sorted, &cover_at(&percolate(&g), k as u32));
+        prop_assert_eq!(&sorted, &naive_communities(&g, k));
     }
 }

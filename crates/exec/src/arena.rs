@@ -1,0 +1,89 @@
+//! Per-worker scratch arenas that persist across pool invocations.
+
+use std::any::{Any, TypeId};
+
+/// A heterogeneous bag of per-worker scratch state, keyed by type.
+///
+/// Each worker slot of a [`Pool`](crate::Pool) owns one arena for the
+/// lifetime of the pool. A phase asks for its scratch type with
+/// [`get_or_insert_with`](ScratchArena::get_or_insert_with); the first
+/// call on a slot constructs it, every later call — including calls
+/// from *different jobs* — returns the same value, buffers warm. This
+/// is what turns the old "allocate a bitset pool, stamp array, and
+/// overlap counter per invocation" pattern into a one-time cost per
+/// worker.
+///
+/// The arena is deliberately append-only (scratch types are few and
+/// static); entries live until the pool is dropped.
+#[derive(Default)]
+pub struct ScratchArena {
+    entries: Vec<(TypeId, Box<dyn Any + Send>)>,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Returns the arena's `T`, constructing it with `init` on first
+    /// use of this type in this arena.
+    pub fn get_or_insert_with<T: Any + Send>(&mut self, init: impl FnOnce() -> T) -> &mut T {
+        let id = TypeId::of::<T>();
+        // Two passes keep the borrow checker happy without `unsafe` or
+        // nightly polonius; the arena holds a handful of entries, so the
+        // scan is free.
+        let pos = match self.entries.iter().position(|(tid, _)| *tid == id) {
+            Some(pos) => pos,
+            None => {
+                self.entries.push((id, Box::new(init())));
+                self.entries.len() - 1
+            }
+        };
+        self.entries[pos]
+            .1
+            .downcast_mut::<T>()
+            .expect("arena entry type mismatch")
+    }
+
+    /// Number of distinct scratch types resident in the arena.
+    pub fn slots(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_once_and_persists() {
+        let mut arena = ScratchArena::new();
+        let mut builds = 0;
+        let v = arena.get_or_insert_with(|| {
+            builds += 1;
+            Vec::<u32>::with_capacity(64)
+        });
+        v.push(7);
+        let cap = v.capacity();
+        let v = arena.get_or_insert_with(|| {
+            builds += 1;
+            Vec::<u32>::new()
+        });
+        assert_eq!(builds, 1, "init ran again for a resident type");
+        assert_eq!(v, &[7], "contents survived");
+        assert_eq!(v.capacity(), cap, "allocation survived");
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_slots() {
+        let mut arena = ScratchArena::new();
+        arena.get_or_insert_with(Vec::<u32>::new).push(1);
+        arena.get_or_insert_with(String::new).push('x');
+        arena.get_or_insert_with(Vec::<u64>::new).push(2);
+        assert_eq!(arena.slots(), 3);
+        assert_eq!(arena.get_or_insert_with(Vec::<u32>::new), &[1]);
+        assert_eq!(arena.get_or_insert_with(String::new), "x");
+        assert_eq!(arena.get_or_insert_with(Vec::<u64>::new), &[2]);
+    }
+}

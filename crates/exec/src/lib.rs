@@ -1,0 +1,47 @@
+//! Persistent work-stealing executor for the CPM pipeline.
+//!
+//! Every parallel phase of the pipeline — clique enumeration, overlap
+//! counting, the stratum drains of the fused sweep, the streaming
+//! multi-k waves — used to spawn fresh OS threads through a
+//! `crossbeam::scope` on each call. That is correct but slow: thread
+//! startup/teardown costs tens of microseconds per worker, and every
+//! call re-allocated its scratch state (bitset rows, stamp arrays,
+//! overlap counters) from a cold heap. On small and medium substrates
+//! the overhead swamped the work, and every `*_par` bench row lost to
+//! sequential.
+//!
+//! This crate replaces the per-call scopes with one **persistent pool**:
+//!
+//! * [`Pool`] — lazily spawned worker threads that park on a condvar
+//!   between jobs. A job is published once, workers wake, run it, and go
+//!   back to sleep; the calling thread participates as worker 0, so
+//!   `run(n, f)` costs `n − 1` wakeups, not `n` spawns.
+//! * [`Worker::barrier`] — a reusable barrier for multi-phase jobs (the
+//!   fused sweep drains stratum `k−1`, snapshots, then starts `k−2`
+//!   without ever tearing the workers down).
+//! * [`ScratchArena`] — one arena per worker slot, persisting across
+//!   `run` calls. A phase asks for its scratch type
+//!   ([`Worker::scratch_with`]) and gets the same allocation it used
+//!   last time, warm.
+//! * [`ChunkQueue`] — the atomic-counter chunk claim generalized from
+//!   the `STEAL_CHUNK`/`OVERLAP_CHUNK`/`UNION_CHUNK` pattern: claims
+//!   are contiguous index ranges, so chunk-ordered reassembly keeps
+//!   parallel output bit-identical to sequential.
+//! * [`Threads`] — `auto` resolves the worker count from the amount of
+//!   work and the machine's parallelism, falling back to 1 below a
+//!   per-site threshold so tiny inputs never pay parallel overhead.
+//!
+//! Parking uses `std::sync` primitives (`Mutex`/`Condvar`/`Barrier`)
+//! directly — the vendored crossbeam subset only provides scoped
+//! spawning, which is exactly the per-call cost this crate exists to
+//! avoid.
+
+mod arena;
+mod pool;
+mod queue;
+mod threads;
+
+pub use arena::ScratchArena;
+pub use pool::{Pool, Worker};
+pub use queue::ChunkQueue;
+pub use threads::{available_parallelism, Threads};

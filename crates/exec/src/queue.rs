@@ -1,0 +1,119 @@
+//! The chunked atomic-counter task queue.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A work-stealing deal over the index range `0..len`: workers claim
+/// contiguous chunks of `chunk` indices from a shared counter until the
+/// range is exhausted.
+///
+/// This generalizes the `STEAL_CHUNK` / `OVERLAP_CHUNK` / `UNION_CHUNK`
+/// pattern used by the enumeration, overlap, and sweep phases: because
+/// every claim is a *contiguous range* with a known start, per-chunk
+/// outputs can be reassembled in ascending chunk order and the parallel
+/// result stays bit-identical to the sequential one — independent of
+/// thread count and scheduling races.
+///
+/// ```
+/// use exec::ChunkQueue;
+///
+/// let q = ChunkQueue::new(10, 4);
+/// assert_eq!(q.claim(), Some(0..4));
+/// assert_eq!(q.claim(), Some(4..8));
+/// assert_eq!(q.claim(), Some(8..10));
+/// assert_eq!(q.claim(), None);
+/// ```
+pub struct ChunkQueue {
+    next: AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl ChunkQueue {
+    /// A queue over `0..len` claimed in chunks of `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn new(len: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunkQueue {
+            next: AtomicUsize::new(0),
+            len,
+            chunk,
+        }
+    }
+
+    /// Claims the next chunk, or `None` when the range is exhausted.
+    /// Every index in `0..len` is handed out exactly once, in ascending
+    /// chunk order across all claimants.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+
+    /// Total number of indices in the range.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the range is empty (every claim returns `None`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn covers_the_range_exactly_once() {
+        let q = ChunkQueue::new(103, 7);
+        let mut seen = [false; 103];
+        while let Some(r) = q.claim() {
+            for i in r {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some index never claimed");
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let q = ChunkQueue::new(0, 16);
+        assert!(q.is_empty());
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        let _ = ChunkQueue::new(10, 0);
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_range() {
+        let q = ChunkQueue::new(10_000, 16);
+        let claimed = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while let Some(r) = q.claim() {
+                        local.extend(r);
+                    }
+                    claimed.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = claimed.into_inner().unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+    }
+}

@@ -18,7 +18,10 @@
 //!   re-enumerates per pass, [`LogSource`] replays a clique log written
 //!   once by [`CliqueLogWriter`];
 //! - [`stream_percolate`] / [`stream_percolate_at`] — the descending-`k`
-//!   sweep (community tree included) and the single-level pass.
+//!   sweep (community tree included) and the single-level pass;
+//! - [`stream_percolate_parallel`] — the same sweep with adjacent `k`
+//!   levels percolated in waves on the persistent [`exec::Pool`], one
+//!   source replay per wave, bit-identical at every worker count.
 //!
 //! ```
 //! use asgraph::Graph;
@@ -39,13 +42,13 @@ mod source;
 
 pub use log::{CliqueLogInfo, CliqueLogReader, CliqueLogWriter};
 pub use percolate::{
-    stream_percolate, stream_percolate_at, stream_percolate_at_with, stream_percolate_with, Mode,
-    StreamCpmResult, StreamPercolator,
+    stream_percolate, stream_percolate_at, stream_percolate_parallel, Mode, StreamCpmResult,
+    StreamPercolator,
 };
 pub use source::{CliqueSource, GraphSource, LogSource, StreamError};
 
 pub use cliques::Kernel;
-pub use cpm::Sweep;
+pub use exec::Threads;
 
 use asgraph::Graph;
 use std::path::Path;

@@ -32,8 +32,10 @@
 use crate::source::CliqueSource;
 use crate::StreamError;
 use asgraph::NodeId;
-use cpm::{canonical_members, Community, Dsu, KLevel, Sweep};
+use cpm::{canonical_members, Community, Dsu, KLevel};
+use exec::{Pool, Threads};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// How much per-node history the percolator keeps (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,7 +72,6 @@ const NONE: u32 = u32::MAX;
 pub struct StreamPercolator {
     k: usize,
     mode: Mode,
-    sweep: Sweep,
     /// Per accepted clique: its size.
     sizes: Vec<u32>,
     /// Per accepted clique: its ordinal in the full stream (also counting
@@ -103,32 +104,19 @@ impl StreamPercolator {
 
     /// Creates a percolator with an explicit fidelity [`Mode`].
     ///
+    /// Overlap counts saturate at the threshold `k−1` and the union
+    /// fires the instant a pair reaches it — counts are only ever *used*
+    /// thresholded here, so every increment past `k−1` is wasted work —
+    /// and pairs already in the same component are skipped outright.
+    ///
     /// # Panics
     ///
     /// Panics if `k < 2`.
     pub fn with_mode(n: usize, k: usize, mode: Mode) -> Self {
-        Self::with_options(n, k, mode, Sweep::default())
-    }
-
-    /// Creates a percolator with explicit [`Mode`] and [`Sweep`].
-    ///
-    /// Under [`Sweep::Fused`] (the default) overlap counts saturate at
-    /// the threshold `k−1` and the union fires the instant a pair
-    /// reaches it — counts are only ever *used* thresholded here, so
-    /// every increment past `k−1` is wasted work — and pairs already in
-    /// the same component are skipped outright. [`Sweep::Legacy`] keeps
-    /// the PR-1 count-fully-then-threshold loop as an equivalence
-    /// cross-check; communities are identical either way.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k < 2`.
-    pub fn with_options(n: usize, k: usize, mode: Mode, sweep: Sweep) -> Self {
         assert!(k >= 2, "clique percolation needs k >= 2, got {k}");
         StreamPercolator {
             k,
             mode,
-            sweep,
             sizes: Vec::new(),
             ordinals: Vec::new(),
             dsu: Dsu::new(0),
@@ -185,55 +173,32 @@ impl StreamPercolator {
             Mode::Exact => {
                 // One merge-count pass over the postings of the clique's
                 // members: counts[c] ends as |clique ∩ c| for every prior
-                // clique c sharing at least one node.
-                match self.sweep {
-                    Sweep::Fused => {
-                        // Saturating count: the union fires the moment a
-                        // pair reaches the threshold, increments past it
-                        // are skipped, and a pair already connected is
-                        // saturated at first touch.
-                        for &v in clique {
-                            for &c in &self.postings[v as usize] {
-                                let cnt = &mut self.counts[c as usize];
-                                if *cnt == 0 {
-                                    self.touched.push(c);
-                                    if self.dsu.same(id, c) {
-                                        *cnt = need;
-                                        continue;
-                                    }
-                                }
-                                if *cnt < need {
-                                    *cnt += 1;
-                                    if *cnt == need {
-                                        self.dsu.union(id, c);
-                                    }
-                                }
+                // clique c sharing at least one node. Saturating count:
+                // the union fires the moment a pair reaches the
+                // threshold, increments past it are skipped, and a pair
+                // already connected is saturated at first touch.
+                for &v in clique {
+                    for &c in &self.postings[v as usize] {
+                        let cnt = &mut self.counts[c as usize];
+                        if *cnt == 0 {
+                            self.touched.push(c);
+                            if self.dsu.same(id, c) {
+                                *cnt = need;
+                                continue;
                             }
                         }
-                        for &c in &self.touched {
-                            self.counts[c as usize] = 0;
-                        }
-                        self.touched.clear();
-                    }
-                    Sweep::Legacy => {
-                        for &v in clique {
-                            for &c in &self.postings[v as usize] {
-                                if self.counts[c as usize] == 0 {
-                                    self.touched.push(c);
-                                }
-                                self.counts[c as usize] += 1;
-                            }
-                        }
-                        for i in 0..self.touched.len() {
-                            let c = self.touched[i];
-                            if self.counts[c as usize] >= need {
+                        if *cnt < need {
+                            *cnt += 1;
+                            if *cnt == need {
                                 self.dsu.union(id, c);
                             }
-                            self.counts[c as usize] = 0;
                         }
-                        self.touched.clear();
                     }
                 }
+                for &c in &self.touched {
+                    self.counts[c as usize] = 0;
+                }
+                self.touched.clear();
                 for &v in clique {
                     self.postings[v as usize].push(id);
                 }
@@ -241,52 +206,29 @@ impl StreamPercolator {
             Mode::LastSeen => {
                 // Count only against the snapshot of each member's last
                 // clique — O(|clique|) state probes, O(n) total memory.
-                match self.sweep {
-                    Sweep::Fused => {
-                        for &v in clique {
-                            let c = self.last_seen[v as usize];
-                            if c != NONE {
-                                let cnt = &mut self.counts[c as usize];
-                                if *cnt == 0 {
-                                    self.touched.push(c);
-                                    if self.dsu.same(id, c) {
-                                        *cnt = need;
-                                        continue;
-                                    }
-                                }
-                                if *cnt < need {
-                                    *cnt += 1;
-                                    if *cnt == need {
-                                        self.dsu.union(id, c);
-                                    }
-                                }
+                for &v in clique {
+                    let c = self.last_seen[v as usize];
+                    if c != NONE {
+                        let cnt = &mut self.counts[c as usize];
+                        if *cnt == 0 {
+                            self.touched.push(c);
+                            if self.dsu.same(id, c) {
+                                *cnt = need;
+                                continue;
                             }
                         }
-                        for &c in &self.touched {
-                            self.counts[c as usize] = 0;
-                        }
-                        self.touched.clear();
-                    }
-                    Sweep::Legacy => {
-                        for &v in clique {
-                            let c = self.last_seen[v as usize];
-                            if c != NONE {
-                                if self.counts[c as usize] == 0 {
-                                    self.touched.push(c);
-                                }
-                                self.counts[c as usize] += 1;
-                            }
-                        }
-                        for i in 0..self.touched.len() {
-                            let c = self.touched[i];
-                            if self.counts[c as usize] >= need {
+                        if *cnt < need {
+                            *cnt += 1;
+                            if *cnt == need {
                                 self.dsu.union(id, c);
                             }
-                            self.counts[c as usize] = 0;
                         }
-                        self.touched.clear();
                     }
                 }
+                for &c in &self.touched {
+                    self.counts[c as usize] = 0;
+                }
+                self.touched.clear();
                 for &v in clique {
                     self.last_seen[v as usize] = id;
                 }
@@ -420,24 +362,10 @@ pub fn stream_percolate_at<S: CliqueSource + ?Sized>(
     source: &mut S,
     k: usize,
 ) -> Result<Vec<Vec<NodeId>>, StreamError> {
-    stream_percolate_at_with(source, k, Sweep::default())
-}
-
-/// [`stream_percolate_at`] with an explicit [`Sweep`]. Identical
-/// communities either way.
-///
-/// # Errors
-///
-/// Fails only if the source does (I/O on a clique log).
-pub fn stream_percolate_at_with<S: CliqueSource + ?Sized>(
-    source: &mut S,
-    k: usize,
-    sweep: Sweep,
-) -> Result<Vec<Vec<NodeId>>, StreamError> {
     if k < 2 {
         return Ok(Vec::new());
     }
-    let mut p = StreamPercolator::with_options(source.node_count(), k, Mode::Exact, sweep);
+    let mut p = StreamPercolator::new(source.node_count(), k);
     source.replay(&mut |clique| p.push(clique))?;
     let mut covers: Vec<Vec<NodeId>> = p.finish().into_iter().map(|c| c.members).collect();
     covers.sort_unstable();
@@ -467,57 +395,169 @@ pub fn stream_percolate_at_with<S: CliqueSource + ?Sized>(
 pub fn stream_percolate<S: CliqueSource + ?Sized>(
     source: &mut S,
 ) -> Result<StreamCpmResult, StreamError> {
-    stream_percolate_with(source, Sweep::default())
+    stream_percolate_parallel(source, Threads::Auto)
 }
 
-/// [`stream_percolate`] with an explicit [`Sweep`] threaded into every
-/// per-level pass. Identical result either way.
+/// Cliques buffered between replay callbacks and pool fan-outs: flat
+/// member storage plus offsets, refilled batch by batch.
+#[derive(Default)]
+struct CliqueBatch {
+    members: Vec<NodeId>,
+    offsets: Vec<usize>,
+}
+
+impl CliqueBatch {
+    fn push(&mut self, clique: &[NodeId]) {
+        self.offsets.push(self.members.len());
+        self.members.extend_from_slice(clique);
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.members.clear();
+        self.offsets.clear();
+    }
+
+    fn get(&self, i: usize) -> &[NodeId] {
+        let start = self.offsets[i];
+        let end = self
+            .offsets
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.members.len());
+        &self.members[start..end]
+    }
+}
+
+/// Cliques per batch handed to the worker team in one fan-out. Large
+/// enough to amortise the pool wake-up, small enough that the buffered
+/// copy stays cache-resident.
+const WAVE_BATCH: usize = 1_024;
+
+/// Auto heuristic: grow the wave only when each level has at least this
+/// many clique memberships to fold in.
+const AUTO_MEMBERS_PER_LEVEL: usize = 8_192;
+
+/// [`stream_percolate`] with an explicit worker-count policy.
+///
+/// The per-level passes of the descending sweep are independent — each
+/// folds the identical clique stream into its own percolator — so the
+/// sweep runs them in *waves*: `w` adjacent levels share one replay of
+/// the source, with cliques buffered in batches of [`WAVE_BATCH`] and
+/// fanned out to the per-level percolators on the persistent
+/// [`exec::Pool`]. Every percolator still sees the exact clique stream
+/// in stream order, so the result is bit-identical to the sequential
+/// sweep at every worker count (property-tested). A wave of `w` levels
+/// also costs `w` percolators of live postings at once: memory scales
+/// with the worker count, as does replay savings (one pass per wave
+/// instead of one per level).
 ///
 /// # Errors
 ///
 /// Fails only if the source does (I/O on a clique log).
-pub fn stream_percolate_with<S: CliqueSource + ?Sized>(
+pub fn stream_percolate_parallel<S: CliqueSource + ?Sized>(
     source: &mut S,
-    sweep: Sweep,
+    threads: impl Into<Threads>,
 ) -> Result<StreamCpmResult, StreamError> {
-    // Sizing pass: k_max without retaining anything.
+    // Sizing pass: k_max and total work, without retaining anything.
     let mut k_max = 0usize;
-    source.replay(&mut |clique| k_max = k_max.max(clique.len()))?;
+    let mut total_members = 0usize;
+    source.replay(&mut |clique| {
+        k_max = k_max.max(clique.len());
+        total_members += clique.len();
+    })?;
     if k_max < 2 {
         return Ok(StreamCpmResult { levels: Vec::new() });
     }
 
     let n = source.node_count();
+    let levels = k_max - 1;
+    let workers = threads
+        .into()
+        .resolve(total_members, AUTO_MEMBERS_PER_LEVEL)
+        .min(levels);
+    let ks: Vec<usize> = (2..=k_max).rev().collect();
     let mut levels_desc: Vec<KLevel> = Vec::new();
-    for k in (2..=k_max).rev() {
-        let mut p = StreamPercolator::with_options(n, k, Mode::Exact, sweep);
-        source.replay(&mut |clique| p.push(clique))?;
-        let communities = p.finish();
-
-        // Theorem 1 linking, on stream ordinals: the parent of a
-        // level-(k+1) community is the level-k community that now holds
-        // its representative clique.
-        let mut ordinal_to_idx: HashMap<u32, u32> = HashMap::new();
-        for (idx, c) in communities.iter().enumerate() {
-            for &ordinal in &c.clique_ids {
-                ordinal_to_idx.insert(ordinal, idx as u32);
+    for wave in ks.chunks(workers.max(1)) {
+        let per_level = run_wave(source, n, wave)?;
+        for (k, communities) in wave.iter().zip(per_level) {
+            // Theorem 1 linking, on stream ordinals: the parent of a
+            // level-(k+1) community is the level-k community that now
+            // holds its representative clique.
+            let mut ordinal_to_idx: HashMap<u32, u32> = HashMap::new();
+            for (idx, c) in communities.iter().enumerate() {
+                for &ordinal in &c.clique_ids {
+                    ordinal_to_idx.insert(ordinal, idx as u32);
+                }
             }
-        }
-        if let Some(prev) = levels_desc.last_mut() {
-            for pc in &mut prev.communities {
-                let rep = pc.clique_ids[0];
-                pc.parent = Some(ordinal_to_idx[&rep]);
+            if let Some(prev) = levels_desc.last_mut() {
+                for pc in &mut prev.communities {
+                    let rep = pc.clique_ids[0];
+                    pc.parent = Some(ordinal_to_idx[&rep]);
+                }
             }
+            levels_desc.push(KLevel {
+                k: *k as u32,
+                communities,
+            });
         }
-        levels_desc.push(KLevel {
-            k: k as u32,
-            communities,
-        });
     }
     levels_desc.reverse();
     Ok(StreamCpmResult {
         levels: levels_desc,
     })
+}
+
+/// One replay of `source` feeding a percolator per level in `wave`,
+/// returning each level's communities in `wave` order.
+fn run_wave<S: CliqueSource + ?Sized>(
+    source: &mut S,
+    n: usize,
+    wave: &[usize],
+) -> Result<Vec<Vec<Community>>, StreamError> {
+    if wave.len() == 1 {
+        // Single level: push straight from the replay callback, no
+        // batch buffering, no pool round-trips.
+        let mut p = StreamPercolator::new(n, wave[0]);
+        source.replay(&mut |clique| p.push(clique))?;
+        return Ok(vec![p.finish()]);
+    }
+    let percolators: Vec<Mutex<StreamPercolator>> = wave
+        .iter()
+        .map(|&k| Mutex::new(StreamPercolator::new(n, k)))
+        .collect();
+    let flush = |batch: &CliqueBatch| {
+        Pool::global().run(percolators.len(), |w| {
+            let mut p = percolators[w.index()]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for i in 0..batch.len() {
+                p.push(batch.get(i));
+            }
+        });
+    };
+    let mut batch = CliqueBatch::default();
+    source.replay(&mut |clique| {
+        batch.push(clique);
+        if batch.len() >= WAVE_BATCH {
+            flush(&batch);
+            batch.clear();
+        }
+    })?;
+    if !batch.is_empty() {
+        flush(&batch);
+    }
+    Ok(percolators
+        .into_iter()
+        .map(|p| p.into_inner().unwrap_or_else(|e| e.into_inner()).finish())
+        .collect())
 }
 
 #[cfg(test)]
@@ -642,7 +682,7 @@ mod tests {
     }
 
     #[test]
-    fn fused_and_legacy_sweeps_agree_in_both_modes() {
+    fn parallel_waves_are_bit_identical_to_sequential() {
         let g = Graph::from_edges(
             8,
             [
@@ -658,25 +698,16 @@ mod tests {
                 (7, 5),
             ],
         );
-        for k in 2..=4 {
-            let fused =
-                stream_percolate_at_with(&mut GraphSource::new(&g), k, Sweep::Fused).unwrap();
-            let legacy =
-                stream_percolate_at_with(&mut GraphSource::new(&g), k, Sweep::Legacy).unwrap();
-            assert_eq!(fused, legacy, "exact mode, k={k}");
-
-            let mut covers = Vec::new();
-            for sweep in [Sweep::Fused, Sweep::Legacy] {
-                let mut p = StreamPercolator::with_options(8, k, Mode::LastSeen, sweep);
-                let mut src = GraphSource::new(&g);
-                src.replay(&mut |c| p.push(c)).unwrap();
-                covers.push(p.finish());
-            }
-            assert_eq!(covers[0], covers[1], "last-seen mode, k={k}");
+        let seq = stream_percolate_parallel(&mut GraphSource::new(&g), 1).unwrap();
+        for threads in [
+            Threads::Fixed(2),
+            Threads::Fixed(4),
+            Threads::Fixed(7),
+            Threads::Auto,
+        ] {
+            let par = stream_percolate_parallel(&mut GraphSource::new(&g), threads).unwrap();
+            assert_eq!(seq.levels, par.levels, "{threads} threads");
         }
-        let fused = stream_percolate_with(&mut GraphSource::new(&g), Sweep::Fused).unwrap();
-        let legacy = stream_percolate_with(&mut GraphSource::new(&g), Sweep::Legacy).unwrap();
-        assert_eq!(fused.levels, legacy.levels, "full sweep");
     }
 
     #[test]

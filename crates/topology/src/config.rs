@@ -140,6 +140,29 @@ impl ModelConfig {
         }
     }
 
+    /// ~10,000 ASes; the parallel-scaling bench substrate. Sized so one
+    /// percolation run takes long enough (tens of milliseconds) for
+    /// multi-thread speedups to dominate pool fan-out overhead, while a
+    /// full 1/2/4/8-thread scaling matrix still finishes in seconds.
+    pub fn medium(seed: u64) -> Self {
+        ModelConfig {
+            n_ases: 10_000,
+            tier1_count: 11,
+            regional_ixp_count: 220,
+            regional_ixp_size: (4, 20),
+            large_ixp_participation: 0.032,
+            crown_clique_size: (20, 30),
+            crown_cliques_per_ixp: 8,
+            trunk_clique_size: (12, 20),
+            trunk_clique_count: 15,
+            root_clique_size: (3, 8),
+            regional_ixp_clique_fraction: 0.25,
+            ixp_noise_peering: 0.006,
+            crown_core_density: 0.65,
+            ..ModelConfig::tiny(seed)
+        }
+    }
+
     /// ~8,000 ASes; the default experiment scale. Crown cliques reach
     /// size 30, so k_max lands near the paper's 36.
     pub fn default_scale(seed: u64) -> Self {

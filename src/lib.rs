@@ -13,6 +13,7 @@
 //! | [`graph`] | `asgraph` | CSR graph substrate, components, metrics |
 //! | [`cliques`] | `cliques` | Bron–Kerbosch maximal-clique enumeration |
 //! | [`cpm`] | `cpm` | clique percolation, all k in one sweep, parallel pipeline |
+//! | [`exec`] | `exec` | persistent work-stealing thread pool behind every parallel path |
 //! | [`topology`] | `topology` | synthetic AS topology + IXP/geo datasets |
 //! | [`baselines`] | `baselines` | k-core, k-dense, greedy clique expansion |
 //! | [`analysis`] | `kclique-core` | community tree, overlap/tag analysis, reports |
@@ -78,4 +79,9 @@ pub mod analysis {
 /// Memory-bounded streaming percolation (re-export of `cpm-stream`).
 pub mod stream {
     pub use cpm_stream::*;
+}
+
+/// Persistent work-stealing executor (re-export of `exec`).
+pub mod exec {
+    pub use ::exec::*;
 }

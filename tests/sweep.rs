@@ -1,14 +1,16 @@
-//! Fused-sweep equivalence on realistic substrates.
+//! Parallel-sweep equivalence on realistic substrates.
 //!
-//! The unit and property tests in `crates/cpm` prove fused ≡ legacy on
-//! random edge soups; here the oracle is the seeded `InternetModel` —
-//! power-law degrees, dense IXP cores, deep overlap strata — and the
-//! assertion is full bit-identity of the `CpmResult` (community tree
-//! parents included) across sweeps, kernels, and thread counts, plus
-//! agreement of the streaming percolator under both sweeps.
+//! The unit and property tests in `crates/cpm` prove the pooled
+//! pipeline bit-identical to the sequential one on random edge soups;
+//! here the oracle is the seeded `InternetModel` — power-law degrees,
+//! dense IXP cores, deep overlap strata — and the assertion is full
+//! bit-identity of the `CpmResult` (community tree parents included)
+//! across kernels and thread counts, plus the same invariance for the
+//! streaming wave sweep.
 
 use kclique::cliques::Kernel;
-use kclique::cpm::{self, Sweep};
+use kclique::cpm;
+use kclique::exec::Threads;
 use kclique::stream::{self, GraphSource};
 use kclique::topology::{generate, ModelConfig};
 
@@ -24,29 +26,29 @@ fn assert_same_result(a: &cpm::CpmResult, b: &cpm::CpmResult, what: &str) {
 }
 
 #[test]
-fn fused_matches_legacy_on_internet_model() {
+fn parallel_matches_sequential_on_internet_model() {
     for seed in [7, 23] {
         let g = internet_graph(seed);
-        let legacy = cpm::percolate_with(&g, Kernel::Auto, Sweep::Legacy);
-        let fused = cpm::percolate_with(&g, Kernel::Auto, Sweep::Fused);
-        assert_same_result(&legacy, &fused, &format!("seed {seed}"));
+        let seq = cpm::percolate(&g);
+        let par = cpm::parallel::percolate_parallel(&g, Threads::Auto);
+        assert_same_result(&seq, &par, &format!("seed {seed}"));
         assert!(
-            legacy.k_max().unwrap_or(0) >= 3,
+            seq.k_max().unwrap_or(0) >= 3,
             "seed {seed}: fixture too sparse to exercise the strata"
         );
     }
 }
 
 #[test]
-fn fused_sweep_is_thread_count_invariant() {
+fn pooled_sweep_is_thread_count_invariant() {
     // The concurrent union–find races freely inside each stratum; the
     // result must not depend on how many workers raced, and must equal
-    // the legacy sequential sweep bit for bit.
+    // the sequential sweep bit for bit.
     let g = internet_graph(3);
-    let reference = cpm::percolate_with(&g, Kernel::Auto, Sweep::Legacy);
+    let reference = cpm::percolate(&g);
     for kernel in [Kernel::Auto, Kernel::Bitset, Kernel::Merge] {
         for threads in [1, 2, 4, 7] {
-            let par = cpm::parallel::percolate_parallel_with(&g, threads, kernel, Sweep::Fused);
+            let par = cpm::parallel::percolate_parallel_with_kernel(&g, threads, kernel);
             assert_same_result(
                 &reference,
                 &par,
@@ -85,12 +87,14 @@ fn strata_match_flat_edges_on_internet_model() {
 }
 
 #[test]
-fn streaming_sweeps_agree_on_internet_model() {
+fn streaming_waves_are_thread_count_invariant() {
     let g = internet_graph(5);
-    let fused = stream::stream_percolate_with(&mut GraphSource::new(&g), Sweep::Fused)
+    let seq = stream::stream_percolate_parallel(&mut GraphSource::new(&g), 1)
         .expect("in-memory replay cannot fail");
-    let legacy = stream::stream_percolate_with(&mut GraphSource::new(&g), Sweep::Legacy)
-        .expect("in-memory replay cannot fail");
-    assert_eq!(fused.levels, legacy.levels);
-    assert!(fused.k_max().unwrap_or(0) >= 3, "fixture too sparse");
+    for threads in [Threads::Fixed(2), Threads::Fixed(4), Threads::Auto] {
+        let par = stream::stream_percolate_parallel(&mut GraphSource::new(&g), threads)
+            .expect("in-memory replay cannot fail");
+        assert_eq!(seq.levels, par.levels, "{threads} threads");
+    }
+    assert!(seq.k_max().unwrap_or(0) >= 3, "fixture too sparse");
 }
