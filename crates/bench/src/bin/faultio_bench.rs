@@ -1,0 +1,219 @@
+//! Durability-cost record for the v2 clique log.
+//!
+//! ```text
+//! cargo run --release -p bench --bin faultio-bench -- \
+//!     [--substrate small|sparse|dense|all] [--iters <n>] \
+//!     [--seed <u64>] [--out BENCH_faultio.json] [--check]
+//! ```
+//!
+//! The v2 log buys crash safety with per-segment framing, CRC32C
+//! checksums, and a flush per sealed segment. This binary prices that
+//! purchase: for each substrate it times
+//!
+//! - `build` at three checkpoint cadences — `none` (one giant segment,
+//!   the uncheckpointed baseline), `default` (the library cadence), and
+//!   `fine` (64 cliques per segment, aggressive durability);
+//! - `replay` of the resulting logs (frame parsing + CRC verification
+//!   per segment);
+//! - `recover` of a torn copy (the salvage walk over every frame).
+//!
+//! `--check` turns the run into a CI gate: on every substrate, `build`
+//! at the default cadence must stay within 1.05× of the uncheckpointed
+//! build — checkpointing is sold as costing at most 5 % wall-clock, so
+//! the gate measures exactly that claim.
+
+use cpm_stream::{CliqueLogReader, LogBuildOptions};
+use std::time::Instant;
+
+/// Cadences benchmarked: label plus cliques-per-segment.
+const CADENCES: [(&str, usize); 3] = [
+    ("none", usize::MAX),
+    ("default", cpm_stream::DEFAULT_CHECKPOINT_CLIQUES),
+    ("fine", 64),
+];
+
+struct Record {
+    substrate: String,
+    op: &'static str,
+    checkpoint: &'static str,
+    median_ns: u128,
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples.push(t0.elapsed().as_nanos());
+        drop(out);
+    }
+    median_ns(samples)
+}
+
+fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut Vec<Record>) {
+    let dir = std::env::temp_dir().join(format!("kclique_faultio_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (label, cadence) in CADENCES {
+        let path = dir.join(format!("{name}_{label}.cliquelog"));
+        let options = LogBuildOptions {
+            checkpoint_cliques: cadence,
+            ..LogBuildOptions::default()
+        };
+        let mut push = |op, median_ns| {
+            records.push(Record {
+                substrate: name.to_owned(),
+                op,
+                checkpoint: label,
+                median_ns,
+            });
+        };
+        push(
+            "build",
+            measure(iters, || {
+                cpm_stream::build_clique_log(g, &path, &options).expect("build failed")
+            }),
+        );
+        push(
+            "replay",
+            measure(iters, || {
+                let mut reader = CliqueLogReader::open(&path).expect("open failed");
+                let mut buf = Vec::new();
+                let mut n = 0u64;
+                while reader.read_next(&mut buf).expect("decode failed") {
+                    n += 1;
+                }
+                n
+            }),
+        );
+        // Tear a copy at 2/3 of the file and time the salvage walk.
+        let bytes = std::fs::read(&path).unwrap();
+        let torn = dir.join(format!("{name}_{label}_torn.cliquelog"));
+        push(
+            "recover",
+            measure(iters, || {
+                std::fs::write(&torn, &bytes[..bytes.len() * 2 / 3]).unwrap();
+                CliqueLogReader::recover(&torn).expect("recover failed")
+            }),
+        );
+        std::fs::remove_file(&torn).ok();
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn json_escape_free(s: &str) -> &str {
+    assert!(
+        s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || "-_".contains(c)),
+        "unexpected character in JSON token {s:?}"
+    );
+    s
+}
+
+fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"checkpoint\": \"{}\", \"median_ns\": {}}}{}\n",
+            json_escape_free(&r.substrate),
+            json_escape_free(r.op),
+            json_escape_free(r.checkpoint),
+            r.median_ns,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The `--check` gate: default-cadence builds within `BOUND`× of the
+/// uncheckpointed build on every substrate. Returns violation messages.
+fn check(records: &[Record]) -> Vec<String> {
+    const BOUND: f64 = 1.05;
+    let mut violations = Vec::new();
+    let find = |sub: &str, checkpoint: &str| {
+        records
+            .iter()
+            .find(|r| r.substrate == sub && r.op == "build" && r.checkpoint == checkpoint)
+            .map(|r| r.median_ns)
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for r in records {
+        if !seen.contains(&r.substrate.as_str()) {
+            seen.push(&r.substrate);
+        }
+    }
+    for sub in seen {
+        let (Some(base), Some(with)) = (find(sub, "none"), find(sub, "default")) else {
+            continue;
+        };
+        let ratio = with as f64 / base.max(1) as f64;
+        if ratio > BOUND {
+            violations.push(format!(
+                "{sub}/build @ default cadence is {ratio:.3}x the uncheckpointed build \
+                 (bound {BOUND}x)"
+            ));
+        }
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let substrate = get("--substrate").unwrap_or_else(|| "all".to_owned());
+    let iters: usize = get("--iters").map_or(7, |v| v.parse().expect("bad --iters"));
+    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_faultio.json".to_owned());
+
+    let mut substrates: Vec<(&str, asgraph::Graph)> = Vec::new();
+    let want = |name: &str| substrate == "all" || substrate == name;
+    if want("sparse") {
+        substrates.push(("sparse300", bench::random_graph(300, 0.05, seed)));
+    }
+    if want("dense") {
+        substrates.push(("dense60", bench::random_graph(60, 0.5, seed)));
+    }
+    if want("small") {
+        substrates.push(("small-internet", bench::small_internet(seed).graph));
+    }
+    if substrates.is_empty() {
+        eprintln!("unknown --substrate {substrate:?}; expected small | sparse | dense | all");
+        std::process::exit(2);
+    }
+
+    let mut records = Vec::new();
+    for (name, g) in &substrates {
+        eprintln!(
+            "benchmarking {name}: {} nodes, {} edges",
+            g.node_count(),
+            g.edge_count()
+        );
+        bench_substrate(name, g, iters, &mut records);
+    }
+
+    let json = to_json(&records);
+    std::fs::write(&out_path, &json).expect("cannot write output");
+    eprintln!("wrote {} records to {out_path}", records.len());
+
+    if has("--check") {
+        let violations = check(&records);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("CHECK FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("check passed: default-cadence builds within 1.05x of uncheckpointed");
+    }
+}

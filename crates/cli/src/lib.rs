@@ -18,8 +18,93 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use cpm_stream::StreamError;
 use kclique_core::report::{f3, pct, Table};
+use std::fmt;
 use std::path::PathBuf;
+
+/// Exit code for malformed command lines (BSD `EX_USAGE`).
+pub const EXIT_USAGE: i32 = 2;
+
+/// Exit code for corrupt or invalid input data — torn clique logs,
+/// checksum mismatches, malformed log records (BSD `EX_DATAERR`).
+pub const EXIT_CORRUPT_INPUT: i32 = 65;
+
+/// Exit code for a run interrupted by Ctrl-C or `--deadline` (BSD
+/// `EX_TEMPFAIL`): the command stopped cleanly, durable work (sealed
+/// clique-log segments in particular) is preserved, and rerunning —
+/// with `--resume` where applicable — continues from where it stopped.
+pub const EXIT_INTERRUPTED: i32 = 75;
+
+/// A failed command: the stderr message plus the process exit code.
+///
+/// Scripts can branch on the code without parsing stderr: `1` is a
+/// generic failure, [`EXIT_CORRUPT_INPUT`] means the *input* is bad
+/// (retrying cannot help; `clique-log recover` might), and
+/// [`EXIT_INTERRUPTED`] means the run was cut short but is resumable.
+#[derive(Debug)]
+pub struct CliFailure {
+    /// Human-readable message for stderr.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliFailure {
+    fn general(message: impl Into<String>) -> Self {
+        CliFailure {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    fn corrupt(message: impl Into<String>) -> Self {
+        CliFailure {
+            message: message.into(),
+            code: EXIT_CORRUPT_INPUT,
+        }
+    }
+
+    fn interrupted(message: impl Into<String>) -> Self {
+        CliFailure {
+            message: message.into(),
+            code: EXIT_INTERRUPTED,
+        }
+    }
+
+    /// Classifies an I/O error: `InvalidData` (the kind every torn-log
+    /// and corrupt-record path produces) is corrupt input, the rest is
+    /// generic failure.
+    fn io(context: impl fmt::Display, e: &std::io::Error) -> Self {
+        let message = format!("{context}: {e}");
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            Self::corrupt(message)
+        } else {
+            Self::general(message)
+        }
+    }
+
+    /// Classifies a streaming error: cancellation maps to the
+    /// resumable-interruption code, I/O errors go through [`Self::io`].
+    fn stream(context: impl fmt::Display, e: &StreamError) -> Self {
+        match e {
+            StreamError::Interrupted => Self::interrupted(format!("{context}: {e}")),
+            StreamError::Io(io_err) => Self::io(context, io_err),
+        }
+    }
+}
+
+impl fmt::Display for CliFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CliFailure {
+    fn from(message: String) -> Self {
+        CliFailure::general(message)
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +121,9 @@ pub enum Command {
         kernel: cliques::Kernel,
         /// Worker-count policy for the parallel pipeline.
         threads: exec::Threads,
+        /// Cancel the run after this many seconds (exit
+        /// [`EXIT_INTERRUPTED`]).
+        deadline: Option<u64>,
         /// Deprecated `--sweep` value, warned about and ignored.
         deprecated_sweep: Option<String>,
     },
@@ -89,6 +177,9 @@ pub enum Command {
         kernel: cliques::Kernel,
         /// Worker-count policy for the multi-k wave sweep.
         threads: exec::Threads,
+        /// Cancel the run after this many seconds (exit
+        /// [`EXIT_INTERRUPTED`]).
+        deadline: Option<u64>,
         /// Deprecated `--sweep` value, warned about and ignored.
         deprecated_sweep: Option<String>,
     },
@@ -100,10 +191,24 @@ pub enum Command {
         out: PathBuf,
         /// Set kernel for the single enumeration pass.
         kernel: cliques::Kernel,
+        /// Cliques per sealed (checksummed, durable) segment; 0 means
+        /// the library default.
+        checkpoint_cliques: usize,
+        /// Recover the existing log at `out` and continue after its
+        /// last durable clique instead of starting over.
+        resume: bool,
+        /// Stop building after this many seconds, sealing a finished,
+        /// resumable log (exit [`EXIT_INTERRUPTED`]).
+        deadline: Option<u64>,
     },
     /// Print a clique log's header summary.
     CliqueLogInfo {
         /// Clique-log file.
+        log: PathBuf,
+    },
+    /// Salvage the intact prefix of a torn clique log in place.
+    CliqueLogRecover {
+        /// Clique-log file (possibly torn).
         log: PathBuf,
     },
     /// Degree-preserving rewiring: write a null-model edge list.
@@ -127,7 +232,7 @@ kclique-cli — k-clique communities for AS-level topologies
 
 USAGE:
   kclique-cli communities --input <edges> (--k <n> | --all-k) [--kernel auto|bitset|merge]
-                          [--threads <n>|auto]
+                          [--threads <n>|auto] [--deadline <secs>]
   kclique-cli tree        --input <edges> [--min-k <n>]
   kclique-cli stats       --input <edges>
   kclique-cli generate    [--scale tiny|small|medium|default|full] [--seed <u64>] --out <dir>
@@ -135,9 +240,11 @@ USAGE:
   kclique-cli baselines   --input <edges>
   kclique-cli rewire      --input <edges> --output <edges> [--swaps <n>] [--seed <u64>]
   kclique-cli stream-percolate (--input <edges> | --log <file>) (--k <n> | --all-k) [--approx]
-                          [--kernel auto|bitset|merge] [--threads <n>|auto]
+                          [--kernel auto|bitset|merge] [--threads <n>|auto] [--deadline <secs>]
   kclique-cli clique-log  build --input <edges> --out <file> [--kernel auto|bitset|merge]
-  kclique-cli clique-log  info  --log <file>
+                          [--checkpoint-cliques <n>] [--resume] [--deadline <secs>]
+  kclique-cli clique-log  info    --log <file>
+  kclique-cli clique-log  recover --log <file>
   kclique-cli help
 
 The set kernel (--kernel) picks the Bron–Kerbosch / overlap-counting
@@ -149,6 +256,14 @@ The worker count (--threads) sizes the persistent thread pool: a fixed
 `<n>` forces that many workers, `auto` (default) scales with the input
 and falls back to sequential when the work would not amortise the
 fan-out. Output is bit-identical at every thread count.
+
+Long commands stop cooperatively: Ctrl-C (or an expired --deadline)
+cancels at the next safe point instead of killing mid-write, and the
+process exits 75 to signal \"interrupted, resumable\". A cancelled
+`clique-log build` seals a valid log; rerun with --resume to continue
+from its last durable clique. Exit codes: 0 success, 1 failure, 2 bad
+usage, 65 corrupt input (e.g. a torn log — try `clique-log recover`),
+75 interrupted/resumable.
 
 The --sweep flag of previous releases is deprecated: the fused sweep is
 now the only pipeline. The flag is accepted and ignored, with a warning.
@@ -186,6 +301,15 @@ impl Command {
                 None => Ok(exec::Threads::Auto),
             }
         };
+        let deadline = || -> Result<Option<u64>, String> {
+            match get("--deadline") {
+                Some(v) => v
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|e| format!("bad --deadline: {e}")),
+                None => Ok(None),
+            }
+        };
         // Deprecated, value-carrying, ignored: warn at run time so old
         // scripts keep working for one more release.
         let deprecated_sweep = || get("--sweep");
@@ -215,6 +339,7 @@ impl Command {
                     all_k,
                     kernel: kernel()?,
                     threads: threads()?,
+                    deadline: deadline()?,
                     deprecated_sweep: deprecated_sweep(),
                 })
             }
@@ -302,19 +427,40 @@ impl Command {
                     approx,
                     kernel: kernel()?,
                     threads: threads()?,
+                    deadline: deadline()?,
                     deprecated_sweep: deprecated_sweep(),
                 })
             }
             "clique-log" => match rest.first().map(String::as_str) {
-                Some("build") => Ok(Command::CliqueLogBuild {
-                    input: PathBuf::from(required("--input")?),
-                    out: PathBuf::from(required("--out")?),
-                    kernel: kernel()?,
-                }),
+                Some("build") => {
+                    let checkpoint_cliques = match get("--checkpoint-cliques") {
+                        Some(v) => {
+                            let n: usize = v
+                                .parse()
+                                .map_err(|e| format!("bad --checkpoint-cliques: {e}"))?;
+                            if n == 0 {
+                                return Err("--checkpoint-cliques must be at least 1".to_owned());
+                            }
+                            n
+                        }
+                        None => 0,
+                    };
+                    Ok(Command::CliqueLogBuild {
+                        input: PathBuf::from(required("--input")?),
+                        out: PathBuf::from(required("--out")?),
+                        kernel: kernel()?,
+                        checkpoint_cliques,
+                        resume: has("--resume"),
+                        deadline: deadline()?,
+                    })
+                }
                 Some("info") => Ok(Command::CliqueLogInfo {
                     log: PathBuf::from(required("--log")?),
                 }),
-                _ => Err("clique-log needs a subcommand: build | info".to_owned()),
+                Some("recover") => Ok(Command::CliqueLogRecover {
+                    log: PathBuf::from(required("--log")?),
+                }),
+                _ => Err("clique-log needs a subcommand: build | info | recover".to_owned()),
             },
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown command {other:?}")),
@@ -325,8 +471,11 @@ impl Command {
     ///
     /// # Errors
     ///
-    /// Returns a message suitable for stderr on any failure.
-    pub fn run(&self) -> Result<(), String> {
+    /// Returns a [`CliFailure`]: a message suitable for stderr plus the
+    /// process exit code (`1` generic, [`EXIT_CORRUPT_INPUT`] for torn
+    /// or corrupt logs, [`EXIT_INTERRUPTED`] for a cancelled-but-
+    /// resumable run).
+    pub fn run(&self) -> Result<(), CliFailure> {
         match self {
             Command::Help => {
                 print!("{USAGE}");
@@ -338,13 +487,20 @@ impl Command {
                 all_k,
                 kernel,
                 threads,
+                deadline,
                 deprecated_sweep,
             } => {
                 warn_deprecated_sweep(deprecated_sweep);
                 let g = load_graph(input)?;
                 if *all_k {
-                    let result =
-                        cpm::parallel::percolate_parallel_with_kernel(&g, *threads, *kernel);
+                    // Always the cancellable pipeline: a live token is
+                    // bit-identical to the plain one, and Ctrl-C /
+                    // --deadline then stop the sweep cooperatively.
+                    let token = cancel_token(deadline);
+                    let result = cpm::parallel::percolate_parallel_cancellable(
+                        &g, *threads, *kernel, &token,
+                    )
+                    .map_err(|_| interrupted_no_durable_state())?;
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
                         let largest = level
@@ -362,7 +518,28 @@ impl Command {
                     print!("{}", table.render());
                 } else {
                     let k = k.expect("parse guarantees k for non-all-k");
-                    let comms = cpm::percolate_at_with_kernel(&g, k as usize, *kernel);
+                    // The single-k fast path has no cancellation points;
+                    // under a deadline, run the cancellable full sweep
+                    // and project out level k instead.
+                    let comms: Vec<Vec<asgraph::NodeId>> = if deadline.is_some() {
+                        let token = cancel_token(deadline);
+                        let result = cpm::parallel::percolate_parallel_cancellable(
+                            &g, *threads, *kernel, &token,
+                        )
+                        .map_err(|_| interrupted_no_durable_state())?;
+                        result
+                            .level(k)
+                            .map(|level| {
+                                level
+                                    .communities
+                                    .iter()
+                                    .map(|c| c.members.clone())
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    } else {
+                        cpm::percolate_at_with_kernel(&g, k as usize, *kernel)
+                    };
                     println!("# {} {k}-clique communities", comms.len());
                     for (i, c) in comms.iter().enumerate() {
                         let ids: Vec<String> = c.iter().map(ToString::to_string).collect();
@@ -526,27 +703,33 @@ impl Command {
                 approx,
                 kernel,
                 threads,
+                deadline,
                 deprecated_sweep,
             } => {
                 warn_deprecated_sweep(deprecated_sweep);
                 // Both source kinds funnel through the same dyn-dispatch
-                // path; the graph (if any) must outlive the source.
+                // path; the graph (if any) must outlive the source. The
+                // token rides inside the source, so every replay of the
+                // sweep polls it.
+                let token = cancel_token(deadline);
                 let graph;
                 let mut graph_src;
                 let mut log_src;
                 let source: &mut dyn cpm_stream::CliqueSource = if let Some(input) = input {
                     graph = load_graph(input)?;
-                    graph_src = cpm_stream::GraphSource::with_kernel(&graph, *kernel);
+                    graph_src = cpm_stream::GraphSource::with_kernel(&graph, *kernel)
+                        .with_cancel(token.clone());
                     &mut graph_src
                 } else {
                     let log = log.as_ref().expect("parse guarantees input xor log");
                     log_src = cpm_stream::LogSource::open(log)
-                        .map_err(|e| format!("{}: {e}", log.display()))?;
+                        .map_err(|e| CliFailure::stream(log.display(), &e))?
+                        .with_cancel(token.clone());
                     &mut log_src
                 };
                 if *all_k {
                     let result = cpm_stream::stream_percolate_parallel(source, *threads)
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| CliFailure::stream("stream-percolate", &e))?;
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
                         let largest = level
@@ -573,7 +756,7 @@ impl Command {
                         cpm_stream::StreamPercolator::with_mode(source.node_count(), k, mode);
                     source
                         .replay(&mut |clique| p.push(clique))
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| CliFailure::stream("stream-percolate", &e))?;
                     let mut comms: Vec<Vec<asgraph::NodeId>> =
                         p.finish().into_iter().map(|c| c.members).collect();
                     comms.sort_unstable();
@@ -586,22 +769,51 @@ impl Command {
                 }
                 Ok(())
             }
-            Command::CliqueLogBuild { input, out, kernel } => {
+            Command::CliqueLogBuild {
+                input,
+                out,
+                kernel,
+                checkpoint_cliques,
+                resume,
+                deadline,
+            } => {
                 let g = load_graph(input)?;
-                let info = cpm_stream::write_clique_log_with(&g, *kernel, out)
-                    .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+                let token = cancel_token(deadline);
+                let options = cpm_stream::LogBuildOptions {
+                    kernel: *kernel,
+                    checkpoint_cliques: *checkpoint_cliques,
+                    resume: *resume,
+                    cancel: Some(token),
+                };
+                let outcome = cpm_stream::build_clique_log(&g, out, &options)
+                    .map_err(|e| CliFailure::stream(format_args!("{}", out.display()), &e))?;
+                if outcome.resumed_from > 0 {
+                    println!(
+                        "resumed after {} durable cliques already in {}",
+                        outcome.resumed_from,
+                        out.display()
+                    );
+                }
                 println!(
                     "wrote {} cliques over {} nodes (largest {}) to {}",
-                    info.clique_count,
-                    info.node_count,
-                    info.max_size,
+                    outcome.info.clique_count,
+                    outcome.info.node_count,
+                    outcome.info.max_size,
                     out.display()
                 );
+                if outcome.interrupted {
+                    return Err(CliFailure::interrupted(format!(
+                        "interrupted: {} holds {} cliques and is sealed; rerun with --resume to \
+                         continue the enumeration",
+                        out.display(),
+                        outcome.info.clique_count
+                    )));
+                }
                 Ok(())
             }
             Command::CliqueLogInfo { log } => {
                 let reader = cpm_stream::CliqueLogReader::open(log)
-                    .map_err(|e| format!("{}: {e}", log.display()))?;
+                    .map_err(|e| CliFailure::io(log.display(), &e))?;
                 let info = reader.info();
                 let mut table = Table::new(vec!["field", "value"]);
                 table.row(vec!["nodes".into(), info.node_count.to_string()]);
@@ -611,6 +823,39 @@ impl Command {
                     table.row(vec!["file bytes".into(), meta.len().to_string()]);
                 }
                 print!("{}", table.render());
+                Ok(())
+            }
+            Command::CliqueLogRecover { log } => {
+                let report = cpm_stream::CliqueLogReader::recover(log).map_err(|e| {
+                    CliFailure::io(format_args!("cannot recover {}", log.display()), &e)
+                })?;
+                let mut table = Table::new(vec!["field", "value"]);
+                table.row(vec!["nodes".into(), report.node_count.to_string()]);
+                table.row(vec![
+                    "cliques recovered".into(),
+                    report.cliques_recovered.to_string(),
+                ]);
+                table.row(vec![
+                    "segments recovered".into(),
+                    report.segments_recovered.to_string(),
+                ]);
+                table.row(vec!["largest clique".into(), report.max_size.to_string()]);
+                table.row(vec![
+                    "bytes discarded".into(),
+                    report.bytes_discarded.to_string(),
+                ]);
+                table.row(vec![
+                    "was already finished".into(),
+                    report.was_finished.to_string(),
+                ]);
+                print!("{}", table.render());
+                if !report.was_finished {
+                    println!(
+                        "log sealed at the last durable clique; continue with: \
+                         clique-log build --resume --input <edges> --out {}",
+                        log.display()
+                    );
+                }
                 Ok(())
             }
             Command::Rewire {
@@ -637,6 +882,25 @@ impl Command {
             }
         }
     }
+}
+
+/// Builds the cooperative-cancellation token for a long command: an
+/// optional `--deadline` plus Ctrl-C watching. The first SIGINT trips
+/// the token (the command stops at its next poll and exits
+/// [`EXIT_INTERRUPTED`]); a second one kills the process the usual way.
+fn cancel_token(deadline: &Option<u64>) -> exec::CancelToken {
+    let token = match deadline {
+        Some(secs) => exec::CancelToken::with_deadline(std::time::Duration::from_secs(*secs)),
+        None => exec::CancelToken::new(),
+    };
+    token.watch_sigint();
+    token
+}
+
+fn interrupted_no_durable_state() -> CliFailure {
+    CliFailure::interrupted(
+        "interrupted before completion; this command keeps no durable state, rerun to restart",
+    )
 }
 
 fn warn_deprecated_sweep(value: &Option<String>) {
@@ -672,6 +936,7 @@ mod tests {
                 all_k: false,
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
+                deadline: None,
                 deprecated_sweep: None,
             }
         );
@@ -836,6 +1101,7 @@ mod tests {
                 approx: false,
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
+                deadline: None,
                 deprecated_sweep: None,
             }
         );
@@ -880,6 +1146,9 @@ mod tests {
                 input: PathBuf::from("g.txt"),
                 out: PathBuf::from("c.log"),
                 kernel: cliques::Kernel::Auto,
+                checkpoint_cliques: 0,
+                resume: false,
+                deadline: None,
             }
         );
         let c = parse(&["clique-log", "info", "--log", "c.log"]).unwrap();
@@ -889,9 +1158,88 @@ mod tests {
                 log: PathBuf::from("c.log"),
             }
         );
+        let c = parse(&["clique-log", "recover", "--log", "c.log"]).unwrap();
+        assert_eq!(
+            c,
+            Command::CliqueLogRecover {
+                log: PathBuf::from("c.log"),
+            }
+        );
         assert!(parse(&["clique-log"]).is_err());
         assert!(parse(&["clique-log", "verify"]).is_err());
         assert!(parse(&["clique-log", "build", "--input", "g.txt"]).is_err());
+        assert!(parse(&["clique-log", "recover"]).is_err());
+    }
+
+    #[test]
+    fn parses_build_robustness_flags() {
+        let c = parse(&[
+            "clique-log",
+            "build",
+            "--input",
+            "g.txt",
+            "--out",
+            "c.log",
+            "--checkpoint-cliques",
+            "128",
+            "--resume",
+            "--deadline",
+            "30",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::CliqueLogBuild {
+                input: PathBuf::from("g.txt"),
+                out: PathBuf::from("c.log"),
+                kernel: cliques::Kernel::Auto,
+                checkpoint_cliques: 128,
+                resume: true,
+                deadline: Some(30),
+            }
+        );
+        // Cadence 0 would mean "never seal a segment": rejected.
+        assert!(parse(&[
+            "clique-log",
+            "build",
+            "--input",
+            "g.txt",
+            "--out",
+            "c.log",
+            "--checkpoint-cliques",
+            "0",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn parses_deadline_flag() {
+        for cmd in [
+            vec!["communities", "--input", "g.txt", "--all-k"],
+            vec!["stream-percolate", "--input", "g.txt", "--all-k"],
+        ] {
+            let mut with = cmd.clone();
+            with.extend(["--deadline", "120"]);
+            match parse(&with).unwrap() {
+                Command::Communities { deadline, .. }
+                | Command::StreamPercolate { deadline, .. } => assert_eq!(deadline, Some(120)),
+                other => panic!("unexpected command {other:?}"),
+            }
+            match parse(&cmd).unwrap() {
+                Command::Communities { deadline, .. }
+                | Command::StreamPercolate { deadline, .. } => assert_eq!(deadline, None),
+                other => panic!("unexpected command {other:?}"),
+            }
+        }
+        assert!(parse(&[
+            "communities",
+            "--input",
+            "g.txt",
+            "--all-k",
+            "--deadline",
+            "soon"
+        ])
+        .is_err());
     }
 
     #[test]
@@ -907,9 +1255,17 @@ mod tests {
             input: edges.clone(),
             out: log.clone(),
             kernel: cliques::Kernel::Bitset,
+            checkpoint_cliques: 0,
+            resume: false,
+            deadline: None,
         }
         .run()
         .unwrap();
+        Command::CliqueLogInfo { log: log.clone() }.run().unwrap();
+        // Recovering a healthy finished log is a no-op.
+        Command::CliqueLogRecover { log: log.clone() }
+            .run()
+            .unwrap();
         Command::CliqueLogInfo { log: log.clone() }.run().unwrap();
         for (input, log_arg) in [(Some(edges.clone()), None), (None, Some(log.clone()))] {
             Command::StreamPercolate {
@@ -920,6 +1276,7 @@ mod tests {
                 approx: false,
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
+                deadline: None,
                 deprecated_sweep: None,
             }
             .run()
@@ -932,6 +1289,7 @@ mod tests {
                 approx: false,
                 kernel: cliques::Kernel::Merge,
                 threads: exec::Threads::Fixed(2),
+                deadline: None,
                 deprecated_sweep: Some("legacy".into()),
             }
             .run()
@@ -945,10 +1303,142 @@ mod tests {
             approx: true,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
+            deadline: None,
             deprecated_sweep: None,
         }
         .run()
         .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_interrupts_with_resumable_exit_code() {
+        let dir = std::env::temp_dir().join(format!("kclique_cli_deadline_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("toy.edges");
+        std::fs::write(&edges, "0 1\n0 2\n1 2\n1 3\n2 3\n3 4\n2 4\n").unwrap();
+        let log = dir.join("toy.cliquelog");
+
+        // A zero deadline trips before the first clique: the build must
+        // stop, seal a valid (empty) log, and report exit code 75.
+        let err = Command::CliqueLogBuild {
+            input: edges.clone(),
+            out: log.clone(),
+            kernel: cliques::Kernel::Auto,
+            checkpoint_cliques: 2,
+            resume: false,
+            deadline: Some(0),
+        }
+        .run()
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_INTERRUPTED);
+        assert!(err.message.contains("--resume"), "{err}");
+
+        // The sealed log is valid and resumable: a deadline-free resume
+        // completes it, and a replay then matches the live graph.
+        Command::CliqueLogBuild {
+            input: edges.clone(),
+            out: log.clone(),
+            kernel: cliques::Kernel::Auto,
+            checkpoint_cliques: 2,
+            resume: true,
+            deadline: None,
+        }
+        .run()
+        .unwrap();
+        Command::StreamPercolate {
+            input: None,
+            log: Some(log),
+            k: None,
+            all_k: true,
+            approx: false,
+            kernel: cliques::Kernel::Auto,
+            threads: exec::Threads::Auto,
+            deadline: None,
+            deprecated_sweep: None,
+        }
+        .run()
+        .unwrap();
+
+        // The interruption exit code also reaches the in-memory
+        // commands (which have nothing durable to resume).
+        let err = Command::Communities {
+            input: edges.clone(),
+            k: None,
+            all_k: true,
+            kernel: cliques::Kernel::Auto,
+            threads: exec::Threads::Auto,
+            deadline: Some(0),
+            deprecated_sweep: None,
+        }
+        .run()
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_INTERRUPTED);
+        let err = Command::StreamPercolate {
+            input: Some(edges),
+            log: None,
+            k: Some(3),
+            all_k: false,
+            approx: false,
+            kernel: cliques::Kernel::Auto,
+            threads: exec::Threads::Auto,
+            deadline: Some(0),
+            deprecated_sweep: None,
+        }
+        .run()
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_INTERRUPTED);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_log_reports_corrupt_input_and_recover_fixes_it() {
+        let dir = std::env::temp_dir().join(format!("kclique_cli_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("toy.edges");
+        std::fs::write(&edges, "0 1\n0 2\n1 2\n1 3\n2 3\n").unwrap();
+        let log = dir.join("toy.cliquelog");
+        Command::CliqueLogBuild {
+            input: edges,
+            out: log.clone(),
+            kernel: cliques::Kernel::Auto,
+            checkpoint_cliques: 1,
+            resume: false,
+            deadline: None,
+        }
+        .run()
+        .unwrap();
+
+        // Tear the log the way a crash would: drop the tail.
+        let bytes = std::fs::read(&log).unwrap();
+        std::fs::write(&log, &bytes[..bytes.len() - 5]).unwrap();
+
+        for cmd in [
+            Command::CliqueLogInfo { log: log.clone() },
+            Command::StreamPercolate {
+                input: None,
+                log: Some(log.clone()),
+                k: Some(3),
+                all_k: false,
+                approx: false,
+                kernel: cliques::Kernel::Auto,
+                threads: exec::Threads::Auto,
+                deadline: None,
+                deprecated_sweep: None,
+            },
+        ] {
+            let err = cmd.run().unwrap_err();
+            assert_eq!(err.code, EXIT_CORRUPT_INPUT, "{err}");
+            assert!(err.message.contains("recover"), "not actionable: {err}");
+        }
+
+        // Recovery salvages the intact prefix; info works again.
+        Command::CliqueLogRecover { log: log.clone() }
+            .run()
+            .unwrap();
+        Command::CliqueLogInfo { log }.run().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -988,6 +1478,7 @@ mod tests {
             all_k: false,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
+            deadline: None,
             deprecated_sweep: None,
         }
         .run()
@@ -998,7 +1489,21 @@ mod tests {
             all_k: true,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Fixed(2),
+            deadline: None,
             deprecated_sweep: Some("legacy".into()),
+        }
+        .run()
+        .unwrap();
+        // A generous (never-expiring) deadline must not change the
+        // single-k output path's behaviour, only its engine.
+        Command::Communities {
+            input: edges.clone(),
+            k: Some(3),
+            all_k: false,
+            kernel: cliques::Kernel::Auto,
+            threads: exec::Threads::Auto,
+            deadline: Some(3600),
+            deprecated_sweep: None,
         }
         .run()
         .unwrap();
@@ -1027,6 +1532,8 @@ mod tests {
         }
         .run()
         .unwrap_err();
-        assert!(err.contains("/no/such/file.edges"));
+        assert!(err.message.contains("/no/such/file.edges"));
+        // A missing file is a generic failure, not corrupt input.
+        assert_eq!(err.code, 1);
     }
 }

@@ -7,10 +7,10 @@ fn main() {
     let command = Command::parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
         eprintln!("error: {msg}\n");
         eprint!("{}", kclique_cli::USAGE);
-        std::process::exit(2);
+        std::process::exit(kclique_cli::EXIT_USAGE);
     });
-    if let Err(msg) = command.run() {
-        eprintln!("error: {msg}");
-        std::process::exit(1);
+    if let Err(failure) = command.run() {
+        eprintln!("error: {failure}");
+        std::process::exit(failure.code);
     }
 }

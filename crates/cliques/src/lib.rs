@@ -125,3 +125,47 @@ where
     }
     ControlFlow::Continue(())
 }
+
+/// [`for_each_max_clique_with`] polling a [`CancelToken`] between
+/// top-level subproblems — the enumeration's natural chunk boundary.
+///
+/// Until the token trips, the visitor sees exactly the stream of
+/// [`for_each_max_clique_with`] (a prefix of it once cancelled, cut at
+/// a subproblem boundary). A visitor `Break` still stops the
+/// enumeration and returns `Ok(())`; cancellation returns
+/// `Err(Cancelled)` so callers can tell "done early by choice" from
+/// "told to stop".
+///
+/// # Errors
+///
+/// Returns [`exec::Cancelled`] once `cancel` trips; cliques emitted
+/// before that were a prefix of the deterministic stream, so a caller
+/// that persisted them can resume from where the stream stopped.
+pub fn for_each_max_clique_cancellable<F>(
+    g: &Graph,
+    kernel: Kernel,
+    cancel: &exec::CancelToken,
+    mut visit: F,
+) -> Result<(), exec::Cancelled>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    let ordering = asgraph::ordering::degeneracy_order(g);
+    let mut scratch = Default::default();
+    for &v in &ordering.order {
+        cancel.check()?;
+        if bron_kerbosch::top_level_visit_with(
+            g,
+            v,
+            &ordering.rank,
+            kernel,
+            &mut scratch,
+            &mut visit,
+        )
+        .is_break()
+        {
+            return Ok(());
+        }
+    }
+    Ok(())
+}

@@ -30,7 +30,7 @@ use crate::bron_kerbosch::top_level_subproblem;
 use crate::clique_set::CliqueSet;
 use crate::kernel::{BitsetScratch, Kernel};
 use asgraph::Graph;
-use exec::{ChunkQueue, Pool, Threads};
+use exec::{CancelToken, Cancelled, ChunkQueue, Pool, Threads};
 use std::sync::Mutex;
 
 /// Outer vertices claimed per queue chunk. Small enough that the heavy
@@ -80,9 +80,38 @@ pub fn max_cliques_parallel_with(
     threads: impl Into<Threads>,
     kernel: Kernel,
 ) -> CliqueSet {
-    let mut workers = threads
-        .into()
-        .resolve(g.edge_count(), AUTO_EDGES_PER_WORKER);
+    max_cliques_parallel_impl(g, threads.into(), kernel, None)
+        .expect("uncancellable enumeration cannot be cancelled")
+}
+
+/// [`max_cliques_parallel_with`] polling a [`CancelToken`] at every
+/// chunk claim: workers stop taking work at the next chunk boundary,
+/// run out through the job protocol (the pool stays reusable), partial
+/// results are discarded, and the call returns [`Cancelled`].
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] once the token trips.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn max_cliques_parallel_cancellable(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    kernel: Kernel,
+    cancel: &CancelToken,
+) -> Result<CliqueSet, Cancelled> {
+    max_cliques_parallel_impl(g, threads.into(), kernel, Some(cancel))
+}
+
+fn max_cliques_parallel_impl(
+    g: &Graph,
+    threads: Threads,
+    kernel: Kernel,
+    cancel: Option<&CancelToken>,
+) -> Result<CliqueSet, Cancelled> {
+    let mut workers = threads.resolve(g.edge_count(), AUTO_EDGES_PER_WORKER);
     if g.node_count() < 2 * workers {
         workers = 1;
     }
@@ -95,10 +124,17 @@ pub fn max_cliques_parallel_with(
         return pool.leader(|mut w| {
             let scratch = w.scratch_with(BitsetScratch::default);
             let mut out = CliqueSet::new();
-            for &v in order {
-                top_level_subproblem(g, v, rank, kernel, scratch, &mut out);
+            // Same cancellation granularity as the parallel path: one
+            // poll per STEAL_CHUNK outer vertices.
+            for chunk in order.chunks(STEAL_CHUNK) {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+                for &v in chunk {
+                    top_level_subproblem(g, v, rank, kernel, scratch, &mut out);
+                }
             }
-            out
+            Ok(out)
         });
     }
 
@@ -110,7 +146,11 @@ pub fn max_cliques_parallel_with(
     pool.run(workers, |mut w| {
         let scratch = w.scratch_with(BitsetScratch::default);
         let mut local: Vec<(usize, CliqueSet)> = Vec::new();
-        while let Some(range) = queue.claim() {
+        let claim = || match cancel {
+            Some(token) => queue.claim_unless(token),
+            None => queue.claim(),
+        };
+        while let Some(range) = claim() {
             let mut set = CliqueSet::new();
             for &v in &order[range.clone()] {
                 top_level_subproblem(g, v, rank, kernel, scratch, &mut set);
@@ -119,6 +159,9 @@ pub fn max_cliques_parallel_with(
         }
         chunks.lock().expect("clique worker panicked").extend(local);
     });
+    if let Some(token) = cancel {
+        token.check()?;
+    }
 
     let mut chunks = chunks.into_inner().expect("clique worker panicked");
     chunks.sort_unstable_by_key(|&(start, _)| start);
@@ -128,7 +171,7 @@ pub fn max_cliques_parallel_with(
     for (_, set) in &chunks {
         out.merge(set);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -233,6 +276,30 @@ mod tests {
     fn zero_threads_panics() {
         let g = Graph::complete(3);
         let _ = max_cliques_parallel(&g, 0);
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let token = exec::CancelToken::new();
+        for threads in 1..=4 {
+            let got = max_cliques_parallel_cancellable(&g, threads, Kernel::Auto, &token)
+                .expect("token never trips");
+            assert_eq!(got, degeneracy(&g), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn tripped_token_cancels_at_every_worker_count() {
+        let g = Graph::complete(8);
+        let token = exec::CancelToken::new();
+        token.cancel();
+        for threads in 1..=4 {
+            let err = max_cliques_parallel_cancellable(&g, threads, Kernel::Auto, &token);
+            assert!(err.is_err(), "threads {threads}");
+        }
+        // And the pool is still usable after the cancelled runs.
+        assert_eq!(max_cliques_parallel(&g, 4).len(), 1);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::result::{CpmResult, KLevel};
 use crate::sweep::{chain_union_postings, percolate_from_strata, OverlapStrata};
 use asgraph::Graph;
 use cliques::{CliqueSet, Kernel};
-use exec::{ChunkQueue, Pool, Threads};
+use exec::{CancelToken, Cancelled, ChunkQueue, Pool, Threads};
 use std::sync::{Mutex, RwLock};
 
 /// Clique ids claimed per queue chunk during parallel overlap counting.
@@ -107,6 +107,38 @@ pub fn percolate_parallel_with_kernel(
     percolate_from_strata_parallel(cliques, strata, threads, &index)
 }
 
+/// [`percolate_parallel_with_kernel`] with a [`CancelToken`] polled at
+/// every phase's chunk boundaries — enumeration claims, overlap claims,
+/// and stratum-drain claims. Cancellation never skips a barrier:
+/// workers that stop claiming still run out through the job protocol,
+/// so the pool is immediately reusable, and partial pipeline state is
+/// simply dropped.
+///
+/// Until the token trips this is bit-identical to
+/// [`percolate_parallel_with_kernel`] at every worker count.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] once the token trips.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn percolate_parallel_cancellable(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    kernel: Kernel,
+    cancel: &CancelToken,
+) -> Result<CpmResult, Cancelled> {
+    let threads = threads.into();
+    let mut cliques =
+        cliques::parallel::max_cliques_parallel_cancellable(g, threads, kernel, cancel)?;
+    cliques.canonicalize();
+    let index = build_vertex_index(&cliques, g.node_count());
+    let strata = overlap_strata_parallel_impl(&cliques, &index, threads, kernel, 2, Some(cancel))?;
+    percolate_from_strata_parallel_impl(cliques, strata, threads, &index, Some(cancel))
+}
+
 /// Computes the overlap stratification with `threads` workers and the
 /// default [`Kernel::Auto`].
 ///
@@ -153,10 +185,20 @@ pub fn overlap_strata_parallel_min(
     kernel: Kernel,
     min_overlap: u32,
 ) -> OverlapStrata {
+    overlap_strata_parallel_impl(cliques, index, threads.into(), kernel, min_overlap, None)
+        .expect("uncancellable overlap counting cannot be cancelled")
+}
+
+fn overlap_strata_parallel_impl(
+    cliques: &CliqueSet,
+    index: &VertexCliqueIndex,
+    threads: Threads,
+    kernel: Kernel,
+    min_overlap: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<OverlapStrata, Cancelled> {
     let n = cliques.len();
-    let mut workers = threads
-        .into()
-        .resolve(cliques.total_members(), AUTO_MEMBERS_PER_WORKER);
+    let mut workers = threads.resolve(cliques.total_members(), AUTO_MEMBERS_PER_WORKER);
     if n < 2 * workers {
         workers = 1;
     }
@@ -171,6 +213,12 @@ pub fn overlap_strata_parallel_min(
             scratch.reset_for(cliques, use_bitset);
             let mut strata = OverlapStrata::new(max_size);
             for i in 0..n {
+                // Same cancellation granularity as the parallel path.
+                if i % OVERLAP_CHUNK == 0 {
+                    if let Some(token) = cancel {
+                        token.check()?;
+                    }
+                }
                 scratch.count_overlaps_of(cliques, index, i as u32, |a, b, o| {
                     strata.push(a, b, o);
                 });
@@ -178,7 +226,7 @@ pub fn overlap_strata_parallel_min(
                 // `clear_below`.
                 strata.clear_below(min_overlap);
             }
-            strata
+            Ok(strata)
         });
     }
 
@@ -188,7 +236,11 @@ pub fn overlap_strata_parallel_min(
         let scratch = w.scratch_with(OverlapScratch::default);
         scratch.reset_for(cliques, use_bitset);
         let mut local: Vec<(usize, OverlapStrata)> = Vec::new();
-        while let Some(range) = queue.claim() {
+        let claim = || match cancel {
+            Some(token) => queue.claim_unless(token),
+            None => queue.claim(),
+        };
+        while let Some(range) = claim() {
             let start = range.start;
             let mut strata = OverlapStrata::new(max_size);
             for i in range {
@@ -204,6 +256,9 @@ pub fn overlap_strata_parallel_min(
             .expect("overlap worker panicked")
             .extend(local);
     });
+    if let Some(token) = cancel {
+        token.check()?;
+    }
 
     // Chunk-ordered reassembly, one exact-capacity allocation per
     // stratum; chunks are dropped as they are absorbed, so the peak is
@@ -218,7 +273,7 @@ pub fn overlap_strata_parallel_min(
     for (_, mut chunk) in chunks {
         strata.absorb(&mut chunk);
     }
-    strata
+    Ok(strata)
 }
 
 /// The parallel fused sweep: one resident pool job drains every
@@ -247,17 +302,27 @@ pub fn overlap_strata_parallel_min(
 /// Panics if `threads` is a fixed count of 0.
 pub fn percolate_from_strata_parallel(
     cliques: CliqueSet,
-    mut strata: OverlapStrata,
+    strata: OverlapStrata,
     threads: impl Into<Threads>,
     index: &VertexCliqueIndex,
 ) -> CpmResult {
-    let threads = threads.into();
+    percolate_from_strata_parallel_impl(cliques, strata, threads.into(), index, None)
+        .expect("uncancellable sweep cannot be cancelled")
+}
+
+fn percolate_from_strata_parallel_impl(
+    cliques: CliqueSet,
+    mut strata: OverlapStrata,
+    threads: Threads,
+    index: &VertexCliqueIndex,
+    cancel: Option<&CancelToken>,
+) -> Result<CpmResult, Cancelled> {
     let k_max = cliques.max_size();
     if k_max < 2 {
-        return CpmResult {
+        return Ok(CpmResult {
             cliques,
             levels: Vec::new(),
-        };
+        });
     }
     // Parallelism only pays where a single stratum clears the union
     // threshold: resolve the worker count from the largest one.
@@ -266,8 +331,8 @@ pub fn percolate_from_strata_parallel(
         .max()
         .unwrap_or(0);
     let workers = threads.resolve(largest, PAR_UNION_MIN);
-    if workers == 1 {
-        return percolate_from_strata(cliques, strata, index);
+    if workers == 1 && cancel.is_none() {
+        return Ok(percolate_from_strata(cliques, strata, index));
     }
 
     let dsu = ConcurrentDsu::new(cliques.len());
@@ -297,16 +362,30 @@ pub fn percolate_from_strata_parallel(
     Pool::global().run(workers, |w| {
         for (si, lock) in strata_desc.iter().enumerate() {
             let k = k_max - si;
+            // Cancellation must preserve the barrier flow: a worker
+            // that stops claiming still reaches both barriers of every
+            // stratum, so its peers and the leader never deadlock —
+            // the whole team just drains through empty iterations.
+            let cancelled = cancel.is_some_and(|token| token.is_cancelled());
             {
                 let pairs = lock.read().expect("sweep worker panicked");
                 if queues[si].is_empty() {
-                    if w.is_leader() {
-                        for &(a, b) in pairs.iter() {
-                            dsu_ref.union(a, b);
+                    if w.is_leader() && !cancelled {
+                        for chunk in pairs.chunks(UNION_CHUNK) {
+                            if cancel.is_some_and(|token| token.is_cancelled()) {
+                                break;
+                            }
+                            for &(a, b) in chunk {
+                                dsu_ref.union(a, b);
+                            }
                         }
                     }
                 } else {
-                    while let Some(range) = queues[si].claim() {
+                    let claim = || match cancel {
+                        Some(token) => queues[si].claim_unless(token),
+                        None => queues[si].claim(),
+                    };
+                    while let Some(range) = claim() {
                         for &(a, b) in &pairs[range] {
                             dsu_ref.union(a, b);
                         }
@@ -320,15 +399,22 @@ pub fn percolate_from_strata_parallel(
                 drop(std::mem::take(
                     &mut *lock.write().expect("sweep worker panicked"),
                 ));
-                let (snap, levels) = &mut *seq_parts.lock().expect("sweep worker panicked");
-                let level =
-                    snap.snapshot(cliques_ref, k, &mut |x| dsu_ref.find(x), levels.last_mut());
-                levels.push(level);
+                // A cancelled run's levels are discarded with the Err,
+                // so the leader skips the snapshot work too.
+                if !cancel.is_some_and(|token| token.is_cancelled()) {
+                    let (snap, levels) = &mut *seq_parts.lock().expect("sweep worker panicked");
+                    let level =
+                        snap.snapshot(cliques_ref, k, &mut |x| dsu_ref.find(x), levels.last_mut());
+                    levels.push(level);
+                }
             }
             // And hold stratum k−2 until the snapshot is taken.
             w.barrier();
         }
     });
+    if let Some(token) = cancel {
+        token.check()?;
+    }
 
     let (mut snap, mut levels_desc) = seq_parts.into_inner().expect("sweep worker panicked");
     // k = 2 off the posting lists, as in the sequential sweep. The
@@ -341,10 +427,10 @@ pub fn percolate_from_strata_parallel(
     let level = snap.snapshot(&cliques, 2, &mut |x| dsu.find(x), levels_desc.last_mut());
     levels_desc.push(level);
     levels_desc.reverse();
-    CpmResult {
+    Ok(CpmResult {
         cliques,
         levels: levels_desc,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -460,6 +546,34 @@ mod tests {
     fn zero_threads_panics() {
         let g = Graph::complete(3);
         let _ = percolate_parallel(&g, 0);
+    }
+
+    #[test]
+    fn cancellable_with_live_token_matches_plain() {
+        let g = random_graph(60, 0.15, 9);
+        let reference = percolate(&g);
+        let token = exec::CancelToken::new();
+        for threads in [1usize, 2, 4] {
+            let got = percolate_parallel_cancellable(&g, threads, Kernel::Auto, &token)
+                .expect("token never trips");
+            assert_eq!(reference.levels, got.levels, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn tripped_token_cancels_and_leaves_the_pool_reusable() {
+        let g = random_graph(60, 0.15, 9);
+        let token = exec::CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 2, 4] {
+            let err = percolate_parallel_cancellable(&g, threads, Kernel::Auto, &token);
+            assert!(err.is_err(), "threads {threads}");
+        }
+        // The cancelled runs ran out through the barrier protocol: the
+        // very next plain run on the same pool is correct.
+        let seq = percolate(&g);
+        let par = percolate_parallel(&g, 4);
+        assert_eq!(seq.levels, par.levels);
     }
 
     #[test]

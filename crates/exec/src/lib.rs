@@ -30,6 +30,10 @@
 //! * [`Threads`] — `auto` resolves the worker count from the amount of
 //!   work and the machine's parallelism, falling back to 1 below a
 //!   per-site threshold so tiny inputs never pay parallel overhead.
+//! * [`CancelToken`] — a cloneable cooperative-cancellation flag
+//!   (explicit cancel, deadline, or SIGINT) polled at chunk boundaries
+//!   via [`ChunkQueue::claim_unless`], so long phases stop cleanly
+//!   without tearing down the pool.
 //!
 //! Parking uses `std::sync` primitives (`Mutex`/`Condvar`/`Barrier`)
 //! directly — the vendored crossbeam subset only provides scoped
@@ -37,11 +41,13 @@
 //! avoid.
 
 mod arena;
+mod cancel;
 mod pool;
 mod queue;
 mod threads;
 
 pub use arena::ScratchArena;
+pub use cancel::{CancelToken, Cancelled};
 pub use pool::{Pool, Worker};
 pub use queue::ChunkQueue;
 pub use threads::{available_parallelism, Threads};

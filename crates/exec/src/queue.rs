@@ -3,6 +3,8 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::CancelToken;
+
 /// A work-stealing deal over the index range `0..len`: workers claim
 /// contiguous chunks of `chunk` indices from a shared counter until the
 /// range is exhausted.
@@ -55,6 +57,21 @@ impl ChunkQueue {
         Some(start..(start + self.chunk).min(self.len))
     }
 
+    /// [`claim`](Self::claim), but yields `None` early once `cancel`
+    /// trips — the standard cancellation point for pool jobs. Workers
+    /// that stop claiming still run through the job's barrier protocol,
+    /// so a cancelled phase drains without deadlocking its peers.
+    ///
+    /// Chunks already claimed are never revoked; after cancellation the
+    /// queue is left partially consumed and the phase's partial output
+    /// is the caller's to discard.
+    pub fn claim_unless(&self, cancel: &CancelToken) -> Option<Range<usize>> {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        self.claim()
+    }
+
     /// Total number of indices in the range.
     pub fn len(&self) -> usize {
         self.len
@@ -95,6 +112,17 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_panics() {
         let _ = ChunkQueue::new(10, 0);
+    }
+
+    #[test]
+    fn claim_unless_stops_at_cancellation() {
+        let q = ChunkQueue::new(100, 10);
+        let token = CancelToken::new();
+        assert_eq!(q.claim_unless(&token), Some(0..10));
+        token.cancel();
+        assert_eq!(q.claim_unless(&token), None);
+        // The underlying counter is untouched by refused claims.
+        assert_eq!(q.claim(), Some(10..20));
     }
 
     #[test]

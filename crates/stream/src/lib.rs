@@ -36,19 +36,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faultio;
 mod log;
 mod percolate;
+mod segment;
 mod source;
 
-pub use log::{CliqueLogInfo, CliqueLogReader, CliqueLogWriter};
+pub use log::{
+    CliqueLogInfo, CliqueLogReader, CliqueLogWriter, LogSink, RecoveryReport,
+    DEFAULT_CHECKPOINT_CLIQUES, TORN_LOG_MSG,
+};
 pub use percolate::{
     stream_percolate, stream_percolate_at, stream_percolate_parallel, Mode, StreamCpmResult,
     StreamPercolator,
 };
-pub use source::{CliqueSource, GraphSource, LogSource, StreamError};
+pub use source::{CliqueSource, GraphSource, LogSource, StreamError, CANCEL_POLL_CLIQUES};
 
 pub use cliques::Kernel;
-pub use exec::Threads;
+pub use exec::{CancelToken, Threads};
 
 use asgraph::Graph;
 use std::path::Path;
@@ -93,18 +98,117 @@ pub fn write_clique_log_with(
     kernel: cliques::Kernel,
     path: impl AsRef<Path>,
 ) -> Result<CliqueLogInfo, StreamError> {
-    let mut writer = CliqueLogWriter::create(path, g.node_count() as u32)?;
-    let mut source = GraphSource::with_kernel(g, kernel);
+    let outcome = build_clique_log(
+        g,
+        path,
+        &LogBuildOptions {
+            kernel,
+            ..LogBuildOptions::default()
+        },
+    )?;
+    Ok(outcome.info)
+}
+
+/// How [`build_clique_log`] should run.
+#[derive(Debug, Clone, Default)]
+pub struct LogBuildOptions {
+    /// Set kernel for the enumeration pass (stream is identical for
+    /// every kernel).
+    pub kernel: Kernel,
+    /// Checkpoint cadence: cliques per sealed segment
+    /// (0 means [`DEFAULT_CHECKPOINT_CLIQUES`]).
+    pub checkpoint_cliques: usize,
+    /// Recover the existing (possibly torn) log at the target path and
+    /// continue enumeration after its last durable clique, instead of
+    /// truncating and starting over.
+    pub resume: bool,
+    /// Cooperative-cancellation token polled during enumeration. When
+    /// it trips, the log is *finished* (footer over everything pushed
+    /// so far) and the build reports itself interrupted — a later
+    /// `resume` build picks up exactly where this one stopped.
+    pub cancel: Option<CancelToken>,
+}
+
+/// What [`build_clique_log`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogBuildOutcome {
+    /// Summary of the log as it now stands on disk.
+    pub info: CliqueLogInfo,
+    /// Cliques salvaged from a previous run (0 for a fresh build).
+    pub resumed_from: u64,
+    /// True when a cancel token stopped the build early. The log is
+    /// still valid and finished; rebuild with `resume` to complete it.
+    pub interrupted: bool,
+}
+
+/// Enumerates `g`'s maximal cliques into a v2 clique log at `path`,
+/// with checkpointing, crash recovery (`resume`), and cooperative
+/// cancellation per [`LogBuildOptions`].
+///
+/// This is the engine behind `clique-log build`; [`write_clique_log`]
+/// is the zero-options wrapper.
+///
+/// # Errors
+///
+/// Propagates I/O failures, and rejects a `resume` against a log whose
+/// `node_count` does not match `g`.
+pub fn build_clique_log(
+    g: &Graph,
+    path: impl AsRef<Path>,
+    options: &LogBuildOptions,
+) -> Result<LogBuildOutcome, StreamError> {
+    let checkpoint = if options.checkpoint_cliques == 0 {
+        DEFAULT_CHECKPOINT_CLIQUES
+    } else {
+        options.checkpoint_cliques
+    };
+    let (mut writer, resumed_from) = if options.resume {
+        let (writer, report) = CliqueLogWriter::append(&path, checkpoint)?;
+        if report.node_count as usize != g.node_count() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "cannot resume: log was built for {} nodes, graph has {}",
+                    report.node_count,
+                    g.node_count()
+                ),
+            )
+            .into());
+        }
+        (writer, report.cliques_recovered)
+    } else {
+        (
+            CliqueLogWriter::with_checkpoint(&path, g.node_count() as u32, checkpoint)?,
+            0,
+        )
+    };
+
+    let mut source = GraphSource::with_kernel(g, options.kernel).resume_after(resumed_from);
+    if let Some(token) = &options.cancel {
+        source = source.with_cancel(token.clone());
+    }
     let mut io_err: Option<std::io::Error> = None;
-    source.replay(&mut |clique| {
+    let replay = source.replay(&mut |clique| {
         if io_err.is_none() {
             if let Err(e) = writer.push(clique) {
                 io_err = Some(e);
             }
         }
-    })?;
+    });
     if let Some(e) = io_err {
         return Err(e.into());
     }
-    Ok(writer.finish()?)
+    let interrupted = match replay {
+        Ok(()) => false,
+        // Cancellation is a clean stop: seal what we have into a valid,
+        // finished log so only a crash ever leaves a torn file.
+        Err(StreamError::Interrupted) => true,
+        Err(e) => return Err(e),
+    };
+    let info = writer.finish()?;
+    Ok(LogBuildOutcome {
+        info,
+        resumed_from,
+        interrupted,
+    })
 }

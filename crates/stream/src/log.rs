@@ -1,5 +1,5 @@
-//! The on-disk clique log: a compact, replayable record of one maximal
-//! clique enumeration.
+//! The on-disk clique log: a crash-safe, replayable record of one
+//! maximal clique enumeration.
 //!
 //! The descending-`k` sweep needs the clique stream once per level, but
 //! re-running Bron–Kerbosch per level is the dominant cost on large
@@ -10,32 +10,70 @@
 //! through a small reusable buffer. Typical AS-topology cliques (dense
 //! id-clusters of size 18–28) encode in ~1–2 bytes per member.
 //!
-//! # Layout
+//! # v2: checksummed segments
 //!
-//! ```text
-//! magic      8 bytes   b"CPMLOG1\n"
-//! node_count u32 LE    vertex-id space of the source graph
-//! count      u64 LE    number of cliques (patched by finish())
-//! max_size   u32 LE    largest clique size (patched by finish())
-//! records    per clique: varint(len), varint(first_member),
-//!            varint(member[i] - member[i-1]) ...
-//! ```
+//! Format v1 was a single patched header: a writer that died mid-run
+//! left a `count == u64::MAX` sentinel and the *entire* multi-hour
+//! enumeration was lost, while a flipped bit in the records region was
+//! decoded blindly. v2 frames the records into **segments** — by
+//! default one per [`DEFAULT_CHECKPOINT_CLIQUES`] cliques, flushed as
+//! sealed — each carrying its record count, byte length, and a CRC32C
+//! over its payload (layout in [`segment`](crate::segment) docs).
+//! [`CliqueLogWriter::finish`] appends a checksummed footer instead of
+//! seeking back, so the writer needs only `Write` and works over
+//! injectable fault sinks.
 //!
-//! A writer that is dropped without [`CliqueLogWriter::finish`] leaves
-//! `count == u64::MAX` in the header, which readers reject — a torn log
-//! is detected instead of silently truncating the community structure.
+//! The payoff is graceful degradation: [`CliqueLogReader::open`]
+//! verifies the footer and then each segment incrementally as it
+//! streams, and a torn log — writer killed inside a segment, truncated
+//! tail, corrupt frame — is salvaged by [`CliqueLogReader::recover`],
+//! which keeps every intact segment and reports exactly how many
+//! cliques survived. Because enumeration order is deterministic for
+//! every kernel (the PR 2 invariant), [`CliqueLogWriter::append`] can
+//! then resume the enumeration from the first unlogged clique instead
+//! of restarting.
 
+use crate::segment::{
+    self, decode_record, encode_record, footer, invalid, parse_footer, parse_segment_header,
+    segment_header, validate_payload, FOOTER_LEN, FOOTER_TAG, HEADER_LEN, MAGIC_V1, MAGIC_V2,
+    SEGMENT_HEADER_LEN, SEGMENT_TAG,
+};
 use asgraph::NodeId;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"CPMLOG1\n";
-const UNFINISHED: u64 = u64::MAX;
-/// Byte offset of the `count` header field.
-const COUNT_OFFSET: u64 = 12;
+/// Default checkpoint cadence: cliques per sealed segment. Small enough
+/// that an interrupted run loses at most a fraction of a second of
+/// enumeration work, large enough that frame overhead (13 bytes + one
+/// flush per segment) stays far below 1% of payload.
+pub const DEFAULT_CHECKPOINT_CLIQUES: usize = 4096;
 
-/// Summary of a finished log, as stored in its header.
+/// Marker prefix of every "this log is torn" error message, so callers
+/// (the CLI) can recognize the condition and point at `recover`.
+pub const TORN_LOG_MSG: &str = "torn clique log";
+
+fn torn(detail: impl std::fmt::Display) -> io::Error {
+    invalid(format!(
+        "{TORN_LOG_MSG} ({detail}): run `clique-log recover` to salvage intact segments"
+    ))
+}
+
+/// Checks the 8-byte magic, distinguishing "old format" from "not a
+/// clique log at all".
+fn check_magic(magic: &[u8; 8]) -> io::Result<()> {
+    if magic == MAGIC_V2 {
+        return Ok(());
+    }
+    if magic == MAGIC_V1 {
+        return Err(invalid(
+            "unsupported version: v1 clique log (no checksums); re-run `clique-log build`",
+        ));
+    }
+    Err(invalid("not a clique log (bad magic)"))
+}
+
+/// Summary of a finished log, as stored in its footer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CliqueLogInfo {
     /// Vertex-id space of the graph the cliques were enumerated from.
@@ -46,7 +84,64 @@ pub struct CliqueLogInfo {
     pub max_size: u32,
 }
 
-/// Appends delta-encoded cliques to a log file.
+/// What [`CliqueLogReader::recover`] salvaged from a log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Vertex-id space declared by the log header.
+    pub node_count: u32,
+    /// Cliques in the recovered (now finished) log.
+    pub cliques_recovered: u64,
+    /// Intact segments kept.
+    pub segments_recovered: u64,
+    /// Size of the largest recovered clique.
+    pub max_size: u32,
+    /// Torn/corrupt bytes dropped from the tail (0 for a healthy log).
+    pub bytes_discarded: u64,
+    /// True when the log already had a valid footer covering every
+    /// segment — recovery changed nothing.
+    pub was_finished: bool,
+}
+
+/// Where a [`CliqueLogWriter`] sends its bytes: `Write` plus a
+/// durability barrier. The default sink is a buffered file whose
+/// [`sync`](LogSink::sync) is `fsync`; tests substitute fault-injecting
+/// wrappers to prove recovery under torn writes.
+pub trait LogSink: Write {
+    /// Flushes buffers and, where the sink is backed by a file, forces
+    /// bytes to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl LogSink for BufWriter<File> {
+    fn sync(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.get_ref().sync_all()
+    }
+}
+
+/// In-memory sink for tests and size estimation.
+impl LogSink for Vec<u8> {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl<S: LogSink + ?Sized> LogSink for &mut S {
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
+/// Appends delta-encoded cliques to a v2 log, sealing a checksummed
+/// segment every checkpoint interval.
+///
+/// Records accumulate in an in-memory payload buffer; every
+/// `checkpoint` cliques the buffer is framed (tag, length, record
+/// count, CRC32C), written, and flushed, making it durable against a
+/// process crash. Only [`finish`](CliqueLogWriter::finish) — which
+/// appends the footer — and [`Drop`]-less interruption decide the
+/// log's fate: a finished log opens directly, a torn one goes through
+/// [`CliqueLogReader::recover`].
 ///
 /// # Example
 ///
@@ -61,27 +156,76 @@ pub struct CliqueLogInfo {
 /// # std::fs::remove_file(&path).unwrap();
 /// ```
 #[derive(Debug)]
-pub struct CliqueLogWriter {
-    out: BufWriter<File>,
+pub struct CliqueLogWriter<W: LogSink = BufWriter<File>> {
+    out: W,
     node_count: u32,
     count: u64,
     max_size: u32,
+    checkpoint: usize,
+    payload: Vec<u8>,
+    pending_records: u32,
 }
 
-impl CliqueLogWriter {
+impl CliqueLogWriter<BufWriter<File>> {
     /// Creates (truncating) a log at `path` for a graph of `node_count`
-    /// vertices.
+    /// vertices, with the default checkpoint cadence.
     pub fn create(path: impl AsRef<Path>, node_count: u32) -> io::Result<Self> {
-        let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(MAGIC)?;
+        Self::with_checkpoint(path, node_count, DEFAULT_CHECKPOINT_CLIQUES)
+    }
+
+    /// [`create`](Self::create) with an explicit checkpoint cadence
+    /// (cliques per sealed segment; the CLI's `--checkpoint-cliques`).
+    pub fn with_checkpoint(
+        path: impl AsRef<Path>,
+        node_count: u32,
+        checkpoint: usize,
+    ) -> io::Result<Self> {
+        let out = BufWriter::new(File::create(path)?);
+        Self::from_sink(out, node_count, checkpoint)
+    }
+
+    /// Reopens a (possibly torn) log for appending: recovers it first,
+    /// strips the footer, and positions the writer after the last
+    /// intact segment. The caller resumes enumeration after
+    /// `report.cliques_recovered` cliques.
+    pub fn append(path: impl AsRef<Path>, checkpoint: usize) -> io::Result<(Self, RecoveryReport)> {
+        let path = path.as_ref();
+        let report = CliqueLogReader::recover(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        debug_assert!(len >= (HEADER_LEN + FOOTER_LEN) as u64);
+        // Strip the recovery footer and continue framing segments after
+        // the last intact one; the header is already on disk, so the
+        // writer is assembled directly rather than via from_sink.
+        file.set_len(len - FOOTER_LEN as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        let w = CliqueLogWriter {
+            out: BufWriter::new(file),
+            node_count: report.node_count,
+            count: report.cliques_recovered,
+            max_size: report.max_size,
+            checkpoint: checkpoint.max(1),
+            payload: Vec::new(),
+            pending_records: 0,
+        };
+        Ok((w, report))
+    }
+}
+
+impl<W: LogSink> CliqueLogWriter<W> {
+    /// Starts a log over an arbitrary sink (writes the header
+    /// immediately). This is the fault-injection entry point.
+    pub fn from_sink(mut out: W, node_count: u32, checkpoint: usize) -> io::Result<Self> {
+        out.write_all(MAGIC_V2)?;
         out.write_all(&node_count.to_le_bytes())?;
-        out.write_all(&UNFINISHED.to_le_bytes())?;
-        out.write_all(&0u32.to_le_bytes())?;
         Ok(CliqueLogWriter {
             out,
             node_count,
             count: 0,
             max_size: 0,
+            checkpoint: checkpoint.max(1),
+            payload: Vec::new(),
+            pending_records: 0,
         })
     }
 
@@ -90,9 +234,10 @@ impl CliqueLogWriter {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if members are unsorted, duplicated, or out
-    /// of the declared vertex-id space.
+    /// Panics in debug builds if members are unsorted, duplicated, empty,
+    /// or out of the declared vertex-id space.
     pub fn push(&mut self, clique: &[NodeId]) -> io::Result<()> {
+        debug_assert!(!clique.is_empty(), "cannot log an empty clique");
         debug_assert!(
             clique.windows(2).all(|w| w[0] < w[1]),
             "clique members must be sorted strictly ascending: {clique:?}"
@@ -102,33 +247,51 @@ impl CliqueLogWriter {
             "member out of id space {}: {clique:?}",
             self.node_count
         );
-        write_varint(&mut self.out, clique.len() as u64)?;
-        let mut prev = 0u64;
-        for (i, &v) in clique.iter().enumerate() {
-            let v = u64::from(v);
-            let gap = if i == 0 { v } else { v - prev };
-            write_varint(&mut self.out, gap)?;
-            prev = v;
-        }
+        encode_record(&mut self.payload, clique);
+        self.pending_records += 1;
         self.count += 1;
         self.max_size = self.max_size.max(clique.len() as u32);
+        if self.pending_records as usize >= self.checkpoint {
+            self.seal_segment()?;
+        }
         Ok(())
     }
 
-    /// Number of cliques written so far.
+    /// Frames and writes the pending payload as one segment, then
+    /// flushes so the segment survives a process crash. No-op when no
+    /// records are pending.
+    fn seal_segment(&mut self) -> io::Result<()> {
+        if self.pending_records == 0 {
+            return Ok(());
+        }
+        let header = segment_header(&self.payload, self.pending_records);
+        self.out.write_all(&header)?;
+        self.out.write_all(&self.payload)?;
+        self.out.flush()?;
+        self.payload.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Number of cliques written so far (including any not yet sealed
+    /// into a segment).
     pub fn clique_count(&self) -> u64 {
         self.count
     }
 
-    /// Patches the header with the final counts and flushes. The log is
-    /// unreadable until this runs.
+    /// Number of cliques already sealed into durable segments — what a
+    /// reader would recover if the process died right now.
+    pub fn durable_clique_count(&self) -> u64 {
+        self.count - u64::from(self.pending_records)
+    }
+
+    /// Seals the final segment, appends the checksummed footer, and
+    /// syncs. The log opens cleanly only after this runs.
     pub fn finish(mut self) -> io::Result<CliqueLogInfo> {
-        self.out.flush()?;
-        let file = self.out.get_mut();
-        file.seek(SeekFrom::Start(COUNT_OFFSET))?;
-        file.write_all(&self.count.to_le_bytes())?;
-        file.write_all(&self.max_size.to_le_bytes())?;
-        file.sync_all()?;
+        self.seal_segment()?;
+        self.out
+            .write_all(&footer(self.count, self.max_size, self.node_count))?;
+        self.out.sync()?;
         Ok(CliqueLogInfo {
             node_count: self.node_count,
             clique_count: self.count,
@@ -137,7 +300,8 @@ impl CliqueLogWriter {
     }
 }
 
-/// Sequentially decodes a clique log through a reusable buffer.
+/// Sequentially decodes a v2 clique log, verifying each segment's
+/// CRC32C as it is loaded.
 ///
 /// # Example
 ///
@@ -159,43 +323,93 @@ pub struct CliqueLogReader {
     input: BufReader<File>,
     info: CliqueLogInfo,
     remaining: u64,
+    /// File offset where the footer begins (frames end here).
+    frames_end: u64,
+    /// Current offset of the next unread frame byte.
+    offset: u64,
+    seg_payload: Vec<u8>,
+    seg_pos: usize,
+    seg_records_left: u32,
 }
 
 impl CliqueLogReader {
-    /// Opens a finished log, validating its header.
+    /// Opens a finished log: validates the magic, reads the footer from
+    /// the end of the file, and checks its CRC (which covers the header
+    /// `node_count` too). A log without a valid footer is reported as
+    /// torn with a pointer at `clique-log recover`.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
-        let mut input = BufReader::new(File::open(path)?);
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let mut input = BufReader::new(file);
+        if len < 8 {
+            return Err(invalid("not a clique log (truncated before magic)"));
+        }
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a clique log (bad magic)",
-            ));
+        check_magic(&magic)?;
+        if len < (HEADER_LEN + FOOTER_LEN) as u64 {
+            return Err(torn("missing footer"));
         }
         let node_count = read_u32(&mut input)?;
-        let clique_count = read_u64(&mut input)?;
-        let max_size = read_u32(&mut input)?;
-        if clique_count == UNFINISHED {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "clique log was never finished (torn write?)",
-            ));
-        }
+        input.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        let mut footer_bytes = [0u8; FOOTER_LEN];
+        input.read_exact(&mut footer_bytes)?;
+        let footer = parse_footer(&footer_bytes, node_count).map_err(torn)?;
+        input.seek(SeekFrom::Start(HEADER_LEN as u64))?;
         Ok(CliqueLogReader {
             input,
             info: CliqueLogInfo {
                 node_count,
-                clique_count,
-                max_size,
+                clique_count: footer.clique_count,
+                max_size: footer.max_size,
             },
-            remaining: clique_count,
+            remaining: footer.clique_count,
+            frames_end: len - FOOTER_LEN as u64,
+            offset: HEADER_LEN as u64,
+            seg_payload: Vec::new(),
+            seg_pos: 0,
+            seg_records_left: 0,
         })
     }
 
-    /// The header summary.
+    /// The footer summary.
     pub fn info(&self) -> CliqueLogInfo {
         self.info
+    }
+
+    /// Loads and CRC-verifies the next segment frame.
+    fn load_segment(&mut self) -> io::Result<()> {
+        if self.offset + SEGMENT_HEADER_LEN as u64 > self.frames_end {
+            return Err(invalid(format!(
+                "log ends after {} cliques but footer declares {}",
+                self.info.clique_count - self.remaining,
+                self.info.clique_count
+            )));
+        }
+        let mut header = [0u8; SEGMENT_HEADER_LEN];
+        self.input.read_exact(&mut header)?;
+        let seg = parse_segment_header(&header)?;
+        self.offset += SEGMENT_HEADER_LEN as u64;
+        // The declared payload must fit in the frames region, so this
+        // resize is bounded by the file's own (verified) size.
+        if self.offset + seg.payload_len as u64 > self.frames_end {
+            return Err(invalid("segment payload extends past the footer"));
+        }
+        if u64::from(seg.record_count) > self.remaining {
+            return Err(invalid(format!(
+                "segment holds {} records but only {} remain per footer",
+                seg.record_count, self.remaining
+            )));
+        }
+        self.seg_payload.resize(seg.payload_len, 0);
+        self.input.read_exact(&mut self.seg_payload)?;
+        self.offset += seg.payload_len as u64;
+        if segment::crc32c(&self.seg_payload) != seg.crc {
+            return Err(invalid("segment checksum mismatch"));
+        }
+        self.seg_pos = 0;
+        self.seg_records_left = seg.record_count;
+        Ok(())
     }
 
     /// Decodes the next clique into `clique` (cleared first). Returns
@@ -205,21 +419,22 @@ impl CliqueLogReader {
         if self.remaining == 0 {
             return Ok(false);
         }
+        if self.seg_records_left == 0 {
+            self.load_segment()?;
+        }
+        decode_record(
+            &self.seg_payload,
+            &mut self.seg_pos,
+            self.info.node_count,
+            clique,
+        )?;
+        self.seg_records_left -= 1;
         self.remaining -= 1;
-        let len = read_varint(&mut self.input)? as usize;
-        clique.reserve(len);
-        let mut prev = 0u64;
-        for i in 0..len {
-            let gap = read_varint(&mut self.input)?;
-            let v = if i == 0 { gap } else { prev + gap };
-            if v >= u64::from(self.info.node_count) {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("member {v} out of id space {}", self.info.node_count),
-                ));
-            }
-            clique.push(v as NodeId);
-            prev = v;
+        if self.seg_records_left == 0 && self.seg_pos != self.seg_payload.len() {
+            return Err(invalid("segment payload has trailing bytes"));
+        }
+        if self.remaining == 0 && self.offset != self.frames_end {
+            return Err(invalid("log has segments beyond the declared clique count"));
         }
         Ok(true)
     }
@@ -232,36 +447,129 @@ impl CliqueLogReader {
         }
         Ok(())
     }
-}
 
-fn write_varint<W: Write>(out: &mut W, mut value: u64) -> io::Result<()> {
-    loop {
-        let byte = (value & 0x7f) as u8;
-        value >>= 7;
-        if value == 0 {
-            return out.write_all(&[byte]);
+    /// Salvages a torn log in place: keeps every leading segment that
+    /// parses, CRC-verifies, and fully decodes; truncates everything
+    /// after the last intact one; and appends a fresh footer so the
+    /// result opens as a normal (shorter) log. Idempotent — running it
+    /// on a healthy log changes nothing and reports `was_finished`.
+    ///
+    /// This is the crash-recovery path: the next enumeration continues
+    /// with [`CliqueLogWriter::append`] from
+    /// `report.cliques_recovered`, instead of redoing hours of work.
+    pub fn recover(path: impl AsRef<Path>) -> io::Result<RecoveryReport> {
+        let path = path.as_ref();
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len < 8 {
+            return Err(invalid("not a clique log (truncated before magic)"));
         }
-        out.write_all(&[byte | 0x80])?;
-    }
-}
+        let mut input = BufReader::new(&mut file);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        check_magic(&magic)?;
+        if len < HEADER_LEN as u64 {
+            return Err(invalid("not a clique log (truncated header)"));
+        }
+        let node_count = read_u32(&mut input)?;
 
-fn read_varint<R: Read>(input: &mut R) -> io::Result<u64> {
-    let mut value = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        input.read_exact(&mut byte)?;
-        if shift >= 64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "varint longer than 64 bits",
-            ));
+        // Walk frames, remembering the end of the last intact segment.
+        let mut keep_end = HEADER_LEN as u64;
+        let mut cliques = 0u64;
+        let mut segments = 0u64;
+        let mut max_size = 0u32;
+        let mut payload = Vec::new();
+        let mut offset = HEADER_LEN as u64;
+        let mut finished_at = None;
+        loop {
+            let mut tag = [0u8; 1];
+            match input.read_exact(&mut tag) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+            if tag[0] == FOOTER_TAG && offset + FOOTER_LEN as u64 <= len {
+                let mut rest = [0u8; FOOTER_LEN - 1];
+                if input.read_exact(&mut rest).is_err() {
+                    break;
+                }
+                let mut footer_bytes = [0u8; FOOTER_LEN];
+                footer_bytes[0] = tag[0];
+                footer_bytes[1..].copy_from_slice(&rest);
+                match parse_footer(&footer_bytes, node_count) {
+                    Ok(f) if f.clique_count == cliques && f.max_size == max_size => {
+                        finished_at = Some(offset + FOOTER_LEN as u64);
+                    }
+                    _ => {}
+                }
+                break;
+            }
+            if tag[0] != SEGMENT_TAG {
+                break;
+            }
+            let mut rest = [0u8; SEGMENT_HEADER_LEN - 1];
+            if input.read_exact(&mut rest).is_err() {
+                break;
+            }
+            let mut header = [0u8; SEGMENT_HEADER_LEN];
+            header[0] = tag[0];
+            header[1..].copy_from_slice(&rest);
+            let Ok(seg) = parse_segment_header(&header) else {
+                break;
+            };
+            let payload_end = offset + (SEGMENT_HEADER_LEN + seg.payload_len) as u64;
+            if payload_end > len {
+                break;
+            }
+            payload.resize(seg.payload_len, 0);
+            if input.read_exact(&mut payload).is_err() {
+                break;
+            }
+            if segment::crc32c(&payload) != seg.crc {
+                break;
+            }
+            let Ok(seg_max) = validate_payload(&payload, seg.record_count, node_count) else {
+                break;
+            };
+            cliques += u64::from(seg.record_count);
+            segments += 1;
+            max_size = max_size.max(seg_max);
+            offset = payload_end;
+            keep_end = payload_end;
         }
-        value |= u64::from(byte[0] & 0x7f) << shift;
-        if byte[0] & 0x80 == 0 {
-            return Ok(value);
+        drop(input);
+
+        if let Some(end) = finished_at {
+            // Healthy footer covering every segment; at most drop junk
+            // trailing it (which would otherwise fail open()).
+            let trailing = len - end;
+            if trailing > 0 {
+                file.set_len(end)?;
+                file.sync_all()?;
+            }
+            return Ok(RecoveryReport {
+                node_count,
+                cliques_recovered: cliques,
+                segments_recovered: segments,
+                max_size,
+                bytes_discarded: trailing,
+                was_finished: trailing == 0,
+            });
         }
-        shift += 7;
+
+        // Torn: truncate after the last intact segment, append a footer.
+        file.set_len(keep_end)?;
+        file.seek(SeekFrom::End(0))?;
+        file.write_all(&footer(cliques, max_size, node_count))?;
+        file.sync_all()?;
+        Ok(RecoveryReport {
+            node_count,
+            cliques_recovered: cliques,
+            segments_recovered: segments,
+            max_size,
+            bytes_discarded: len - keep_end,
+            was_finished: false,
+        })
     }
 }
 
@@ -269,12 +577,6 @@ fn read_u32<R: Read>(input: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     input.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64<R: Read>(input: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    input.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -286,6 +588,16 @@ mod tests {
             "cpm_stream_log_{tag}_{}.cliquelog",
             std::process::id()
         ))
+    }
+
+    fn read_all(path: &Path) -> Vec<Vec<NodeId>> {
+        let mut r = CliqueLogReader::open(path).unwrap();
+        let mut got = Vec::new();
+        let mut buf = Vec::new();
+        while r.read_next(&mut buf).unwrap() {
+            got.push(buf.clone());
+        }
+        got
     }
 
     #[test]
@@ -302,14 +614,23 @@ mod tests {
         assert_eq!(info.max_size, 5);
         assert_eq!(info.node_count, 1000);
 
-        let mut r = CliqueLogReader::open(&path).unwrap();
+        let r = CliqueLogReader::open(&path).unwrap();
         assert_eq!(r.info(), info);
-        let mut got = Vec::new();
-        let mut buf = Vec::new();
-        while r.read_next(&mut buf).unwrap() {
-            got.push(buf.clone());
+        assert_eq!(read_all(&path), cliques);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn round_trip_across_many_small_segments() {
+        let path = temp_path("many_segments");
+        let cliques: Vec<Vec<NodeId>> = (0..97u32).map(|i| vec![i, i + 100, i + 200]).collect();
+        let mut w = CliqueLogWriter::with_checkpoint(&path, 1000, 10).unwrap();
+        for c in &cliques {
+            w.push(c).unwrap();
         }
-        assert_eq!(got, cliques);
+        let info = w.finish().unwrap();
+        assert_eq!(info.clique_count, 97);
+        assert_eq!(read_all(&path), cliques);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -327,7 +648,7 @@ mod tests {
     }
 
     #[test]
-    fn unfinished_log_is_rejected() {
+    fn unfinished_log_is_reported_torn() {
         let path = temp_path("unfinished");
         {
             let mut w = CliqueLogWriter::create(&path, 7).unwrap();
@@ -335,7 +656,8 @@ mod tests {
             // drop without finish()
         }
         let err = CliqueLogReader::open(&path).unwrap_err();
-        assert!(err.to_string().contains("never finished"), "{err}");
+        assert!(err.to_string().contains(TORN_LOG_MSG), "{err}");
+        assert!(err.to_string().contains("clique-log recover"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -349,27 +671,157 @@ mod tests {
     }
 
     #[test]
-    fn varint_round_trip() {
-        let values = [
-            0u64,
-            1,
-            127,
-            128,
-            300,
-            16_383,
-            16_384,
-            u32::MAX as u64,
-            u64::MAX,
-        ];
+    fn v1_log_is_rejected_as_unsupported() {
+        let path = temp_path("v1_magic");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"CPMLOG1\n");
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = CliqueLogReader::open(&path).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"), "{err}");
+        let err = CliqueLogReader::recover(&path).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let path = temp_path("flip");
+        let mut w = CliqueLogWriter::create(&path, 1000).unwrap();
+        w.push(&[5, 9, 500]).unwrap();
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let payload_start = HEADER_LEN + SEGMENT_HEADER_LEN;
+        bytes[payload_start] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut r = CliqueLogReader::open(&path).unwrap(); // footer still fine
         let mut buf = Vec::new();
-        for &v in &values {
-            write_varint(&mut buf, v).unwrap();
+        let err = r.read_next(&mut buf).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipped_header_node_count_fails_footer_crc() {
+        let path = temp_path("flip_header");
+        let mut w = CliqueLogWriter::create(&path, 1000).unwrap();
+        w.push(&[5, 9, 500]).unwrap();
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0x01; // low byte of node_count
+        std::fs::write(&path, &bytes).unwrap();
+        let err = CliqueLogReader::open(&path).unwrap_err();
+        assert!(err.to_string().contains(TORN_LOG_MSG), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_salvages_intact_segments_of_a_torn_log() {
+        let path = temp_path("recover");
+        let cliques: Vec<Vec<NodeId>> = (0..25u32).map(|i| vec![i, i + 50]).collect();
+        {
+            let mut w = CliqueLogWriter::with_checkpoint(&path, 100, 10).unwrap();
+            for c in &cliques {
+                w.push(c).unwrap();
+            }
+            // Dropped mid-segment: 20 cliques sealed in 2 segments, 5 lost.
+            assert_eq!(w.durable_clique_count(), 20);
         }
-        let mut cursor = &buf[..];
-        for &v in &values {
-            assert_eq!(read_varint(&mut cursor).unwrap(), v);
+        let report = CliqueLogReader::recover(&path).unwrap();
+        assert_eq!(report.cliques_recovered, 20);
+        assert_eq!(report.segments_recovered, 2);
+        assert_eq!(report.max_size, 2);
+        assert!(!report.was_finished);
+
+        assert_eq!(read_all(&path), &cliques[..20]);
+        // Idempotent on the now-finished log.
+        let again = CliqueLogReader::recover(&path).unwrap();
+        assert!(again.was_finished);
+        assert_eq!(again.cliques_recovered, 20);
+        assert_eq!(again.bytes_discarded, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_drops_a_corrupt_middle_segment_tail() {
+        let path = temp_path("recover_corrupt");
+        let cliques: Vec<Vec<NodeId>> = (0..30u32).map(|i| vec![i, i + 50]).collect();
+        {
+            let mut w = CliqueLogWriter::with_checkpoint(&path, 100, 10).unwrap();
+            for c in &cliques {
+                w.push(c).unwrap();
+            }
+            w.finish().unwrap();
         }
-        assert!(cursor.is_empty());
+        // Corrupt a byte inside the second segment's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let seg1_payload_len =
+            u32::from_le_bytes(bytes[HEADER_LEN + 1..HEADER_LEN + 5].try_into().unwrap()) as usize;
+        let seg2_start = HEADER_LEN + SEGMENT_HEADER_LEN + seg1_payload_len;
+        bytes[seg2_start + SEGMENT_HEADER_LEN + 3] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(CliqueLogReader::open(&path).is_ok(), "footer intact");
+        let report = CliqueLogReader::recover(&path).unwrap();
+        assert_eq!(report.cliques_recovered, 10, "only segment 1 intact");
+        assert!(report.bytes_discarded > 0);
+        assert_eq!(read_all(&path), &cliques[..10]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_resumes_after_recovery() {
+        let path = temp_path("append");
+        let cliques: Vec<Vec<NodeId>> = (0..37u32).map(|i| vec![i, i + 50, i + 90]).collect();
+        {
+            let mut w = CliqueLogWriter::with_checkpoint(&path, 200, 10).unwrap();
+            for c in &cliques[..25] {
+                w.push(c).unwrap();
+            }
+            // Killed with 20 durable, 5 torn.
+        }
+        let (mut w, report) = CliqueLogWriter::append(&path, 10).unwrap();
+        assert_eq!(report.cliques_recovered, 20);
+        for c in &cliques[20..] {
+            w.push(c).unwrap();
+        }
+        let info = w.finish().unwrap();
+        assert_eq!(info.clique_count, 37);
+        assert_eq!(info.max_size, 3);
+        assert_eq!(read_all(&path), cliques);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_anywhere_never_panics() {
+        let path = temp_path("truncate_sweep");
+        let cliques: Vec<Vec<NodeId>> = (0..20u32).map(|i| vec![i, i + 30, i + 60]).collect();
+        let mut w = CliqueLogWriter::with_checkpoint(&path, 100, 7).unwrap();
+        for c in &cliques {
+            w.push(c).unwrap();
+        }
+        w.finish().unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            // Open either errors cleanly or the log decodes a prefix.
+            if let Ok(mut r) = CliqueLogReader::open(&path) {
+                let mut buf = Vec::new();
+                while r.read_next(&mut buf).unwrap_or(false) {}
+            }
+            // Recovery must always produce an openable prefix log.
+            if cut >= HEADER_LEN {
+                let report = CliqueLogReader::recover(&path).unwrap();
+                let got = read_all(&path);
+                assert_eq!(got.len() as u64, report.cliques_recovered);
+                assert_eq!(got, cliques[..got.len()], "cut={cut}");
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -382,13 +834,28 @@ mod tests {
         w.push(&clique).unwrap();
         w.finish().unwrap();
         let bytes = std::fs::metadata(&path).unwrap().len();
-        let header = 24;
+        let framing = (HEADER_LEN + SEGMENT_HEADER_LEN + FOOTER_LEN) as u64;
         assert!(
-            bytes - header <= 2 + clique.len() as u64,
+            bytes - framing <= 2 + clique.len() as u64,
             "encoded {} members in {} payload bytes",
             clique.len(),
-            bytes - header
+            bytes - framing
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn writer_over_vec_sink_produces_a_valid_image() {
+        let mut sink = Vec::new();
+        let mut w = CliqueLogWriter::from_sink(&mut sink, 50, 2).unwrap();
+        w.push(&[1, 2, 3]).unwrap();
+        w.push(&[4, 5]).unwrap();
+        w.push(&[6, 7]).unwrap();
+        let info = w.finish().unwrap();
+        assert_eq!(info.clique_count, 3);
+        let path = temp_path("vec_sink");
+        std::fs::write(&path, &sink).unwrap();
+        assert_eq!(read_all(&path), vec![vec![1, 2, 3], vec![4, 5], vec![6, 7]]);
         std::fs::remove_file(&path).unwrap();
     }
 }

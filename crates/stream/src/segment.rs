@@ -1,0 +1,518 @@
+//! Wire-level pieces of the v2 clique log: CRC32C, hardened varints,
+//! and the delta-encoded clique record codec.
+//!
+//! Everything here decodes **hostile** bytes: the reader may be handed
+//! a log that a crashed writer tore mid-frame or that the disk flipped
+//! bits in, so every decoder bounds its work by lengths it has already
+//! verified. No path allocates proportionally to a corrupted (rather
+//! than declared-and-CRC-checked) field, and no path panics — malformed
+//! input is always `io::ErrorKind::InvalidData`.
+//!
+//! # Frame layout
+//!
+//! A v2 log is a 12-byte header, zero or more segment frames, and one
+//! footer frame:
+//!
+//! ```text
+//! header   magic b"CPMLOG2\n" (8) · node_count u32 LE (4)
+//! segment  tag b'S' (1) · payload_len u32 LE (4) · record_count u32 LE (4)
+//!          · crc32c(payload) u32 LE (4) · payload (payload_len bytes)
+//! footer   tag b'F' (1) · clique_count u64 LE (8) · max_size u32 LE (4)
+//!          · crc32c(clique_count ‖ max_size ‖ node_count) u32 LE (4)
+//! ```
+//!
+//! Segment payloads hold `record_count` clique records — varint length
+//! followed by varint member gaps, members sorted strictly ascending —
+//! and must be consumed exactly. The footer CRC covers `node_count` so
+//! a bit flip in the *header* is also caught at open time.
+
+use asgraph::NodeId;
+use std::io;
+
+/// Magic prefix of a v2 clique log.
+pub(crate) const MAGIC_V2: &[u8; 8] = b"CPMLOG2\n";
+/// Magic prefix of the retired v1 format (patched-header, no CRC).
+pub(crate) const MAGIC_V1: &[u8; 8] = b"CPMLOG1\n";
+/// Bytes before the first frame: magic + node_count.
+pub(crate) const HEADER_LEN: usize = 12;
+/// Frame tag of a clique segment.
+pub(crate) const SEGMENT_TAG: u8 = b'S';
+/// Frame tag of the footer.
+pub(crate) const FOOTER_TAG: u8 = b'F';
+/// Bytes in a segment frame before its payload.
+pub(crate) const SEGMENT_HEADER_LEN: usize = 13;
+/// Bytes in the footer frame.
+pub(crate) const FOOTER_LEN: usize = 17;
+/// Longest legal LEB128 encoding of a `u64`.
+pub(crate) const MAX_VARINT_LEN: usize = 10;
+
+pub(crate) fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// --- CRC32C (Castagnoli, reflected polynomial 0x82F63B78) ---
+
+const fn crc32c_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = crc32c_table();
+
+/// CRC32C of `bytes` (the iSCSI/ext4 checksum, final XOR applied).
+pub(crate) fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// CRC the footer stores: over `clique_count ‖ max_size ‖ node_count`,
+/// all little-endian. Covering `node_count` extends integrity to the
+/// header, which no segment CRC sees.
+pub(crate) fn footer_crc(clique_count: u64, max_size: u32, node_count: u32) -> u32 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&clique_count.to_le_bytes());
+    bytes[8..12].copy_from_slice(&max_size.to_le_bytes());
+    bytes[12..].copy_from_slice(&node_count.to_le_bytes());
+    crc32c(&bytes)
+}
+
+/// Encodes the 13-byte segment frame header.
+pub(crate) fn segment_header(payload: &[u8], record_count: u32) -> [u8; SEGMENT_HEADER_LEN] {
+    let mut h = [0u8; SEGMENT_HEADER_LEN];
+    h[0] = SEGMENT_TAG;
+    h[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    h[5..9].copy_from_slice(&record_count.to_le_bytes());
+    h[9..13].copy_from_slice(&crc32c(payload).to_le_bytes());
+    h
+}
+
+/// Encodes the 17-byte footer frame.
+pub(crate) fn footer(clique_count: u64, max_size: u32, node_count: u32) -> [u8; FOOTER_LEN] {
+    let mut f = [0u8; FOOTER_LEN];
+    f[0] = FOOTER_TAG;
+    f[1..9].copy_from_slice(&clique_count.to_le_bytes());
+    f[9..13].copy_from_slice(&max_size.to_le_bytes());
+    f[13..].copy_from_slice(&footer_crc(clique_count, max_size, node_count).to_le_bytes());
+    f
+}
+
+/// A parsed segment frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SegmentHeader {
+    pub payload_len: usize,
+    pub record_count: u32,
+    pub crc: u32,
+}
+
+/// Decodes a 13-byte segment frame header, checking only the tag and
+/// the structural invariants that need no payload: both lengths must be
+/// non-zero (an empty segment is never written and a zero `payload_len`
+/// would make a corrupt stream self-synchronize on garbage).
+pub(crate) fn parse_segment_header(bytes: &[u8; SEGMENT_HEADER_LEN]) -> io::Result<SegmentHeader> {
+    if bytes[0] != SEGMENT_TAG {
+        return Err(invalid(format!(
+            "expected segment frame, found tag 0x{:02x}",
+            bytes[0]
+        )));
+    }
+    let payload_len = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+    let record_count = u32::from_le_bytes(bytes[5..9].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[9..13].try_into().unwrap());
+    if payload_len == 0 || record_count == 0 {
+        return Err(invalid("empty segment frame"));
+    }
+    // Each record is at least 2 bytes (length varint + one member gap).
+    if u64::from(record_count) * 2 > payload_len as u64 {
+        return Err(invalid(format!(
+            "segment declares {record_count} records in {payload_len} bytes"
+        )));
+    }
+    Ok(SegmentHeader {
+        payload_len,
+        record_count,
+        crc,
+    })
+}
+
+/// A parsed footer frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Footer {
+    pub clique_count: u64,
+    pub max_size: u32,
+}
+
+/// Decodes and verifies the 17-byte footer against `node_count`.
+pub(crate) fn parse_footer(bytes: &[u8; FOOTER_LEN], node_count: u32) -> io::Result<Footer> {
+    if bytes[0] != FOOTER_TAG {
+        return Err(invalid(format!(
+            "expected footer frame, found tag 0x{:02x}",
+            bytes[0]
+        )));
+    }
+    let clique_count = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+    let max_size = u32::from_le_bytes(bytes[9..13].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[13..].try_into().unwrap());
+    if crc != footer_crc(clique_count, max_size, node_count) {
+        return Err(invalid("footer checksum mismatch"));
+    }
+    Ok(Footer {
+        clique_count,
+        max_size,
+    })
+}
+
+// --- varints ---
+
+/// Appends the LEB128 encoding of `value`.
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint from `buf` at `*pos`, advancing `*pos`.
+///
+/// Rejects truncation, encodings longer than [`MAX_VARINT_LEN`] bytes,
+/// and tenth bytes that would overflow a `u64` — a corrupted
+/// continuation bit can therefore never drive an unbounded loop or a
+/// silent wraparound.
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut value = 0u64;
+    for i in 0..MAX_VARINT_LEN {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(invalid("truncated varint"));
+        };
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        // Byte 10 lands at bit 63: only its lowest bit fits in a u64.
+        if i == MAX_VARINT_LEN - 1 && low > 1 {
+            return Err(invalid("varint overflows u64"));
+        }
+        value |= low << (7 * i as u32);
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(invalid("varint longer than 10 bytes"))
+}
+
+// --- clique records ---
+
+/// Appends one clique record: varint length, then varint gaps over the
+/// strictly-ascending members (first gap is the first member itself).
+pub(crate) fn encode_record(buf: &mut Vec<u8>, clique: &[NodeId]) {
+    push_varint(buf, clique.len() as u64);
+    let mut prev = 0u64;
+    for (i, &v) in clique.iter().enumerate() {
+        let v = u64::from(v);
+        push_varint(buf, if i == 0 { v } else { v - prev });
+        prev = v;
+    }
+}
+
+/// Decodes one clique record from `payload` at `*pos` into `out`
+/// (cleared first), advancing `*pos`.
+///
+/// Every field is validated before it sizes anything: the length must
+/// be in `1..=node_count` *and* fit in the remaining payload bytes
+/// (each member costs at least one byte, so a corrupted length can
+/// reserve at most the segment's own verified size), members must stay
+/// strictly ascending and inside the id space, and gap accumulation is
+/// checked for overflow.
+pub(crate) fn decode_record(
+    payload: &[u8],
+    pos: &mut usize,
+    node_count: u32,
+    out: &mut Vec<NodeId>,
+) -> io::Result<()> {
+    out.clear();
+    let len = read_varint(payload, pos)?;
+    if len == 0 {
+        return Err(invalid("clique record of length 0"));
+    }
+    if len > u64::from(node_count) {
+        return Err(invalid(format!(
+            "clique length {len} exceeds id space {node_count}"
+        )));
+    }
+    let remaining = (payload.len() - *pos) as u64;
+    if len > remaining {
+        return Err(invalid(format!(
+            "clique length {len} exceeds remaining segment bytes {remaining}"
+        )));
+    }
+    let len = len as usize;
+    out.reserve(len);
+    let mut prev = 0u64;
+    for i in 0..len {
+        let gap = read_varint(payload, pos)?;
+        let v = if i == 0 {
+            gap
+        } else {
+            if gap == 0 {
+                return Err(invalid("clique members not strictly ascending"));
+            }
+            prev.checked_add(gap)
+                .ok_or_else(|| invalid("clique member id overflows u64"))?
+        };
+        if v >= u64::from(node_count) {
+            return Err(invalid(format!("member {v} out of id space {node_count}")));
+        }
+        out.push(v as NodeId);
+        prev = v;
+    }
+    Ok(())
+}
+
+/// Fully decodes a segment payload, checking that it holds exactly
+/// `record_count` valid records with no trailing bytes. Returns the
+/// size of the largest clique seen. Used by recovery, which must prove
+/// a salvaged segment decodable before keeping it.
+pub(crate) fn validate_payload(
+    payload: &[u8],
+    record_count: u32,
+    node_count: u32,
+) -> io::Result<u32> {
+    let mut pos = 0usize;
+    let mut scratch = Vec::new();
+    let mut max_size = 0u32;
+    for _ in 0..record_count {
+        decode_record(payload, &mut pos, node_count, &mut scratch)?;
+        max_size = max_size.max(scratch.len() as u32);
+    }
+    if pos != payload.len() {
+        return Err(invalid("segment payload has trailing bytes"));
+    }
+    Ok(max_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_check_vector() {
+        // The canonical CRC32C test vector (RFC 3720 appendix / iSCSI).
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            push_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        let err = read_varint(&buf, &mut pos).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn varint_rejects_eleven_bytes() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        let err = read_varint(&buf, &mut pos).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn varint_rejects_u64_overflow() {
+        // Ten bytes whose last contributes more than bit 63.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        let err = read_varint(&buf, &mut pos).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "{err}");
+        // But exactly u64::MAX decodes.
+        let mut buf = Vec::new();
+        push_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let cliques: &[&[NodeId]] = &[&[0], &[1, 2], &[0, 5, 9, 120, 999], &[998, 999]];
+        let mut buf = Vec::new();
+        for c in cliques {
+            encode_record(&mut buf, c);
+        }
+        let mut pos = 0;
+        let mut out = Vec::new();
+        for c in cliques {
+            decode_record(&buf, &mut pos, 1000, &mut out).unwrap();
+            assert_eq!(&out, c);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn record_rejects_zero_length() {
+        let buf = [0u8];
+        let mut pos = 0;
+        let mut out = Vec::new();
+        let err = decode_record(&buf, &mut pos, 10, &mut out).unwrap_err();
+        assert!(err.to_string().contains("length 0"), "{err}");
+    }
+
+    #[test]
+    fn record_length_bounded_by_id_space() {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, 11); // len 11 > node_count 10
+        buf.extend_from_slice(&[0; 11]);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        let err = decode_record(&buf, &mut pos, 10, &mut out).unwrap_err();
+        assert!(err.to_string().contains("exceeds id space"), "{err}");
+    }
+
+    #[test]
+    fn record_length_bounded_by_remaining_bytes() {
+        // Corrupted length claims 1000 members but only 2 bytes follow;
+        // the decoder must reject before reserving 1000 slots.
+        let mut buf = Vec::new();
+        push_varint(&mut buf, 1000);
+        buf.extend_from_slice(&[1, 1]);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        let err = decode_record(&buf, &mut pos, 100_000, &mut out).unwrap_err();
+        assert!(err.to_string().contains("remaining segment bytes"), "{err}");
+        assert_eq!(out.capacity(), 0, "nothing reserved for the bogus length");
+    }
+
+    #[test]
+    fn record_rejects_non_ascending_members() {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, 2);
+        push_varint(&mut buf, 5); // first member 5
+        push_varint(&mut buf, 0); // gap 0 => duplicate member
+        let mut pos = 0;
+        let mut out = Vec::new();
+        let err = decode_record(&buf, &mut pos, 10, &mut out).unwrap_err();
+        assert!(err.to_string().contains("strictly ascending"), "{err}");
+    }
+
+    #[test]
+    fn record_rejects_member_out_of_id_space() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &[3, 12]);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        let err = decode_record(&buf, &mut pos, 10, &mut out).unwrap_err();
+        assert!(err.to_string().contains("out of id space"), "{err}");
+    }
+
+    #[test]
+    fn record_rejects_gap_overflow() {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, 2);
+        push_varint(&mut buf, u64::MAX); // first member u64::MAX...
+        push_varint(&mut buf, 1); // ...plus 1 overflows
+        let mut pos = 0;
+        let mut out = Vec::new();
+        // node_count can't exceed u32, so the first member is already out
+        // of space — use a payload where overflow is hit first by making
+        // the check order explicit: out-of-space triggers for member 0.
+        let err = decode_record(&buf, &mut pos, u32::MAX, &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let f = footer(42, 7, 1000);
+        let parsed = parse_footer(&f, 1000).unwrap();
+        assert_eq!(
+            parsed,
+            Footer {
+                clique_count: 42,
+                max_size: 7
+            }
+        );
+        // Same footer against a flipped node_count fails the CRC: header
+        // corruption is caught even though no segment covers it.
+        let err = parse_footer(&f, 1001).unwrap_err();
+        assert!(err.to_string().contains("footer checksum"), "{err}");
+    }
+
+    #[test]
+    fn segment_header_round_trip() {
+        let payload = b"some payload bytes";
+        let h = segment_header(payload, 3);
+        let parsed = parse_segment_header(&h).unwrap();
+        assert_eq!(parsed.payload_len, payload.len());
+        assert_eq!(parsed.record_count, 3);
+        assert_eq!(parsed.crc, crc32c(payload));
+    }
+
+    #[test]
+    fn segment_header_rejects_empty_and_overdeclared() {
+        let mut h = segment_header(b"xx", 1);
+        h[1..5].copy_from_slice(&0u32.to_le_bytes());
+        assert!(parse_segment_header(&h).is_err(), "zero payload_len");
+
+        let mut h = segment_header(b"xx", 1);
+        h[5..9].copy_from_slice(&0u32.to_le_bytes());
+        assert!(parse_segment_header(&h).is_err(), "zero record_count");
+
+        // 2-byte payload cannot hold 2 records (each needs >= 2 bytes).
+        let h = segment_header(b"xx", 2);
+        assert!(parse_segment_header(&h).is_err(), "overdeclared records");
+    }
+
+    #[test]
+    fn validate_payload_requires_exact_consumption() {
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &[1, 4, 6]);
+        assert_eq!(validate_payload(&buf, 1, 10).unwrap(), 3);
+        buf.push(0); // trailing byte
+        let err = validate_payload(&buf, 1, 10).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}

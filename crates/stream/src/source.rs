@@ -10,27 +10,51 @@
 //!   [`crate::CliqueLogWriter`], so the (often much more expensive)
 //!   enumeration runs exactly once and every further pass is a
 //!   sequential decode.
+//!
+//! Both sources support **cooperative cancellation**: handed a
+//! [`CancelToken`], a replay polls it every [`CANCEL_POLL_CLIQUES`]
+//! cliques and bails out with [`StreamError::Interrupted`], which the
+//! engines above propagate unchanged — a long percolation stops within
+//! one poll interval of Ctrl-C or a deadline. [`GraphSource`] can also
+//! **resume**: because every kernel emits the identical clique stream
+//! (the PR 2 invariant), [`GraphSource::resume_after`] deterministically
+//! skips the first `n` cliques, which is how `clique-log build --resume`
+//! continues a salvaged log instead of restarting the enumeration.
 
 use crate::log::CliqueLogReader;
 use asgraph::{Graph, NodeId};
+use exec::CancelToken;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::path::{Path, PathBuf};
 
+/// How many cliques a cancellable replay emits between token polls. A
+/// poll is one relaxed atomic load (plus a clock read under
+/// `--deadline`), so this mainly bounds cancellation latency: at most
+/// this many cliques flow after the token trips.
+pub const CANCEL_POLL_CLIQUES: u64 = 64;
+
 /// Errors surfaced while pulling cliques out of a source.
-///
-/// Live enumeration over a [`Graph`] cannot fail; every variant today is
-/// an I/O or format problem with an on-disk clique log.
 #[derive(Debug)]
 pub enum StreamError {
     /// Reading or decoding the clique log failed.
     Io(std::io::Error),
+    /// A [`CancelToken`] tripped mid-replay (Ctrl-C, deadline, or an
+    /// explicit cancel). Durable work done before the interruption —
+    /// sealed log segments in particular — is preserved and resumable.
+    Interrupted,
 }
 
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StreamError::Io(e) => write!(f, "clique log i/o error: {e}"),
+            StreamError::Interrupted => {
+                write!(
+                    f,
+                    "interrupted before completion (durable work is resumable)"
+                )
+            }
         }
     }
 }
@@ -39,6 +63,7 @@ impl std::error::Error for StreamError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StreamError::Io(e) => Some(e),
+            StreamError::Interrupted => None,
         }
     }
 }
@@ -46,6 +71,12 @@ impl std::error::Error for StreamError {
 impl From<std::io::Error> for StreamError {
     fn from(e: std::io::Error) -> Self {
         StreamError::Io(e)
+    }
+}
+
+impl From<exec::Cancelled> for StreamError {
+    fn from(_: exec::Cancelled) -> Self {
+        StreamError::Interrupted
     }
 }
 
@@ -63,7 +94,8 @@ pub trait CliqueSource {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures from on-disk sources.
+    /// Propagates I/O failures from on-disk sources, or
+    /// [`StreamError::Interrupted`] when a cancel token trips.
     fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError>;
 }
 
@@ -74,6 +106,8 @@ pub struct GraphSource<'g> {
     graph: &'g Graph,
     kernel: cliques::Kernel,
     scratch: Vec<NodeId>,
+    skip: u64,
+    cancel: Option<CancelToken>,
 }
 
 impl<'g> GraphSource<'g> {
@@ -90,7 +124,29 @@ impl<'g> GraphSource<'g> {
             graph,
             kernel,
             scratch: Vec::new(),
+            skip: 0,
+            cancel: None,
         }
+    }
+
+    /// Skips the first `n` cliques of every replay — the resume point
+    /// after a salvaged log. The enumeration itself still runs from the
+    /// start (the skipped prefix is the replay window the checkpoint
+    /// cadence bounds), but nothing is emitted until clique `n`.
+    ///
+    /// Sound because enumeration order is deterministic and identical
+    /// for every kernel: clique `n` of this run is clique `n` of the
+    /// run that was interrupted.
+    pub fn resume_after(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Polls `token` during replays; a tripped token aborts the
+    /// enumeration with [`StreamError::Interrupted`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -101,7 +157,22 @@ impl CliqueSource for GraphSource<'_> {
 
     fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError> {
         let scratch = &mut self.scratch;
+        let skip = self.skip;
+        let cancel = self.cancel.as_ref();
+        let mut seen = 0u64;
+        let mut interrupted = false;
         let _ = cliques::for_each_max_clique_with(self.graph, self.kernel, |clique| {
+            if let Some(token) = cancel {
+                if seen.is_multiple_of(CANCEL_POLL_CLIQUES) && token.is_cancelled() {
+                    interrupted = true;
+                    return ControlFlow::Break(());
+                }
+            }
+            let ordinal = seen;
+            seen += 1;
+            if ordinal < skip {
+                return ControlFlow::Continue(());
+            }
             // Bron–Kerbosch emits members in recursion order; sources
             // promise ascending order, so sort into a reused scratch.
             scratch.clear();
@@ -110,6 +181,9 @@ impl CliqueSource for GraphSource<'_> {
             visit(scratch);
             ControlFlow::Continue(())
         });
+        if interrupted {
+            return Err(StreamError::Interrupted);
+        }
         Ok(())
     }
 }
@@ -120,21 +194,33 @@ impl CliqueSource for GraphSource<'_> {
 pub struct LogSource {
     path: PathBuf,
     node_count: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl LogSource {
-    /// Opens the log once to validate its header and capture the vertex
+    /// Opens the log once to validate its footer and capture the vertex
     /// space.
     ///
     /// # Errors
     ///
-    /// Fails if the file is missing, truncated, or not a finished clique
-    /// log.
+    /// Fails if the file is missing, truncated, torn, or not a finished
+    /// clique log.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StreamError> {
         let path = path.as_ref().to_path_buf();
         let reader = CliqueLogReader::open(&path)?;
         let node_count = reader.info().node_count as usize;
-        Ok(LogSource { path, node_count })
+        Ok(LogSource {
+            path,
+            node_count,
+            cancel: None,
+        })
+    }
+
+    /// Polls `token` during replays; a tripped token aborts the decode
+    /// with [`StreamError::Interrupted`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 }
 
@@ -145,7 +231,17 @@ impl CliqueSource for LogSource {
 
     fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError> {
         let mut reader = CliqueLogReader::open(&self.path)?;
-        reader.for_each(|clique| visit(clique))?;
+        let mut buf = Vec::new();
+        let mut seen = 0u64;
+        while reader.read_next(&mut buf)? {
+            if let Some(token) = &self.cancel {
+                if seen.is_multiple_of(CANCEL_POLL_CLIQUES) && token.is_cancelled() {
+                    return Err(StreamError::Interrupted);
+                }
+            }
+            seen += 1;
+            visit(&buf);
+        }
         Ok(())
     }
 }
@@ -171,6 +267,42 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, vec![vec![0, 1, 2], vec![1, 2, 3]]);
         assert_eq!(collect(&mut src), first, "replay must be deterministic");
+    }
+
+    #[test]
+    fn resume_after_skips_a_prefix() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        let full = collect(&mut GraphSource::new(&g));
+        for n in 0..=full.len() {
+            let got = collect(&mut GraphSource::new(&g).resume_after(n as u64));
+            assert_eq!(got, full[n..], "resume_after({n})");
+        }
+    }
+
+    #[test]
+    fn cancelled_graph_source_interrupts() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut src = GraphSource::new(&g).with_cancel(token);
+        let err = src.replay(&mut |_| {}).unwrap_err();
+        assert!(matches!(err, StreamError::Interrupted), "{err}");
+    }
+
+    #[test]
+    fn cancelled_log_source_interrupts() {
+        let dir = std::env::temp_dir().join("cpm-stream-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cancel.cliquelog");
+        let mut w = CliqueLogWriter::create(&path, 10).unwrap();
+        w.push(&[0, 1]).unwrap();
+        w.finish().unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut src = LogSource::open(&path).unwrap().with_cancel(token);
+        let err = src.replay(&mut |_| {}).unwrap_err();
+        assert!(matches!(err, StreamError::Interrupted), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
