@@ -1,0 +1,352 @@
+//! Query-daemon latency/throughput record.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve-bench -- \
+//!     [--substrate tiny|small] [--seed <u64>] [--requests <n>] \
+//!     [--out BENCH_serve.json] [--check]
+//! ```
+//!
+//! Starts an in-process `serve::Server` over the substrate's clique
+//! log, then drives it over real loopback TCP from 1, 4, and 8
+//! keep-alive client threads, in two modes per endpoint:
+//!
+//! * `latency` — strict request/response ping-pong; every request's
+//!   wall time is sampled, p50/p99 reported.
+//! * `pipelined` — requests written in batches of [`PIPELINE_DEPTH`]
+//!   per flush, responses drained in order; this is the throughput
+//!   shape (per-request sample = batch time / depth).
+//!
+//! The JSON written to `--out` is the record committed as
+//! `BENCH_serve.json`.
+//!
+//! `--check` turns the run into a CI gate on the acceptance envelope:
+//! at 4 client threads the `membership` endpoint must sustain at least
+//! 50k requests/second aggregate in pipelined mode, with strict
+//! ping-pong p99 latency under 1 ms.
+
+use exec::CancelToken;
+use serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Requests per batch write in pipelined mode.
+const PIPELINE_DEPTH: usize = 8;
+
+/// Warmup requests per client before sampling starts.
+const WARMUP: usize = 300;
+
+struct Record {
+    substrate: String,
+    endpoint: &'static str,
+    clients: usize,
+    mode: &'static str,
+    requests: usize,
+    p50_ns: u128,
+    p99_ns: u128,
+    qps: u64,
+}
+
+/// A keep-alive connection speaking the daemon's wire format.
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, stream }
+    }
+
+    fn read_response(&mut self) -> u16 {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("content-length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        status
+    }
+
+    /// Strict ping-pong: returns the request's wall time.
+    fn roundtrip(&mut self, target: &str) -> u128 {
+        let req = format!("GET {target} HTTP/1.1\r\nHost: b\r\n\r\n");
+        let t0 = Instant::now();
+        self.stream.write_all(req.as_bytes()).expect("write");
+        let status = self.read_response();
+        let elapsed = t0.elapsed().as_nanos();
+        assert_eq!(status, 200, "GET {target}");
+        elapsed
+    }
+
+    /// One pipelined batch: write all targets in one flush, read all
+    /// responses. Returns the batch's wall time.
+    fn batch(&mut self, targets: &[String]) -> u128 {
+        let mut buf = String::new();
+        for target in targets {
+            buf.push_str(&format!("GET {target} HTTP/1.1\r\nHost: b\r\n\r\n"));
+        }
+        let t0 = Instant::now();
+        self.stream.write_all(buf.as_bytes()).expect("write batch");
+        for target in targets {
+            let status = self.read_response();
+            assert_eq!(status, 200, "GET {target}");
+        }
+        t0.elapsed().as_nanos()
+    }
+}
+
+/// The per-client request target sequence: a multiplicative-hash walk
+/// over the AS space so consecutive requests hit unrelated postings.
+fn target(endpoint: &str, node_count: usize, client: usize, i: usize) -> String {
+    let v = ((client * 1_000_003 + i).wrapping_mul(2_654_435_761)) % node_count;
+    match endpoint {
+        "membership" => format!("/membership/{v}"),
+        "common" => {
+            let w = (v + 1 + i % 97) % node_count;
+            format!("/common/{v}/{w}")
+        }
+        "healthz" => "/healthz".to_owned(),
+        other => panic!("unknown endpoint {other}"),
+    }
+}
+
+fn quantile(sorted: &[u128], q: f64) -> u128 {
+    let idx = ((sorted.len() as f64 * q) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Runs one (endpoint, clients, mode) cell and returns its record.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    substrate: &str,
+    addr: SocketAddr,
+    node_count: usize,
+    endpoint: &'static str,
+    clients: usize,
+    pipelined: bool,
+    per_client: usize,
+) -> Record {
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..WARMUP {
+                    client.roundtrip(&target(endpoint, node_count, c, i));
+                }
+                let mut samples: Vec<u128> = Vec::with_capacity(per_client);
+                if pipelined {
+                    let mut done = 0usize;
+                    while done < per_client {
+                        let depth = PIPELINE_DEPTH.min(per_client - done);
+                        let targets: Vec<String> = (0..depth)
+                            .map(|j| target(endpoint, node_count, c, done + j))
+                            .collect();
+                        let batch_ns = client.batch(&targets);
+                        let per_req = batch_ns / depth as u128;
+                        samples.extend(std::iter::repeat_n(per_req, depth));
+                        done += depth;
+                    }
+                } else {
+                    for i in 0..per_client {
+                        samples.push(client.roundtrip(&target(endpoint, node_count, c, i)));
+                    }
+                }
+                samples
+            })
+        })
+        .collect();
+
+    let mut samples: Vec<u128> = Vec::with_capacity(clients * per_client);
+    for h in handles {
+        samples.extend(h.join().expect("client thread"));
+    }
+    let elapsed = wall.elapsed();
+    samples.sort_unstable();
+    let requests = samples.len();
+    // Wall time includes each client's warmup; subtracting it per
+    // client is not possible from out here, so fold warmup into the
+    // request count for a conservative qps.
+    let total = requests + clients * WARMUP;
+    let qps = (total as f64 / elapsed.as_secs_f64()) as u64;
+    Record {
+        substrate: substrate.to_owned(),
+        endpoint,
+        clients,
+        mode: if pipelined { "pipelined" } else { "latency" },
+        requests,
+        p50_ns: quantile(&samples, 0.50),
+        p99_ns: quantile(&samples, 0.99),
+        qps,
+    }
+}
+
+fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"substrate\": \"{}\", \"endpoint\": \"{}\", \"clients\": {}, \
+             \"mode\": \"{}\", \"requests\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"qps\": {}}}{}\n",
+            r.substrate,
+            r.endpoint,
+            r.clients,
+            r.mode,
+            r.requests,
+            r.p50_ns,
+            r.p99_ns,
+            r.qps,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The `--check` acceptance gate (see module docs).
+fn check(records: &[Record]) -> Vec<String> {
+    const MIN_QPS: u64 = 50_000;
+    const MAX_P99_NS: u128 = 1_000_000;
+    let mut violations = Vec::new();
+    let find = |mode: &str| {
+        records
+            .iter()
+            .find(|r| r.endpoint == "membership" && r.clients == 4 && r.mode == mode)
+    };
+    match find("pipelined") {
+        Some(r) if r.qps < MIN_QPS => violations.push(format!(
+            "membership @ 4 clients pipelined: {} qps < required {MIN_QPS}",
+            r.qps
+        )),
+        None => violations.push("no membership/4-client/pipelined row".to_owned()),
+        _ => {}
+    }
+    match find("latency") {
+        Some(r) if r.p99_ns > MAX_P99_NS => violations.push(format!(
+            "membership @ 4 clients: p99 {}ns > required {MAX_P99_NS}ns",
+            r.p99_ns
+        )),
+        None => violations.push("no membership/4-client/latency row".to_owned()),
+        _ => {}
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let substrate = get("--substrate").unwrap_or_else(|| "small".to_owned());
+    let seed: u64 = get("--seed").map_or(7, |v| v.parse().expect("bad --seed"));
+    let per_client: usize = get("--requests").map_or(4000, |v| v.parse().expect("bad --requests"));
+    let out_path = get("--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    let (name, topo) = match substrate.as_str() {
+        "tiny" => ("tiny-internet", bench::tiny_internet(seed)),
+        "small" => ("small-internet", bench::small_internet(seed)),
+        other => {
+            eprintln!("unknown --substrate {other:?}; expected tiny | small");
+            std::process::exit(2);
+        }
+    };
+    let g = topo.graph;
+    let node_count = g.node_count();
+    eprintln!(
+        "substrate {name}: {} nodes, {} edges; machine parallelism {}",
+        node_count,
+        g.edge_count(),
+        exec::available_parallelism()
+    );
+
+    let dir = std::env::temp_dir().join(format!("kclique_serve_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log = dir.join(format!("{name}.cliquelog"));
+    let info = cpm_stream::write_clique_log(&g, &log).expect("write clique log");
+    eprintln!(
+        "clique log: {} cliques, largest {}",
+        info.clique_count, info.max_size
+    );
+
+    let mut config = ServeConfig::new("127.0.0.1:0", &log);
+    config.threads = CLIENT_COUNTS.iter().max().copied().unwrap_or(1) + 1;
+    let token = CancelToken::new();
+    let server = Server::bind(&config, &token).expect("bind server");
+    let addr = server.local_addr().expect("local addr");
+    let run_token = token.clone();
+    let server_thread = std::thread::spawn(move || server.run(&run_token).expect("server run"));
+    eprintln!("daemon on http://{addr} with {} workers", config.threads);
+
+    let mut records = Vec::new();
+    for endpoint in ["membership", "common", "healthz"] {
+        for &clients in &CLIENT_COUNTS {
+            for pipelined in [false, true] {
+                let r = run_cell(
+                    name, addr, node_count, endpoint, clients, pipelined, per_client,
+                );
+                eprintln!(
+                    "{endpoint:<11} clients={clients} {:<9} p50 {:>7}ns p99 {:>8}ns {:>7} qps",
+                    r.mode, r.p50_ns, r.p99_ns, r.qps
+                );
+                records.push(r);
+            }
+        }
+    }
+
+    println!(
+        "{:<16} {:<11} {:>7} {:<9} {:>10} {:>10} {:>8}",
+        "substrate", "endpoint", "clients", "mode", "p50_ns", "p99_ns", "qps"
+    );
+    for r in &records {
+        println!(
+            "{:<16} {:<11} {:>7} {:<9} {:>10} {:>10} {:>8}",
+            r.substrate, r.endpoint, r.clients, r.mode, r.p50_ns, r.p99_ns, r.qps
+        );
+    }
+
+    std::fs::write(&out_path, to_json(&records)).expect("cannot write bench JSON");
+    eprintln!("wrote {out_path}");
+
+    // Stop the daemon cleanly before the verdict.
+    token.cancel();
+    server_thread.join().expect("server thread");
+
+    if has("--check") {
+        let violations = check(&records);
+        if violations.is_empty() {
+            eprintln!("check passed: membership @ 4 clients sustains >= 50k qps with p99 < 1ms");
+        } else {
+            for v in &violations {
+                eprintln!("check FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -211,6 +211,17 @@ pub enum Command {
         /// Clique-log file (possibly torn).
         log: PathBuf,
     },
+    /// Run the community query daemon over a percolation snapshot.
+    Serve {
+        /// Snapshot file: a clique log v2 or a serialised snapshot
+        /// index, sniffed by magic.
+        snapshot: PathBuf,
+        /// Listen address.
+        addr: String,
+        /// Connection-handler worker policy (also the keep-alive
+        /// connection cap).
+        threads: exec::Threads,
+    },
     /// Degree-preserving rewiring: write a null-model edge list.
     Rewire {
         /// Edge-list file.
@@ -245,6 +256,7 @@ USAGE:
                           [--checkpoint-cliques <n>] [--resume] [--deadline <secs>]
   kclique-cli clique-log  info    --log <file>
   kclique-cli clique-log  recover --log <file>
+  kclique-cli serve       --snapshot <file> [--addr <host:port>] [--threads <n>|auto]
   kclique-cli help
 
 The set kernel (--kernel) picks the Bron–Kerbosch / overlap-counting
@@ -264,6 +276,13 @@ process exits 75 to signal \"interrupted, resumable\". A cancelled
 from its last durable clique. Exit codes: 0 success, 1 failure, 2 bad
 usage, 65 corrupt input (e.g. a torn log — try `clique-log recover`),
 75 interrupted/resumable.
+
+`serve` answers community queries over HTTP from a frozen snapshot (a
+clique log or a serialised snapshot index; default address
+127.0.0.1:7117): GET /membership/{as}, /community/{id}, /common/{a}/{b},
+/tree/{id}, /healthz, /stats, and POST /reload to rebuild from disk and
+swap atomically. Ctrl-C during the initial load exits 75 (nothing was
+served); Ctrl-C while serving drains connections and exits 0.
 
 The --sweep flag of previous releases is deprecated: the fused sweep is
 now the only pipeline. The flag is accepted and ignored, with a warning.
@@ -462,6 +481,11 @@ impl Command {
                 }),
                 _ => Err("clique-log needs a subcommand: build | info | recover".to_owned()),
             },
+            "serve" => Ok(Command::Serve {
+                snapshot: PathBuf::from(required("--snapshot")?),
+                addr: get("--addr").unwrap_or_else(|| "127.0.0.1:7117".to_owned()),
+                threads: threads()?,
+            }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown command {other:?}")),
         }
@@ -858,6 +882,70 @@ impl Command {
                 }
                 Ok(())
             }
+            Command::Serve {
+                snapshot,
+                addr,
+                threads,
+            } => {
+                // One token covers the whole lifetime: SIGINT during
+                // the initial load interrupts it (exit 75, nothing was
+                // served yet); SIGINT while serving drains connections
+                // and exits 0 — the daemon owes its peers a clean
+                // close, not a resumable error.
+                let token = cancel_token(&None);
+                // Test hook: models a slow snapshot load so the
+                // interrupted-startup exit path (SIGINT before serving
+                // begins -> 75) can be exercised deterministically. The
+                // pause only delays; the exit path below is the real
+                // load-interruption mapping.
+                if let Ok(ms) = std::env::var("KCLIQUE_SERVE_STARTUP_PAUSE_MS") {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|e| format!("bad KCLIQUE_SERVE_STARTUP_PAUSE_MS: {e}"))?;
+                    let until = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+                    while std::time::Instant::now() < until && !token.is_cancelled() {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                }
+                let mut config = serve::ServeConfig::new(addr.clone(), snapshot.clone());
+                config.threads = match threads {
+                    exec::Threads::Fixed(n) => (*n).max(1),
+                    exec::Threads::Auto => exec::available_parallelism().clamp(2, 8),
+                };
+                let server = serve::Server::bind(&config, &token).map_err(|e| match e {
+                    serve::ServeError::Load(serve::LoadError::Corrupt(err)) => {
+                        CliFailure::corrupt(format!("{}: {err}", snapshot.display()))
+                    }
+                    serve::ServeError::Load(serve::LoadError::Interrupted) => {
+                        CliFailure::interrupted(
+                            "interrupted while loading the snapshot; nothing was served, \
+                             rerun to restart",
+                        )
+                    }
+                    serve::ServeError::Load(serve::LoadError::Io(err)) => {
+                        CliFailure::general(format!("cannot load {}: {err}", snapshot.display()))
+                    }
+                    serve::ServeError::Io(err) => {
+                        CliFailure::general(format!("cannot bind {addr}: {err}"))
+                    }
+                })?;
+                let local = server
+                    .local_addr()
+                    .map_err(|e| CliFailure::general(format!("cannot read bound address: {e}")))?;
+                println!(
+                    "serving {} on http://{local} ({} workers); Ctrl-C to stop",
+                    snapshot.display(),
+                    config.threads
+                );
+                server
+                    .run(&token)
+                    .map_err(|e| CliFailure::general(format!("server failed: {e}")))?;
+                println!(
+                    "shutdown: connections drained (generation {})",
+                    server.generation()
+                );
+                Ok(())
+            }
             Command::Rewire {
                 input,
                 output,
@@ -923,6 +1011,41 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<Command, String> {
         Command::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_serve() {
+        let c = parse(&["serve", "--snapshot", "internet.cliquelog"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                snapshot: PathBuf::from("internet.cliquelog"),
+                addr: "127.0.0.1:7117".to_owned(),
+                threads: exec::Threads::Auto,
+            }
+        );
+        let c = parse(&[
+            "serve",
+            "--snapshot",
+            "s.snap",
+            "--addr",
+            "0.0.0.0:8080",
+            "--threads",
+            "6",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                snapshot: PathBuf::from("s.snap"),
+                addr: "0.0.0.0:8080".to_owned(),
+                threads: exec::Threads::Fixed(6),
+            }
+        );
+        assert!(parse(&["serve"]).unwrap_err().contains("--snapshot"));
+        assert!(parse(&["serve", "--snapshot", "s", "--threads", "zero"])
+            .unwrap_err()
+            .contains("--threads"));
     }
 
     #[test]

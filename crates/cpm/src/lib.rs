@@ -45,6 +45,7 @@ pub mod parallel;
 mod percolation;
 mod result;
 pub mod scp;
+mod snapshot;
 mod sweep;
 pub mod weighted;
 
@@ -59,6 +60,7 @@ pub use percolation::{
     percolate_with_cliques_kernel, percolate_with_kernel,
 };
 pub use result::{canonical_members, Community, CommunityId, CpmResult, KLevel};
+pub use snapshot::{SnapCommunity, SnapLevel, SnapshotIndex, SNAPSHOT_MAGIC};
 pub use sweep::{
     overlap_strata, overlap_strata_min, overlap_strata_with, percolate_from_strata, OverlapStrata,
 };

@@ -44,10 +44,12 @@ mod arena;
 mod cancel;
 mod pool;
 mod queue;
+mod task_queue;
 mod threads;
 
 pub use arena::ScratchArena;
 pub use cancel::{CancelToken, Cancelled};
 pub use pool::{Pool, Worker};
 pub use queue::ChunkQueue;
+pub use task_queue::{Pop, TaskQueue};
 pub use threads::{available_parallelism, Threads};

@@ -1,0 +1,253 @@
+//! A blocking hand-off queue: one side produces work items, pool
+//! workers consume them.
+//!
+//! [`Pool::run`](crate::Pool::run) jobs are *data-parallel*: every
+//! worker runs the same closure over a pre-sized index space. A server
+//! accept loop is the opposite shape — work items (connections) arrive
+//! one at a time, at unpredictable moments, and must each be claimed by
+//! exactly one worker. [`TaskQueue`] bridges the two: the accept loop
+//! (worker 0 of a long-running pool job) [`push`](TaskQueue::push)es
+//! items, the remaining workers block in [`pop`](TaskQueue::pop) until
+//! an item, a close, or a tripped [`CancelToken`] releases them.
+//!
+//! Built on `Mutex` + `Condvar` like the pool's own parking; no
+//! spinning, no timestamps on the fast path. Closing is latching and
+//! idempotent: after [`close`](TaskQueue::close), pushes are rejected
+//! and pops drain the backlog before reporting [`Pop::Closed`] — so a
+//! graceful shutdown finishes every accepted item unless the caller
+//! asks for [`drain`](TaskQueue::drain) instead.
+
+use crate::cancel::CancelToken;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a cancel-aware [`TaskQueue::pop`] sleeps between token
+/// polls. A tripped token releases blocked workers within this bound
+/// even if no item or close ever arrives.
+const CANCEL_POLL: Duration = Duration::from_millis(50);
+
+/// Outcome of one [`TaskQueue::pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was claimed; this consumer owns it exclusively.
+    Item(T),
+    /// The queue is closed and fully drained — no item will ever
+    /// arrive; the consumer should exit its loop.
+    Closed,
+    /// The consumer's [`CancelToken`] tripped while waiting.
+    Cancelled,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer blocking queue with close semantics.
+///
+/// # Example
+///
+/// ```
+/// use exec::{Pop, TaskQueue};
+///
+/// let q = TaskQueue::new();
+/// assert!(q.push(1));
+/// q.close();
+/// assert!(!q.push(2), "closed queues reject new work");
+/// let token = exec::CancelToken::new();
+/// assert_eq!(q.pop(&token), Pop::Item(1));
+/// assert_eq!(q.pop(&token), Pop::Closed);
+/// ```
+pub struct TaskQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> TaskQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        TaskQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` and wakes one blocked consumer. Returns `false`
+    /// (dropping the item) if the queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return false;
+        }
+        inner.items.push_back(item);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Items currently waiting (racy by nature; for stats only).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether the backlog is empty right now (racy; for stats only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes are rejected, and consumers see
+    /// [`Pop::Closed`] once the backlog drains. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Closes the queue *and* discards the backlog, returning the
+    /// dropped items — the non-graceful shutdown path.
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        self.ready.notify_all();
+        inner.items.drain(..).collect()
+    }
+
+    /// Blocks until an item can be claimed, the queue closes empty, or
+    /// `token` trips.
+    ///
+    /// The backlog is served even after a close — a graceful shutdown
+    /// completes accepted work — but a tripped token wins immediately.
+    pub fn pop(&self, token: &CancelToken) -> Pop<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if token.is_cancelled() {
+                return Pop::Cancelled;
+            }
+            if let Some(item) = inner.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let (next, _timeout) = self
+                .ready
+                .wait_timeout(inner, CANCEL_POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = next;
+        }
+    }
+}
+
+impl<T> Default for TaskQueue<T> {
+    fn default() -> Self {
+        TaskQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_through_one_consumer() {
+        let q = TaskQueue::new();
+        let token = CancelToken::new();
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(&token), Pop::Item(i));
+        }
+        q.close();
+        assert_eq!(q.pop(&token), Pop::Closed);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_backlog() {
+        let q = TaskQueue::new();
+        let token = CancelToken::new();
+        assert!(q.push(1));
+        q.close();
+        assert!(!q.push(2));
+        assert_eq!(q.pop(&token), Pop::Item(1));
+        assert_eq!(q.pop(&token), Pop::Closed);
+        // Idempotent.
+        q.close();
+        assert_eq!(q.pop(&token), Pop::Closed);
+    }
+
+    #[test]
+    fn drain_discards_backlog() {
+        let q = TaskQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert_eq!(q.pop(&CancelToken::new()), Pop::Closed);
+    }
+
+    #[test]
+    fn cancelled_token_releases_blocked_pop() {
+        let q: Arc<TaskQueue<u32>> = Arc::new(TaskQueue::new());
+        let token = CancelToken::new();
+        let waiter = {
+            let q = Arc::clone(&q);
+            let token = token.clone();
+            std::thread::spawn(move || q.pop(&token))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        token.cancel();
+        assert_eq!(waiter.join().unwrap(), Pop::Cancelled);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_claim_each_item_once() {
+        let q: Arc<TaskQueue<u64>> = Arc::new(TaskQueue::new());
+        let token = CancelToken::new();
+        const PER_PRODUCER: u64 = 500;
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        assert!(q.push(p * PER_PRODUCER + i));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match q.pop(&token) {
+                            Pop::Item(v) => got.push(v),
+                            Pop::Closed => return got,
+                            Pop::Cancelled => panic!("token never trips here"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let want: Vec<u64> = (0..4 * PER_PRODUCER).collect();
+        assert_eq!(all, want);
+    }
+}

@@ -1,0 +1,89 @@
+//! Hand-rolled JSON emission — the response side of the wire format.
+//!
+//! The vendored-deps constraint rules out serde; the daemon's payloads
+//! are small and flat, so responses are built by appending to a
+//! `String` through these helpers. The only subtle part is string
+//! escaping, kept here so every code path shares it.
+
+use std::fmt::Write;
+
+/// Escapes `s` as a JSON string literal, including the surrounding
+/// quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a slice of numbers as a JSON array.
+pub fn number_array<T: std::fmt::Display>(items: impl IntoIterator<Item = T>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// Renders pre-rendered JSON values as a JSON array.
+pub fn raw_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v);
+    }
+    out.push(']');
+    out
+}
+
+/// Renders `{"error": <msg>}` — the uniform error payload.
+pub fn error(msg: &str) -> String {
+    format!("{{\"error\":{}}}", string(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_render() {
+        assert_eq!(number_array([1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(number_array(Vec::<u32>::new()), "[]");
+        assert_eq!(
+            raw_array(vec!["{\"a\":1}".to_owned(), "2".to_owned()]),
+            "[{\"a\":1},2]"
+        );
+    }
+
+    #[test]
+    fn error_payload() {
+        assert_eq!(error("boom"), "{\"error\":\"boom\"}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared harness for the serve integration tests: a disposable daemon
+//! plus a blocking HTTP/1.1 test client (no external HTTP crate — the
+//! client exercises the exact same wire format the server emits).
+
+// Each integration test binary uses a different subset of this harness.
+#![allow(dead_code)]
+
+use exec::CancelToken;
+use serve::{ServeConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A server running on a loopback port, torn down on drop.
+pub struct TestServer {
+    pub addr: std::net::SocketAddr,
+    pub token: CancelToken,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    /// Binds on port 0 and serves `snapshot` with `threads` handler
+    /// workers until dropped.
+    pub fn start(snapshot: &std::path::Path, threads: usize) -> TestServer {
+        let mut config = ServeConfig::new("127.0.0.1:0", snapshot);
+        config.threads = threads;
+        config.idle_timeout = Duration::from_secs(30);
+        let token = CancelToken::new();
+        let server = Server::bind(&config, &token).expect("bind test server");
+        let addr = server.local_addr().expect("local addr");
+        let run_token = token.clone();
+        let handle = std::thread::spawn(move || {
+            server.run(&run_token).expect("server run");
+        });
+        TestServer {
+            addr,
+            token,
+            handle: Some(handle),
+        }
+    }
+
+    /// One-shot convenience: connect, send one GET, disconnect.
+    pub fn get(&self, target: &str) -> (u16, String) {
+        Client::connect(self.addr).request("GET", target)
+    }
+
+    /// One-shot convenience for POST.
+    pub fn post(&self, target: &str) -> (u16, String) {
+        Client::connect(self.addr).request("POST", target)
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.token.cancel();
+        if let Some(h) = self.handle.take() {
+            h.join().expect("server thread exits cleanly");
+        }
+    }
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, stream }
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, method: &str, target: &str) -> (u16, String) {
+        self.send(method, target);
+        self.read_response()
+    }
+
+    /// Writes a request without reading the response (for pipelining).
+    /// One buffered write per request: `write!` straight to the socket
+    /// would emit several small segments and trip Nagle + delayed-ACK
+    /// (~40ms per exchange).
+    pub fn send(&mut self, method: &str, target: &str) {
+        let req = format!("{method} {target} HTTP/1.1\r\nHost: test\r\n\r\n");
+        self.stream
+            .write_all(req.as_bytes())
+            .expect("write request");
+    }
+
+    /// Reads one `(status, body)` off the connection.
+    pub fn read_response(&mut self) -> (u16, String) {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header line");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().to_owned())
+            {
+                content_length = v.parse().expect("content-length value");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8 body"))
+    }
+}
+
+/// Every `"id":"..."` value in a response body, in order.
+pub fn extract_ids(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(at) = rest.find("\"id\":\"") {
+        let tail = &rest[at + 6..];
+        let end = tail.find('"').expect("closing quote");
+        out.push(tail[..end].to_owned());
+        rest = &tail[end..];
+    }
+    out
+}
+
+/// The `"members":[...]` array of a community response.
+pub fn extract_members(body: &str) -> Vec<u32> {
+    let at = body.find("\"members\":[").expect("members array");
+    let tail = &body[at + 11..];
+    let end = tail.find(']').expect("closing bracket");
+    if tail[..end].is_empty() {
+        return Vec::new();
+    }
+    tail[..end]
+        .split(',')
+        .map(|s| s.parse().expect("member id"))
+        .collect()
+}
+
+/// Writes the 5-node fixture graph's clique log and returns its path.
+/// Cliques {0,1,2}, {1,2,3}, {2,3,4} chain into one community at both
+/// k=2 and k=3.
+pub fn fixture_log(name: &str) -> PathBuf {
+    let g = asgraph::Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]);
+    write_log(&g, name)
+}
+
+/// Writes `g`'s clique log under a per-process temp dir.
+pub fn write_log(g: &asgraph::Graph, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kclique_serve_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    cpm_stream::write_clique_log(g, &path).expect("write clique log");
+    path
+}

@@ -1,0 +1,144 @@
+//! End-to-end endpoint coverage against the 5-node fixture graph,
+//! whose community structure is known by hand: the three triangles
+//! {0,1,2}, {1,2,3}, {2,3,4} percolate into a single community at
+//! k = 2 and k = 3.
+
+mod common;
+
+use common::{extract_ids, extract_members, fixture_log, Client, TestServer};
+use std::time::{Duration, Instant};
+
+#[test]
+fn all_endpoints_answer_correctly() {
+    let log = fixture_log("endpoints.cliquelog");
+    let server = TestServer::start(&log, 4);
+
+    // healthz and stats report generation 1.
+    let (status, body) = server.get("/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"generation\":1"), "{body}");
+
+    let (status, body) = server.get("/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"node_count\":5"), "{body}");
+    assert!(body.contains("\"k_max\":3"), "{body}");
+    assert!(body.contains("\"reload_in_flight\":false"), "{body}");
+
+    // Membership: AS 0 sits in the k=2 and k=3 communities.
+    let (status, body) = server.get("/membership/0");
+    assert_eq!(status, 200);
+    assert_eq!(extract_ids(&body), ["k2id0", "k3id0"], "{body}");
+
+    let (status, body) = server.get("/membership/0?k=3");
+    assert_eq!(status, 200);
+    assert_eq!(extract_ids(&body), ["k3id0"], "{body}");
+    assert!(body.contains("\"k\":3"), "{body}");
+
+    // Community detail: full membership plus tree links.
+    let (status, body) = server.get("/community/k3id0");
+    assert_eq!(status, 200);
+    assert_eq!(extract_members(&body), [0, 1, 2, 3, 4], "{body}");
+    assert!(body.contains("\"parent\":\"k2id0\""), "{body}");
+    assert!(body.contains("\"children\":[]"), "{body}");
+
+    let (status, body) = server.get("/community/k2id0");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"parent\":null"), "{body}");
+    assert!(body.contains("\"children\":[\"k3id0\"]"), "{body}");
+
+    // Common community: deepest level containing both endpoints. ASes
+    // 0 and 4 share no triangle-clique... but percolation joins the
+    // whole chain at k=3, so k3id0 contains both.
+    let (status, body) = server.get("/common/0/4");
+    assert_eq!(status, 200);
+    assert_eq!(extract_ids(&body), ["k3id0"], "{body}");
+
+    let (status, body) = server.get("/common/0/4?k=4");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"community\":null"), "{body}");
+
+    // Tree: ancestors of the top community reach the k=2 root.
+    let (status, body) = server.get("/tree/k3id0");
+    assert_eq!(status, 200);
+    assert_eq!(extract_ids(&body), ["k3id0", "k2id0"], "{body}");
+}
+
+#[test]
+fn errors_use_the_contract_statuses() {
+    let log = fixture_log("errors.cliquelog");
+    let server = TestServer::start(&log, 2);
+
+    for (target, want) in [
+        ("/membership/99", 404),  // in-format, out-of-range AS
+        ("/membership/abc", 400), // not an AS number
+        ("/membership/0?k=1", 400),
+        ("/community/k9id0", 404),
+        ("/community/banana", 400),
+        ("/common/0/99", 404),
+        ("/tree/k1id0", 400),
+        ("/nope", 404),
+        ("/", 404),
+    ] {
+        let (status, body) = server.get(target);
+        assert_eq!(status, want, "GET {target} -> {body}");
+        assert!(body.contains("\"error\":"), "GET {target} -> {body}");
+    }
+
+    // Wrong methods: 405 on known routes, both directions.
+    let (status, _) = server.post("/membership/0");
+    assert_eq!(status, 405);
+    let (status, _) = server.get("/reload");
+    assert_eq!(status, 405);
+}
+
+#[test]
+fn keep_alive_pipelining_and_reload() {
+    let log = fixture_log("pipeline.cliquelog");
+    let server = TestServer::start(&log, 2);
+
+    // Three requests written back-to-back on one connection, three
+    // responses read back in order.
+    let mut c = Client::connect(server.addr);
+    c.send("GET", "/membership/1");
+    c.send("GET", "/healthz");
+    c.send("GET", "/community/k2id0");
+    let (s1, b1) = c.read_response();
+    let (s2, b2) = c.read_response();
+    let (s3, b3) = c.read_response();
+    assert_eq!((s1, s2, s3), (200, 200, 200));
+    assert!(b1.contains("\"as\":1"), "{b1}");
+    assert!(b2.contains("\"status\":\"ok\""), "{b2}");
+    assert!(b3.contains("\"members\":"), "{b3}");
+
+    // Reload bumps the generation without dropping this connection.
+    let (status, body) = server.post("/reload");
+    assert_eq!(status, 202, "{body}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = c.request("GET", "/healthz");
+        if body.contains("\"generation\":2") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "reload never published: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (_, stats) = c.request("GET", "/stats");
+    assert!(stats.contains("\"reloads_ok\":1"), "{stats}");
+}
+
+#[test]
+fn malformed_requests_get_400_and_close() {
+    use std::io::{Read, Write};
+
+    let log = fixture_log("malformed.cliquelog");
+    let server = TestServer::start(&log, 2);
+
+    let mut s = std::net::TcpStream::connect(server.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    assert!(reply.contains("Connection: close"), "{reply}");
+}
