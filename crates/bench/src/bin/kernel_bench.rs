@@ -17,7 +17,11 @@
 //! counting), `percolate` (full sequential CPM), `percolate_par`, and
 //! `sweep` (the union/grouping phase alone, from prebuilt overlap
 //! strata — so end-to-end time decomposes into enumerate + overlap +
-//! sweep; the row includes one clone of the inputs per run).
+//! sweep; the row includes one clone of the inputs per run). Every row
+//! carries a `mode` column: the kernel matrix runs the `exact` engine,
+//! plus one sequential and one parallel `almost`-mode `percolate` row
+//! per substrate (the almost engine does no overlap counting, so it is
+//! kernel-independent).
 
 use cliques::Kernel;
 use cpm::{build_vertex_index, overlap_edges_with};
@@ -29,6 +33,7 @@ static ALLOC: bench::memprof::CountingAlloc = bench::memprof::CountingAlloc;
 struct Record {
     substrate: String,
     op: &'static str,
+    mode: &'static str,
     kernel: Kernel,
     threads: exec::Threads,
     median_ns: u128,
@@ -69,6 +74,7 @@ fn bench_substrate(
             records.push(Record {
                 substrate: name.to_owned(),
                 op,
+                mode: "exact",
                 kernel,
                 threads,
                 median_ns,
@@ -118,8 +124,35 @@ fn bench_substrate(
     records.push(Record {
         substrate: name.to_owned(),
         op: "sweep",
+        mode: "exact",
         kernel: Kernel::Auto,
         threads: exec::Threads::Fixed(1),
+        median_ns,
+        peak_bytes,
+    });
+
+    // The almost engine is kernel-independent (no overlap counting at
+    // all); one sequential and one parallel end-to-end row suffice for
+    // the exact-vs-almost comparison per substrate.
+    let (median_ns, peak_bytes) = measure(iters, || cpm::percolate_mode(g, cpm::Mode::Almost));
+    records.push(Record {
+        substrate: name.to_owned(),
+        op: "percolate",
+        mode: "almost",
+        kernel: Kernel::Auto,
+        threads: exec::Threads::Fixed(1),
+        median_ns,
+        peak_bytes,
+    });
+    let (median_ns, peak_bytes) = measure(iters, || {
+        cpm::parallel::percolate_parallel_mode(g, threads, cpm::Mode::Almost)
+    });
+    records.push(Record {
+        substrate: name.to_owned(),
+        op: "percolate_par",
+        mode: "almost",
+        kernel: Kernel::Auto,
+        threads,
         median_ns,
         peak_bytes,
     });
@@ -145,9 +178,10 @@ fn to_json(records: &[Record]) -> String {
             exec::Threads::Fixed(n) => n.to_string(),
         };
         out.push_str(&format!(
-            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"kernel\": \"{}\", \"threads\": {threads}, \"median_ns\": {}, \"peak_bytes\": {}}}{}\n",
+            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"mode\": \"{}\", \"kernel\": \"{}\", \"threads\": {threads}, \"median_ns\": {}, \"peak_bytes\": {}}}{}\n",
             json_escape_free(&r.substrate),
             json_escape_free(r.op),
+            json_escape_free(r.mode),
             json_escape_free(&r.kernel.to_string()),
             r.median_ns,
             r.peak_bytes,
@@ -204,16 +238,16 @@ fn main() {
     }
 
     println!(
-        "{:<16} {:<14} {:<7} {:>3} {:>14} {:>12}",
-        "substrate", "op", "kernel", "thr", "median_ns", "peak_bytes"
+        "{:<16} {:<14} {:<7} {:<7} {:>3} {:>14} {:>12}",
+        "substrate", "op", "mode", "kernel", "thr", "median_ns", "peak_bytes"
     );
     for r in &records {
         println!(
-            "{:<16} {:<14} {:<7} {:>3} {:>14} {:>12}",
-            r.substrate, r.op, r.kernel, r.threads, r.median_ns, r.peak_bytes
+            "{:<16} {:<14} {:<7} {:<7} {:>3} {:>14} {:>12}",
+            r.substrate, r.op, r.mode, r.kernel, r.threads, r.median_ns, r.peak_bytes
         );
     }
-    // Speedup summary: bitset vs merge per (substrate, op).
+    // Speedup summary: bitset vs merge per (substrate, op), exact rows.
     for (name, _) in &substrates {
         for op in [
             "enumerate",
@@ -225,7 +259,9 @@ fn main() {
             let find = |k: Kernel| {
                 records
                     .iter()
-                    .find(|r| r.substrate == *name && r.op == op && r.kernel == k)
+                    .find(|r| {
+                        r.substrate == *name && r.op == op && r.mode == "exact" && r.kernel == k
+                    })
                     .map(|r| r.median_ns)
             };
             if let (Some(m), Some(b)) = (find(Kernel::Merge), find(Kernel::Bitset)) {
@@ -240,6 +276,26 @@ fn main() {
                 println!(
                     "speedup {name}/{op}: auto is {:.2}x vs merge",
                     m as f64 / a.max(1) as f64
+                );
+            }
+        }
+        // Mode summary: the almost engine vs the exact auto-kernel row.
+        for op in ["percolate", "percolate_par"] {
+            let find = |mode: &str| {
+                records
+                    .iter()
+                    .find(|r| {
+                        r.substrate == *name
+                            && r.op == op
+                            && r.mode == mode
+                            && r.kernel == Kernel::Auto
+                    })
+                    .map(|r| r.median_ns)
+            };
+            if let (Some(e), Some(a)) = (find("exact"), find("almost")) {
+                println!(
+                    "speedup {name}/{op}: almost mode is {:.2}x vs exact",
+                    e as f64 / a.max(1) as f64
                 );
             }
         }

@@ -117,6 +117,9 @@ pub enum Command {
         k: Option<u32>,
         /// Print every level.
         all_k: bool,
+        /// Percolation engine: definitional overlap counting
+        /// (`exact`) or the (k−1)-clique-key union engine (`almost`).
+        mode: cpm::Mode,
         /// Set kernel for enumeration and overlap counting.
         kernel: cliques::Kernel,
         /// Worker-count policy for the parallel pipeline.
@@ -170,8 +173,12 @@ pub enum Command {
         k: Option<u32>,
         /// Sweep every level and print the summary table.
         all_k: bool,
-        /// Use the O(nodes) last-clique-seen approximation.
-        approx: bool,
+        /// Percolation mode (`exact` | `almost`), shared vocabulary
+        /// with the batch engine.
+        mode: cpm::Mode,
+        /// Deprecated `--approx` flag was given (alias for
+        /// `--mode almost`), warned about at run time.
+        deprecated_approx: bool,
         /// Set kernel for the per-replay clique enumeration (live
         /// `--input` sources only; a log replay does no enumeration).
         kernel: cliques::Kernel,
@@ -221,6 +228,10 @@ pub enum Command {
         /// Connection-handler worker policy (also the keep-alive
         /// connection cap).
         threads: exec::Threads,
+        /// Percolation mode used for the initial build and every
+        /// `/reload` rebuild (clique-log snapshots only; a serialised
+        /// index is loaded as-is).
+        mode: cpm::Mode,
     },
     /// Degree-preserving rewiring: write a null-model edge list.
     Rewire {
@@ -242,22 +253,33 @@ pub const USAGE: &str = "\
 kclique-cli — k-clique communities for AS-level topologies
 
 USAGE:
-  kclique-cli communities --input <edges> (--k <n> | --all-k) [--kernel auto|bitset|merge]
-                          [--threads <n>|auto] [--deadline <secs>]
+  kclique-cli communities --input <edges> (--k <n> | --all-k) [--mode exact|almost]
+                          [--kernel auto|bitset|merge] [--threads <n>|auto] [--deadline <secs>]
   kclique-cli tree        --input <edges> [--min-k <n>]
   kclique-cli stats       --input <edges>
   kclique-cli generate    [--scale tiny|small|medium|default|full] [--seed <u64>] --out <dir>
   kclique-cli analyze     --dataset <dir>
   kclique-cli baselines   --input <edges>
   kclique-cli rewire      --input <edges> --output <edges> [--swaps <n>] [--seed <u64>]
-  kclique-cli stream-percolate (--input <edges> | --log <file>) (--k <n> | --all-k) [--approx]
-                          [--kernel auto|bitset|merge] [--threads <n>|auto] [--deadline <secs>]
+  kclique-cli stream-percolate (--input <edges> | --log <file>) (--k <n> | --all-k)
+                          [--mode exact|almost] [--kernel auto|bitset|merge]
+                          [--threads <n>|auto] [--deadline <secs>]
   kclique-cli clique-log  build --input <edges> --out <file> [--kernel auto|bitset|merge]
                           [--checkpoint-cliques <n>] [--resume] [--deadline <secs>]
   kclique-cli clique-log  info    --log <file>
   kclique-cli clique-log  recover --log <file>
   kclique-cli serve       --snapshot <file> [--addr <host:port>] [--threads <n>|auto]
+                          [--mode exact|almost]
   kclique-cli help
+
+The percolation mode (--mode) picks the community engine: `exact`
+(default) adjoins cliques by definitional pairwise overlap counting,
+`almost` unions them through hashed (k−1)-clique keys — typically 5× or
+more faster on Internet-like topologies, identical output there, and
+never over-merged (divergence can only split communities). In
+`stream-percolate` the almost engine is the O(nodes) last-clique-seen
+form. The --approx flag of previous releases is a deprecated alias for
+`--mode almost`.
 
 The set kernel (--kernel) picks the Bron–Kerbosch / overlap-counting
 representation: `merge` walks sorted adjacency lists, `bitset` uses dense
@@ -329,6 +351,12 @@ impl Command {
                 None => Ok(None),
             }
         };
+        let mode = || -> Result<cpm::Mode, String> {
+            match get("--mode") {
+                Some(v) => v.parse().map_err(|e: String| format!("bad --mode: {e}")),
+                None => Ok(cpm::Mode::Exact),
+            }
+        };
         // Deprecated, value-carrying, ignored: warn at run time so old
         // scripts keep working for one more release.
         let deprecated_sweep = || get("--sweep");
@@ -356,6 +384,7 @@ impl Command {
                     input,
                     k,
                     all_k,
+                    mode: mode()?,
                     kernel: kernel()?,
                     threads: threads()?,
                     deadline: deadline()?,
@@ -434,16 +463,27 @@ impl Command {
                         return Err("--k must be at least 2".to_owned());
                     }
                 }
-                let approx = has("--approx");
-                if approx && all_k {
-                    return Err("--approx only applies to a single --k pass".to_owned());
+                // `--approx` survives as a deprecated alias for
+                // `--mode almost`; mixing the old and new spellings is
+                // ambiguous, so it is rejected rather than resolved.
+                let deprecated_approx = has("--approx");
+                if deprecated_approx && has("--mode") {
+                    return Err("--approx is a deprecated alias for --mode almost; \
+                         give --mode alone"
+                        .to_owned());
                 }
+                let mode = if deprecated_approx {
+                    cpm::Mode::Almost
+                } else {
+                    mode()?
+                };
                 Ok(Command::StreamPercolate {
                     input,
                     log,
                     k,
                     all_k,
-                    approx,
+                    mode,
+                    deprecated_approx,
                     kernel: kernel()?,
                     threads: threads()?,
                     deadline: deadline()?,
@@ -485,6 +525,7 @@ impl Command {
                 snapshot: PathBuf::from(required("--snapshot")?),
                 addr: get("--addr").unwrap_or_else(|| "127.0.0.1:7117".to_owned()),
                 threads: threads()?,
+                mode: mode()?,
             }),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown command {other:?}")),
@@ -509,6 +550,7 @@ impl Command {
                 input,
                 k,
                 all_k,
+                mode,
                 kernel,
                 threads,
                 deadline,
@@ -521,8 +563,8 @@ impl Command {
                     // bit-identical to the plain one, and Ctrl-C /
                     // --deadline then stop the sweep cooperatively.
                     let token = cancel_token(deadline);
-                    let result = cpm::parallel::percolate_parallel_cancellable(
-                        &g, *threads, *kernel, &token,
+                    let result = cpm::parallel::percolate_parallel_cancellable_mode(
+                        &g, *threads, *kernel, &token, *mode,
                     )
                     .map_err(|_| interrupted_no_durable_state())?;
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
@@ -547,8 +589,8 @@ impl Command {
                     // and project out level k instead.
                     let comms: Vec<Vec<asgraph::NodeId>> = if deadline.is_some() {
                         let token = cancel_token(deadline);
-                        let result = cpm::parallel::percolate_parallel_cancellable(
-                            &g, *threads, *kernel, &token,
+                        let result = cpm::parallel::percolate_parallel_cancellable_mode(
+                            &g, *threads, *kernel, &token, *mode,
                         )
                         .map_err(|_| interrupted_no_durable_state())?;
                         result
@@ -561,6 +603,8 @@ impl Command {
                                     .collect()
                             })
                             .unwrap_or_default()
+                    } else if *mode == cpm::Mode::Almost {
+                        cpm::percolate_at_mode(&g, k as usize, *mode)
                     } else {
                         cpm::percolate_at_with_kernel(&g, k as usize, *kernel)
                     };
@@ -724,13 +768,17 @@ impl Command {
                 log,
                 k,
                 all_k,
-                approx,
+                mode,
+                deprecated_approx,
                 kernel,
                 threads,
                 deadline,
                 deprecated_sweep,
             } => {
                 warn_deprecated_sweep(deprecated_sweep);
+                if *deprecated_approx {
+                    eprintln!("warning: --approx is deprecated; use --mode almost");
+                }
                 // Both source kinds funnel through the same dyn-dispatch
                 // path; the graph (if any) must outlive the source. The
                 // token rides inside the source, so every replay of the
@@ -752,8 +800,9 @@ impl Command {
                     &mut log_src
                 };
                 if *all_k {
-                    let result = cpm_stream::stream_percolate_parallel(source, *threads)
-                        .map_err(|e| CliFailure::stream("stream-percolate", &e))?;
+                    let result =
+                        cpm_stream::stream_percolate_parallel_mode(source, *threads, *mode)
+                            .map_err(|e| CliFailure::stream("stream-percolate", &e))?;
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
                     for level in &result.levels {
                         let largest = level
@@ -771,20 +820,18 @@ impl Command {
                     print!("{}", table.render());
                 } else {
                     let k = k.expect("parse guarantees k for non-all-k") as usize;
-                    let mode = if *approx {
-                        cpm_stream::Mode::LastSeen
-                    } else {
-                        cpm_stream::Mode::Exact
-                    };
                     let mut p =
-                        cpm_stream::StreamPercolator::with_mode(source.node_count(), k, mode);
+                        cpm_stream::StreamPercolator::with_mode(source.node_count(), k, *mode);
                     source
                         .replay(&mut |clique| p.push(clique))
                         .map_err(|e| CliFailure::stream("stream-percolate", &e))?;
                     let mut comms: Vec<Vec<asgraph::NodeId>> =
                         p.finish().into_iter().map(|c| c.members).collect();
                     comms.sort_unstable();
-                    let tag = if *approx { " (approx)" } else { "" };
+                    let tag = match mode {
+                        cpm::Mode::Almost => " (almost)",
+                        cpm::Mode::Exact => "",
+                    };
                     println!("# {} {k}-clique communities{tag}", comms.len());
                     for (i, c) in comms.iter().enumerate() {
                         let ids: Vec<String> = c.iter().map(ToString::to_string).collect();
@@ -886,6 +933,7 @@ impl Command {
                 snapshot,
                 addr,
                 threads,
+                mode,
             } => {
                 // One token covers the whole lifetime: SIGINT during
                 // the initial load interrupts it (exit 75, nothing was
@@ -908,6 +956,7 @@ impl Command {
                     }
                 }
                 let mut config = serve::ServeConfig::new(addr.clone(), snapshot.clone());
+                config.mode = *mode;
                 config.threads = match threads {
                     exec::Threads::Fixed(n) => (*n).max(1),
                     exec::Threads::Auto => exec::available_parallelism().clamp(2, 8),
@@ -1022,6 +1071,7 @@ mod tests {
                 snapshot: PathBuf::from("internet.cliquelog"),
                 addr: "127.0.0.1:7117".to_owned(),
                 threads: exec::Threads::Auto,
+                mode: cpm::Mode::Exact,
             }
         );
         let c = parse(&[
@@ -1040,6 +1090,7 @@ mod tests {
                 snapshot: PathBuf::from("s.snap"),
                 addr: "0.0.0.0:8080".to_owned(),
                 threads: exec::Threads::Fixed(6),
+                mode: cpm::Mode::Exact,
             }
         );
         assert!(parse(&["serve"]).unwrap_err().contains("--snapshot"));
@@ -1057,6 +1108,7 @@ mod tests {
                 input: PathBuf::from("g.txt"),
                 k: Some(4),
                 all_k: false,
+                mode: cpm::Mode::Exact,
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
                 deadline: None,
@@ -1221,7 +1273,8 @@ mod tests {
                 log: None,
                 k: Some(4),
                 all_k: false,
-                approx: false,
+                mode: cpm::Mode::Exact,
+                deprecated_approx: false,
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
                 deadline: None,
@@ -1246,7 +1299,48 @@ mod tests {
             "--approx",
         ])
         .unwrap();
-        assert!(matches!(c, Command::StreamPercolate { approx: true, .. }));
+        assert!(matches!(
+            c,
+            Command::StreamPercolate {
+                mode: cpm::Mode::Almost,
+                deprecated_approx: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_mode_flag() {
+        for (cmd, tail) in [
+            ("communities", &["--input", "g.txt", "--k", "4"][..]),
+            ("stream-percolate", &["--input", "g.txt", "--all-k"][..]),
+            ("serve", &["--snapshot", "s.snap"][..]),
+        ] {
+            let mut base = vec![cmd];
+            base.extend_from_slice(tail);
+            for (value, want) in [("exact", cpm::Mode::Exact), ("almost", cpm::Mode::Almost)] {
+                let mut args = base.clone();
+                args.extend_from_slice(&["--mode", value]);
+                let got = match parse(&args).unwrap() {
+                    Command::Communities { mode, .. }
+                    | Command::StreamPercolate { mode, .. }
+                    | Command::Serve { mode, .. } => mode,
+                    other => panic!("unexpected parse of {args:?}: {other:?}"),
+                };
+                assert_eq!(got, want, "{args:?}");
+            }
+            // Default is exact, and garbage is rejected with context.
+            let got = match parse(&base).unwrap() {
+                Command::Communities { mode, .. }
+                | Command::StreamPercolate { mode, .. }
+                | Command::Serve { mode, .. } => mode,
+                other => panic!("unexpected parse of {base:?}: {other:?}"),
+            };
+            assert_eq!(got, cpm::Mode::Exact, "{base:?}");
+            let mut args = base.clone();
+            args.extend_from_slice(&["--mode", "fuzzy"]);
+            assert!(parse(&args).unwrap_err().contains("bad --mode"), "{args:?}");
+        }
     }
 
     #[test]
@@ -1257,7 +1351,28 @@ mod tests {
         assert!(parse(&["stream-percolate", "--input", "a"]).is_err());
         assert!(parse(&["stream-percolate", "--input", "a", "--k", "3", "--all-k"]).is_err());
         assert!(parse(&["stream-percolate", "--input", "a", "--k", "1"]).is_err());
-        assert!(parse(&["stream-percolate", "--input", "a", "--all-k", "--approx"]).is_err());
+        // The unified engine lifted the old single-k-only restriction:
+        // the deprecated alias now composes with --all-k too...
+        assert!(matches!(
+            parse(&["stream-percolate", "--input", "a", "--all-k", "--approx"]).unwrap(),
+            Command::StreamPercolate {
+                mode: cpm::Mode::Almost,
+                ..
+            }
+        ));
+        // ...but mixing the old and new spellings is ambiguous.
+        let err = parse(&[
+            "stream-percolate",
+            "--input",
+            "a",
+            "--k",
+            "3",
+            "--approx",
+            "--mode",
+            "exact",
+        ])
+        .unwrap_err();
+        assert!(err.contains("deprecated alias"), "{err}");
     }
 
     #[test]
@@ -1396,7 +1511,8 @@ mod tests {
                 log: log_arg.clone(),
                 k: Some(3),
                 all_k: false,
-                approx: false,
+                mode: cpm::Mode::Exact,
+                deprecated_approx: false,
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
                 deadline: None,
@@ -1409,7 +1525,8 @@ mod tests {
                 log: log_arg,
                 k: None,
                 all_k: true,
-                approx: false,
+                mode: cpm::Mode::Exact,
+                deprecated_approx: false,
                 kernel: cliques::Kernel::Merge,
                 threads: exec::Threads::Fixed(2),
                 deadline: None,
@@ -1423,7 +1540,8 @@ mod tests {
             log: None,
             k: Some(3),
             all_k: false,
-            approx: true,
+            mode: cpm::Mode::Almost,
+            deprecated_approx: false,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: None,
@@ -1475,7 +1593,8 @@ mod tests {
             log: Some(log),
             k: None,
             all_k: true,
-            approx: false,
+            mode: cpm::Mode::Exact,
+            deprecated_approx: false,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: None,
@@ -1490,6 +1609,7 @@ mod tests {
             input: edges.clone(),
             k: None,
             all_k: true,
+            mode: cpm::Mode::Exact,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: Some(0),
@@ -1503,7 +1623,8 @@ mod tests {
             log: None,
             k: Some(3),
             all_k: false,
-            approx: false,
+            mode: cpm::Mode::Exact,
+            deprecated_approx: false,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: Some(0),
@@ -1545,7 +1666,8 @@ mod tests {
                 log: Some(log.clone()),
                 k: Some(3),
                 all_k: false,
-                approx: false,
+                mode: cpm::Mode::Exact,
+                deprecated_approx: false,
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
                 deadline: None,
@@ -1599,6 +1721,7 @@ mod tests {
             input: edges.clone(),
             k: Some(3),
             all_k: false,
+            mode: cpm::Mode::Exact,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: None,
@@ -1610,6 +1733,7 @@ mod tests {
             input: edges.clone(),
             k: None,
             all_k: true,
+            mode: cpm::Mode::Exact,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Fixed(2),
             deadline: None,
@@ -1623,6 +1747,7 @@ mod tests {
             input: edges.clone(),
             k: Some(3),
             all_k: false,
+            mode: cpm::Mode::Exact,
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: Some(3600),

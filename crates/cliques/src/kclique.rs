@@ -87,20 +87,84 @@ pub fn count_k_cliques(g: &Graph, k: usize) -> usize {
     n
 }
 
+/// `n choose k`, saturating at `u64::MAX`.
+///
+/// Used to decide whether a clique's full k-clique decomposition is
+/// affordable before enumerating it (see [`for_each_sub_clique`]).
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r: u64 = 1;
+    for i in 0..k {
+        // r * (n - i) / (i + 1) stays integral at every step because r
+        // is C(n, i) * something divisible — compute with checked mul.
+        match r.checked_mul((n - i) as u64) {
+            Some(v) => r = v / (i as u64 + 1),
+            None => return u64::MAX,
+        }
+    }
+    r
+}
+
+/// The k-clique decomposition visitor: calls `f` once for every
+/// k-subset of `members` in lexicographic order.
+///
+/// A clique's k-subsets *are* its k-cliques — every subset of a
+/// complete subgraph is complete — so this decomposes a (maximal)
+/// clique into the k-cliques the Palla definition operates on, without
+/// touching the graph. `members` is expected sorted; the subsets then
+/// come out sorted too.
+///
+/// The count is `C(|members|, k)` ([`binomial`]): callers gate on it
+/// before asking for an exhaustive decomposition of a large clique.
+///
+/// # Example
+///
+/// ```
+/// use cliques::kclique::for_each_sub_clique;
+///
+/// let mut subs = Vec::new();
+/// for_each_sub_clique(&[1, 4, 7], 2, |s| subs.push(s.to_vec()));
+/// assert_eq!(subs, vec![vec![1, 4], vec![1, 7], vec![4, 7]]);
+/// ```
+pub fn for_each_sub_clique<F: FnMut(&[NodeId])>(members: &[NodeId], k: usize, mut f: F) {
+    let s = members.len();
+    if k == 0 || k > s {
+        return;
+    }
+    // Classic lexicographic combination walk over member positions.
+    let mut pos: Vec<usize> = (0..k).collect();
+    let mut subset: Vec<NodeId> = pos.iter().map(|&p| members[p]).collect();
+    loop {
+        f(&subset);
+        // Advance: find the rightmost position that can still move.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if pos[i] != i + s - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        pos[i] += 1;
+        subset[i] = members[pos[i]];
+        for j in i + 1..k {
+            pos[j] = pos[j - 1] + 1;
+            subset[j] = members[pos[j]];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn binomial(n: usize, k: usize) -> usize {
-        if k > n {
-            return 0;
-        }
-        let mut r = 1usize;
-        for i in 0..k {
-            r = r * (n - i) / (i + 1);
-        }
-        r
-    }
 
     #[test]
     fn complete_graph_counts() {
@@ -108,9 +172,51 @@ mod tests {
         for k in 0..=7 {
             assert_eq!(
                 count_k_cliques(&g, k),
-                if k == 0 { 0 } else { binomial(6, k) }
+                if k == 0 { 0 } else { binomial(6, k) as usize }
             );
         }
+    }
+
+    #[test]
+    fn binomial_values_and_saturation() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(29, 14), 77_558_760);
+        assert_eq!(binomial(200, 100), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn sub_clique_visitor_enumerates_every_subset_once() {
+        let members: Vec<NodeId> = vec![0, 3, 5, 9, 12];
+        for k in 1..=5 {
+            let mut subs = Vec::new();
+            for_each_sub_clique(&members, k, |s| subs.push(s.to_vec()));
+            assert_eq!(subs.len(), binomial(5, k) as usize, "k = {k}");
+            let mut dedup = subs.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), subs.len(), "k = {k}: duplicates");
+            assert_eq!(dedup, subs, "k = {k}: lexicographic order");
+            for s in &subs {
+                assert!(s.windows(2).all(|w| w[0] < w[1]));
+                assert!(s.iter().all(|v| members.contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_clique_visitor_edge_cases() {
+        let mut n = 0;
+        for_each_sub_clique(&[1, 2], 0, |_| n += 1);
+        for_each_sub_clique(&[1, 2], 3, |_| n += 1);
+        for_each_sub_clique(&[], 1, |_| n += 1);
+        assert_eq!(n, 0);
+        for_each_sub_clique(&[4], 1, |s| {
+            assert_eq!(s, &[4]);
+            n += 1;
+        });
+        assert_eq!(n, 1);
     }
 
     #[test]

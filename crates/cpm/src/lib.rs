@@ -39,6 +39,7 @@
 pub mod directed;
 mod dsu;
 mod dsu_concurrent;
+pub mod mode;
 pub mod naive;
 pub mod overlap;
 pub mod parallel;
@@ -51,6 +52,10 @@ pub mod weighted;
 
 pub use dsu::Dsu;
 pub use dsu_concurrent::ConcurrentDsu;
+pub use mode::{
+    divergence, percolate_almost_phases, percolate_at_mode, percolate_mode,
+    percolate_with_cliques_mode, AlmostPhases, Divergence, LevelDivergence, Mode,
+};
 pub use overlap::{
     build_vertex_index, build_vertex_index_min_size, overlap_edges, overlap_edges_with,
     OverlapEdge, VertexCliqueIndex,

@@ -31,6 +31,7 @@
 //! tests assert it and the bench suite measures the speedup.
 
 use crate::dsu_concurrent::ConcurrentDsu;
+use crate::mode::{emit_keys, KeyTable, Mode, SubsumptionStrata, KEY_MAX_L};
 use crate::overlap::{build_vertex_index, overlap_uses_bitset, OverlapScratch, VertexCliqueIndex};
 use crate::percolation::LevelSnapshotter;
 use crate::result::{CpmResult, KLevel};
@@ -39,6 +40,11 @@ use asgraph::Graph;
 use cliques::{CliqueSet, Kernel};
 use exec::{CancelToken, Cancelled, ChunkQueue, Pool, Threads};
 use std::sync::{Mutex, RwLock};
+
+/// Per-chunk (key, owner-clique) maps produced by the key phase,
+/// tagged with their chunk index so the leader can merge them in
+/// sequential order.
+type ChunkKeyMaps = Vec<(usize, Vec<(u64, u32)>)>;
 
 /// Clique ids claimed per queue chunk during parallel overlap counting.
 /// Overlap counting per clique is much cheaper than a Bron–Kerbosch
@@ -433,6 +439,272 @@ fn percolate_from_strata_parallel_impl(
     })
 }
 
+/// Clique ids claimed per queue chunk during the parallel key phase of
+/// the almost-mode sweep. Key emission per clique is a handful of
+/// hashes, so chunks match the overlap phase's coarseness.
+pub const KEY_CHUNK: usize = OVERLAP_CHUNK;
+
+/// [`percolate_parallel`] in an explicit [`Mode`]: `Exact` is the
+/// overlap-counting pipeline above, `Almost` swaps the pairwise phase
+/// for the (k−1)-clique-key engine (see [`crate::mode`]) on the same
+/// [`exec::Pool`].
+///
+/// The almost path is thread-count invariant the same way the exact
+/// one is: per-chunk key maps are merged in ascending chunk order, the
+/// union–find is confluent and union-by-index, and every level is
+/// snapshotted from quiescent state behind the job barrier — so the
+/// output equals the sequential [`crate::percolate_mode`] at every
+/// worker count.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use cpm::Mode;
+///
+/// let g = Graph::complete(6);
+/// let seq = cpm::percolate_mode(&g, Mode::Almost);
+/// let par = cpm::parallel::percolate_parallel_mode(&g, 4, Mode::Almost);
+/// assert_eq!(seq.levels, par.levels);
+/// ```
+pub fn percolate_parallel_mode(g: &Graph, threads: impl Into<Threads>, mode: Mode) -> CpmResult {
+    let threads = threads.into();
+    match mode {
+        Mode::Exact => percolate_parallel(g, threads),
+        Mode::Almost => {
+            let mut cliques =
+                cliques::parallel::max_cliques_parallel_with(g, threads, Kernel::Auto);
+            cliques.canonicalize();
+            let strata = SubsumptionStrata::build(&cliques);
+            almost_sweep_parallel_impl(cliques, strata, threads, None)
+                .expect("uncancellable sweep cannot be cancelled")
+        }
+    }
+}
+
+/// [`percolate_parallel_cancellable`] in an explicit [`Mode`]. The
+/// almost path polls the token at enumeration claims, key-phase claims,
+/// and stratum-drain claims; the sequential subsumption prepass checks
+/// it at entry and exit.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] once the token trips.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn percolate_parallel_cancellable_mode(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    kernel: Kernel,
+    cancel: &CancelToken,
+    mode: Mode,
+) -> Result<CpmResult, Cancelled> {
+    let threads = threads.into();
+    match mode {
+        Mode::Exact => percolate_parallel_cancellable(g, threads, kernel, cancel),
+        Mode::Almost => {
+            let mut cliques =
+                cliques::parallel::max_cliques_parallel_cancellable(g, threads, kernel, cancel)?;
+            cliques.canonicalize();
+            cancel.check()?;
+            let strata = SubsumptionStrata::build(&cliques);
+            cancel.check()?;
+            almost_sweep_parallel_impl(cliques, strata, threads, Some(cancel))
+        }
+    }
+}
+
+/// The parallel almost-mode sweep: one resident pool job runs the
+/// descending-k levels over a lock-free [`ConcurrentDsu`].
+///
+/// Per level, two sources feed the union–find:
+///
+/// * **Per-chunk key maps** (levels with `k − 1 ≤` [`KEY_MAX_L`]):
+///   workers claim clique chunks of [`KEY_CHUNK`] and hash each
+///   clique's admitted (k−1)-subsets into the arena-resident
+///   [`KeyTable`] (epoch-cleared per chunk). Repeats *within* a chunk
+///   union immediately; each chunk's first-seen `(key, owner)` pairs
+///   are collected and merged by the leader in ascending chunk order
+///   into a global table — so cross-chunk sharing unions exactly the
+///   pairs the sequential first-seen semantics would, while the other
+///   workers proceed straight into the stratum drain (union–find is
+///   confluent, so the interleave is free).
+/// * **The subsumption stratum** of the level, claimed in chunks of
+///   [`UNION_CHUNK`]; sub-threshold strata are drained by the leader
+///   inline, as in the exact sweep.
+///
+/// The job's reusable barrier then quiesces the level for the leader's
+/// snapshot, exactly like [`percolate_from_strata_parallel`].
+fn almost_sweep_parallel_impl(
+    cliques: CliqueSet,
+    strata: SubsumptionStrata,
+    threads: Threads,
+    cancel: Option<&CancelToken>,
+) -> Result<CpmResult, Cancelled> {
+    let k_max = cliques.max_size();
+    if k_max < 2 {
+        return Ok(CpmResult {
+            cliques,
+            levels: Vec::new(),
+        });
+    }
+    let largest = (2..=k_max).map(|k| strata.at(k).len()).max().unwrap_or(0);
+    let workers = threads.resolve(largest.max(cliques.len()), PAR_UNION_MIN);
+    if workers == 1 && cancel.is_none() {
+        return Ok(crate::mode::almost_percolate_with_strata(cliques, strata));
+    }
+
+    let dsu = ConcurrentDsu::new(cliques.len());
+    let ks: Vec<usize> = (2..=k_max).rev().collect();
+    let strata_queues: Vec<ChunkQueue> = ks
+        .iter()
+        .map(|&k| {
+            let len = strata.at(k).len();
+            // Sub-threshold strata get an empty queue: the team skips
+            // them and the leader drains inline.
+            ChunkQueue::new(if len >= PAR_UNION_MIN { len } else { 0 }, UNION_CHUNK)
+        })
+        .collect();
+    let key_queues: Vec<ChunkQueue> = ks
+        .iter()
+        .map(|&k| {
+            // Levels above the keyed band have no key phase at all —
+            // their queue is empty and every worker skips the branch.
+            ChunkQueue::new(
+                if k - 1 <= KEY_MAX_L { cliques.len() } else { 0 },
+                KEY_CHUNK,
+            )
+        })
+        .collect();
+    let chunk_maps: Mutex<ChunkKeyMaps> = Mutex::new(Vec::new());
+    let seq_parts = Mutex::new((
+        KeyTable::new(),
+        LevelSnapshotter::new(cliques.len()),
+        Vec::<KLevel>::with_capacity(k_max - 1),
+    ));
+    let cliques_ref = &cliques;
+    let strata_ref = &strata;
+    let dsu_ref = &dsu;
+
+    Pool::global().run(workers, |mut w| {
+        for (si, &k) in ks.iter().enumerate() {
+            let cancelled = || cancel.is_some_and(|token| token.is_cancelled());
+            if !key_queues[si].is_empty() {
+                {
+                    let table = w.scratch_with(KeyTable::new);
+                    let mut local: Vec<(usize, Vec<(u64, u32)>)> = Vec::new();
+                    let claim = || match cancel {
+                        Some(token) => key_queues[si].claim_unless(token),
+                        None => key_queues[si].claim(),
+                    };
+                    while let Some(range) = claim() {
+                        let start = range.start;
+                        table.begin_level();
+                        let mut firsts: Vec<(u64, u32)> = Vec::new();
+                        for i in range {
+                            if cliques_ref.size(i) < k {
+                                continue;
+                            }
+                            emit_keys(cliques_ref.get(i), k - 1, &mut |key| match table
+                                .first_seen(key, i as u32)
+                            {
+                                None => firsts.push((key, i as u32)),
+                                Some(owner) if owner != i as u32 => {
+                                    dsu_ref.union(owner, i as u32);
+                                }
+                                Some(_) => {}
+                            });
+                        }
+                        local.push((start, firsts));
+                    }
+                    chunk_maps
+                        .lock()
+                        .expect("almost sweep worker panicked")
+                        .extend(local);
+                }
+                // Every chunk map must be in before the leader merges;
+                // the non-leaders fall through to the stratum drain.
+                w.barrier();
+                if w.is_leader() {
+                    let mut maps = std::mem::take(
+                        &mut *chunk_maps.lock().expect("almost sweep worker panicked"),
+                    );
+                    if !cancelled() {
+                        maps.sort_unstable_by_key(|&(start, _)| start);
+                        let (table, _, _) =
+                            &mut *seq_parts.lock().expect("almost sweep worker panicked");
+                        table.begin_level();
+                        for (_, firsts) in maps {
+                            for (key, owner) in firsts {
+                                if let Some(prev) = table.first_seen(key, owner) {
+                                    if prev != owner {
+                                        dsu_ref.union(prev, owner);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            {
+                let pairs = strata_ref.at(k);
+                if strata_queues[si].is_empty() {
+                    if w.is_leader() && !cancelled() {
+                        for chunk in pairs.chunks(UNION_CHUNK) {
+                            if cancelled() {
+                                break;
+                            }
+                            for &(a, b) in chunk {
+                                dsu_ref.union(a, b);
+                            }
+                        }
+                    }
+                } else {
+                    let claim = || match cancel {
+                        Some(token) => strata_queues[si].claim_unless(token),
+                        None => strata_queues[si].claim(),
+                    };
+                    while let Some(range) = claim() {
+                        for &(a, b) in &pairs[range] {
+                            dsu_ref.union(a, b);
+                        }
+                    }
+                }
+            }
+            // Quiesce: every union of level k happens-before the
+            // snapshot below.
+            w.barrier();
+            if w.is_leader() && !cancelled() {
+                let (_, snap, levels) =
+                    &mut *seq_parts.lock().expect("almost sweep worker panicked");
+                let level =
+                    snap.snapshot(cliques_ref, k, &mut |x| dsu_ref.find(x), levels.last_mut());
+                levels.push(level);
+            }
+            // And hold level k−1 until the snapshot is taken.
+            w.barrier();
+        }
+    });
+    if let Some(token) = cancel {
+        token.check()?;
+    }
+
+    let (_, _, mut levels_desc) = seq_parts
+        .into_inner()
+        .expect("almost sweep worker panicked");
+    levels_desc.reverse();
+    Ok(CpmResult {
+        cliques,
+        levels: levels_desc,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,5 +853,93 @@ mod tests {
         let g = Graph::empty(0);
         let r = percolate_parallel(&g, 2);
         assert_eq!(r.total_communities(), 0);
+    }
+
+    #[test]
+    fn parallel_almost_is_bit_identical_across_thread_counts() {
+        let g = random_graph(60, 0.15, 9);
+        let reference = crate::percolate_mode(&g, Mode::Almost);
+        for threads in [1usize, 2, 3, 7] {
+            let par = percolate_parallel_mode(&g, threads, Mode::Almost);
+            assert_eq!(reference.cliques, par.cliques, "threads {threads}");
+            assert_eq!(reference.levels, par.levels, "threads {threads}");
+        }
+        let auto = percolate_parallel_mode(&g, Threads::Auto, Mode::Almost);
+        assert_eq!(reference.levels, auto.levels, "threads auto");
+    }
+
+    #[test]
+    fn parallel_mode_dispatch_covers_exact_too() {
+        let g = random_graph(40, 0.2, 5);
+        assert_eq!(
+            percolate_parallel(&g, 3).levels,
+            percolate_parallel_mode(&g, 3, Mode::Exact).levels
+        );
+    }
+
+    #[test]
+    fn parallel_almost_crosses_the_union_threshold() {
+        // A chain of 4-cliques {i..i+3}: consecutive pairs share 3
+        // vertices — above the keyed band (KEY_MAX_L = 2), so the
+        // counting prepass records them all in the k = 4 stratum,
+        // which then exceeds PAR_UNION_MIN and exercises the
+        // multi-worker stratum drain (not just the leader-inline
+        // fallback).
+        let n = 2 * PAR_UNION_MIN as u32;
+        let mut cliques = CliqueSet::new();
+        for i in 0..n {
+            cliques.push(&[i, i + 1, i + 2, i + 3]);
+        }
+        cliques.canonicalize();
+        let strata = SubsumptionStrata::build(&cliques);
+        assert!(strata.at(4).len() >= PAR_UNION_MIN);
+        let seq = crate::mode::almost_percolate_with_strata(
+            cliques.clone(),
+            SubsumptionStrata::build(&cliques),
+        );
+        let par = almost_sweep_parallel_impl(cliques, strata, Threads::Fixed(4), None)
+            .expect("uncancellable");
+        assert_eq!(seq.levels, par.levels);
+        for level in &par.levels {
+            assert_eq!(level.communities.len(), 1, "chain fully merges at every k");
+        }
+    }
+
+    #[test]
+    fn cancellable_almost_with_live_token_matches_plain() {
+        let g = random_graph(60, 0.15, 9);
+        let reference = crate::percolate_mode(&g, Mode::Almost);
+        let token = exec::CancelToken::new();
+        for threads in [1usize, 2, 4] {
+            let got = percolate_parallel_cancellable_mode(
+                &g,
+                threads,
+                Kernel::Auto,
+                &token,
+                Mode::Almost,
+            )
+            .expect("token never trips");
+            assert_eq!(reference.levels, got.levels, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn tripped_token_cancels_almost_and_leaves_the_pool_reusable() {
+        let g = random_graph(60, 0.15, 9);
+        let token = exec::CancelToken::new();
+        token.cancel();
+        for threads in [1usize, 2, 4] {
+            let err = percolate_parallel_cancellable_mode(
+                &g,
+                threads,
+                Kernel::Auto,
+                &token,
+                Mode::Almost,
+            );
+            assert!(err.is_err(), "threads {threads}");
+        }
+        let seq = crate::percolate_mode(&g, Mode::Almost);
+        let par = percolate_parallel_mode(&g, 4, Mode::Almost);
+        assert_eq!(seq.levels, par.levels);
     }
 }

@@ -96,6 +96,10 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Thread budget for snapshot (re)builds from a clique log.
     pub rebuild_threads: Threads,
+    /// Percolation engine for snapshot (re)builds from a clique log
+    /// (`cpm::Mode::Almost` bounds per-level rebuild state); reported
+    /// by `/stats` alongside the build duration.
+    pub mode: cpm::Mode,
 }
 
 impl ServeConfig {
@@ -108,6 +112,7 @@ impl ServeConfig {
             snapshot: snapshot.into(),
             idle_timeout: Duration::from_secs(5),
             rebuild_threads: Threads::Auto,
+            mode: cpm::Mode::Exact,
         }
     }
 }
@@ -138,6 +143,7 @@ struct State {
     stats: Stats,
     snapshot_path: PathBuf,
     rebuild_threads: Threads,
+    rebuild_mode: cpm::Mode,
     rebuild_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -179,7 +185,13 @@ impl Server {
     /// [`ServeError::Load`] when the snapshot cannot be built,
     /// [`ServeError::Io`] when the address cannot be bound.
     pub fn bind(config: &ServeConfig, cancel: &CancelToken) -> Result<Server, ServeError> {
-        let snap = load_snapshot(&config.snapshot, 1, cancel, config.rebuild_threads)?;
+        let snap = load_snapshot(
+            &config.snapshot,
+            1,
+            cancel,
+            config.rebuild_threads,
+            config.mode,
+        )?;
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
         listener.set_nonblocking(true).map_err(ServeError::Io)?;
         Ok(Server {
@@ -192,6 +204,7 @@ impl Server {
                 stats: Stats::default(),
                 snapshot_path: config.snapshot.clone(),
                 rebuild_threads: config.rebuild_threads,
+                rebuild_mode: config.mode,
                 rebuild_handles: Mutex::new(Vec::new()),
             }),
             threads: config.threads.max(1),
@@ -363,6 +376,7 @@ impl Server {
             concat!(
                 "{{\"generation\":{},\"source\":{},\"node_count\":{},",
                 "\"levels\":{},\"communities\":{},\"k_max\":{},",
+                "\"mode\":{},\"build_ms\":{},",
                 "\"requests\":{},\"errors\":{},\"connections\":{},",
                 "\"reloads_ok\":{},\"reloads_failed\":{},",
                 "\"reload_in_flight\":{}}}"
@@ -373,6 +387,8 @@ impl Server {
             snap.index.levels().len(),
             snap.index.total_communities(),
             snap.index.k_max().unwrap_or(0),
+            json::string(snap.mode.as_str()),
+            snap.build_ms,
             s.requests.load(Ordering::Relaxed),
             s.errors.load(Ordering::Relaxed),
             s.connections.load(Ordering::Relaxed),
@@ -512,6 +528,7 @@ impl Server {
                 generation,
                 &token,
                 state.rebuild_threads,
+                state.rebuild_mode,
             );
             match built {
                 Ok(snap) => {

@@ -16,7 +16,7 @@
 //! given, so a shutdown mid-rebuild abandons the work within one poll
 //! interval instead of pinning the process.
 
-use cpm::SnapshotIndex;
+use cpm::{Mode, SnapshotIndex};
 use cpm_stream::{CliqueSource, LogSource, StreamError};
 use exec::{CancelToken, Threads};
 use std::fmt;
@@ -34,6 +34,13 @@ pub struct Snapshot {
     pub generation: u64,
     /// The file the snapshot was built from.
     pub source: PathBuf,
+    /// The percolation engine that built this snapshot (a serialised
+    /// index was baked elsewhere; the mode recorded is the one a
+    /// rebuild from a clique log would use).
+    pub mode: Mode,
+    /// Wall-clock of the load/build that produced this snapshot, in
+    /// milliseconds.
+    pub build_ms: u64,
 }
 
 /// Why a snapshot failed to load — the split the CLI exit-code contract
@@ -82,7 +89,9 @@ impl From<StreamError> for LoadError {
 /// magic.
 ///
 /// `threads` sizes the multi-k percolation waves of the clique-log
-/// path (the serialised path is single-threaded decode either way).
+/// path (the serialised path is single-threaded decode either way),
+/// and `mode` selects the percolation engine for that same path —
+/// [`Mode::Almost`] rebuilds with bounded per-level state.
 ///
 /// # Errors
 ///
@@ -93,6 +102,7 @@ pub fn load_index(
     path: &Path,
     cancel: &CancelToken,
     threads: Threads,
+    mode: Mode,
 ) -> Result<SnapshotIndex, LoadError> {
     cancel.check().map_err(|_| LoadError::Interrupted)?;
     let mut magic = [0u8; 8];
@@ -117,11 +127,12 @@ pub fn load_index(
     // foreign magics with InvalidData.
     let mut source = LogSource::open(path)?.with_cancel(cancel.clone());
     let node_count = source.node_count();
-    let result = cpm_stream::stream_percolate_parallel(&mut source, threads)?;
+    let result = cpm_stream::stream_percolate_parallel_mode(&mut source, threads, mode)?;
     Ok(SnapshotIndex::from_levels(node_count, &result.levels))
 }
 
-/// [`load_index`] wrapped into a generation-stamped [`Snapshot`].
+/// [`load_index`] wrapped into a generation-stamped, build-timed
+/// [`Snapshot`].
 ///
 /// # Errors
 ///
@@ -131,12 +142,16 @@ pub fn load_snapshot(
     generation: u64,
     cancel: &CancelToken,
     threads: Threads,
+    mode: Mode,
 ) -> Result<Arc<Snapshot>, LoadError> {
-    let index = load_index(path, cancel, threads)?;
+    let t0 = std::time::Instant::now();
+    let index = load_index(path, cancel, threads, mode)?;
     Ok(Arc::new(Snapshot {
         index,
         generation,
         source: path.to_path_buf(),
+        mode,
+        build_ms: t0.elapsed().as_millis() as u64,
     }))
 }
 
@@ -161,17 +176,26 @@ mod tests {
         let log = tmp("ok.cliquelog");
         cpm_stream::write_clique_log(&g, &log).unwrap();
         let token = CancelToken::new();
-        let from_log = load_index(&log, &token, Threads::Fixed(1)).unwrap();
+        let from_log = load_index(&log, &token, Threads::Fixed(1), Mode::Exact).unwrap();
 
         let snap = tmp("ok.snap");
         std::fs::write(&snap, from_log.to_bytes()).unwrap();
-        let from_snap = load_index(&snap, &token, Threads::Fixed(1)).unwrap();
+        let from_snap = load_index(&snap, &token, Threads::Fixed(1), Mode::Exact).unwrap();
         assert_eq!(from_log, from_snap);
 
         // And both match the batch result frozen directly.
         let batch = cpm::percolate(&g);
         let direct = SnapshotIndex::from_levels(g.node_count(), &batch.levels);
         assert_eq!(from_log, direct);
+
+        // The almost engine rebuilds the same index on this fixture
+        // (zero divergence), and the snapshot records its mode and
+        // build duration.
+        let from_log_almost = load_index(&log, &token, Threads::Fixed(1), Mode::Almost).unwrap();
+        assert_eq!(from_log_almost, direct);
+        let snap = load_snapshot(&log, 1, &token, Threads::Fixed(1), Mode::Almost).unwrap();
+        assert_eq!(snap.mode, Mode::Almost);
+        assert_eq!(snap.index, direct);
     }
 
     #[test]
@@ -179,18 +203,23 @@ mod tests {
         let junk = tmp("junk.bin");
         std::fs::write(&junk, b"definitely not a log nor a snapshot").unwrap();
         let token = CancelToken::new();
-        match load_index(&junk, &token, Threads::Fixed(1)) {
+        match load_index(&junk, &token, Threads::Fixed(1), Mode::Exact) {
             Err(LoadError::Corrupt(_)) => {}
             other => panic!("expected Corrupt, got {other:?}"),
         }
         let short = tmp("short.bin");
         std::fs::write(&short, b"abc").unwrap();
         assert!(matches!(
-            load_index(&short, &token, Threads::Fixed(1)),
+            load_index(&short, &token, Threads::Fixed(1), Mode::Exact),
             Err(LoadError::Corrupt(_))
         ));
         assert!(matches!(
-            load_index(Path::new("/no/such/file"), &token, Threads::Fixed(1)),
+            load_index(
+                Path::new("/no/such/file"),
+                &token,
+                Threads::Fixed(1),
+                Mode::Exact
+            ),
             Err(LoadError::Io(_))
         ));
 
@@ -202,7 +231,7 @@ mod tests {
         let torn = tmp("torn.snap");
         std::fs::write(&torn, &bytes).unwrap();
         assert!(matches!(
-            load_index(&torn, &token, Threads::Fixed(1)),
+            load_index(&torn, &token, Threads::Fixed(1), Mode::Exact),
             Err(LoadError::Corrupt(_))
         ));
     }
@@ -215,7 +244,7 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         assert!(matches!(
-            load_index(&log, &token, Threads::Fixed(1)),
+            load_index(&log, &token, Threads::Fixed(1), Mode::Exact),
             Err(LoadError::Interrupted)
         ));
     }

@@ -24,6 +24,10 @@ fn all_endpoints_answer_correctly() {
     assert!(body.contains("\"node_count\":5"), "{body}");
     assert!(body.contains("\"k_max\":3"), "{body}");
     assert!(body.contains("\"reload_in_flight\":false"), "{body}");
+    // The live snapshot reports the engine that built it plus the
+    // build's wall-clock.
+    assert!(body.contains("\"mode\":\"exact\""), "{body}");
+    assert!(body.contains("\"build_ms\":"), "{body}");
 
     // Membership: AS 0 sits in the k=2 and k=3 communities.
     let (status, body) = server.get("/membership/0");

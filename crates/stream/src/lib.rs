@@ -13,7 +13,8 @@
 //!
 //! - [`StreamPercolator`] — the online single-`k` engine
 //!   ([`Mode::Exact`] per-node postings, or Baudin-style
-//!   [`Mode::LastSeen`] with O(nodes) percolation state);
+//!   [`Mode::Almost`] with O(nodes) percolation state — the [`Mode`]
+//!   vocabulary is `cpm::Mode`, shared with the batch engine);
 //! - [`CliqueSource`] — replayable clique streams: [`GraphSource`]
 //!   re-enumerates per pass, [`LogSource`] replays a clique log written
 //!   once by [`CliqueLogWriter`];
@@ -46,9 +47,11 @@ pub use log::{
     CliqueLogInfo, CliqueLogReader, CliqueLogWriter, LogSink, RecoveryReport,
     DEFAULT_CHECKPOINT_CLIQUES, TORN_LOG_MSG,
 };
+#[allow(deprecated)]
+pub use percolate::LAST_SEEN;
 pub use percolate::{
-    stream_percolate, stream_percolate_at, stream_percolate_parallel, Mode, StreamCpmResult,
-    StreamPercolator,
+    stream_percolate, stream_percolate_at, stream_percolate_parallel,
+    stream_percolate_parallel_mode, Mode, StreamCpmResult, StreamPercolator,
 };
 pub use source::{CliqueSource, GraphSource, LogSource, StreamError, CANCEL_POLL_CLIQUES};
 

@@ -11,7 +11,9 @@
 //! per-clique state retained is what future overlap tests can still
 //! need.
 //!
-//! Two fidelity modes:
+//! Two fidelity modes, sharing the batch engine's [`cpm::Mode`]
+//! vocabulary (the crate-local enum this module used to define is
+//! unified away — [`Mode`] here *is* `cpm::Mode`):
 //!
 //! - [`Mode::Exact`] — per-node postings (`node → ids of cliques seen
 //!   through it`). An incoming clique counts its overlap with exactly
@@ -21,13 +23,19 @@
 //!   same order as the batch path's vertex index) plus the DSU, but
 //!   never the clique member arena *or* the overlap edge list.
 //!   Community-equivalent to `cpm::percolate` (property-tested).
-//! - [`Mode::LastSeen`] — Baudin et al.'s almost-exact variant: each
-//!   node remembers only the *last* clique seen through it, so
-//!   percolation state is O(nodes) + DSU. A clique that overlaps an old
-//!   clique in ≥ k−1 nodes without sharing k−1 nodes with any *latest*
-//!   clique of those nodes can be missed, splitting one true community
-//!   in two — communities are always unions of true sub-communities
-//!   (never over-merged), which the property tests assert.
+//! - [`Mode::Almost`] — Baudin et al.'s almost-exact variant in its
+//!   streaming form (previously spelled `Mode::LastSeen`, now a
+//!   [deprecated alias](LAST_SEEN)): each node remembers only the
+//!   *last* clique seen through it, so percolation state is O(nodes) +
+//!   DSU. A clique that overlaps an old clique in ≥ k−1 nodes without
+//!   sharing k−1 nodes with any *latest* clique of those nodes can be
+//!   missed, splitting one true community in two — communities are
+//!   always unions of true sub-communities (never over-merged), which
+//!   the property tests assert. The batch path's almost engine
+//!   ([`cpm::mode`]) reaches the same end differently (subset keys +
+//!   subsumption strata need the whole clique set); what the mode
+//!   *means* — bounded state, refinement-only error — is identical,
+//!   which is why the vocabulary is shared.
 
 use crate::source::CliqueSource;
 use crate::StreamError;
@@ -37,15 +45,19 @@ use exec::{Pool, Threads};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// How much per-node history the percolator keeps (see module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Mode {
-    /// Exact CPM: per-node postings lists.
-    #[default]
-    Exact,
-    /// Baudin-style almost-exact: per-node last-clique-seen only.
-    LastSeen,
-}
+/// The engine selector — re-exported from the batch crate so every
+/// pipeline (batch, parallel, streaming, CLI, serve) speaks one mode
+/// vocabulary. In the streaming context [`Mode::Almost`] selects the
+/// per-node last-clique-seen strategy (see module docs).
+pub use cpm::Mode;
+
+/// The pre-unification spelling of the streaming almost-exact
+/// strategy.
+#[deprecated(
+    since = "0.2.0",
+    note = "the mode vocabulary is unified with the batch engine: use `Mode::Almost`"
+)]
+pub const LAST_SEEN: Mode = Mode::Almost;
 
 const NONE: u32 = u32::MAX;
 
@@ -80,9 +92,9 @@ pub struct StreamPercolator {
     dsu: Dsu,
     /// Exact: `node -> accepted cliques containing it`, ids ascending.
     postings: Vec<Vec<u32>>,
-    /// LastSeen: `node -> last accepted clique containing it`.
+    /// Almost: `node -> last accepted clique containing it`.
     last_seen: Vec<u32>,
-    /// LastSeen: member accumulator per DSU root (small-to-large merged).
+    /// Almost: member accumulator per DSU root (small-to-large merged).
     root_members: Vec<Vec<NodeId>>,
     /// Scratch: per accepted clique, overlap count with the incoming one.
     counts: Vec<u32>,
@@ -122,11 +134,11 @@ impl StreamPercolator {
             dsu: Dsu::new(0),
             postings: match mode {
                 Mode::Exact => vec![Vec::new(); n],
-                Mode::LastSeen => Vec::new(),
+                Mode::Almost => Vec::new(),
             },
             last_seen: match mode {
                 Mode::Exact => Vec::new(),
-                Mode::LastSeen => vec![NONE; n],
+                Mode::Almost => vec![NONE; n],
             },
             root_members: Vec::new(),
             counts: Vec::new(),
@@ -203,7 +215,7 @@ impl StreamPercolator {
                     self.postings[v as usize].push(id);
                 }
             }
-            Mode::LastSeen => {
+            Mode::Almost => {
                 // Count only against the snapshot of each member's last
                 // clique — O(|clique|) state probes, O(n) total memory.
                 for &v in clique {
@@ -297,7 +309,7 @@ impl StreamPercolator {
                     }
                 }
             }
-            Mode::LastSeen => {
+            Mode::Almost => {
                 // Members were accumulated at roots as unions happened;
                 // fold any list stranded at a non-root by later unions.
                 for id in 0..clique_count {
@@ -466,6 +478,23 @@ pub fn stream_percolate_parallel<S: CliqueSource + ?Sized>(
     source: &mut S,
     threads: impl Into<Threads>,
 ) -> Result<StreamCpmResult, StreamError> {
+    stream_percolate_parallel_mode(source, threads, Mode::Exact)
+}
+
+/// [`stream_percolate_parallel`] with an explicit engine [`Mode`]:
+/// every per-level percolator of the wave sweep runs in `mode`, so
+/// [`Mode::Almost`] bounds each level's state to O(nodes) at the cost
+/// of possibly splitting (never merging) communities — the same
+/// refinement-only contract as the batch almost engine.
+///
+/// # Errors
+///
+/// Fails only if the source does (I/O on a clique log).
+pub fn stream_percolate_parallel_mode<S: CliqueSource + ?Sized>(
+    source: &mut S,
+    threads: impl Into<Threads>,
+    mode: Mode,
+) -> Result<StreamCpmResult, StreamError> {
     // Sizing pass: k_max and total work, without retaining anything.
     let mut k_max = 0usize;
     let mut total_members = 0usize;
@@ -486,7 +515,7 @@ pub fn stream_percolate_parallel<S: CliqueSource + ?Sized>(
     let ks: Vec<usize> = (2..=k_max).rev().collect();
     let mut levels_desc: Vec<KLevel> = Vec::new();
     for wave in ks.chunks(workers.max(1)) {
-        let per_level = run_wave(source, n, wave)?;
+        let per_level = run_wave(source, n, wave, mode)?;
         for (k, communities) in wave.iter().zip(per_level) {
             // Theorem 1 linking, on stream ordinals: the parent of a
             // level-(k+1) community is the level-k community that now
@@ -521,17 +550,18 @@ fn run_wave<S: CliqueSource + ?Sized>(
     source: &mut S,
     n: usize,
     wave: &[usize],
+    mode: Mode,
 ) -> Result<Vec<Vec<Community>>, StreamError> {
     if wave.len() == 1 {
         // Single level: push straight from the replay callback, no
         // batch buffering, no pool round-trips.
-        let mut p = StreamPercolator::new(n, wave[0]);
+        let mut p = StreamPercolator::with_mode(n, wave[0], mode);
         source.replay(&mut |clique| p.push(clique))?;
         return Ok(vec![p.finish()]);
     }
     let percolators: Vec<Mutex<StreamPercolator>> = wave
         .iter()
-        .map(|&k| Mutex::new(StreamPercolator::new(n, k)))
+        .map(|&k| Mutex::new(StreamPercolator::with_mode(n, k, mode)))
         .collect();
     let flush = |batch: &CliqueBatch| {
         Pool::global().run(percolators.len(), |w| {
@@ -668,7 +698,7 @@ mod tests {
         // agrees here and never merges what Exact keeps apart.
         let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]);
         let mut exact = StreamPercolator::new(5, 3);
-        let mut approx = StreamPercolator::with_mode(5, 3, Mode::LastSeen);
+        let mut approx = StreamPercolator::with_mode(5, 3, Mode::Almost);
         let _ = cliques::for_each_max_clique(&g, |c| {
             let mut c = c.to_vec();
             c.sort_unstable();

@@ -138,7 +138,7 @@ proptest! {
     fn last_seen_refines_exact(edges in edge_soup(14, 50), k in 3usize..6) {
         let g = Graph::from_edges(14, edges);
         let exact = stream_percolate_at(&mut GraphSource::new(&g), k).expect("exact pass");
-        let mut approx = StreamPercolator::with_mode(g.node_count(), k, Mode::LastSeen);
+        let mut approx = StreamPercolator::with_mode(g.node_count(), k, Mode::Almost);
         GraphSource::new(&g)
             .replay(&mut |c| approx.push(c))
             .expect("in-memory source");
