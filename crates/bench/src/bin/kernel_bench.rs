@@ -14,14 +14,18 @@
 //!
 //! Operations: `enumerate` (sequential maximal cliques), `enumerate_par`
 //! (work-stealing, `--threads` workers), `overlap` (clique-overlap
-//! counting), `percolate` (full sequential CPM), `percolate_par`, and
+//! counting), `percolate` (full sequential CPM), `percolate_par`,
+//! `percolate_fused` / `percolate_fused_par` (the sink-driven pipeline —
+//! cliques stream straight into percolation, no clique list), and
 //! `sweep` (the union/grouping phase alone, from prebuilt overlap
 //! strata — so end-to-end time decomposes into enumerate + overlap +
 //! sweep; the row includes one clone of the inputs per run). Every row
 //! carries a `mode` column: the kernel matrix runs the `exact` engine,
-//! plus one sequential and one parallel `almost`-mode `percolate` row
-//! per substrate (the almost engine does no overlap counting, so it is
-//! kernel-independent).
+//! plus one sequential and one parallel `almost`-mode row per fused and
+//! staged `percolate` op per substrate (the almost engine does no
+//! overlap counting, so it is kernel-independent). The `peak_bytes`
+//! column makes the fused pipeline's point directly: its rows peak well
+//! below the staged ones, which hold the full clique list.
 
 use cliques::Kernel;
 use cpm::{build_vertex_index, overlap_edges_with};
@@ -110,6 +114,26 @@ fn bench_substrate(
                 cpm::parallel::percolate_parallel_with_kernel(g, threads, kernel)
             }),
         );
+        push(
+            "percolate_fused",
+            exec::Threads::Fixed(1),
+            measure(iters, || {
+                cpm::percolate_fused_with_kernel(g, kernel, cpm::Mode::Exact)
+            }),
+        );
+        push(
+            "percolate_fused_par",
+            threads,
+            measure(iters, || {
+                cpm::percolate_fused_cancellable(
+                    g,
+                    threads,
+                    kernel,
+                    &exec::CancelToken::new(),
+                    cpm::Mode::Exact,
+                )
+            }),
+        );
     }
 
     // The previously-unattributed phase: the descending-k union/grouping
@@ -150,6 +174,28 @@ fn bench_substrate(
     records.push(Record {
         substrate: name.to_owned(),
         op: "percolate_par",
+        mode: "almost",
+        kernel: Kernel::Auto,
+        threads,
+        median_ns,
+        peak_bytes,
+    });
+    let (median_ns, peak_bytes) = measure(iters, || cpm::percolate_fused(g, cpm::Mode::Almost));
+    records.push(Record {
+        substrate: name.to_owned(),
+        op: "percolate_fused",
+        mode: "almost",
+        kernel: Kernel::Auto,
+        threads: exec::Threads::Fixed(1),
+        median_ns,
+        peak_bytes,
+    });
+    let (median_ns, peak_bytes) = measure(iters, || {
+        cpm::percolate_fused_parallel(g, threads, cpm::Mode::Almost)
+    });
+    records.push(Record {
+        substrate: name.to_owned(),
+        op: "percolate_fused_par",
         mode: "almost",
         kernel: Kernel::Auto,
         threads,
@@ -255,6 +301,8 @@ fn main() {
             "overlap",
             "percolate",
             "percolate_par",
+            "percolate_fused",
+            "percolate_fused_par",
         ] {
             let find = |k: Kernel| {
                 records
@@ -280,7 +328,12 @@ fn main() {
             }
         }
         // Mode summary: the almost engine vs the exact auto-kernel row.
-        for op in ["percolate", "percolate_par"] {
+        for op in [
+            "percolate",
+            "percolate_par",
+            "percolate_fused",
+            "percolate_fused_par",
+        ] {
             let find = |mode: &str| {
                 records
                     .iter()
@@ -297,6 +350,31 @@ fn main() {
                     "speedup {name}/{op}: almost mode is {:.2}x vs exact",
                     e as f64 / a.max(1) as f64
                 );
+            }
+        }
+        // Pipeline summary: the fused pipeline against its staged twin,
+        // wall time and peak heap, per mode (auto-kernel rows).
+        for (staged_op, fused_op) in [
+            ("percolate", "percolate_fused"),
+            ("percolate_par", "percolate_fused_par"),
+        ] {
+            for mode in ["exact", "almost"] {
+                let find = |op: &str| {
+                    records.iter().find(|r| {
+                        r.substrate == *name
+                            && r.op == op
+                            && r.mode == mode
+                            && r.kernel == Kernel::Auto
+                    })
+                };
+                if let (Some(s), Some(f)) = (find(staged_op), find(fused_op)) {
+                    println!(
+                        "pipeline {name}/{staged_op} ({mode}): fused is {:.2}x vs staged, \
+                         peak heap {:.2}x",
+                        s.median_ns as f64 / f.median_ns.max(1) as f64,
+                        f.peak_bytes as f64 / s.peak_bytes.max(1) as f64
+                    );
+                }
             }
         }
     }

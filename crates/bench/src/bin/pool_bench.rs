@@ -6,19 +6,25 @@
 //!     [--seed <u64>] [--out BENCH_pool.json] [--check]
 //! ```
 //!
-//! For each substrate this times the three pool-backed phases —
-//! `enumerate` (work-stealing Bron–Kerbosch), `overlap` (stratified
-//! overlap counting), `percolate` (the full fused pipeline) — at fixed
-//! worker counts 1/2/4/8 plus one `auto` row, all through the same
-//! persistent `exec::Pool`. The `percolate` op is timed in both
-//! percolation modes (`exact` and `almost`), and the almost engine
+//! For each substrate this times the pool-backed phases — `enumerate`
+//! (work-stealing Bron–Kerbosch), `overlap` (stratified overlap
+//! counting), `percolate` (the staged collect-then-percolate pipeline),
+//! and `percolate-fused` (the sink-driven pipeline that percolates each
+//! clique as it is enumerated, never materialising the clique set) — at
+//! fixed worker counts 1/2/4/8 plus one `auto` row, all through the
+//! same persistent `exec::Pool`. The `percolate` ops are timed in both
+//! percolation modes (`exact` and `almost`). The almost engine
 //! additionally gets sequential per-phase rows (`key-build`, `union`,
-//! `snapshot`) so the end-to-end number decomposes. The JSON written to
-//! `--out` is the record committed as `BENCH_pool.json`.
+//! `snapshot`), and the fused pipeline gets its own phase rows
+//! (`fused-consume`, `fused-pairs`, `fused-sweep`, `fused-extract`) so
+//! both end-to-end numbers decompose. The JSON written to `--out` is
+//! the record committed as `BENCH_pool.json`; with `--features memprof`
+//! every row also carries the peak heap growth of one run in a
+//! `peak_bytes` column (0 when the feature is off).
 //!
-//! `--check` turns the run into a CI gate with two clauses. Scaling: on
-//! every substrate, the 4-worker and `auto` rows of each phase must not
-//! be slower than 1.2× the 1-worker row. The bound is deliberately
+//! `--check` turns the run into a CI gate with four clauses. Scaling:
+//! on every substrate, the 4-worker and `auto` rows of each phase must
+//! not be slower than 1.2× the 1-worker row. The bound is deliberately
 //! loose — on a single-core runner extra workers are pure overhead and
 //! the gate then measures exactly that overhead, which the persistent
 //! pool is supposed to keep negligible; on a multi-core runner real
@@ -29,11 +35,19 @@
 //! run; the median would make the gate flaky). The sequential rows are
 //! the honest comparison — the parallel exact path amortises its
 //! overlap hot loop across workers, which would understate the engine
-//! change itself.
+//! change itself. Pipeline: on the same substrate the fused pipeline
+//! must beat the staged one by at least 1.25× on the sequential
+//! almost-mode minima. Memory (only when the records carry peaks): the
+//! fused pipeline's peak heap must stay below the staged one's, which
+//! pays for the full clique list.
 
 use cliques::Kernel;
 use exec::Threads;
 use std::time::Instant;
+
+#[cfg(feature = "memprof")]
+#[global_allocator]
+static ALLOC: bench::memprof::CountingAlloc = bench::memprof::CountingAlloc;
 
 /// Fixed worker counts of the scaling curve; one `auto` row is added.
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -45,6 +59,8 @@ struct Record {
     threads: Threads,
     median_ns: u128,
     min_ns: u128,
+    /// Peak heap growth of one run (memprof feature only; 0 otherwise).
+    peak_bytes: usize,
 }
 
 /// (median, minimum) of the samples. The median is the headline number;
@@ -56,7 +72,19 @@ fn stats_ns(mut samples: Vec<u128>) -> (u128, u128) {
     (samples[samples.len() / 2], samples[0])
 }
 
-fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, u128) {
+/// Peak heap growth of one run of `f`. Without the `memprof` counting
+/// allocator there is nothing to count, so the run is skipped entirely.
+#[cfg(feature = "memprof")]
+fn peak_of<T>(mut f: impl FnMut() -> T) -> usize {
+    bench::memprof::measure_peak(&mut f).1
+}
+
+#[cfg(not(feature = "memprof"))]
+fn peak_of<T>(_f: impl FnMut() -> T) -> usize {
+    0
+}
+
+fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, u128, usize) {
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
@@ -64,7 +92,8 @@ fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, u128) {
         samples.push(t0.elapsed().as_nanos());
         drop(out);
     }
-    stats_ns(samples)
+    let (median_ns, min_ns) = stats_ns(samples);
+    (median_ns, min_ns, peak_of(f))
 }
 
 fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut Vec<Record>) {
@@ -75,7 +104,7 @@ fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut V
     let mut rows: Vec<Threads> = THREAD_COUNTS.iter().map(|&t| Threads::Fixed(t)).collect();
     rows.push(Threads::Auto);
     for threads in rows {
-        let mut push = |op, mode, (median_ns, min_ns)| {
+        let mut push = |op, mode, (median_ns, min_ns, peak_bytes)| {
             records.push(Record {
                 substrate: name.to_owned(),
                 op,
@@ -83,6 +112,7 @@ fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut V
                 threads,
                 median_ns,
                 min_ns,
+                peak_bytes,
             });
         };
         push(
@@ -117,6 +147,20 @@ fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut V
                 cpm::parallel::percolate_parallel_mode(g, threads, cpm::Mode::Almost)
             }),
         );
+        push(
+            "percolate-fused",
+            "exact",
+            measure(iters, || {
+                cpm::percolate_fused_parallel(g, threads, cpm::Mode::Exact)
+            }),
+        );
+        push(
+            "percolate-fused",
+            "almost",
+            measure(iters, || {
+                cpm::percolate_fused_parallel(g, threads, cpm::Mode::Almost)
+            }),
+        );
     }
 
     // The almost engine's sequential phase breakdown: where the
@@ -144,7 +188,45 @@ fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut V
             threads: Threads::Fixed(1),
             median_ns,
             min_ns,
+            peak_bytes: 0,
         });
+    }
+
+    // The fused pipeline's sequential phase breakdown: `consume` is the
+    // enumerate-while-percolating front (Bron–Kerbosch driving the
+    // consumer), `pairs`/`sweep`/`extract` the finish work.
+    for mode in [cpm::Mode::Exact, cpm::Mode::Almost] {
+        let mut consume = Vec::with_capacity(iters);
+        let mut pairs = Vec::with_capacity(iters);
+        let mut sweep = Vec::with_capacity(iters);
+        let mut extract = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let (_, phases) = cpm::percolate_fused_phases(g, mode);
+            consume.push(phases.consume.as_nanos());
+            pairs.push(phases.pairs.as_nanos());
+            sweep.push(phases.sweep.as_nanos());
+            extract.push(phases.extract.as_nanos());
+        }
+        for (op, samples) in [
+            ("fused-consume", consume),
+            ("fused-pairs", pairs),
+            ("fused-sweep", sweep),
+            ("fused-extract", extract),
+        ] {
+            let (median_ns, min_ns) = stats_ns(samples);
+            records.push(Record {
+                substrate: name.to_owned(),
+                op,
+                mode: match mode {
+                    cpm::Mode::Exact => "exact",
+                    cpm::Mode::Almost => "almost",
+                },
+                threads: Threads::Fixed(1),
+                median_ns,
+                min_ns,
+                peak_bytes: 0,
+            });
+        }
     }
 }
 
@@ -165,12 +247,13 @@ fn to_json(records: &[Record]) -> String {
             Threads::Fixed(n) => n.to_string(),
         };
         out.push_str(&format!(
-            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"mode\": \"{}\", \"threads\": {threads}, \"median_ns\": {}, \"min_ns\": {}}}{}\n",
+            "  {{\"substrate\": \"{}\", \"op\": \"{}\", \"mode\": \"{}\", \"threads\": {threads}, \"median_ns\": {}, \"min_ns\": {}, \"peak_bytes\": {}}}{}\n",
             json_escape_free(&r.substrate),
             json_escape_free(r.op),
             json_escape_free(r.mode),
             r.median_ns,
             r.min_ns,
+            r.peak_bytes,
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -182,11 +265,15 @@ fn to_json(records: &[Record]) -> String {
 /// `BOUND`× of the 1-worker row (medians) for every (substrate, op,
 /// mode). Mode clause: on the medium Internet substrate the almost
 /// engine's sequential end-to-end percolation at least `MODE_BOUND`×
-/// faster than the exact one (per-iteration minima). Returns violation
-/// messages.
+/// faster than the exact one (per-iteration minima). Pipeline clause:
+/// on the same substrate the fused pipeline at least `FUSED_BOUND`×
+/// faster than the staged one (almost mode, sequential minima). Memory
+/// clause: when the rows carry memprof peaks, the fused pipeline's
+/// peak heap below the staged one's. Returns violation messages.
 fn check(records: &[Record]) -> Vec<String> {
     const BOUND: f64 = 1.2;
     const MODE_BOUND: f64 = 5.0;
+    const FUSED_BOUND: f64 = 1.25;
     let mut violations = Vec::new();
     let find = |sub: &str, op: &str, mode: &str, threads: Threads| {
         records
@@ -205,6 +292,8 @@ fn check(records: &[Record]) -> Vec<String> {
             ("overlap", "exact"),
             ("percolate", "exact"),
             ("percolate", "almost"),
+            ("percolate-fused", "exact"),
+            ("percolate-fused", "almost"),
         ] {
             let Some(base) = find(sub, op, mode, Threads::Fixed(1)).map(|r| r.median_ns) else {
                 continue;
@@ -234,6 +323,34 @@ fn check(records: &[Record]) -> Vec<String> {
                 violations.push(format!(
                     "{sub}/percolate: almost mode is only {ratio:.2}x faster than exact \
                      (bound {MODE_BOUND}x)"
+                ));
+            }
+        }
+        // The pipeline clause: the fused pipeline earns its keep on the
+        // real workload — the staged almost pipeline's sequential
+        // minimum must be at least FUSED_BOUND× the fused one's.
+        if let (Some(staged), Some(fused)) = (
+            find(sub, "percolate", "almost", Threads::Fixed(1)),
+            find(sub, "percolate-fused", "almost", Threads::Fixed(1)),
+        ) {
+            let ratio = staged.min_ns as f64 / fused.min_ns.max(1) as f64;
+            if sub == "medium-internet" && ratio < FUSED_BOUND {
+                violations.push(format!(
+                    "{sub}/percolate: fused pipeline is only {ratio:.2}x faster than staged \
+                     (bound {FUSED_BOUND}x)"
+                ));
+            }
+            // The memory clause: fused never materialises the clique
+            // set, so its peak heap must stay below the staged
+            // pipeline's, which holds the full clique list. Gated on
+            // the rows actually carrying peaks (memprof feature).
+            if sub == "medium-internet"
+                && staged.peak_bytes > 0
+                && fused.peak_bytes >= staged.peak_bytes
+            {
+                violations.push(format!(
+                    "{sub}/percolate: fused peak heap {} B is not below staged {} B",
+                    fused.peak_bytes, staged.peak_bytes
                 ));
             }
         }
@@ -310,6 +427,8 @@ fn main() {
             ("overlap", "exact"),
             ("percolate", "exact"),
             ("percolate", "almost"),
+            ("percolate-fused", "exact"),
+            ("percolate-fused", "almost"),
         ] {
             let find = |threads: Threads| {
                 records
@@ -348,6 +467,26 @@ fn main() {
                 exact as f64 / almost.max(1) as f64
             );
         }
+        // Pipeline summary: fused vs staged, sequential rows, per mode.
+        for mode in ["exact", "almost"] {
+            let find = |op: &str| {
+                records
+                    .iter()
+                    .find(|r| {
+                        r.substrate == *name
+                            && r.op == op
+                            && r.mode == mode
+                            && r.threads == Threads::Fixed(1)
+                    })
+                    .map(|r| r.min_ns)
+            };
+            if let (Some(staged), Some(fused)) = (find("percolate"), find("percolate-fused")) {
+                println!(
+                    "pipeline {name}/percolate ({mode}): fused runs {:.2}x vs staged (1 worker, minima)",
+                    staged as f64 / fused.max(1) as f64
+                );
+            }
+        }
     }
 
     std::fs::write(&out_path, to_json(&records)).expect("cannot write bench JSON");
@@ -358,7 +497,8 @@ fn main() {
         if violations.is_empty() {
             eprintln!(
                 "check passed: 4-worker and auto rows within 1.2x of sequential; \
-                 almost mode at least 5x faster than exact on medium-internet"
+                 almost mode at least 5x faster than exact and the fused pipeline \
+                 at least 1.25x faster than staged on medium-internet"
             );
         } else {
             for v in &violations {

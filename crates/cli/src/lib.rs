@@ -127,6 +127,11 @@ pub enum Command {
         /// Cancel the run after this many seconds (exit
         /// [`EXIT_INTERRUPTED`]).
         deadline: Option<u64>,
+        /// Clique delivery: `fused` (default) streams each enumerated
+        /// clique straight into the percolation engine; `staged`
+        /// materialises the clique set first (escape hatch, noted on
+        /// stderr). Identical communities either way.
+        pipeline: cpm::Pipeline,
         /// Deprecated `--sweep` value, warned about and ignored.
         deprecated_sweep: Option<String>,
     },
@@ -255,6 +260,7 @@ kclique-cli — k-clique communities for AS-level topologies
 USAGE:
   kclique-cli communities --input <edges> (--k <n> | --all-k) [--mode exact|almost]
                           [--kernel auto|bitset|merge] [--threads <n>|auto] [--deadline <secs>]
+                          [--pipeline fused|staged]
   kclique-cli tree        --input <edges> [--min-k <n>]
   kclique-cli stats       --input <edges>
   kclique-cli generate    [--scale tiny|small|medium|default|full] [--seed <u64>] --out <dir>
@@ -305,6 +311,13 @@ clique log or a serialised snapshot index; default address
 /tree/{id}, /healthz, /stats, and POST /reload to rebuild from disk and
 swap atomically. Ctrl-C during the initial load exits 75 (nothing was
 served); Ctrl-C while serving drains connections and exits 0.
+
+The clique delivery (--pipeline) picks how `communities` feeds the
+percolation engine: `fused` (default) streams every maximal clique into
+the engine as Bron-Kerbosch emits it — one pass, no clique list in
+memory — while `staged` materialises the clique set first and is kept as
+an escape hatch (a note goes to stderr). Both produce identical
+communities.
 
 The --sweep flag of previous releases is deprecated: the fused sweep is
 now the only pipeline. The flag is accepted and ignored, with a warning.
@@ -357,6 +370,14 @@ impl Command {
                 None => Ok(cpm::Mode::Exact),
             }
         };
+        let pipeline = || -> Result<cpm::Pipeline, String> {
+            match get("--pipeline") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|e: String| format!("bad --pipeline: {e}")),
+                None => Ok(cpm::Pipeline::Fused),
+            }
+        };
         // Deprecated, value-carrying, ignored: warn at run time so old
         // scripts keep working for one more release.
         let deprecated_sweep = || get("--sweep");
@@ -388,6 +409,7 @@ impl Command {
                     kernel: kernel()?,
                     threads: threads()?,
                     deadline: deadline()?,
+                    pipeline: pipeline()?,
                     deprecated_sweep: deprecated_sweep(),
                 })
             }
@@ -554,21 +576,32 @@ impl Command {
                 kernel,
                 threads,
                 deadline,
+                pipeline,
                 deprecated_sweep,
             } => {
-                warn_deprecated_sweep(deprecated_sweep);
+                warn_legacy_flags(deprecated_sweep, false, Some(*pipeline));
                 let g = load_graph(input)?;
                 if *all_k {
                     // Always the cancellable pipeline: a live token is
                     // bit-identical to the plain one, and Ctrl-C /
                     // --deadline then stop the sweep cooperatively.
                     let token = cancel_token(deadline);
-                    let result = cpm::parallel::percolate_parallel_cancellable_mode(
-                        &g, *threads, *kernel, &token, *mode,
-                    )
-                    .map_err(|_| interrupted_no_durable_state())?;
+                    let levels = match pipeline {
+                        cpm::Pipeline::Fused => {
+                            cpm::percolate_fused_cancellable(&g, *threads, *kernel, &token, *mode)
+                                .map_err(|_| interrupted_no_durable_state())?
+                                .levels
+                        }
+                        cpm::Pipeline::Staged => {
+                            cpm::parallel::percolate_parallel_cancellable_mode(
+                                &g, *threads, *kernel, &token, *mode,
+                            )
+                            .map_err(|_| interrupted_no_durable_state())?
+                            .levels
+                        }
+                    };
                     let mut table = Table::new(vec!["k", "communities", "largest"]);
-                    for level in &result.levels {
+                    for level in &levels {
                         let largest = level
                             .communities
                             .iter()
@@ -589,24 +622,57 @@ impl Command {
                     // and project out level k instead.
                     let comms: Vec<Vec<asgraph::NodeId>> = if deadline.is_some() {
                         let token = cancel_token(deadline);
-                        let result = cpm::parallel::percolate_parallel_cancellable_mode(
-                            &g, *threads, *kernel, &token, *mode,
-                        )
-                        .map_err(|_| interrupted_no_durable_state())?;
-                        result
-                            .level(k)
-                            .map(|level| {
-                                level
-                                    .communities
-                                    .iter()
-                                    .map(|c| c.members.clone())
-                                    .collect()
-                            })
-                            .unwrap_or_default()
-                    } else if *mode == cpm::Mode::Almost {
-                        cpm::percolate_at_mode(&g, k as usize, *mode)
+                        match pipeline {
+                            cpm::Pipeline::Fused => {
+                                let result = cpm::percolate_fused_cancellable(
+                                    &g, *threads, *kernel, &token, *mode,
+                                )
+                                .map_err(|_| interrupted_no_durable_state())?;
+                                let mut covers: Vec<Vec<asgraph::NodeId>> = result
+                                    .level(k)
+                                    .map(|level| {
+                                        level
+                                            .communities
+                                            .iter()
+                                            .map(|c| c.members.clone())
+                                            .collect()
+                                    })
+                                    .unwrap_or_default();
+                                // Canonical cover order: byte-identical to
+                                // the deadline-free path below.
+                                covers.sort_unstable();
+                                covers
+                            }
+                            cpm::Pipeline::Staged => {
+                                let result = cpm::parallel::percolate_parallel_cancellable_mode(
+                                    &g, *threads, *kernel, &token, *mode,
+                                )
+                                .map_err(|_| interrupted_no_durable_state())?;
+                                result
+                                    .level(k)
+                                    .map(|level| {
+                                        level
+                                            .communities
+                                            .iter()
+                                            .map(|c| c.members.clone())
+                                            .collect()
+                                    })
+                                    .unwrap_or_default()
+                            }
+                        }
                     } else {
-                        cpm::percolate_at_with_kernel(&g, k as usize, *kernel)
+                        match pipeline {
+                            cpm::Pipeline::Fused => {
+                                cpm::percolate_at_fused_with_kernel(&g, k as usize, *kernel, *mode)
+                            }
+                            cpm::Pipeline::Staged => {
+                                if *mode == cpm::Mode::Almost {
+                                    cpm::percolate_at_mode(&g, k as usize, *mode)
+                                } else {
+                                    cpm::percolate_at_with_kernel(&g, k as usize, *kernel)
+                                }
+                            }
+                        }
                     };
                     println!("# {} {k}-clique communities", comms.len());
                     for (i, c) in comms.iter().enumerate() {
@@ -775,10 +841,7 @@ impl Command {
                 deadline,
                 deprecated_sweep,
             } => {
-                warn_deprecated_sweep(deprecated_sweep);
-                if *deprecated_approx {
-                    eprintln!("warning: --approx is deprecated; use --mode almost");
-                }
+                warn_legacy_flags(deprecated_sweep, *deprecated_approx, None);
                 // Both source kinds funnel through the same dyn-dispatch
                 // path; the graph (if any) must outlive the source. The
                 // token rides inside the source, so every replay of the
@@ -1040,11 +1103,31 @@ fn interrupted_no_durable_state() -> CliFailure {
     )
 }
 
-fn warn_deprecated_sweep(value: &Option<String>) {
-    if let Some(v) = value {
-        eprintln!(
-            "warning: --sweep {v} is deprecated and ignored; the fused sweep is the only pipeline"
+/// Every legacy-flag notice of an invocation, funnelled through one
+/// stderr-only helper: `--sweep <v>` (deprecated, ignored), `--approx`
+/// (deprecated alias of `--mode almost`), and the `--pipeline staged`
+/// escape hatch (supported, noted). Keeping them in one place is what
+/// the byte-clean-stdout regression test pins: notices never leak into
+/// the machine-readable output stream.
+fn warn_legacy_flags(sweep: &Option<String>, approx: bool, pipeline: Option<cpm::Pipeline>) {
+    let mut notices: Vec<String> = Vec::new();
+    if let Some(v) = sweep {
+        notices.push(format!(
+            "--sweep {v} is deprecated and ignored; the fused sweep is the only pipeline"
+        ));
+    }
+    if approx {
+        notices.push("--approx is deprecated; use --mode almost".to_owned());
+    }
+    if pipeline == Some(cpm::Pipeline::Staged) {
+        notices.push(
+            "--pipeline staged materialises the clique set before percolating; \
+             the default fused pipeline produces identical communities in one pass"
+                .to_owned(),
         );
+    }
+    for n in notices {
+        eprintln!("warning: {n}");
     }
 }
 
@@ -1112,6 +1195,7 @@ mod tests {
                 kernel: cliques::Kernel::Auto,
                 threads: exec::Threads::Auto,
                 deadline: None,
+                pipeline: cpm::Pipeline::Fused,
                 deprecated_sweep: None,
             }
         );
@@ -1207,6 +1291,7 @@ mod tests {
         assert!(matches!(
             c,
             Command::Communities {
+                pipeline: cpm::Pipeline::Fused,
                 deprecated_sweep: None,
                 ..
             }
@@ -1613,6 +1698,7 @@ mod tests {
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: Some(0),
+            pipeline: cpm::Pipeline::Fused,
             deprecated_sweep: None,
         }
         .run()
@@ -1725,6 +1811,7 @@ mod tests {
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: None,
+            pipeline: cpm::Pipeline::Fused,
             deprecated_sweep: None,
         }
         .run()
@@ -1737,6 +1824,7 @@ mod tests {
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Fixed(2),
             deadline: None,
+            pipeline: cpm::Pipeline::Fused,
             deprecated_sweep: Some("legacy".into()),
         }
         .run()
@@ -1751,6 +1839,7 @@ mod tests {
             kernel: cliques::Kernel::Auto,
             threads: exec::Threads::Auto,
             deadline: Some(3600),
+            pipeline: cpm::Pipeline::Fused,
             deprecated_sweep: None,
         }
         .run()

@@ -1,0 +1,101 @@
+//! Regression tests for the consolidated legacy-flag stderr helper:
+//! every notice (`--sweep`, `--approx`, `--pipeline staged`) goes to
+//! stderr, and stdout stays **byte-identical** to a notice-free run —
+//! piping the command's output must never pick up a warning.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kclique-cli"))
+}
+
+fn fixture_edges(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kclique_cli_legacy_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let edges = dir.join(format!("{name}.edges"));
+    std::fs::write(&edges, "0 1\n0 2\n1 2\n1 3\n2 3\n2 4\n3 4\n").expect("write edges");
+    edges
+}
+
+fn run(args: &[&str], edges: &PathBuf) -> std::process::Output {
+    let output = bin()
+        .args(args)
+        .arg("--input")
+        .arg(edges)
+        .output()
+        .expect("spawn kclique-cli");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    output
+}
+
+/// All three notices at once: one stderr block, stdout byte-equal to
+/// the clean invocation.
+#[test]
+fn legacy_flag_notices_never_touch_stdout() {
+    let edges = fixture_edges("combo");
+    let clean = run(&["communities", "--k", "3"], &edges);
+    let warned = run(
+        &[
+            "communities",
+            "--k",
+            "3",
+            "--sweep",
+            "legacy",
+            "--pipeline",
+            "staged",
+        ],
+        &edges,
+    );
+    assert_eq!(
+        clean.stdout, warned.stdout,
+        "legacy-flag notices changed stdout bytes"
+    );
+    assert!(clean.stderr.is_empty(), "clean run must not warn");
+    let stderr = String::from_utf8_lossy(&warned.stderr);
+    assert!(stderr.contains("--sweep legacy is deprecated"), "{stderr}");
+    assert!(stderr.contains("--pipeline staged"), "{stderr}");
+    // Every line of the block is a warning, nothing else.
+    assert!(
+        stderr.lines().all(|l| l.starts_with("warning: ")),
+        "{stderr}"
+    );
+}
+
+/// `--approx` routes through the same helper on the streaming verb.
+#[test]
+fn approx_alias_warns_on_stderr_only() {
+    let edges = fixture_edges("approx");
+    let clean = run(
+        &["stream-percolate", "--k", "3", "--mode", "almost"],
+        &edges,
+    );
+    let warned = run(&["stream-percolate", "--k", "3", "--approx"], &edges);
+    assert_eq!(clean.stdout, warned.stdout, "--approx changed stdout bytes");
+    let stderr = String::from_utf8_lossy(&warned.stderr);
+    assert!(stderr.contains("--approx is deprecated"), "{stderr}");
+}
+
+/// The fused default and the staged escape hatch print byte-identical
+/// communities — single-k and the all-k table.
+#[test]
+fn fused_and_staged_stdout_agree() {
+    let edges = fixture_edges("pipelines");
+    for (sel, rest) in [("--k", "3"), ("--all-k", "")] {
+        for mode in ["exact", "almost"] {
+            let mut base = vec!["communities", sel];
+            if !rest.is_empty() {
+                base.push(rest);
+            }
+            base.extend(["--mode", mode]);
+            let fused = run(&base, &edges);
+            let mut staged_args = base.clone();
+            staged_args.extend(["--pipeline", "staged"]);
+            let staged = run(&staged_args, &edges);
+            assert_eq!(
+                fused.stdout, staged.stdout,
+                "fused vs staged stdout diverged ({sel} {mode})"
+            );
+        }
+    }
+}

@@ -36,9 +36,11 @@ mod clique_set;
 pub mod kclique;
 mod kernel;
 pub mod parallel;
+pub mod sink;
 
 pub use clique_set::{Clique, CliqueSet};
 pub use kernel::{Kernel, AUTO_BITSET_MAX_LOCAL};
+pub use sink::{consume_max_cliques, consume_max_cliques_cancellable, CliqueConsumer};
 
 use asgraph::{Graph, NodeId};
 use std::ops::ControlFlow;

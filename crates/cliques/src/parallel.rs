@@ -26,12 +26,16 @@
 //! threshold to the sequential path, so tiny substrates never pay
 //! parallel overhead at all.
 
-use crate::bron_kerbosch::top_level_subproblem;
+use crate::bron_kerbosch::{top_level_subproblem, top_level_visit_with};
 use crate::clique_set::CliqueSet;
 use crate::kernel::{BitsetScratch, Kernel};
-use asgraph::Graph;
+use crate::sink::{sorted_into, CliqueConsumer};
+use asgraph::{Graph, NodeId};
 use exec::{CancelToken, Cancelled, ChunkQueue, Pool, Threads};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Outer vertices claimed per queue chunk. Small enough that the heavy
 /// hub subproblems of an AS-like graph cannot hide behind one claim,
@@ -174,6 +178,211 @@ fn max_cliques_parallel_impl(
     Ok(out)
 }
 
+/// Buffered batches the leader-consumer may hold before producers stall.
+///
+/// Bounds the fused pipeline's reassembly memory to a constant number of
+/// in-flight chunks (each the cliques of [`STEAL_CHUNK`] outer
+/// vertices): a producer whose chunk is not the next one due pauses
+/// once this many finished chunks are waiting. The producer holding the
+/// next-due chunk never pauses, so the leader always makes progress.
+const REASSEMBLY_WINDOW: usize = 32;
+
+/// One work-stolen chunk of enumerated cliques in flat form: clique `i`
+/// is `members[lens[..i].sum()..][..lens[i]]`, members sorted ascending.
+struct Batch {
+    lens: Vec<u32>,
+    members: Vec<NodeId>,
+}
+
+/// Chunk-reassembly state shared between producers and the
+/// leader-consumer: finished batches keyed by chunk start, the start the
+/// leader will consume next, and the abort flag that releases paused
+/// producers after cancellation.
+struct Reassembly {
+    ready: HashMap<usize, Batch>,
+    next: usize,
+    aborted: bool,
+}
+
+/// Streams the maximal cliques of `g` into `consumer` using `threads`
+/// workers — the sink-driven counterpart of [`max_cliques_parallel`],
+/// with no [`CliqueSet`] materialised anywhere.
+///
+/// The consumer sees the *sequential* stream — same cliques, same
+/// order, members sorted ascending — at every worker count: producers
+/// claim work-stolen chunks and enumerate them into flat batches, and
+/// the pool leader (the calling thread) feeds batches to the consumer
+/// in ascending chunk order, pausing producers that run too far ahead
+/// so at most a constant number of chunks is ever buffered.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn consume_max_cliques_parallel(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    kernel: Kernel,
+    consumer: &mut (dyn CliqueConsumer + Send),
+) {
+    consume_max_cliques_parallel_impl(g, threads.into(), kernel, None, consumer)
+        .expect("uncancellable enumeration cannot be cancelled");
+}
+
+/// [`consume_max_cliques_parallel`] polling a [`CancelToken`] between
+/// emitted chunks: producers stop claiming work, the leader stops
+/// consuming, paused producers are released, and everyone runs out
+/// through the job protocol so the pool stays reusable.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] once the token trips. The consumer has then
+/// seen a prefix of the deterministic sequential stream (cut at a chunk
+/// boundary); callers that cannot resume from a prefix should discard
+/// the consumer's state.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn consume_max_cliques_parallel_cancellable(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    kernel: Kernel,
+    cancel: &CancelToken,
+    consumer: &mut (dyn CliqueConsumer + Send),
+) -> Result<(), Cancelled> {
+    consume_max_cliques_parallel_impl(g, threads.into(), kernel, Some(cancel), consumer)
+}
+
+fn consume_max_cliques_parallel_impl(
+    g: &Graph,
+    threads: Threads,
+    kernel: Kernel,
+    cancel: Option<&CancelToken>,
+    consumer: &mut (dyn CliqueConsumer + Send),
+) -> Result<(), Cancelled> {
+    let mut workers = threads.resolve(g.edge_count(), AUTO_EDGES_PER_WORKER);
+    if g.node_count() < 2 * workers {
+        workers = 1;
+    }
+    let ordering = asgraph::ordering::degeneracy_order(g);
+    let order = ordering.order.as_slice();
+    let rank = ordering.rank.as_slice();
+    let pool = Pool::global();
+
+    if workers == 1 {
+        return pool.leader(|mut w| {
+            let scratch = w.scratch_with(BitsetScratch::default);
+            let mut sorted: Vec<NodeId> = Vec::new();
+            // Same cancellation granularity as the parallel path: one
+            // poll per STEAL_CHUNK outer vertices.
+            for chunk in order.chunks(STEAL_CHUNK) {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+                for &v in chunk {
+                    let _ = top_level_visit_with(g, v, rank, kernel, scratch, &mut |clique| {
+                        sorted_into(clique, &mut sorted);
+                        consumer.consume(&sorted);
+                        ControlFlow::Continue(())
+                    });
+                }
+            }
+            Ok(())
+        });
+    }
+
+    // Worker 0 — the calling thread — is a pure consumer; workers 1..
+    // produce. Producers enumerate work-stolen chunks into flat batches
+    // and park them in `ready`; the leader drains batches in ascending
+    // chunk order, so the consumer sees the sequential stream whatever
+    // the scheduling races did.
+    let queue = ChunkQueue::new(order.len(), STEAL_CHUNK);
+    let chunk_count = order.len().div_ceil(STEAL_CHUNK);
+    let sync = Mutex::new(Reassembly {
+        ready: HashMap::new(),
+        next: 0,
+        aborted: false,
+    });
+    let ready_cv = Condvar::new();
+    let consumer = Mutex::new(consumer);
+    pool.run(workers, |mut w| {
+        if w.is_leader() {
+            let mut consumer = consumer.lock().expect("clique producer panicked");
+            let mut consumed = 0usize;
+            let mut guard = sync.lock().expect("clique producer panicked");
+            while consumed < chunk_count {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    guard.aborted = true;
+                    ready_cv.notify_all();
+                    break;
+                }
+                if let Some(batch) = guard.ready.remove(&(consumed * STEAL_CHUNK)) {
+                    guard.next = (consumed + 1) * STEAL_CHUNK;
+                    ready_cv.notify_all();
+                    drop(guard);
+                    let mut offset = 0usize;
+                    for &len in &batch.lens {
+                        consumer.consume(&batch.members[offset..offset + len as usize]);
+                        offset += len as usize;
+                    }
+                    consumed += 1;
+                    guard = sync.lock().expect("clique producer panicked");
+                } else {
+                    // Timed wait so a tripped token is noticed even if
+                    // no further batch ever arrives.
+                    guard = ready_cv
+                        .wait_timeout(guard, Duration::from_millis(5))
+                        .expect("clique producer panicked")
+                        .0;
+                }
+            }
+            return;
+        }
+        let scratch = w.scratch_with(BitsetScratch::default);
+        let mut sorted: Vec<NodeId> = Vec::new();
+        let claim = || match cancel {
+            Some(token) => queue.claim_unless(token),
+            None => queue.claim(),
+        };
+        while let Some(range) = claim() {
+            let mut batch = Batch {
+                lens: Vec::new(),
+                members: Vec::new(),
+            };
+            for &v in &order[range.clone()] {
+                let _ = top_level_visit_with(g, v, rank, kernel, scratch, &mut |clique| {
+                    sorted_into(clique, &mut sorted);
+                    batch.lens.push(sorted.len() as u32);
+                    batch.members.extend_from_slice(&sorted);
+                    ControlFlow::Continue(())
+                });
+            }
+            let mut guard = sync.lock().expect("clique leader panicked");
+            // Back-pressure: pause while the buffer is full, unless this
+            // is the chunk the leader needs next (then it must go in, or
+            // nobody would ever drain the buffer).
+            while !guard.aborted
+                && guard.next != range.start
+                && guard.ready.len() >= REASSEMBLY_WINDOW
+            {
+                guard = ready_cv
+                    .wait_timeout(guard, Duration::from_millis(5))
+                    .expect("clique leader panicked")
+                    .0;
+            }
+            if guard.aborted {
+                break;
+            }
+            guard.ready.insert(range.start, batch);
+            ready_cv.notify_all();
+        }
+    });
+    if let Some(token) = cancel {
+        token.check()?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +515,72 @@ mod tests {
     fn empty_graph() {
         let g = Graph::empty(0);
         assert!(max_cliques_parallel(&g, 3).is_empty());
+    }
+
+    /// Recording consumer for the sink-driver tests.
+    #[derive(Default)]
+    struct Record(Vec<Vec<NodeId>>);
+
+    impl CliqueConsumer for Record {
+        fn consume(&mut self, clique: &[NodeId]) {
+            assert!(clique.windows(2).all(|w| w[0] < w[1]), "unsorted emit");
+            self.0.push(clique.to_vec());
+        }
+    }
+
+    fn random_graph(seed: u64, n: u32, p: f64) -> Graph {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = asgraph::GraphBuilder::with_nodes(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(p) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sink_driver_streams_sequential_order_at_every_worker_count() {
+        let g = random_graph(11, 120, 0.1);
+        for kernel in [Kernel::Auto, Kernel::Bitset, Kernel::Merge] {
+            let seq: Vec<Vec<NodeId>> = degeneracy_with(&g, kernel)
+                .iter()
+                .map(<[NodeId]>::to_vec)
+                .collect();
+            for threads in [1, 2, 3, 4, 7] {
+                let mut sink = Record::default();
+                consume_max_cliques_parallel(&g, threads, kernel, &mut sink);
+                assert_eq!(seq, sink.0, "kernel {kernel}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sink_driver_tripped_token_cancels_and_pool_stays_reusable() {
+        let g = random_graph(17, 100, 0.15);
+        let token = exec::CancelToken::new();
+        token.cancel();
+        for threads in 1..=4 {
+            let mut sink = Record::default();
+            let err = consume_max_cliques_parallel_cancellable(
+                &g,
+                threads,
+                Kernel::Auto,
+                &token,
+                &mut sink,
+            );
+            assert!(err.is_err(), "threads {threads}");
+            assert!(sink.0.is_empty(), "threads {threads}");
+        }
+        // The pool runs out through the job protocol and stays both
+        // reusable and resumable: a fresh token completes the stream.
+        let fresh = exec::CancelToken::new();
+        let mut sink = Record::default();
+        consume_max_cliques_parallel_cancellable(&g, 4, Kernel::Auto, &fresh, &mut sink)
+            .expect("fresh token never trips");
+        assert_eq!(sink.0.len(), degeneracy(&g).len());
     }
 }

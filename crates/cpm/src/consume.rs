@@ -1,0 +1,1693 @@
+//! The fused enumerate-while-percolating pipeline: percolation as a
+//! [`CliqueConsumer`], with zero `CliqueSet` materialisation.
+//!
+//! The staged pipeline runs two passes over the clique census —
+//! enumerate everything into a [`cliques::CliqueSet`], then percolate
+//! it — with the full clique list resident in between. Kumpula et
+//! al.'s sequential CPM and Baudin et al.'s memory-efficient
+//! almost-exact CPM both fold each clique in **as it is emitted**;
+//! [`FusedPercolator`] does the same for this repo's engines. The
+//! Bron–Kerbosch kernels stream cliques straight into it (via
+//! [`cliques::sink`]), it folds each one into per-mode working state,
+//! and [`FusedPercolator::finish`] runs the descending-`k` sweep from
+//! that state alone. No clique list ever exists:
+//!
+//! * **Almost mode** keeps the level-2/level-3 key unions *incremental*
+//!   (a per-vertex last-owner chain for vertex keys, a persistent
+//!   last-owner table for edge keys — chains and first-seen stars have
+//!   the same connected components), streams the small×small exact
+//!   counting pass of [`SubsumptionStrata`] against per-vertex posting
+//!   lists of earlier small cliques, and compresses each big clique to
+//!   a 256-bit hub bitmap (40 bytes, vs. the full member list) from
+//!   which the big×big and big×small prepasses — and the big cliques'
+//!   members themselves — are reconstructed at [`finish`] time. When a
+//!   substrate overflows 256 hub vertices the engine switches to the
+//!   same counting + bloom-guarded fallback the staged prepass uses.
+//! * **Exact mode** streams the overlap counting itself: each clique
+//!   counts its overlap with every earlier clique off the posting
+//!   lists, pairs land in their detection stratum, and `k = 2` is
+//!   chained off the postings during the sweep — the postings double as
+//!   the (transposed) member store for community extraction.
+//!
+//! Both engines reach the same union–find states as the staged
+//! [`crate::percolate_mode`] at every level, so community *covers* are
+//! identical; only the clique-id convention differs (stream ordinals
+//! here, canonical lex order there), which permutes `clique_ids` and
+//! the order of communities within a level. Everything the CLI prints
+//! (sorted single-level covers, per-level count tables) is
+//! byte-identical, and the fused result itself is bit-identical across
+//! kernels and worker counts (the parallel sink driver reassembles
+//! chunks in sequential order).
+//!
+//! [`finish`]: FusedPercolator::finish
+
+use crate::dsu::Dsu;
+use crate::mode::{emits, mix, Mode, SubsumptionStrata, KEY_MAX_L, MISS_DEPTH, R, SMALL_FULL};
+use crate::result::{canonical_members, Community, KLevel};
+use asgraph::{Graph, NodeId};
+use cliques::{CliqueConsumer, Kernel};
+use exec::{CancelToken, Cancelled, Threads};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which plumbing carries cliques into percolation: the fused
+/// single-pass consumer pipeline (default) or the staged
+/// enumerate-then-percolate path it replaces. The covers they produce
+/// are identical; `staged` remains as an escape hatch and as the
+/// cross-check baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pipeline {
+    /// Sink-driven: cliques stream into the percolation engine as they
+    /// are enumerated; no clique list is ever materialised.
+    #[default]
+    Fused,
+    /// Two-pass: enumerate a `CliqueSet`, then percolate it.
+    Staged,
+}
+
+impl Pipeline {
+    /// The CLI/JSON spelling (`"fused"` / `"staged"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Pipeline::Fused => "fused",
+            Pipeline::Staged => "staged",
+        }
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Pipeline {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fused" => Ok(Pipeline::Fused),
+            "staged" => Ok(Pipeline::Staged),
+            other => Err(format!(
+                "unknown pipeline '{other}' (expected fused|staged)"
+            )),
+        }
+    }
+}
+
+/// The multi-level result of a fused percolation: one [`KLevel`] per
+/// `k` (ascending), each with full members, clique ids (stream
+/// ordinals) and Theorem-1 parent links — a [`crate::CpmResult`]
+/// without the clique list, because the pipeline never had one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FusedCpmResult {
+    /// One entry per level `k` (ascending) from 2 to the largest
+    /// clique size. `clique_ids` are stream ordinals — the position of
+    /// each clique in the (deterministic) sequential enumeration order.
+    pub levels: Vec<KLevel>,
+    /// Total maximal cliques the stream carried (the ordinal space).
+    pub clique_count: usize,
+}
+
+impl FusedCpmResult {
+    /// The largest clique size (highest level), `None` when no level
+    /// exists.
+    pub fn k_max(&self) -> Option<u32> {
+        self.levels.last().map(|l| l.k)
+    }
+
+    /// The level for a given `k`, if present.
+    pub fn level(&self, k: u32) -> Option<&KLevel> {
+        self.levels.iter().find(|l| l.k == k)
+    }
+
+    /// Total communities across all levels.
+    pub fn total_communities(&self) -> usize {
+        self.levels.iter().map(|l| l.communities.len()).sum()
+    }
+}
+
+/// Wall-clock attribution of one fused percolation, for the bench
+/// per-phase rows: `consume` covers enumeration plus all streaming
+/// fold-in work (they are one pass — that is the point), `pairs` the
+/// finish-time big-clique prepasses, `sweep` the descending-`k`
+/// unions, `extract` level snapshots and member extraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedPhases {
+    /// Enumeration fused with per-clique streaming state updates.
+    pub consume: std::time::Duration,
+    /// Finish-time pair detection (big×big / big×small prepasses).
+    pub pairs: std::time::Duration,
+    /// Descending-`k` union replay.
+    pub sweep: std::time::Duration,
+    /// Level snapshotting and member extraction.
+    pub extract: std::time::Duration,
+}
+
+/// Largest clique size whose vertex keys the almost engine emits
+/// (`binomial(s, 1) = s ≤ SUBSET_CAP`), mirroring the staged gate.
+const VERTEX_KEY_MAX_S: usize = crate::mode::SUBSET_CAP as usize;
+
+/// Largest clique size whose edge keys the almost engine emits
+/// (`binomial(s, 2) ≤ SUBSET_CAP` ⟺ `s ≤ 91`), mirroring the staged
+/// gate.
+const EDGE_KEY_MAX_S: usize = 91;
+
+/// Persistent open-addressed `edge-key → last owner` table. The staged
+/// engine probes a first-seen [`crate::mode::KeyTable`] per level; the
+/// fused engine only ever has *one* edge-keyed level (k = 3), so a
+/// single persistent table with last-owner *chaining* reaches the same
+/// connected components (a chain and a first-seen star over the same
+/// key class connect the same cliques — including classes formed by
+/// 64-bit hash collisions, which both engines honour identically).
+struct EdgeTable {
+    /// `(fp, owner)`; `fp == 0` marks an empty slot (key 0 remaps to 1,
+    /// exactly like the staged table).
+    slots: Vec<EdgeSlot>,
+    mask: usize,
+    used: usize,
+}
+
+#[derive(Clone, Copy, Default)]
+struct EdgeSlot {
+    fp: u64,
+    owner: u32,
+}
+
+impl EdgeTable {
+    fn new() -> Self {
+        let cap = 1 << 12;
+        EdgeTable {
+            slots: vec![EdgeSlot::default(); cap],
+            mask: cap - 1,
+            used: 0,
+        }
+    }
+
+    /// Records `clique` as the current owner of `key`, returning the
+    /// previous owner if the key was already present.
+    #[inline]
+    fn exchange(&mut self, key: u64, clique: u32) -> Option<u32> {
+        let fp = if key == 0 { 1 } else { key };
+        if 2 * (self.used + 1) > self.mask + 1 {
+            self.grow();
+        }
+        let mut i = (fp as usize) & self.mask;
+        loop {
+            let s = &mut self.slots[i];
+            if s.fp == 0 {
+                *s = EdgeSlot { fp, owner: clique };
+                self.used += 1;
+                return None;
+            }
+            if s.fp == fp {
+                let prev = s.owner;
+                s.owner = clique;
+                return Some(prev);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.mask + 1) * 2;
+        let mut next = EdgeTable {
+            slots: vec![EdgeSlot::default(); cap],
+            mask: cap - 1,
+            used: self.used,
+        };
+        for s in &self.slots {
+            if s.fp != 0 {
+                let mut j = (s.fp as usize) & next.mask;
+                while next.slots[j].fp != 0 {
+                    j = (j + 1) & next.mask;
+                }
+                next.slots[j] = *s;
+            }
+        }
+        *self = next;
+    }
+}
+
+/// A big clique compressed to its hub bitmap: every member of a big
+/// clique is a hub vertex, so 256 bits plus the global hub-id ↔ vertex
+/// map recover the full member list — 40 bytes per big clique instead
+/// of its member array.
+struct BigRec {
+    ord: u32,
+    size: u32,
+    bm: [u64; 4],
+}
+
+/// Level-stratified `(earlier, later)` union pairs, grown on demand —
+/// the fused twin of the staged [`SubsumptionStrata`] / overlap
+/// strata, filled incrementally by the streaming passes.
+#[derive(Default)]
+struct Strata {
+    by_level: Vec<Vec<(u32, u32)>>,
+}
+
+impl Strata {
+    #[inline]
+    fn push(&mut self, level: usize, pair: (u32, u32)) {
+        if self.by_level.len() <= level {
+            self.by_level.resize_with(level + 1, Vec::new);
+        }
+        self.by_level[level].push(pair);
+    }
+
+    fn at(&self, level: usize) -> &[(u32, u32)] {
+        self.by_level.get(level).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// The almost-mode fused engine state (see the module docs).
+struct AlmostFused {
+    /// Per-vertex last clique that emitted this vertex's key
+    /// (`u32::MAX` = none yet); chains into `dsu2`.
+    last2: Vec<u32>,
+    /// Level-2 (vertex-key) components over clique ordinals.
+    dsu2: Dsu,
+    /// Persistent edge-key table chaining into `dsu3`.
+    edges: EdgeTable,
+    /// Level-3 (edge-key) components over clique ordinals.
+    dsu3: Dsu,
+    /// Per-vertex posting lists of earlier *small* cliques
+    /// (3 ≤ size ≤ [`SMALL_FULL`]) — the streaming small×small counting
+    /// pass, and the transposed member store for extraction.
+    small_postings: Vec<Vec<u32>>,
+    /// Dense per-partner overlap counter (counts ≤ [`SMALL_FULL`]).
+    counter: Vec<u8>,
+    touched: Vec<u32>,
+    /// Size-2 cliques (ordinal, members) — active only at `k = 2`.
+    pairs2: Vec<(u32, [NodeId; 2])>,
+    /// Hub-bit assignment, in hub-vertex *arrival* order.
+    hub_bit: Vec<u32>,
+    hub_inv: Vec<NodeId>,
+    /// Big cliques as hub bitmaps (fast path; drained on fallback).
+    bigs: Vec<BigRec>,
+    /// Fallback state (> 256 hub vertices): explicit big members and
+    /// big posting lists, as in the staged prepass fallback.
+    fallback: bool,
+    big_ords: Vec<u32>,
+    big_offsets: Vec<usize>,
+    big_members: Vec<NodeId>,
+    big_postings: Vec<Vec<u32>>,
+    strata: Strata,
+    /// Per-detection-level components found by the finish-time
+    /// prepasses — big-involving pairs union straight in here instead
+    /// of materialising millions of `(y, x)` entries, and the sweep
+    /// merges each level's partition exactly like `dsu2`/`dsu3`. The
+    /// ordinal universe is small enough that these stay cache-resident.
+    level_dsus: Vec<Option<Dsu>>,
+    /// Transposed member store for extraction (ordinal-indexed CSR over
+    /// the small cliques), built once at finish time from the posting
+    /// lists — see [`Self::build_extract_index`].
+    small_off: Vec<u32>,
+    small_mem: Vec<NodeId>,
+    /// `(ord, index into bigs)` sorted by ordinal, for extraction.
+    big_ord_idx: Vec<(u32, u32)>,
+}
+
+impl AlmostFused {
+    fn new(n: usize) -> Self {
+        AlmostFused {
+            last2: vec![u32::MAX; n],
+            dsu2: Dsu::new(0),
+            edges: EdgeTable::new(),
+            dsu3: Dsu::new(0),
+            small_postings: vec![Vec::new(); n],
+            counter: Vec::new(),
+            touched: Vec::new(),
+            pairs2: Vec::new(),
+            hub_bit: vec![u32::MAX; n],
+            hub_inv: Vec::new(),
+            bigs: Vec::new(),
+            fallback: false,
+            big_ords: Vec::new(),
+            big_offsets: vec![0],
+            big_members: Vec::new(),
+            big_postings: Vec::new(),
+            strata: Strata::default(),
+            level_dsus: Vec::new(),
+            small_off: Vec::new(),
+            small_mem: Vec::new(),
+            big_ord_idx: Vec::new(),
+        }
+    }
+
+    fn consume(&mut self, c: &[NodeId]) {
+        let x = self.counter.len() as u32;
+        let s = c.len();
+        self.counter.push(0);
+        self.dsu2.push();
+        self.dsu3.push();
+
+        // Level-2 vertex keys: mix is bijective, so key identity is
+        // vertex identity — chain through the per-vertex last owner.
+        if (2..=VERTEX_KEY_MAX_S).contains(&s) {
+            for &v in c {
+                let prev = std::mem::replace(&mut self.last2[v as usize], x);
+                if prev != u32::MAX {
+                    self.dsu2.union(prev, x);
+                }
+            }
+        }
+        // Level-3 edge keys: same hash values as the staged emitter,
+        // same emission gate, last-owner chaining.
+        if (3..=EDGE_KEY_MAX_S).contains(&s) {
+            debug_assert!(emits(s, 2));
+            for i in 0..s - 1 {
+                let h0 = mix(c[i]);
+                for &v in &c[i + 1..] {
+                    let key = h0.wrapping_add(mix(v).wrapping_mul(R));
+                    if let Some(prev) = self.edges.exchange(key, x) {
+                        if prev != x {
+                            self.dsu3.union(prev, x);
+                        }
+                    }
+                }
+            }
+        }
+
+        match s {
+            0 | 1 => {}
+            2 => self.pairs2.push((x, [c[0], c[1]])),
+            _ if s <= SMALL_FULL => self.consume_small(c, x),
+            _ => self.consume_big(c, x),
+        }
+    }
+
+    /// Streaming small×small (and, on the fallback path, small×big)
+    /// exact counting — the incremental form of the staged
+    /// `count_pairs` scan.
+    fn consume_small(&mut self, c: &[NodeId], x: u32) {
+        for &v in c {
+            for &y in &self.small_postings[v as usize] {
+                if self.counter[y as usize] == 0 {
+                    self.touched.push(y);
+                }
+                self.counter[y as usize] += 1;
+            }
+            if self.fallback {
+                for &y in &self.big_postings[v as usize] {
+                    if self.counter[y as usize] == 0 {
+                        self.touched.push(y);
+                    }
+                    self.counter[y as usize] += 1;
+                }
+            }
+        }
+        self.flush_counts(x);
+        for &v in c {
+            self.small_postings[v as usize].push(x);
+        }
+    }
+
+    fn consume_big(&mut self, c: &[NodeId], x: u32) {
+        if !self.fallback {
+            let mut bm = [0u64; 4];
+            let mut fits = true;
+            for &v in c {
+                let mut b = self.hub_bit[v as usize];
+                if b == u32::MAX {
+                    if self.hub_inv.len() == 256 {
+                        fits = false;
+                        break;
+                    }
+                    b = self.hub_inv.len() as u32;
+                    self.hub_bit[v as usize] = b;
+                    self.hub_inv.push(v);
+                }
+                bm[(b >> 6) as usize] |= 1u64 << (b & 63);
+            }
+            if fits {
+                self.bigs.push(BigRec {
+                    ord: x,
+                    size: c.len() as u32,
+                    bm,
+                });
+                return;
+            }
+            self.switch_to_fallback();
+        }
+        // Fallback: store members, count against earlier smalls (the
+        // staged mixed scheme — bigs scan small postings, smalls scan
+        // big postings, so each mixed pair is counted exactly once),
+        // defer big×big to the finish-time bloom pass.
+        for &v in c {
+            for &y in &self.small_postings[v as usize] {
+                if self.counter[y as usize] == 0 {
+                    self.touched.push(y);
+                }
+                self.counter[y as usize] += 1;
+            }
+        }
+        self.flush_counts(x);
+        self.big_ords.push(x);
+        self.big_members.extend_from_slice(c);
+        self.big_offsets.push(self.big_members.len());
+        for &v in c {
+            self.big_postings[v as usize].push(x);
+        }
+    }
+
+    /// Drains the touched counters into the strata (`m >` [`KEY_MAX_L`]
+    /// ⇒ detection level `m + 1`), exactly like the staged scan.
+    fn flush_counts(&mut self, x: u32) {
+        for &y in &self.touched {
+            let m = self.counter[y as usize] as usize;
+            self.counter[y as usize] = 0;
+            if m > KEY_MAX_L {
+                self.strata.push(m + 1, (y, x));
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// The 256-hub-vertex overflow switch: reconstruct the members of
+    /// every bitmap-compressed big (their hub bits are all assigned),
+    /// count each one against every small seen so far (no mixed pair
+    /// involving them has been counted yet — the fast path defers all
+    /// big-involving pairs to finish), and seed the big posting lists
+    /// so later smalls find them.
+    fn switch_to_fallback(&mut self) {
+        self.fallback = true;
+        self.big_postings = vec![Vec::new(); self.small_postings.len()];
+        for bi in 0..self.bigs.len() {
+            let start = self.big_members.len();
+            for w in 0..4 {
+                let mut bits = self.bigs[bi].bm[w];
+                while bits != 0 {
+                    let b = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.big_members.push(self.hub_inv[b]);
+                }
+            }
+            // Hub bits are in arrival order, not id order; members
+            // must stay sorted ascending.
+            self.big_members[start..].sort_unstable();
+            self.big_offsets.push(self.big_members.len());
+            let ord = self.bigs[bi].ord;
+            self.big_ords.push(ord);
+            for mi in start..self.big_members.len() {
+                let v = self.big_members[mi] as usize;
+                for yi in 0..self.small_postings[v].len() {
+                    let y = self.small_postings[v][yi];
+                    if self.counter[y as usize] == 0 {
+                        self.touched.push(y);
+                    }
+                    self.counter[y as usize] += 1;
+                }
+            }
+            self.flush_counts(ord);
+            for mi in start..self.big_members.len() {
+                let v = self.big_members[mi] as usize;
+                self.big_postings[v].push(ord);
+            }
+        }
+        self.bigs.clear();
+    }
+}
+
+/// The exact-mode fused engine: streaming pairwise overlap counting
+/// into detection strata, with the posting lists doubling as the
+/// transposed member store.
+struct ExactFused {
+    /// Per-vertex posting lists of every earlier clique of size ≥ 2.
+    postings: Vec<Vec<u32>>,
+    counter: Vec<u32>,
+    touched: Vec<u32>,
+    strata: Strata,
+}
+
+impl ExactFused {
+    fn new(n: usize) -> Self {
+        ExactFused {
+            postings: vec![Vec::new(); n],
+            counter: Vec::new(),
+            touched: Vec::new(),
+            strata: Strata::default(),
+        }
+    }
+
+    fn consume(&mut self, c: &[NodeId]) {
+        let x = self.counter.len() as u32;
+        self.counter.push(0);
+        if c.len() < 2 {
+            return;
+        }
+        for &v in c {
+            for &y in &self.postings[v as usize] {
+                if self.counter[y as usize] == 0 {
+                    self.touched.push(y);
+                }
+                self.counter[y as usize] += 1;
+            }
+        }
+        for &y in &self.touched {
+            let m = self.counter[y as usize] as usize;
+            self.counter[y as usize] = 0;
+            // m = 1 pairs are chained off the postings at k = 2; m ≥ 2
+            // lands in its detection stratum, as in the staged
+            // `overlap_strata_min(…, 2)`.
+            if m >= 2 {
+                self.strata.push(m + 1, (y, x));
+            }
+        }
+        self.touched.clear();
+        for &v in c {
+            self.postings[v as usize].push(x);
+        }
+    }
+}
+
+// Boxed: `FusedPercolator` lives on the stack at every entry point and
+// the almost engine's inline state (key tables, planes, caches) is two
+// orders larger than the exact one's.
+enum Engine {
+    Almost(Box<AlmostFused>),
+    Exact(ExactFused),
+}
+
+/// [`crate::percolation::LevelSnapshotter`] for the fused pipeline:
+/// identical first-seen-root community assignment and Theorem-1 parent
+/// wiring, but driven by the per-ordinal size array (members are
+/// extracted afterwards from the engines' transposed stores).
+struct FusedSnapshotter {
+    idx_of_root: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl FusedSnapshotter {
+    fn new(num_cliques: usize) -> Self {
+        FusedSnapshotter {
+            idx_of_root: vec![0; num_cliques],
+            stamp: vec![u32::MAX; num_cliques],
+            epoch: 0,
+        }
+    }
+
+    fn snapshot(
+        &mut self,
+        sizes: &[u32],
+        k: usize,
+        find: &mut dyn FnMut(u32) -> u32,
+        prev: Option<&mut KLevel>,
+    ) -> KLevel {
+        self.epoch += 1;
+        let mut communities: Vec<Community> = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            if (s as usize) < k {
+                continue;
+            }
+            let root = find(i as u32) as usize;
+            let idx = if self.stamp[root] == self.epoch {
+                self.idx_of_root[root]
+            } else {
+                self.stamp[root] = self.epoch;
+                let idx = communities.len() as u32;
+                self.idx_of_root[root] = idx;
+                communities.push(Community {
+                    members: Vec::new(),
+                    clique_ids: Vec::new(),
+                    parent: None,
+                });
+                idx
+            };
+            communities[idx as usize].clique_ids.push(i as u32);
+        }
+        if let Some(prev) = prev {
+            for pc in &mut prev.communities {
+                let root = find(pc.clique_ids[0]) as usize;
+                debug_assert_eq!(
+                    self.stamp[root], self.epoch,
+                    "a level-(k+1) community's cliques stay active at level k"
+                );
+                pc.parent = Some(self.idx_of_root[root]);
+            }
+        }
+        KLevel {
+            k: k as u32,
+            communities,
+        }
+    }
+}
+
+/// Ordinal → community index map for one level's member extraction,
+/// epoch-stamped so the arrays are reused across levels.
+struct CommOf {
+    idx: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl CommOf {
+    fn new(num_cliques: usize) -> Self {
+        CommOf {
+            idx: vec![0; num_cliques],
+            stamp: vec![u32::MAX; num_cliques],
+            epoch: 0,
+        }
+    }
+
+    fn begin(&mut self, level: &KLevel) {
+        self.epoch += 1;
+        for (ci, c) in level.communities.iter().enumerate() {
+            for &ord in &c.clique_ids {
+                self.idx[ord as usize] = ci as u32;
+                self.stamp[ord as usize] = self.epoch;
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, ord: u32) -> Option<usize> {
+        (self.stamp[ord as usize] == self.epoch).then(|| self.idx[ord as usize] as usize)
+    }
+}
+
+/// Percolation as a clique sink: feed every maximal clique (sorted
+/// members, each exactly once, deterministic order — the
+/// [`cliques::sink`] drivers guarantee this) to
+/// [`consume`](CliqueConsumer::consume), then call
+/// [`finish`](Self::finish) for the multi-level result or
+/// [`finish_at`](Self::finish_at) for a single level. At no point does
+/// a clique list exist: peak memory is the engines' working state.
+pub struct FusedPercolator {
+    sizes: Vec<u32>,
+    k_max: usize,
+    engine: Engine,
+}
+
+impl CliqueConsumer for FusedPercolator {
+    fn consume(&mut self, clique: &[NodeId]) {
+        self.push(clique);
+    }
+}
+
+impl FusedPercolator {
+    /// A fresh consumer for a graph of `n` vertices percolating in
+    /// `mode`.
+    pub fn new(n: usize, mode: Mode) -> Self {
+        FusedPercolator {
+            sizes: Vec::new(),
+            k_max: 0,
+            engine: match mode {
+                Mode::Almost => Engine::Almost(Box::new(AlmostFused::new(n))),
+                Mode::Exact => Engine::Exact(ExactFused::new(n)),
+            },
+        }
+    }
+
+    /// Folds one maximal clique (sorted strictly ascending) into the
+    /// engine state.
+    ///
+    /// # Panics
+    ///
+    /// May panic if a member id is `>= n` or the slice is unsorted.
+    pub fn push(&mut self, clique: &[NodeId]) {
+        debug_assert!(clique.windows(2).all(|w| w[0] < w[1]));
+        self.sizes.push(clique.len() as u32);
+        self.k_max = self.k_max.max(clique.len());
+        match &mut self.engine {
+            Engine::Almost(a) => a.consume(clique),
+            Engine::Exact(e) => e.consume(clique),
+        }
+    }
+
+    /// Cliques consumed so far.
+    pub fn clique_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Runs the descending-`k` sweep and extracts every level.
+    pub fn finish(self) -> FusedCpmResult {
+        self.finish_phases(&mut FusedPhases::default())
+    }
+
+    /// [`finish`](Self::finish) accumulating the post-consume phase
+    /// breakdown into `phases` (the `consume` component is timed by
+    /// the caller, since it happens before the engine is entered).
+    pub fn finish_phases(mut self, phases: &mut FusedPhases) -> FusedCpmResult {
+        let clique_count = self.sizes.len();
+        if self.k_max < 2 {
+            return FusedCpmResult {
+                levels: Vec::new(),
+                clique_count,
+            };
+        }
+        let t = std::time::Instant::now();
+        if let Engine::Almost(a) = &mut self.engine {
+            a.finish_pairs(&self.sizes);
+            a.build_extract_index(&self.sizes);
+        }
+        phases.pairs += t.elapsed();
+
+        let mut dsu = Dsu::new(clique_count);
+        let mut snap = FusedSnapshotter::new(clique_count);
+        let mut comm_of = CommOf::new(clique_count);
+        let mut levels_desc: Vec<KLevel> = Vec::with_capacity(self.k_max - 1);
+        for k in (2..=self.k_max).rev() {
+            let t = std::time::Instant::now();
+            self.union_level(&mut dsu, k);
+            phases.sweep += t.elapsed();
+            let t = std::time::Instant::now();
+            let mut level =
+                snap.snapshot(&self.sizes, k, &mut |x| dsu.find(x), levels_desc.last_mut());
+            self.fill_members(&mut level, &mut comm_of);
+            phases.extract += t.elapsed();
+            levels_desc.push(level);
+        }
+        levels_desc.reverse();
+        FusedCpmResult {
+            levels: levels_desc,
+            clique_count,
+        }
+    }
+
+    /// Applies every union active at level `k` (strata replay plus, at
+    /// the keyed levels, the incremental key components).
+    fn union_level(&mut self, dsu: &mut Dsu, k: usize) {
+        match &mut self.engine {
+            Engine::Almost(a) => {
+                for &(x, y) in a.strata.at(k) {
+                    dsu.union(x, y);
+                }
+                if let Some(Some(d)) = a.level_dsus.get_mut(k) {
+                    merge_dsu(dsu, d);
+                }
+                if k == 3 {
+                    merge_dsu(dsu, &mut a.dsu3);
+                }
+                if k == 2 {
+                    merge_dsu(dsu, &mut a.dsu2);
+                }
+            }
+            Engine::Exact(e) => {
+                for &(x, y) in e.strata.at(k) {
+                    dsu.union(x, y);
+                }
+                if k == 2 {
+                    // Chain each posting list: any two cliques sharing
+                    // a vertex are adjacent at k = 2.
+                    for posts in &e.postings {
+                        if let Some((&first, rest)) = posts.split_first() {
+                            for &o in rest {
+                                dsu.union(first, o);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fills one snapshotted level's community members from the
+    /// engine's transposed stores, then canonicalises them.
+    ///
+    /// The almost engine walks each community's own `clique_ids` and
+    /// fetches members from the ordinal-indexed stores
+    /// ([`AlmostFused::build_extract_index`]) — work proportional to
+    /// the level's *qualifying* membership, not to the whole census,
+    /// which is what makes the per-level extraction cheaper than the
+    /// staged snapshot despite never holding a clique list.
+    fn fill_members(&self, level: &mut KLevel, comm_of: &mut CommOf) {
+        match &self.engine {
+            Engine::Almost(a) => {
+                for c in &mut level.communities {
+                    // Bitmap-compressed bigs OR into one accumulator
+                    // and decode once per community: every big member
+                    // is a hub vertex, so a community's bigs — however
+                    // many — contribute at most 256 member pushes.
+                    let mut bm = [0u64; 4];
+                    for &x in &c.clique_ids {
+                        let s = self.sizes[x as usize] as usize;
+                        if s == 2 {
+                            let i = a
+                                .pairs2
+                                .binary_search_by_key(&x, |&(o, _)| o)
+                                .expect("size-2 ordinal is in pairs2");
+                            c.members.extend_from_slice(&a.pairs2[i].1);
+                        } else if s <= SMALL_FULL {
+                            let (b, e) = (
+                                a.small_off[x as usize] as usize,
+                                a.small_off[x as usize + 1] as usize,
+                            );
+                            c.members.extend_from_slice(&a.small_mem[b..e]);
+                        } else if !a.fallback {
+                            let i = a
+                                .big_ord_idx
+                                .binary_search_by_key(&x, |&(o, _)| o)
+                                .expect("big ordinal is indexed");
+                            let rec = &a.bigs[a.big_ord_idx[i].1 as usize];
+                            for (acc, &word) in bm.iter_mut().zip(&rec.bm) {
+                                *acc |= word;
+                            }
+                        } else {
+                            let bi = a
+                                .big_ords
+                                .binary_search(&x)
+                                .expect("fallback big ordinal is recorded");
+                            let m = &a.big_members[a.big_offsets[bi]..a.big_offsets[bi + 1]];
+                            c.members.extend_from_slice(m);
+                        }
+                    }
+                    for (w, &word) in bm.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let b = (w << 6) | bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            c.members.push(a.hub_inv[b]);
+                        }
+                    }
+                }
+            }
+            Engine::Exact(e) => {
+                comm_of.begin(level);
+                for (v, posts) in e.postings.iter().enumerate() {
+                    for &x in posts {
+                        if let Some(ci) = comm_of.get(x) {
+                            level.communities[ci].members.push(v as NodeId);
+                        }
+                    }
+                }
+            }
+        }
+        for c in &mut level.communities {
+            c.members = canonical_members(std::mem::take(&mut c.members));
+        }
+    }
+
+    /// Runs the sweep down to a single level `k` and returns its
+    /// communities as sorted member lists, sorted — byte-identical to
+    /// the staged [`crate::percolate_at_mode`] output.
+    pub fn finish_at(mut self, k: usize) -> Vec<Vec<NodeId>> {
+        if k < 2 || self.k_max < k {
+            return Vec::new();
+        }
+        if let Engine::Almost(a) = &mut self.engine {
+            a.finish_pairs(&self.sizes);
+            a.build_extract_index(&self.sizes);
+        }
+        let clique_count = self.sizes.len();
+        let mut dsu = Dsu::new(clique_count);
+        for kk in (k.max(3)..=self.k_max).rev() {
+            match &mut self.engine {
+                Engine::Almost(a) => {
+                    for &(x, y) in a.strata.at(kk) {
+                        dsu.union(x, y);
+                    }
+                    if let Some(Some(d)) = a.level_dsus.get_mut(kk) {
+                        merge_dsu(&mut dsu, d);
+                    }
+                    if kk == 3 {
+                        merge_dsu(&mut dsu, &mut a.dsu3);
+                    }
+                }
+                Engine::Exact(e) => {
+                    for &(x, y) in e.strata.at(kk) {
+                        dsu.union(x, y);
+                    }
+                }
+            }
+        }
+        if k == 2 {
+            self.union_level(&mut dsu, 2);
+        }
+
+        // Root-indexed compaction over the active cliques, as in the
+        // staged single-level paths; a synthetic one-community-per-root
+        // level reuses the member extraction machinery.
+        let mut group_of_root = vec![u32::MAX; clique_count];
+        let mut communities: Vec<Community> = Vec::new();
+        for (i, &s) in self.sizes.iter().enumerate() {
+            if (s as usize) < k {
+                continue;
+            }
+            let root = dsu.find(i as u32) as usize;
+            let gi = if group_of_root[root] == u32::MAX {
+                group_of_root[root] = communities.len() as u32;
+                communities.push(Community {
+                    members: Vec::new(),
+                    clique_ids: Vec::new(),
+                    parent: None,
+                });
+                communities.len() - 1
+            } else {
+                group_of_root[root] as usize
+            };
+            communities[gi].clique_ids.push(i as u32);
+        }
+        let mut level = KLevel {
+            k: k as u32,
+            communities,
+        };
+        let mut comm_of = CommOf::new(clique_count);
+        self.fill_members(&mut level, &mut comm_of);
+        let mut out: Vec<Vec<NodeId>> = level.communities.into_iter().map(|c| c.members).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Merges the components of `sub` into `main`: one union per element
+/// against its root reproduces `sub`'s partition inside `main`.
+fn merge_dsu(main: &mut Dsu, sub: &mut Dsu) {
+    for i in 0..main.len() as u32 {
+        let r = sub.find(i);
+        if r != i {
+            main.union(r, i);
+        }
+    }
+}
+
+impl AlmostFused {
+    /// The per-level finish-pass partition, created on first use —
+    /// `count` is the clique-ordinal universe (`sizes.len()`).
+    #[inline]
+    fn level_dsu(&mut self, level: usize, count: usize) -> &mut Dsu {
+        if self.level_dsus.len() <= level {
+            self.level_dsus.resize_with(level + 1, || None);
+        }
+        self.level_dsus[level].get_or_insert_with(|| Dsu::new(count))
+    }
+
+    /// Builds the ordinal-indexed member CSR for the small cliques by
+    /// transposing the per-vertex posting lists, plus the
+    /// ordinal-sorted big-record index — the member stores the
+    /// community-driven extraction reads. The posting lists are freed
+    /// afterwards: all counting passes are done by the time this runs.
+    fn build_extract_index(&mut self, sizes: &[u32]) {
+        let count = sizes.len();
+        let mut off = vec![0u32; count + 1];
+        for (i, &s) in sizes.iter().enumerate() {
+            if (3..=SMALL_FULL as u32).contains(&s) {
+                off[i + 1] = s;
+            }
+        }
+        for i in 0..count {
+            off[i + 1] += off[i];
+        }
+        let mut mem = vec![0 as NodeId; off[count] as usize];
+        let mut cursor = off.clone();
+        for (v, posts) in self.small_postings.iter().enumerate() {
+            for &x in posts {
+                mem[cursor[x as usize] as usize] = v as NodeId;
+                cursor[x as usize] += 1;
+            }
+        }
+        self.small_off = off;
+        self.small_mem = mem;
+        self.small_postings = Vec::new();
+        self.big_ord_idx = self
+            .bigs
+            .iter()
+            .enumerate()
+            .map(|(bi, r)| (r.ord, bi as u32))
+            .collect();
+        self.big_ord_idx.sort_unstable();
+    }
+
+    /// The finish-time pair detection deferred by the streaming pass:
+    /// big×big and big×small on the hub-bitmap fast path, or the
+    /// bloom-guarded big×big scan in fallback — a direct port of the
+    /// staged [`SubsumptionStrata`] pass 2 over the compressed big
+    /// records. `sizes` is the per-ordinal clique size array.
+    fn finish_pairs(&mut self, sizes: &[u32]) {
+        if self.fallback {
+            self.finish_pairs_fallback(sizes);
+            return;
+        }
+        if self.bigs.is_empty() {
+            return;
+        }
+        // Descending size order (ordinal tie-break), so each pair's
+        // miss count is measured from its smaller side — the staged
+        // ordering with ordinals in place of canonical ids.
+        self.bigs
+            .sort_unstable_by_key(|r| (std::cmp::Reverse(r.size), r.ord));
+        let nb = self.bigs.len();
+        let w_big = nb.div_ceil(64);
+        let hubs = self.hub_inv.len();
+
+        // Transposed index — per hub vertex, a bitmap over the sorted
+        // bigs — shared by the big×big prefix-plane pass and the
+        // big×small pass below.
+        let mut trans = vec![0u64; hubs * w_big];
+        for (bi, rec) in self.bigs.iter().enumerate() {
+            for w in 0..4 {
+                let mut bits = rec.bm[w];
+                while bits != 0 {
+                    let b = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    trans[b * w_big + (bi >> 6)] |= 1u64 << (bi & 63);
+                }
+            }
+        }
+
+        let count = sizes.len();
+        if MISS_DEPTH <= 7 {
+            // Big×big, bit-sliced on the *miss* count: a qualifying
+            // pair lacks at most `MISS_DEPTH` of x's hub rows, so per
+            // candidate word a 3-bit saturating counter of absences —
+            // kept in registers, rippled branch-free from the
+            // complemented rows — replaces one AND+popcount row per
+            // earlier big. Almost every word has all 64 candidates
+            // saturate (miss ≥ 8) after a handful of rows, and the
+            // sticky mask then short-circuits the rest of x's rows.
+            let mut rows: Vec<&[u64]> = Vec::new();
+            for xi in 1..nb {
+                let s = self.bigs[xi].size as usize;
+                let w_words = xi.div_ceil(64);
+                rows.clear();
+                for w4 in 0..4 {
+                    let mut bits = self.bigs[xi].bm[w4];
+                    while bits != 0 {
+                        let b = (w4 << 6) | bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        rows.push(&trans[b * w_big..][..w_words]);
+                    }
+                }
+                debug_assert_eq!(rows.len(), s);
+                for w in 0..w_words {
+                    let (mut c0, mut c1, mut c2, mut sat) = (0u64, 0u64, 0u64, 0u64);
+                    for r in &rows {
+                        let mut v = !r[w];
+                        let t = c0 & v;
+                        c0 ^= v;
+                        v = t;
+                        let t = c1 & v;
+                        c1 ^= v;
+                        v = t;
+                        let t = c2 & v;
+                        c2 ^= v;
+                        v = t;
+                        sat |= v;
+                        if sat == u64::MAX {
+                            // Every candidate in the word already
+                            // misses ≥ 8 rows; no survivors possible.
+                            break;
+                        }
+                    }
+                    // Unsaturated candidates carry an exact 3-bit miss
+                    // count; the `c2 & c1` term pre-cuts 6 and 7 so
+                    // only genuine d ≤ MISS_DEPTH = 5 bits survive to
+                    // the (defensive) per-hit check.
+                    let mut hits = !(sat | (c2 & c1));
+                    if w == xi >> 6 {
+                        hits &= (1u64 << (xi & 63)) - 1;
+                    }
+                    while hits != 0 {
+                        let i = hits.trailing_zeros() as usize;
+                        hits &= hits - 1;
+                        let yi = (w << 6) | i;
+                        let d = (((c0 >> i) & 1) | (((c1 >> i) & 1) << 1) | (((c2 >> i) & 1) << 2))
+                            as usize;
+                        if d > MISS_DEPTH {
+                            continue;
+                        }
+                        let level = (s - d + 1).min(s).max(2);
+                        let (a, b) = (self.bigs[yi].ord, self.bigs[xi].ord);
+                        self.level_dsu(level, count).union(a, b);
+                    }
+                }
+            }
+        } else {
+            // A MISS_DEPTH past the 3-bit saturation point would make
+            // the miss counters lossy: keep the direct AND+popcount
+            // row sweep of the staged prepass for the whole matrix.
+            let words: [Vec<u64>; 4] =
+                std::array::from_fn(|w| self.bigs.iter().map(|r| r.bm[w]).collect());
+            let mut overlaps = vec![0u8; nb];
+            for xi in 1..nb {
+                let sx = [words[0][xi], words[1][xi], words[2][xi], words[3][xi]];
+                SubsumptionStrata::and_popcount_rows(sx, &words, &mut overlaps[..xi]);
+                let s = self.bigs[xi].size as usize;
+                let t = s - MISS_DEPTH;
+                if t <= 127 {
+                    let bigs = &self.bigs;
+                    let strata = &mut self.strata;
+                    SubsumptionStrata::for_each_at_least(&overlaps[..xi], t as u8, |yi, m| {
+                        let level = ((m as usize) + 1).min(s).max(2);
+                        strata.push(level, (bigs[yi].ord, bigs[xi].ord));
+                    });
+                } else {
+                    for (yi, &m) in overlaps[..xi].iter().enumerate() {
+                        if (m as usize) >= t {
+                            let level = ((m as usize) + 1).min(s).max(2);
+                            self.strata
+                                .push(level, (self.bigs[yi].ord, self.bigs[xi].ord));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Big×small, over the transposed per-hub-vertex bitmaps, for
+        // the hubby smalls (≥ 3 hub members) — identical plane
+        // arithmetic to the staged pass; the smalls' hub memberships
+        // come back out of the posting lists (which hold exactly the
+        // 3 ≤ size ≤ SMALL_FULL cliques).
+        // CSR of hub bits per small clique, rebuilt from the postings.
+        let mut hub_off = vec![0u32; count + 1];
+        for b in 0..hubs {
+            let v = self.hub_inv[b] as usize;
+            for &x in &self.small_postings[v] {
+                hub_off[x as usize + 1] += 1;
+            }
+        }
+        for i in 0..count {
+            hub_off[i + 1] += hub_off[i];
+        }
+        let mut hub_rows = vec![0u32; hub_off[count] as usize];
+        let mut cursor = hub_off.clone();
+        for b in 0..hubs {
+            let v = self.hub_inv[b] as usize;
+            for &x in &self.small_postings[v] {
+                hub_rows[cursor[x as usize] as usize] = b as u32;
+                cursor[x as usize] += 1;
+            }
+        }
+        let mut rows: Vec<&[u64]> = Vec::new();
+        for x in 0..count {
+            let hub_bits = &hub_rows[hub_off[x] as usize..hub_off[x + 1] as usize];
+            if hub_bits.len() < 3 {
+                continue;
+            }
+            let s = sizes[x] as usize;
+            debug_assert!((3..=SMALL_FULL).contains(&s));
+            rows.clear();
+            rows.extend(
+                hub_bits
+                    .iter()
+                    .map(|&b| &trans[b as usize * w_big..][..w_big]),
+            );
+            if let [r0, r1, r2] = rows[..] {
+                // Exactly three hub members: m ≥ 3 forces m = 3 and
+                // the hit mask is one three-way AND per word. One x
+                // hits hundreds of bigs at this one level, so keep x's
+                // root cached and link each big against it directly —
+                // half the find work of a generic union per hit.
+                let level = 4.min(s).max(2);
+                if self.level_dsus.len() <= level {
+                    self.level_dsus.resize_with(level + 1, || None);
+                }
+                let dsu = self.level_dsus[level].get_or_insert_with(|| Dsu::new(count));
+                let mut rx = dsu.find(x as u32);
+                for w in 0..w_big {
+                    let mut hits = r0[w] & r1[w] & r2[w];
+                    while hits != 0 {
+                        let i = hits.trailing_zeros() as usize;
+                        hits &= hits - 1;
+                        let yi = (w << 6) | i;
+                        if dsu.union(self.bigs[yi].ord, rx) {
+                            rx = dsu.find(rx);
+                        }
+                    }
+                }
+                continue;
+            }
+            // Per-level cached root of `x` (levels here never exceed
+            // `SMALL_FULL + 1`), refreshed only when a union links —
+            // the same half-the-finds trick as the three-row case.
+            let mut rx = [u32::MAX; SMALL_FULL + 2];
+            for w in 0..w_big {
+                // Ripple-carry each row's 0/1 bits into four count
+                // registers; counts stay ≤ SMALL_FULL < 16, so four
+                // planes are exact and the top carry is always zero.
+                let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+                for r in &rows {
+                    let mut v = r[w];
+                    let t = c0 & v;
+                    c0 ^= v;
+                    v = t;
+                    let t = c1 & v;
+                    c1 ^= v;
+                    v = t;
+                    let t = c2 & v;
+                    c2 ^= v;
+                    v = t;
+                    c3 ^= v;
+                }
+                // count ≥ 3 ⟺ bit1∧bit0, or any higher plane bit.
+                let mut hits = c3 | c2 | (c1 & c0);
+                while hits != 0 {
+                    let i = hits.trailing_zeros() as usize;
+                    hits &= hits - 1;
+                    let yi = (w << 6) | i;
+                    let m = ((c0 >> i) & 1)
+                        | (((c1 >> i) & 1) << 1)
+                        | (((c2 >> i) & 1) << 2)
+                        | (((c3 >> i) & 1) << 3);
+                    let level = ((m as usize) + 1).min(s).max(2);
+                    let a = self.bigs[yi].ord;
+                    if self.level_dsus.len() <= level {
+                        self.level_dsus.resize_with(level + 1, || None);
+                    }
+                    let dsu = self.level_dsus[level].get_or_insert_with(|| Dsu::new(count));
+                    let r = if rx[level] == u32::MAX {
+                        dsu.find(x as u32)
+                    } else {
+                        rx[level]
+                    };
+                    rx[level] = if dsu.union(a, r) { dsu.find(r) } else { r };
+                }
+            }
+        }
+    }
+
+    /// The fallback big×big scan (hub space > 256): 256-bit member
+    /// blooms guard an early-abort sorted merge, exactly as in the
+    /// staged prepass (big×small was already counted by the streaming
+    /// mixed scan).
+    fn finish_pairs_fallback(&mut self, _sizes: &[u32]) {
+        let nb = self.big_ords.len();
+        if nb < 2 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..nb).collect();
+        let size_of = |bi: usize| self.big_offsets[bi + 1] - self.big_offsets[bi];
+        order.sort_unstable_by_key(|&bi| (std::cmp::Reverse(size_of(bi)), self.big_ords[bi]));
+        let sigs: Vec<[u64; 4]> = order
+            .iter()
+            .map(|&bi| {
+                let mut sig = [0u64; 4];
+                for &v in &self.big_members[self.big_offsets[bi]..self.big_offsets[bi + 1]] {
+                    let h = mix(v) & 255;
+                    sig[(h >> 6) as usize] |= 1u64 << (h & 63);
+                }
+                sig
+            })
+            .collect();
+        for xi in 1..nb {
+            let bx = order[xi];
+            let members = &self.big_members[self.big_offsets[bx]..self.big_offsets[bx + 1]];
+            let s = members.len();
+            let sx = sigs[xi];
+            for (yi, sy) in sigs[..xi].iter().enumerate() {
+                let stray = (sx[0] & !sy[0]).count_ones()
+                    + (sx[1] & !sy[1]).count_ones()
+                    + (sx[2] & !sy[2]).count_ones()
+                    + (sx[3] & !sy[3]).count_ones();
+                if stray as usize > MISS_DEPTH {
+                    continue;
+                }
+                let by = order[yi];
+                let other = &self.big_members[self.big_offsets[by]..self.big_offsets[by + 1]];
+                if let Some(d) = crate::mode::missing_at_most(members, other, MISS_DEPTH) {
+                    let level = (s - d + 1).min(s).max(2);
+                    self.strata
+                        .push(level, (self.big_ords[by], self.big_ords[bx]));
+                }
+            }
+        }
+    }
+}
+
+/// Fused percolation of `g` in `mode`: enumeration streams straight
+/// into the percolation engine — one pass, no clique list.
+///
+/// The community covers (and parents) equal
+/// [`crate::percolate_mode`]'s at every level; `clique_ids` use stream
+/// ordinals instead of canonical ids (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use asgraph::Graph;
+/// use cpm::Mode;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// let fused = cpm::percolate_fused(&g, Mode::Exact);
+/// let staged = cpm::percolate(&g);
+/// assert_eq!(fused.k_max(), staged.k_max());
+/// assert_eq!(
+///     fused.level(3).unwrap().communities[0].members,
+///     staged.level(3).unwrap().communities[0].members,
+/// );
+/// ```
+pub fn percolate_fused(g: &Graph, mode: Mode) -> FusedCpmResult {
+    percolate_fused_with_kernel(g, Kernel::Auto, mode)
+}
+
+/// [`percolate_fused`] with an explicit enumeration [`Kernel`]. Every
+/// kernel yields a bit-identical result.
+pub fn percolate_fused_with_kernel(g: &Graph, kernel: Kernel, mode: Mode) -> FusedCpmResult {
+    let mut p = FusedPercolator::new(g.node_count(), mode);
+    cliques::consume_max_cliques(g, kernel, &mut p);
+    p.finish()
+}
+
+/// [`percolate_fused`] with its [`FusedPhases`] wall-clock breakdown —
+/// the hook behind the bench fused phase rows.
+pub fn percolate_fused_phases(g: &Graph, mode: Mode) -> (FusedCpmResult, FusedPhases) {
+    let mut phases = FusedPhases::default();
+    let mut p = FusedPercolator::new(g.node_count(), mode);
+    let t = std::time::Instant::now();
+    cliques::consume_max_cliques(g, Kernel::Auto, &mut p);
+    phases.consume = t.elapsed();
+    let result = p.finish_phases(&mut phases);
+    (result, phases)
+}
+
+/// Fused percolation with pool-parallel enumeration: producers
+/// enumerate work-stolen chunks, the pool leader folds them into the
+/// engine in sequential order — bit-identical to [`percolate_fused`]
+/// at every worker count.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn percolate_fused_parallel(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    mode: Mode,
+) -> FusedCpmResult {
+    let threads = entry_threads(threads.into(), g, mode);
+    let mut p = FusedPercolator::new(g.node_count(), mode);
+    cliques::parallel::consume_max_cliques_parallel(g, threads, Kernel::Auto, &mut p);
+    p.finish()
+}
+
+/// The shared `Threads::Auto` work-volume grain of the percolate entry
+/// points ([`crate::parallel::ALMOST_AUTO_EDGES_PER_WORKER`]): below
+/// the crossover, `auto` runs the whole fused pipeline on one worker
+/// instead of letting the enumerator fan out for a graph whose
+/// percolation cannot amortise it.
+fn entry_threads(threads: Threads, g: &Graph, mode: Mode) -> Threads {
+    match mode {
+        Mode::Almost => crate::parallel::almost_auto_threads(threads, g),
+        Mode::Exact => threads,
+    }
+}
+
+/// [`percolate_fused_parallel`] with an explicit [`Kernel`] and a
+/// [`CancelToken`] polled between emitted chunks, for the CLI and the
+/// daemon: cancellation leaves the pool reusable and discards the
+/// partial consumer.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] once the token trips.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn percolate_fused_cancellable(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    kernel: Kernel,
+    cancel: &CancelToken,
+    mode: Mode,
+) -> Result<FusedCpmResult, Cancelled> {
+    let threads = entry_threads(threads.into(), g, mode);
+    let mut p = FusedPercolator::new(g.node_count(), mode);
+    cliques::parallel::consume_max_cliques_parallel_cancellable(
+        g, threads, kernel, cancel, &mut p,
+    )?;
+    Ok(p.finish())
+}
+
+/// Fused single-level percolation: sorted member lists, sorted —
+/// byte-identical to the staged [`crate::percolate_at_mode`] (and, for
+/// [`Mode::Exact`], to sorted [`crate::percolate_at`]).
+pub fn percolate_at_fused(g: &Graph, k: usize, mode: Mode) -> Vec<Vec<NodeId>> {
+    percolate_at_fused_with_kernel(g, k, Kernel::Auto, mode)
+}
+
+/// [`percolate_at_fused`] with an explicit enumeration [`Kernel`].
+pub fn percolate_at_fused_with_kernel(
+    g: &Graph,
+    k: usize,
+    kernel: Kernel,
+    mode: Mode,
+) -> Vec<Vec<NodeId>> {
+    if k < 2 {
+        return Vec::new();
+    }
+    let mut p = FusedPercolator::new(g.node_count(), mode);
+    cliques::consume_max_cliques(g, kernel, &mut p);
+    p.finish_at(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{percolate_at, percolate_at_mode, percolate_mode};
+    use proptest::prelude::*;
+
+    fn random_graph(n: u32, p: f64, seed: u64) -> Graph {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = asgraph::GraphBuilder::with_nodes(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(p) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Sorted member lists per level, sorted within the level — the
+    /// order-independent view shared by fused and staged results.
+    fn covers(levels: &[KLevel]) -> Vec<(u32, Vec<Vec<NodeId>>)> {
+        levels
+            .iter()
+            .map(|l| {
+                let mut ms: Vec<_> = l.communities.iter().map(|c| c.members.clone()).collect();
+                ms.sort_unstable();
+                (l.k, ms)
+            })
+            .collect()
+    }
+
+    /// One `(child cover, parent cover)` link of the relation below.
+    type ParentLink = (Vec<NodeId>, Vec<NodeId>);
+
+    /// Parent links as a member-set relation: child cover → parent
+    /// cover at the next lower level. Community order differs between
+    /// the pipelines, so indices cannot be compared directly; the
+    /// relation can.
+    fn parent_relation(levels: &[KLevel]) -> Vec<(u32, Vec<ParentLink>)> {
+        let mut out = Vec::new();
+        for w in levels.windows(2) {
+            let (lower, upper) = (&w[0], &w[1]);
+            let mut rel: Vec<_> = upper
+                .communities
+                .iter()
+                .map(|c| {
+                    let p = c.parent.expect("every community has a parent below k_max");
+                    (
+                        c.members.clone(),
+                        lower.communities[p as usize].members.clone(),
+                    )
+                })
+                .collect();
+            rel.sort_unstable();
+            (out).push((upper.k, rel));
+        }
+        out
+    }
+
+    #[track_caller]
+    fn assert_matches_staged(g: &Graph, mode: Mode) {
+        let fused = percolate_fused(g, mode);
+        let staged = percolate_mode(g, mode);
+        assert_eq!(fused.clique_count, staged.cliques.len(), "clique census");
+        assert_eq!(
+            covers(&fused.levels),
+            covers(&staged.levels),
+            "{mode} covers"
+        );
+        assert_eq!(
+            parent_relation(&fused.levels),
+            parent_relation(&staged.levels),
+            "{mode} parent relation"
+        );
+        // Stream ordinals are a permutation of the canonical ids: both
+        // label the same census, and each community's clique_ids stay
+        // sorted ascending and non-empty.
+        for level in &fused.levels {
+            for c in &level.communities {
+                assert!(!c.clique_ids.is_empty());
+                assert!(c.clique_ids.windows(2).all(|w| w[0] < w[1]));
+                assert!(c
+                    .clique_ids
+                    .iter()
+                    .all(|&id| (id as usize) < fused.clique_count));
+            }
+        }
+    }
+
+    #[track_caller]
+    fn assert_at_matches_staged(g: &Graph, mode: Mode) {
+        let k_hi = percolate_fused(g, mode).k_max().unwrap_or(1);
+        for k in 2..=(k_hi as usize + 1) {
+            let fused = percolate_at_fused(g, k, mode);
+            let staged = percolate_at_mode(g, k, mode);
+            assert_eq!(fused, staged, "{mode} k = {k}");
+            if mode == Mode::Exact {
+                let mut plain = percolate_at(g, k);
+                plain.sort_unstable();
+                assert_eq!(fused, plain, "exact baseline k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_staged_on_random_graphs() {
+        for (n, p, seed) in [(40, 0.25, 1), (60, 0.15, 9), (80, 0.1, 4), (30, 0.5, 7)] {
+            let g = random_graph(n, p, seed);
+            for mode in [Mode::Exact, Mode::Almost] {
+                assert_matches_staged(&g, mode);
+                assert_at_matches_staged(&g, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_staged_with_big_cliques() {
+        // Cliques above SMALL_FULL force the hub-bitmap big paths:
+        // three K20s chained with 4-vertex overlaps, plus a sparse halo.
+        let mut b = asgraph::GraphBuilder::with_nodes(60);
+        for (base, step) in [(0u32, 16u32), (16, 16), (32, 16)] {
+            let _ = step;
+            for u in base..base + 20 {
+                for v in (u + 1)..base + 20 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        for v in 52..59u32 {
+            b.add_edge(v, v + 1);
+            b.add_edge(2, v);
+        }
+        let g = b.build();
+        for mode in [Mode::Exact, Mode::Almost] {
+            assert_matches_staged(&g, mode);
+            assert_at_matches_staged(&g, mode);
+        }
+    }
+
+    #[test]
+    fn fused_matches_staged_in_hub_overflow_fallback() {
+        // 25 K15 blocks, consecutive blocks sharing 3 vertices: 303
+        // distinct big-clique members blow the 256-hub budget, so the
+        // almost engine must switch to the fallback arena mid-stream
+        // (retro-counting the bigs consumed before the switch).
+        let blocks = 25u32;
+        let n = 12 * (blocks - 1) + 15;
+        let mut b = asgraph::GraphBuilder::with_nodes(n as usize);
+        for i in 0..blocks {
+            let base = 12 * i;
+            for u in base..base + 15 {
+                for v in (u + 1)..base + 15 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        for mode in [Mode::Exact, Mode::Almost] {
+            assert_matches_staged(&g, mode);
+            assert_at_matches_staged(&g, mode);
+        }
+    }
+
+    #[test]
+    fn fused_is_identical_across_kernels() {
+        let g = random_graph(70, 0.12, 21);
+        for mode in [Mode::Exact, Mode::Almost] {
+            let auto = percolate_fused_with_kernel(&g, Kernel::Auto, mode);
+            for kernel in [Kernel::Bitset, Kernel::Merge] {
+                assert_eq!(
+                    auto,
+                    percolate_fused_with_kernel(&g, kernel, mode),
+                    "{mode} kernel {kernel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty = Graph::from_edges(0, std::iter::empty::<(u32, u32)>());
+        let isolated = Graph::from_edges(3, std::iter::empty::<(u32, u32)>());
+        let one_edge = Graph::from_edges(2, [(0, 1)]);
+        for mode in [Mode::Exact, Mode::Almost] {
+            let r = percolate_fused(&empty, mode);
+            assert_eq!(r.clique_count, 0);
+            assert!(r.levels.is_empty());
+
+            // Isolated vertices are maximal 1-cliques: counted, but no
+            // level reaches k = 2.
+            let r = percolate_fused(&isolated, mode);
+            assert_eq!(r.clique_count, 3);
+            assert!(r.levels.is_empty());
+            assert!(percolate_at_fused(&isolated, 2, mode).is_empty());
+
+            let r = percolate_fused(&one_edge, mode);
+            assert_eq!(r.clique_count, 1);
+            assert_eq!(
+                covers(&r.levels),
+                covers(&percolate_mode(&one_edge, mode).levels)
+            );
+
+            assert!(percolate_at_fused(&one_edge, 0, mode).is_empty());
+            assert!(percolate_at_fused(&one_edge, 1, mode).is_empty());
+        }
+    }
+
+    #[test]
+    fn phases_account_for_the_whole_run() {
+        let g = random_graph(50, 0.2, 3);
+        let (result, phases) = percolate_fused_phases(&g, Mode::Almost);
+        assert_eq!(
+            covers(&result.levels),
+            covers(&percolate_mode(&g, Mode::Almost).levels)
+        );
+        assert!(phases.consume > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn pipeline_flag_round_trips() {
+        assert_eq!("fused".parse::<Pipeline>().unwrap(), Pipeline::Fused);
+        assert_eq!("staged".parse::<Pipeline>().unwrap(), Pipeline::Staged);
+        assert_eq!(Pipeline::default(), Pipeline::Fused);
+        assert_eq!(Pipeline::Fused.to_string(), "fused");
+        assert!("eager".parse::<Pipeline>().is_err());
+    }
+
+    /// Small random soups keep proptest throughput high while still
+    /// exercising every streaming gate (vertex keys, edge keys, small
+    /// counting) — the presets above pin the big-clique paths.
+    fn edge_soup(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+        proptest::collection::vec((0..n, 0..n), 0..max_edges)
+    }
+
+    proptest! {
+        /// Fused ≡ staged on random graphs: covers and parent relation
+        /// at every level, and byte-identical single-k extraction, for
+        /// both modes.
+        #[test]
+        fn fused_equals_staged_on_soups(edges in edge_soup(16, 60)) {
+            let g = Graph::from_edges(16, edges);
+            for mode in [Mode::Exact, Mode::Almost] {
+                let fused = percolate_fused(&g, mode);
+                let staged = percolate_mode(&g, mode);
+                prop_assert_eq!(fused.clique_count, staged.cliques.len());
+                prop_assert_eq!(covers(&fused.levels), covers(&staged.levels));
+                for k in 2..=6usize {
+                    prop_assert_eq!(
+                        percolate_at_fused(&g, k, mode),
+                        percolate_at_mode(&g, k, mode),
+                        "mode {} k {}", mode, k
+                    );
+                }
+            }
+        }
+    }
+}

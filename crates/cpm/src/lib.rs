@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod consume;
 pub mod directed;
 mod dsu;
 mod dsu_concurrent;
@@ -50,6 +51,11 @@ mod snapshot;
 mod sweep;
 pub mod weighted;
 
+pub use consume::{
+    percolate_at_fused, percolate_at_fused_with_kernel, percolate_fused,
+    percolate_fused_cancellable, percolate_fused_parallel, percolate_fused_phases,
+    percolate_fused_with_kernel, FusedCpmResult, FusedPercolator, FusedPhases, Pipeline,
+};
 pub use dsu::Dsu;
 pub use dsu_concurrent::ConcurrentDsu;
 pub use mode::{

@@ -125,12 +125,12 @@ pub const SMALL_FULL: usize = 14;
 pub const KEY_MAX_L: usize = 2;
 
 /// Polynomial base for the key hash (odd, so powers never vanish).
-const R: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const R: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// SplitMix64 finalizer: decorrelates member ids before they enter the
 /// polynomial, so consecutive ids don't produce near-collisions.
 #[inline]
-fn mix(v: NodeId) -> u64 {
+pub(crate) fn mix(v: NodeId) -> u64 {
     let mut z = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -540,7 +540,7 @@ impl SubsumptionStrata {
 
     /// `out[i] = popcount(sx AND column i)` over the transposed bitmap
     /// rows — branch-free, so the compiler vectorizes the popcounts.
-    fn and_popcount_rows(sx: [u64; 4], words: &[Vec<u64>; 4], out: &mut [u8]) {
+    pub(crate) fn and_popcount_rows(sx: [u64; 4], words: &[Vec<u64>; 4], out: &mut [u8]) {
         let n = out.len();
         let rows = words[0][..n]
             .iter()
@@ -562,7 +562,7 @@ impl SubsumptionStrata {
     /// overlaps are bounded by the smaller clique's size, and the
     /// threshold is never more than `127` below it (callers guard with
     /// the scalar loop otherwise).
-    fn for_each_at_least(vals: &[u8], t: u8, mut f: impl FnMut(usize, u8)) {
+    pub(crate) fn for_each_at_least(vals: &[u8], t: u8, mut f: impl FnMut(usize, u8)) {
         debug_assert!((1..=127).contains(&t));
         let bias = (0x80 - t as u64) * 0x0101_0101_0101_0101;
         let chunks = vals.chunks_exact(8);

@@ -67,6 +67,29 @@ const PAR_UNION_MIN: usize = 4 * UNION_CHUNK;
 /// worker before adding that worker pays.
 const AUTO_MEMBERS_PER_WORKER: usize = 8_192;
 
+/// The `Threads::Auto` work-volume grain for the *end-to-end*
+/// almost-mode percolate entry points: graph edges per worker before
+/// the whole pipeline's fan-out amortises. Individual phases have
+/// their own (smaller) grains, but the committed `BENCH_pool.json`
+/// shows every sub-crossover substrate (sparse300 at ~2.3k edges,
+/// dense60, tiny-internet) losing to the sequential path at *every*
+/// fixed multi-worker count — so below `2 × grain` edges, `auto`
+/// snaps the entire run to one worker instead of letting a single
+/// phase fan out.
+pub const ALMOST_AUTO_EDGES_PER_WORKER: usize = 8_192;
+
+/// Applies [`ALMOST_AUTO_EDGES_PER_WORKER`] at an almost-mode
+/// percolate entry point: `Threads::Auto` below the crossover becomes
+/// an explicit one-worker run (fixed counts pass through untouched;
+/// above the crossover `auto` keeps its per-phase sizing).
+pub(crate) fn almost_auto_threads(threads: Threads, g: &Graph) -> Threads {
+    if threads.is_auto() && threads.resolve(g.edge_count(), ALMOST_AUTO_EDGES_PER_WORKER) == 1 {
+        Threads::Fixed(1)
+    } else {
+        threads
+    }
+}
+
 /// Runs the full CPM pipeline with `threads` workers (`usize` or
 /// [`Threads`]; `Threads::Auto` scales every phase with its work) and
 /// the default [`Kernel::Auto`] set kernel.
@@ -476,6 +499,7 @@ pub fn percolate_parallel_mode(g: &Graph, threads: impl Into<Threads>, mode: Mod
     match mode {
         Mode::Exact => percolate_parallel(g, threads),
         Mode::Almost => {
+            let threads = almost_auto_threads(threads, g);
             let mut cliques =
                 cliques::parallel::max_cliques_parallel_with(g, threads, Kernel::Auto);
             cliques.canonicalize();
@@ -509,6 +533,7 @@ pub fn percolate_parallel_cancellable_mode(
     match mode {
         Mode::Exact => percolate_parallel_cancellable(g, threads, kernel, cancel),
         Mode::Almost => {
+            let threads = almost_auto_threads(threads, g);
             let mut cliques =
                 cliques::parallel::max_cliques_parallel_cancellable(g, threads, kernel, cancel)?;
             cliques.canonicalize();
@@ -866,6 +891,33 @@ mod tests {
         }
         let auto = percolate_parallel_mode(&g, Threads::Auto, Mode::Almost);
         assert_eq!(reference.levels, auto.levels, "threads auto");
+    }
+
+    #[test]
+    fn auto_never_fans_out_below_the_percolate_crossover() {
+        // Sub-crossover substrate (sparse300-sized): auto must snap to
+        // one worker at the entry point, while fixed counts are always
+        // honoured and a super-crossover graph keeps auto's per-phase
+        // sizing.
+        let small = random_graph(300, 0.05, 7);
+        assert!(small.edge_count() < 2 * ALMOST_AUTO_EDGES_PER_WORKER);
+        assert_eq!(
+            almost_auto_threads(Threads::Auto, &small),
+            Threads::Fixed(1)
+        );
+        assert_eq!(
+            almost_auto_threads(Threads::Fixed(4), &small),
+            Threads::Fixed(4)
+        );
+        let big = random_graph(300, 0.4, 7);
+        assert!(big.edge_count() >= 2 * ALMOST_AUTO_EDGES_PER_WORKER);
+        if exec::available_parallelism() > 1 {
+            assert_eq!(almost_auto_threads(Threads::Auto, &big), Threads::Auto);
+        } else {
+            // One hardware thread: auto resolves to one worker above
+            // the crossover too, and the clamp just makes it explicit.
+            assert_eq!(almost_auto_threads(Threads::Auto, &big), Threads::Fixed(1));
+        }
     }
 
     #[test]

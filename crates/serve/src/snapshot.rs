@@ -131,6 +131,32 @@ pub fn load_index(
     Ok(SnapshotIndex::from_levels(node_count, &result.levels))
 }
 
+/// Builds a [`SnapshotIndex`] straight from a live graph through the
+/// fused clique pipeline: Bron–Kerbosch streams each maximal clique
+/// into the percolation engine ([`cpm::percolate_fused_cancellable`]),
+/// so the rebuild never materialises a clique set — peak memory is the
+/// engine's working state, the property that lets the daemon rebuild
+/// big topologies in place.
+///
+/// `threads` sizes the pool-parallel enumeration (chunk-ordered
+/// reassembly keeps the index bit-identical at every worker count);
+/// `cancel` is polled between enumeration chunks.
+///
+/// # Errors
+///
+/// [`LoadError::Interrupted`] when `cancel` trips mid-build.
+pub fn index_from_graph(
+    g: &asgraph::Graph,
+    cancel: &CancelToken,
+    threads: Threads,
+    mode: Mode,
+) -> Result<SnapshotIndex, LoadError> {
+    let result =
+        cpm::percolate_fused_cancellable(g, threads, cpm_stream::Kernel::Auto, cancel, mode)
+            .map_err(|_| LoadError::Interrupted)?;
+    Ok(SnapshotIndex::from_levels(g.node_count(), &result.levels))
+}
+
 /// [`load_index`] wrapped into a generation-stamped, build-timed
 /// [`Snapshot`].
 ///
@@ -196,6 +222,31 @@ mod tests {
         let snap = load_snapshot(&log, 1, &token, Threads::Fixed(1), Mode::Almost).unwrap();
         assert_eq!(snap.mode, Mode::Almost);
         assert_eq!(snap.index, direct);
+    }
+
+    #[test]
+    fn graph_rebuild_routes_through_the_fused_pipeline() {
+        // The from-graph index must equal the log-replay index (same
+        // covers frozen the same way), at one worker and several, and a
+        // tripped token must interrupt it.
+        let g = fixture();
+        let token = CancelToken::new();
+        let fused = index_from_graph(&g, &token, Threads::Fixed(1), Mode::Almost).unwrap();
+        let expected = SnapshotIndex::from_levels(
+            g.node_count(),
+            &cpm::percolate_mode(&g, Mode::Almost).levels,
+        );
+        assert_eq!(fused.to_bytes(), expected.to_bytes());
+        for threads in [2usize, 4] {
+            let par = index_from_graph(&g, &token, Threads::Fixed(threads), Mode::Almost).unwrap();
+            assert_eq!(par.to_bytes(), expected.to_bytes(), "threads {threads}");
+        }
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        assert!(matches!(
+            index_from_graph(&g, &tripped, Threads::Fixed(2), Mode::Almost),
+            Err(LoadError::Interrupted)
+        ));
     }
 
     #[test]

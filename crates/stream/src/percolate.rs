@@ -37,9 +37,10 @@
 //!   *means* — bounded state, refinement-only error — is identical,
 //!   which is why the vocabulary is shared.
 
-use crate::source::CliqueSource;
+use crate::source::{consume_source, CliqueSource};
 use crate::StreamError;
 use asgraph::NodeId;
+use cliques::CliqueConsumer;
 use cpm::{canonical_members, Community, Dsu, KLevel};
 use exec::{Pool, Threads};
 use std::collections::HashMap;
@@ -101,6 +102,17 @@ pub struct StreamPercolator {
     touched: Vec<u32>,
     /// Cliques offered so far, accepted or not.
     seen: u32,
+}
+
+/// A [`StreamPercolator`] plugs directly into the sink-driven clique
+/// pipeline: the Bron–Kerbosch drivers in [`cliques::sink`] (and the
+/// fused percolator in `cpm`) deliver cliques through this same trait,
+/// so the streaming engine, the fused engine, and the log writer all
+/// share one delivery surface.
+impl CliqueConsumer for StreamPercolator {
+    fn consume(&mut self, clique: &[NodeId]) {
+        self.push(clique);
+    }
 }
 
 impl StreamPercolator {
@@ -378,7 +390,7 @@ pub fn stream_percolate_at<S: CliqueSource + ?Sized>(
         return Ok(Vec::new());
     }
     let mut p = StreamPercolator::new(source.node_count(), k);
-    source.replay(&mut |clique| p.push(clique))?;
+    consume_source(source, &mut p)?;
     let mut covers: Vec<Vec<NodeId>> = p.finish().into_iter().map(|c| c.members).collect();
     covers.sort_unstable();
     Ok(covers)
@@ -556,7 +568,7 @@ fn run_wave<S: CliqueSource + ?Sized>(
         // Single level: push straight from the replay callback, no
         // batch buffering, no pool round-trips.
         let mut p = StreamPercolator::with_mode(n, wave[0], mode);
-        source.replay(&mut |clique| p.push(clique))?;
+        consume_source(source, &mut p)?;
         return Ok(vec![p.finish()]);
     }
     let percolators: Vec<Mutex<StreamPercolator>> = wave

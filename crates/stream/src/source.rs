@@ -99,6 +99,23 @@ pub trait CliqueSource {
     fn replay(&mut self, visit: &mut dyn FnMut(&[NodeId])) -> Result<(), StreamError>;
 }
 
+/// Replays `source` into any [`cliques::CliqueConsumer`] — the bridge
+/// between the replayable sources of this crate and the sink-driven
+/// clique pipeline. [`StreamPercolator`](crate::StreamPercolator), the
+/// fused percolator in `cpm`, and the log-build sink all consume the
+/// stream through this one surface.
+///
+/// # Errors
+///
+/// Fails only if the source does (I/O on a clique log, or
+/// [`StreamError::Interrupted`] on cancellation).
+pub fn consume_source<S: CliqueSource + ?Sized>(
+    source: &mut S,
+    consumer: &mut dyn cliques::CliqueConsumer,
+) -> Result<(), StreamError> {
+    source.replay(&mut |clique| consumer.consume(clique))
+}
+
 /// Live [`CliqueSource`]: re-enumerates the graph's maximal cliques on
 /// every replay via [`cliques::for_each_max_clique`].
 #[derive(Debug)]
