@@ -16,7 +16,9 @@
 //! (work-stealing, `--threads` workers), `overlap` (clique-overlap
 //! counting), `percolate` (full sequential CPM), `percolate_par`,
 //! `percolate_fused` / `percolate_fused_par` (the sink-driven pipeline —
-//! cliques stream straight into percolation, no clique list), and
+//! cliques stream straight into percolation, no clique list; the `_par`
+//! row runs both the enumeration *and* the finish-time phases on the
+//! pool), and
 //! `sweep` (the union/grouping phase alone, from prebuilt overlap
 //! strata — so end-to-end time decomposes into enumerate + overlap +
 //! sweep; the row includes one clone of the inputs per run). Every row

@@ -16,13 +16,16 @@
 //! percolation modes (`exact` and `almost`). The almost engine
 //! additionally gets sequential per-phase rows (`key-build`, `union`,
 //! `snapshot`), and the fused pipeline gets its own phase rows
-//! (`fused-consume`, `fused-pairs`, `fused-sweep`, `fused-extract`) so
-//! both end-to-end numbers decompose. The JSON written to `--out` is
-//! the record committed as `BENCH_pool.json`; with `--features memprof`
-//! every row also carries the peak heap growth of one run in a
-//! `peak_bytes` column (0 when the feature is off).
+//! (`fused-consume`, `fused-pairs`, `fused-sweep`, `fused-extract`) at
+//! 1 and 4 workers — every fused phase chunks over the pool — so both
+//! end-to-end numbers decompose along both axes. The JSON written to
+//! `--out` is the record committed as `BENCH_pool.json`; with
+//! `--features memprof` every row also carries the peak heap growth of
+//! one run in a `peak_bytes` column (0 when the feature is off) — for
+//! the fused phase rows, attributed per phase through the probed
+//! pipeline's observer hook.
 //!
-//! `--check` turns the run into a CI gate with four clauses. Scaling:
+//! `--check` turns the run into a CI gate with five clauses. Scaling:
 //! on every substrate, the 4-worker and `auto` rows of each phase must
 //! not be slower than 1.2× the 1-worker row. The bound is deliberately
 //! loose — on a single-core runner extra workers are pure overhead and
@@ -39,7 +42,10 @@
 //! must beat the staged one by at least 1.25× on the sequential
 //! almost-mode minima. Memory (only when the records carry peaks): the
 //! fused pipeline's peak heap must stay below the staged one's, which
-//! pays for the full clique list.
+//! pays for the full clique list. Fused scaling (only when the machine
+//! has ≥ 4 hardware threads): the 4-worker fused run must beat the
+//! 1-worker one by at least 1.3× on the medium Internet minima, both
+//! modes — the gate that keeps the parallel finish honest.
 
 use cliques::Kernel;
 use exec::Threads;
@@ -192,42 +198,83 @@ fn bench_substrate(name: &str, g: &asgraph::Graph, iters: usize, records: &mut V
         });
     }
 
-    // The fused pipeline's sequential phase breakdown: `consume` is the
-    // enumerate-while-percolating front (Bron–Kerbosch driving the
-    // consumer), `pairs`/`sweep`/`extract` the finish work.
+    // The fused pipeline's phase breakdown at 1 and 4 workers:
+    // `consume` is the enumerate-while-percolating front (Bron–Kerbosch
+    // driving the consumer), `pairs`/`sweep`/`extract` the finish work
+    // — all four now chunk over the pool, so each phase gets its own
+    // scaling rows. One probed run per row attributes peak heap growth
+    // to each phase (memprof feature; zeros otherwise).
     for mode in [cpm::Mode::Exact, cpm::Mode::Almost] {
-        let mut consume = Vec::with_capacity(iters);
-        let mut pairs = Vec::with_capacity(iters);
-        let mut sweep = Vec::with_capacity(iters);
-        let mut extract = Vec::with_capacity(iters);
-        for _ in 0..iters {
-            let (_, phases) = cpm::percolate_fused_phases(g, mode);
-            consume.push(phases.consume.as_nanos());
-            pairs.push(phases.pairs.as_nanos());
-            sweep.push(phases.sweep.as_nanos());
-            extract.push(phases.extract.as_nanos());
-        }
-        for (op, samples) in [
-            ("fused-consume", consume),
-            ("fused-pairs", pairs),
-            ("fused-sweep", sweep),
-            ("fused-extract", extract),
-        ] {
-            let (median_ns, min_ns) = stats_ns(samples);
-            records.push(Record {
-                substrate: name.to_owned(),
-                op,
-                mode: match mode {
-                    cpm::Mode::Exact => "exact",
-                    cpm::Mode::Almost => "almost",
-                },
-                threads: Threads::Fixed(1),
-                median_ns,
-                min_ns,
-                peak_bytes: 0,
-            });
+        for workers in [1usize, 4] {
+            let threads = Threads::Fixed(workers);
+            let mut consume = Vec::with_capacity(iters);
+            let mut pairs = Vec::with_capacity(iters);
+            let mut sweep = Vec::with_capacity(iters);
+            let mut extract = Vec::with_capacity(iters);
+            for _ in 0..iters {
+                let (_, phases) = cpm::percolate_fused_phases_parallel(g, threads, mode);
+                consume.push(phases.consume.as_nanos());
+                pairs.push(phases.pairs.as_nanos());
+                sweep.push(phases.sweep.as_nanos());
+                extract.push(phases.extract.as_nanos());
+            }
+            let peaks = fused_phase_peaks(g, threads, mode);
+            for ((op, samples), peak_bytes) in [
+                ("fused-consume", consume),
+                ("fused-pairs", pairs),
+                ("fused-sweep", sweep),
+                ("fused-extract", extract),
+            ]
+            .into_iter()
+            .zip(peaks)
+            {
+                let (median_ns, min_ns) = stats_ns(samples);
+                records.push(Record {
+                    substrate: name.to_owned(),
+                    op,
+                    mode: match mode {
+                        cpm::Mode::Exact => "exact",
+                        cpm::Mode::Almost => "almost",
+                    },
+                    threads,
+                    median_ns,
+                    min_ns,
+                    peak_bytes,
+                });
+            }
         }
     }
+}
+
+/// Peak heap growth of each fused phase — `[consume, pairs, sweep,
+/// extract]` — over one probed run. The observer fires as each phase
+/// *starts*: the high-water mark accumulated since the previous
+/// transition, less the live size at that transition, is the finishing
+/// phase's peak growth; the phase running when the pipeline returns is
+/// closed out after the call.
+#[cfg(feature = "memprof")]
+fn fused_phase_peaks(g: &asgraph::Graph, threads: Threads, mode: cpm::Mode) -> [usize; 4] {
+    use bench::memprof::{current_bytes, peak_bytes, reset_peak};
+    let mut peaks = [0usize; 4];
+    let mut started = 0usize;
+    let mut entry = 0usize;
+    let _ = cpm::percolate_fused_phases_probed(g, threads, mode, &mut |_name| {
+        if started > 0 {
+            peaks[started - 1] = peak_bytes().saturating_sub(entry);
+        }
+        entry = current_bytes();
+        reset_peak();
+        started += 1;
+    });
+    if started > 0 {
+        peaks[started - 1] = peak_bytes().saturating_sub(entry);
+    }
+    peaks
+}
+
+#[cfg(not(feature = "memprof"))]
+fn fused_phase_peaks(_g: &asgraph::Graph, _threads: Threads, _mode: cpm::Mode) -> [usize; 4] {
+    [0; 4]
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -274,6 +321,7 @@ fn check(records: &[Record]) -> Vec<String> {
     const BOUND: f64 = 1.2;
     const MODE_BOUND: f64 = 5.0;
     const FUSED_BOUND: f64 = 1.25;
+    const FUSED_SCALE_BOUND: f64 = 1.3;
     let mut violations = Vec::new();
     let find = |sub: &str, op: &str, mode: &str, threads: Threads| {
         records
@@ -352,6 +400,28 @@ fn check(records: &[Record]) -> Vec<String> {
                     "{sub}/percolate: fused peak heap {} B is not below staged {} B",
                     fused.peak_bytes, staged.peak_bytes
                 ));
+            }
+        }
+        // The fused scaling clause: the finish phases chunk over the
+        // pool, so on hardware with real parallelism the 4-worker fused
+        // run must beat the 1-worker one outright. Gated on the machine
+        // actually having 4 threads — on a single-core runner extra
+        // workers cannot speed anything up and the generic BOUND clause
+        // above already polices their overhead.
+        if sub == "medium-internet" && exec::available_parallelism() >= 4 {
+            for mode in ["exact", "almost"] {
+                if let (Some(one), Some(four)) = (
+                    find(sub, "percolate-fused", mode, Threads::Fixed(1)).map(|r| r.min_ns),
+                    find(sub, "percolate-fused", mode, Threads::Fixed(4)).map(|r| r.min_ns),
+                ) {
+                    let speedup = one as f64 / four.max(1) as f64;
+                    if speedup < FUSED_SCALE_BOUND {
+                        violations.push(format!(
+                            "{sub}/percolate-fused ({mode}): 4 workers run only {speedup:.2}x \
+                             vs 1 (bound {FUSED_SCALE_BOUND}x)"
+                        ));
+                    }
+                }
             }
         }
     }
@@ -498,7 +568,12 @@ fn main() {
             eprintln!(
                 "check passed: 4-worker and auto rows within 1.2x of sequential; \
                  almost mode at least 5x faster than exact and the fused pipeline \
-                 at least 1.25x faster than staged on medium-internet"
+                 at least 1.25x faster than staged on medium-internet{}",
+                if exec::available_parallelism() >= 4 {
+                    "; fused 4-worker runs at least 1.3x faster than 1-worker"
+                } else {
+                    " (fused scaling clause skipped: fewer than 4 hardware threads)"
+                }
             );
         } else {
             for v in &violations {

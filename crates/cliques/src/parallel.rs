@@ -31,11 +31,9 @@ use crate::clique_set::CliqueSet;
 use crate::kernel::{BitsetScratch, Kernel};
 use crate::sink::{sorted_into, CliqueConsumer};
 use asgraph::{Graph, NodeId};
-use exec::{CancelToken, Cancelled, ChunkQueue, Pool, Threads};
-use std::collections::HashMap;
+use exec::{CancelToken, Cancelled, ChunkQueue, OrderedAbsorber, Pool, Threads};
 use std::ops::ControlFlow;
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::Mutex;
 
 /// Outer vertices claimed per queue chunk. Small enough that the heavy
 /// hub subproblems of an AS-like graph cannot hide behind one claim,
@@ -178,13 +176,14 @@ fn max_cliques_parallel_impl(
     Ok(out)
 }
 
-/// Buffered batches the leader-consumer may hold before producers stall.
+/// Buffered batches the [`OrderedAbsorber`] may hold before producers
+/// stall.
 ///
 /// Bounds the fused pipeline's reassembly memory to a constant number of
 /// in-flight chunks (each the cliques of [`STEAL_CHUNK`] outer
 /// vertices): a producer whose chunk is not the next one due pauses
 /// once this many finished chunks are waiting. The producer holding the
-/// next-due chunk never pauses, so the leader always makes progress.
+/// next-due chunk never pauses, so the stream always advances.
 const REASSEMBLY_WINDOW: usize = 32;
 
 /// One work-stolen chunk of enumerated cliques in flat form: clique `i`
@@ -194,26 +193,16 @@ struct Batch {
     members: Vec<NodeId>,
 }
 
-/// Chunk-reassembly state shared between producers and the
-/// leader-consumer: finished batches keyed by chunk start, the start the
-/// leader will consume next, and the abort flag that releases paused
-/// producers after cancellation.
-struct Reassembly {
-    ready: HashMap<usize, Batch>,
-    next: usize,
-    aborted: bool,
-}
-
 /// Streams the maximal cliques of `g` into `consumer` using `threads`
 /// workers — the sink-driven counterpart of [`max_cliques_parallel`],
 /// with no [`CliqueSet`] materialised anywhere.
 ///
 /// The consumer sees the *sequential* stream — same cliques, same
-/// order, members sorted ascending — at every worker count: producers
-/// claim work-stolen chunks and enumerate them into flat batches, and
-/// the pool leader (the calling thread) feeds batches to the consumer
-/// in ascending chunk order, pausing producers that run too far ahead
-/// so at most a constant number of chunks is ever buffered.
+/// order, members sorted ascending — at every worker count: workers
+/// claim work-stolen chunks, enumerate them into flat batches, and hand
+/// them to an [`OrderedAbsorber`] that feeds the consumer in ascending
+/// chunk order, pausing producers that run too far ahead so at most a
+/// constant number of chunks is ever buffered.
 ///
 /// # Panics
 ///
@@ -291,53 +280,17 @@ fn consume_max_cliques_parallel_impl(
         });
     }
 
-    // Worker 0 — the calling thread — is a pure consumer; workers 1..
-    // produce. Producers enumerate work-stolen chunks into flat batches
-    // and park them in `ready`; the leader drains batches in ascending
-    // chunk order, so the consumer sees the sequential stream whatever
-    // the scheduling races did.
+    // Every worker — the calling thread included — produces: claim a
+    // work-stolen chunk, enumerate it into a flat batch, hand the batch
+    // to the absorber. The absorber feeds the consumer in ascending
+    // chunk order (whichever worker submits the next-due chunk pays the
+    // consume cost, so there is no dedicated consumer thread idling
+    // between batches), and its bounded window pauses producers that
+    // run too far ahead. The consumer sees the sequential stream
+    // whatever the scheduling races did.
     let queue = ChunkQueue::new(order.len(), STEAL_CHUNK);
-    let chunk_count = order.len().div_ceil(STEAL_CHUNK);
-    let sync = Mutex::new(Reassembly {
-        ready: HashMap::new(),
-        next: 0,
-        aborted: false,
-    });
-    let ready_cv = Condvar::new();
-    let consumer = Mutex::new(consumer);
+    let absorber = OrderedAbsorber::new(REASSEMBLY_WINDOW, consumer);
     pool.run(workers, |mut w| {
-        if w.is_leader() {
-            let mut consumer = consumer.lock().expect("clique producer panicked");
-            let mut consumed = 0usize;
-            let mut guard = sync.lock().expect("clique producer panicked");
-            while consumed < chunk_count {
-                if cancel.is_some_and(CancelToken::is_cancelled) {
-                    guard.aborted = true;
-                    ready_cv.notify_all();
-                    break;
-                }
-                if let Some(batch) = guard.ready.remove(&(consumed * STEAL_CHUNK)) {
-                    guard.next = (consumed + 1) * STEAL_CHUNK;
-                    ready_cv.notify_all();
-                    drop(guard);
-                    let mut offset = 0usize;
-                    for &len in &batch.lens {
-                        consumer.consume(&batch.members[offset..offset + len as usize]);
-                        offset += len as usize;
-                    }
-                    consumed += 1;
-                    guard = sync.lock().expect("clique producer panicked");
-                } else {
-                    // Timed wait so a tripped token is noticed even if
-                    // no further batch ever arrives.
-                    guard = ready_cv
-                        .wait_timeout(guard, Duration::from_millis(5))
-                        .expect("clique producer panicked")
-                        .0;
-                }
-            }
-            return;
-        }
         let scratch = w.scratch_with(BitsetScratch::default);
         let mut sorted: Vec<NodeId> = Vec::new();
         let claim = || match cancel {
@@ -357,24 +310,13 @@ fn consume_max_cliques_parallel_impl(
                     ControlFlow::Continue(())
                 });
             }
-            let mut guard = sync.lock().expect("clique leader panicked");
-            // Back-pressure: pause while the buffer is full, unless this
-            // is the chunk the leader needs next (then it must go in, or
-            // nobody would ever drain the buffer).
-            while !guard.aborted
-                && guard.next != range.start
-                && guard.ready.len() >= REASSEMBLY_WINDOW
-            {
-                guard = ready_cv
-                    .wait_timeout(guard, Duration::from_millis(5))
-                    .expect("clique leader panicked")
-                    .0;
-            }
-            if guard.aborted {
-                break;
-            }
-            guard.ready.insert(range.start, batch);
-            ready_cv.notify_all();
+            absorber.submit(range.start / STEAL_CHUNK, batch, |consumer, batch| {
+                let mut offset = 0usize;
+                for &len in &batch.lens {
+                    consumer.consume(&batch.members[offset..offset + len as usize]);
+                    offset += len as usize;
+                }
+            });
         }
     });
     if let Some(token) = cancel {

@@ -23,11 +23,22 @@
 //!   members themselves — are reconstructed at [`finish`] time. When a
 //!   substrate overflows 256 hub vertices the engine switches to the
 //!   same counting + bloom-guarded fallback the staged prepass uses.
-//! * **Exact mode** streams the overlap counting itself: each clique
-//!   counts its overlap with every earlier clique off the posting
-//!   lists, pairs land in their detection stratum, and `k = 2` is
-//!   chained off the postings during the sweep — the postings double as
-//!   the (transposed) member store for community extraction.
+//! * **Exact mode** appends each clique's members to a forward arena at
+//!   push time and defers the pairwise overlap counting to finish time:
+//!   each ordinal counts against the below-`x` prefixes of the posting
+//!   lists (rebuilt by transposing the arena), which reproduces the
+//!   streamed scan's pairs — and their order — exactly while letting
+//!   the scan chunk over pool workers. Pairs land in their detection
+//!   stratum, `k = 2` is chained off the postings during the sweep, and
+//!   the arena doubles as the ordinal-indexed member store for
+//!   community-first extraction.
+//!
+//! [`finish`] has a pool-parallel twin
+//! ([`finish_parallel`](FusedPercolator::finish_parallel)) whose phases
+//! — pair detection, the descending-`k` stratum drains, member
+//! extraction — scale with workers while staying bit-identical to the
+//! sequential finish at every worker count; see the determinism notes
+//! on `FusedPercolator::finish_impl`.
 //!
 //! Both engines reach the same union–find states as the staged
 //! [`crate::percolate_mode`] at every level, so community *covers* are
@@ -42,13 +53,17 @@
 //! [`finish`]: FusedPercolator::finish
 
 use crate::dsu::Dsu;
+use crate::dsu_concurrent::ConcurrentDsu;
 use crate::mode::{emits, mix, Mode, SubsumptionStrata, KEY_MAX_L, MISS_DEPTH, R, SMALL_FULL};
+use crate::parallel::{PAR_UNION_MIN, UNION_CHUNK};
 use crate::result::{canonical_members, Community, KLevel};
 use asgraph::{Graph, NodeId};
 use cliques::{CliqueConsumer, Kernel};
-use exec::{CancelToken, Cancelled, Threads};
+use exec::{CancelToken, Cancelled, ChunkQueue, OrderedAbsorber, Pool, Threads};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Which plumbing carries cliques into percolation: the fused
 /// single-pass consumer pipeline (default) or the staged
@@ -152,6 +167,43 @@ const VERTEX_KEY_MAX_S: usize = crate::mode::SUBSET_CAP as usize;
 /// (`binomial(s, 2) ≤ SUBSET_CAP` ⟺ `s ≤ 91`), mirroring the staged
 /// gate.
 const EDGE_KEY_MAX_S: usize = 91;
+
+/// Ordinals per claim of the exact engine's parallel finish-time
+/// counting scan. The per-ordinal cost varies with the posting-prefix
+/// lengths, so chunks stay small enough for stealing to level the load.
+const EXACT_PAIRS_CHUNK: usize = 256;
+
+/// Out-of-order chunks the exact pairs [`OrderedAbsorber`] may buffer
+/// before producers stall — bounds the reassembly memory to a handful
+/// of chunk-sized `Strata` partials.
+const PAIRS_ABSORB_WINDOW: usize = 8;
+
+/// Sorted-big rows per claim of the parallel big×big SWAR scan (each
+/// row scans up to `nb/64` candidate words).
+const PAIRS_BIG_CHUNK: usize = 64;
+
+/// Ordinals per claim of the parallel big×small plane scan.
+const PAIRS_SMALL_CHUNK: usize = 256;
+
+/// Posting lists (vertices) per claim of the exact `k = 2` chain drain.
+const FUSED_CHAIN_CHUNK: usize = 256;
+
+/// Communities per claim of the parallel member extraction.
+const FUSED_EXTRACT_CHUNK: usize = 16;
+
+/// `Threads::Auto` grain of the exact pairs phase: arena members per
+/// worker before fan-out pays (each membership triggers one
+/// posting-prefix scan — the same proxy the staged overlap pass uses).
+const FUSED_PAIRS_AUTO_MEMBERS_PER_WORKER: usize = 8_192;
+
+/// `Threads::Auto` grain of the almost pairs phase, in candidate units:
+/// the big×big triangle (`nb²/2`) plus one unit per ordinal for the
+/// big×small scan.
+const FUSED_PAIRS_AUTO_CANDIDATES_PER_WORKER: usize = 65_536;
+
+/// `Threads::Auto` grain of the member-extraction phase: clique
+/// ordinals per worker before fan-out pays.
+const FUSED_EXTRACT_AUTO_CLIQUES_PER_WORKER: usize = 4_096;
 
 /// Persistent open-addressed `edge-key → last owner` table. The staged
 /// engine probes a first-seen [`crate::mode::KeyTable`] per level; the
@@ -259,6 +311,26 @@ impl Strata {
     fn at(&self, level: usize) -> &[(u32, u32)] {
         self.by_level.get(level).map(Vec::as_slice).unwrap_or(&[])
     }
+
+    /// Appends every stratum of `other` onto this one. Called in
+    /// ascending chunk order this reproduces the sequential emission
+    /// order exactly — the reassembly step of the parallel exact scan.
+    fn absorb(&mut self, other: Strata) {
+        for (level, mut pairs) in other.by_level.into_iter().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            if self.by_level.len() <= level {
+                self.by_level.resize_with(level + 1, Vec::new);
+            }
+            self.by_level[level].append(&mut pairs);
+        }
+    }
+
+    /// The largest single stratum — the sweep's per-level work bound.
+    fn max_len(&self) -> usize {
+        self.by_level.iter().map(Vec::len).max().unwrap_or(0)
+    }
 }
 
 /// The almost-mode fused engine state (see the module docs).
@@ -300,6 +372,13 @@ struct AlmostFused {
     /// merges each level's partition exactly like `dsu2`/`dsu3`. The
     /// ordinal universe is small enough that these stay cache-resident.
     level_dsus: Vec<Option<Dsu>>,
+    /// The lock-free twin of `level_dsus`, filled by the *parallel*
+    /// pairs pass ([`Self::finish_pairs_parallel`]): workers union
+    /// concurrently, and [`ConcurrentDsu`]'s order-free min-id
+    /// partition means the sweep merge sees the same components as the
+    /// sequential pass whatever the interleaving. Lazily created per
+    /// level by whichever worker first detects a pair there.
+    level_cdsus: Vec<OnceLock<ConcurrentDsu>>,
     /// Transposed member store for extraction (ordinal-indexed CSR over
     /// the small cliques), built once at finish time from the posting
     /// lists — see [`Self::build_extract_index`].
@@ -330,6 +409,7 @@ impl AlmostFused {
             big_postings: Vec::new(),
             strata: Strata::default(),
             level_dsus: Vec::new(),
+            level_cdsus: Vec::new(),
             small_off: Vec::new(),
             small_mem: Vec::new(),
             big_ord_idx: Vec::new(),
@@ -510,55 +590,147 @@ impl AlmostFused {
     }
 }
 
-/// The exact-mode fused engine: streaming pairwise overlap counting
-/// into detection strata, with the posting lists doubling as the
-/// transposed member store.
+/// The exact-mode fused engine: consume-time work is a bare append of
+/// each clique's members to a forward arena; the pairwise overlap
+/// counting runs at finish time ([`Self::finish_pairs`]), where it can
+/// chunk over pool workers. The rebuilt posting lists double as the
+/// `k = 2` chain index, and the arena as the ordinal-indexed member
+/// store for community-first extraction.
 struct ExactFused {
-    /// Per-vertex posting lists of every earlier clique of size ≥ 2.
+    /// Flat member arena in stream-ordinal order; cliques of size < 2
+    /// contribute nothing (they are inert at every level ≥ 2).
+    mem: Vec<NodeId>,
+    /// Ordinal → arena offset CSR (`count + 1` entries), built at
+    /// finish time from the size array.
+    off: Vec<u32>,
+    /// Per-vertex posting lists (vertex → ordinals, ascending), rebuilt
+    /// at finish time by transposing the arena.
     postings: Vec<Vec<u32>>,
-    counter: Vec<u32>,
-    touched: Vec<u32>,
+    /// Vertex universe size.
+    n: usize,
     strata: Strata,
 }
 
 impl ExactFused {
     fn new(n: usize) -> Self {
         ExactFused {
-            postings: vec![Vec::new(); n],
-            counter: Vec::new(),
-            touched: Vec::new(),
+            mem: Vec::new(),
+            off: Vec::new(),
+            postings: Vec::new(),
+            n,
             strata: Strata::default(),
         }
     }
 
     fn consume(&mut self, c: &[NodeId]) {
-        let x = self.counter.len() as u32;
-        self.counter.push(0);
-        if c.len() < 2 {
-            return;
+        if c.len() >= 2 {
+            self.mem.extend_from_slice(c);
         }
-        for &v in c {
-            for &y in &self.postings[v as usize] {
-                if self.counter[y as usize] == 0 {
-                    self.touched.push(y);
+    }
+
+    /// Builds the ordinal CSR and the transposed posting lists from the
+    /// arena. Ordinals are visited ascending, so each vertex's postings
+    /// come out ascending — the invariant both the prefix scan and the
+    /// `k = 2` chain rely on.
+    fn build_index(&mut self, sizes: &[u32]) {
+        let count = sizes.len();
+        let mut off = vec![0u32; count + 1];
+        for (i, &s) in sizes.iter().enumerate() {
+            off[i + 1] = off[i] + if s >= 2 { s } else { 0 };
+        }
+        debug_assert_eq!(off[count] as usize, self.mem.len());
+        let mut postings = vec![Vec::new(); self.n];
+        for x in 0..count {
+            for &v in &self.mem[off[x] as usize..off[x + 1] as usize] {
+                postings[v as usize].push(x as u32);
+            }
+        }
+        self.off = off;
+        self.postings = postings;
+    }
+
+    /// Counts the overlap of every clique in `range` against all
+    /// earlier cliques off the posting lists and emits `m ≥ 2` pairs
+    /// into `out` (detection stratum `m + 1`). For each `x` the counted
+    /// partners and their order equal the PR 8 streaming scan's
+    /// exactly: the below-`x` prefix of `postings[v]` is precisely what
+    /// the streaming pass had accumulated when `x` arrived. `m = 1`
+    /// pairs are left for the `k = 2` posting chain, as in the staged
+    /// `overlap_strata_min(…, 2)`.
+    fn count_pairs_range(
+        &self,
+        range: std::ops::Range<usize>,
+        counter: &mut [u32],
+        touched: &mut Vec<u32>,
+        out: &mut Strata,
+    ) {
+        for x in range {
+            let (b, e) = (self.off[x] as usize, self.off[x + 1] as usize);
+            for &v in &self.mem[b..e] {
+                for &y in &self.postings[v as usize] {
+                    if y as usize >= x {
+                        break;
+                    }
+                    if counter[y as usize] == 0 {
+                        touched.push(y);
+                    }
+                    counter[y as usize] += 1;
                 }
-                self.counter[y as usize] += 1;
             }
-        }
-        for &y in &self.touched {
-            let m = self.counter[y as usize] as usize;
-            self.counter[y as usize] = 0;
-            // m = 1 pairs are chained off the postings at k = 2; m ≥ 2
-            // lands in its detection stratum, as in the staged
-            // `overlap_strata_min(…, 2)`.
-            if m >= 2 {
-                self.strata.push(m + 1, (y, x));
+            for &y in touched.iter() {
+                let m = counter[y as usize] as usize;
+                counter[y as usize] = 0;
+                if m >= 2 {
+                    out.push(m + 1, (y, x as u32));
+                }
             }
+            touched.clear();
         }
-        self.touched.clear();
-        for &v in c {
-            self.postings[v as usize].push(x);
-        }
+    }
+
+    /// The finish-time pair detection: index build plus the full
+    /// counting scan on the calling thread.
+    fn finish_pairs(&mut self, sizes: &[u32]) {
+        self.build_index(sizes);
+        let count = sizes.len();
+        let mut counter = vec![0u32; count];
+        let mut touched = Vec::new();
+        let mut out = Strata::default();
+        self.count_pairs_range(0..count, &mut counter, &mut touched, &mut out);
+        self.strata = out;
+    }
+
+    /// [`Self::finish_pairs`] over `workers` pool workers: chunks of
+    /// the ordinal range produce per-chunk [`Strata`] partials that an
+    /// [`OrderedAbsorber`] folds back in ascending chunk order, so the
+    /// strata — contents *and* order — equal the sequential scan's at
+    /// every worker count. Cancellation stops new claims; the partial
+    /// strata are discarded with the engine by the caller.
+    fn finish_pairs_parallel(
+        &mut self,
+        sizes: &[u32],
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) {
+        self.build_index(sizes);
+        let count = sizes.len();
+        let queue = ChunkQueue::new(count, EXACT_PAIRS_CHUNK);
+        let absorber = OrderedAbsorber::new(PAIRS_ABSORB_WINDOW, Strata::default());
+        let this = &*self;
+        Pool::global().run(workers, |_w| {
+            let mut counter = vec![0u32; count];
+            let mut touched = Vec::new();
+            let claim = || match cancel {
+                Some(token) => queue.claim_unless(token),
+                None => queue.claim(),
+            };
+            while let Some(range) = claim() {
+                let mut part = Strata::default();
+                this.count_pairs_range(range.clone(), &mut counter, &mut touched, &mut part);
+                absorber.submit(range.start / EXACT_PAIRS_CHUNK, part, Strata::absorb);
+            }
+        });
+        self.strata = absorber.into_inner();
     }
 }
 
@@ -635,37 +807,30 @@ impl FusedSnapshotter {
     }
 }
 
-/// Ordinal → community index map for one level's member extraction,
-/// epoch-stamped so the arrays are reused across levels.
-struct CommOf {
-    idx: Vec<u32>,
-    stamp: Vec<u32>,
-    epoch: u32,
+/// One partition to merge into the parallel sweep's concurrent DSU:
+/// either the parallel pairs pass's lock-free per-level partition
+/// (whose `find` is exact once that pass has quiesced) or a root array
+/// precomputed from a sequential [`Dsu`] (whose `find` needs `&mut`,
+/// which pool workers cannot share).
+enum MergeSrc<'a> {
+    Par(&'a ConcurrentDsu),
+    Seq(Vec<u32>),
 }
 
-impl CommOf {
-    fn new(num_cliques: usize) -> Self {
-        CommOf {
-            idx: vec![0; num_cliques],
-            stamp: vec![u32::MAX; num_cliques],
-            epoch: 0,
-        }
-    }
-
-    fn begin(&mut self, level: &KLevel) {
-        self.epoch += 1;
-        for (ci, c) in level.communities.iter().enumerate() {
-            for &ord in &c.clique_ids {
-                self.idx[ord as usize] = ci as u32;
-                self.stamp[ord as usize] = self.epoch;
-            }
-        }
-    }
-
+impl MergeSrc<'_> {
     #[inline]
-    fn get(&self, ord: u32) -> Option<usize> {
-        (self.stamp[ord as usize] == self.epoch).then(|| self.idx[ord as usize] as usize)
+    fn root(&self, i: u32) -> u32 {
+        match self {
+            MergeSrc::Par(d) => d.find(i),
+            MergeSrc::Seq(r) => r[i as usize],
+        }
     }
+}
+
+/// Snapshots `sub`'s partition as a plain root array the sweep workers
+/// can read concurrently — `merge_dsu` without the `&mut` receiver.
+fn roots_of(sub: &mut Dsu, count: usize) -> Vec<u32> {
+    (0..count as u32).map(|i| sub.find(i)).collect()
 }
 
 /// Percolation as a clique sink: feed every maximal clique (sorted
@@ -738,25 +903,27 @@ impl FusedPercolator {
                 clique_count,
             };
         }
-        let t = std::time::Instant::now();
-        if let Engine::Almost(a) = &mut self.engine {
-            a.finish_pairs(&self.sizes);
-            a.build_extract_index(&self.sizes);
+        let t = Instant::now();
+        match &mut self.engine {
+            Engine::Almost(a) => {
+                a.finish_pairs(&self.sizes);
+                a.build_extract_index(&self.sizes);
+            }
+            Engine::Exact(e) => e.finish_pairs(&self.sizes),
         }
         phases.pairs += t.elapsed();
 
         let mut dsu = Dsu::new(clique_count);
         let mut snap = FusedSnapshotter::new(clique_count);
-        let mut comm_of = CommOf::new(clique_count);
         let mut levels_desc: Vec<KLevel> = Vec::with_capacity(self.k_max - 1);
         for k in (2..=self.k_max).rev() {
-            let t = std::time::Instant::now();
+            let t = Instant::now();
             self.union_level(&mut dsu, k);
             phases.sweep += t.elapsed();
-            let t = std::time::Instant::now();
+            let t = Instant::now();
             let mut level =
                 snap.snapshot(&self.sizes, k, &mut |x| dsu.find(x), levels_desc.last_mut());
-            self.fill_members(&mut level, &mut comm_of);
+            self.fill_members(&mut level);
             phases.extract += t.elapsed();
             levels_desc.push(level);
         }
@@ -765,6 +932,420 @@ impl FusedPercolator {
             levels: levels_desc,
             clique_count,
         }
+    }
+
+    /// [`finish`](Self::finish) over the persistent [`Pool`]: the pair
+    /// detection, the descending-`k` sweep and the member extraction
+    /// all chunk over up to `threads` workers ([`Threads::Auto`]
+    /// resolves each phase against its own work volume). Bit-identical
+    /// to the sequential finish at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is a fixed count of 0.
+    pub fn finish_parallel(self, threads: impl Into<Threads>) -> FusedCpmResult {
+        let mut phases = FusedPhases::default();
+        self.finish_impl(threads.into(), None, &mut phases, &mut |_| {})
+            .expect("uncancellable finish cannot be cancelled")
+    }
+
+    /// [`finish_parallel`](Self::finish_parallel) polling a
+    /// [`CancelToken`] at every chunk claim and level barrier: workers
+    /// stop taking work, run out through the job protocol (the pool
+    /// stays reusable), the partially built result is discarded, and
+    /// the call returns [`Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] once the token trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is a fixed count of 0.
+    pub fn finish_cancellable(
+        self,
+        threads: impl Into<Threads>,
+        cancel: &CancelToken,
+    ) -> Result<FusedCpmResult, Cancelled> {
+        let mut phases = FusedPhases::default();
+        self.finish_impl(threads.into(), Some(cancel), &mut phases, &mut |_| {})
+    }
+
+    /// [`finish_parallel`](Self::finish_parallel) accumulating the
+    /// phase breakdown into `phases`, as
+    /// [`finish_phases`](Self::finish_phases) does for the sequential
+    /// path.
+    pub fn finish_phases_parallel(
+        self,
+        threads: impl Into<Threads>,
+        phases: &mut FusedPhases,
+    ) -> FusedCpmResult {
+        self.finish_impl(threads.into(), None, phases, &mut |_| {})
+            .expect("uncancellable finish cannot be cancelled")
+    }
+
+    /// The phase-structured finish shared by every parallel entry.
+    ///
+    /// Why the parallel finish is bit-identical to the sequential one:
+    /// the final result depends only on the per-level *partitions* (the
+    /// snapshotter assigns community indices by first-seen root over
+    /// ascending ordinals, and members are canonicalised), every union
+    /// source contributes the same pair set in every schedule, and
+    /// [`ConcurrentDsu`]'s unions commute partition-wise. So chunking
+    /// unions over workers — in any interleaving — cannot change the
+    /// output. The one order-sensitive structure, the exact engine's
+    /// strata, is reassembled in ascending chunk order by an
+    /// [`OrderedAbsorber`]. Phase transitions are reported to `observe`
+    /// (the bench's per-phase memory hook).
+    fn finish_impl(
+        mut self,
+        threads: Threads,
+        cancel: Option<&CancelToken>,
+        phases: &mut FusedPhases,
+        observe: &mut dyn FnMut(&'static str),
+    ) -> Result<FusedCpmResult, Cancelled> {
+        let clique_count = self.sizes.len();
+        if self.k_max < 2 {
+            return Ok(FusedCpmResult {
+                levels: Vec::new(),
+                clique_count,
+            });
+        }
+
+        observe("pairs");
+        let t = Instant::now();
+        let pairs_workers = self.pairs_workers(threads);
+        match &mut self.engine {
+            Engine::Almost(a) => {
+                if pairs_workers > 1 || cancel.is_some() {
+                    a.finish_pairs_parallel(&self.sizes, self.k_max, pairs_workers, cancel);
+                } else {
+                    a.finish_pairs(&self.sizes);
+                }
+                a.build_extract_index(&self.sizes);
+            }
+            Engine::Exact(e) => {
+                if pairs_workers > 1 || cancel.is_some() {
+                    e.finish_pairs_parallel(&self.sizes, pairs_workers, cancel);
+                } else {
+                    e.finish_pairs(&self.sizes);
+                }
+            }
+        }
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        phases.pairs += t.elapsed();
+
+        observe("sweep");
+        let t = Instant::now();
+        let sweep_workers = threads.resolve(self.sweep_work(), PAR_UNION_MIN);
+        let (mut levels_desc, snap_time) = self.sweep_levels(sweep_workers, cancel)?;
+        phases.sweep += t.elapsed().saturating_sub(snap_time);
+
+        observe("extract");
+        let t = Instant::now();
+        let extract_workers = threads.resolve(clique_count, FUSED_EXTRACT_AUTO_CLIQUES_PER_WORKER);
+        self.extract_levels(&mut levels_desc, extract_workers, cancel)?;
+        phases.extract += t.elapsed() + snap_time;
+
+        levels_desc.reverse();
+        Ok(FusedCpmResult {
+            levels: levels_desc,
+            clique_count,
+        })
+    }
+
+    /// `Threads::Auto` resolution of the pairs phase against its own
+    /// work volume (candidate pairs for the almost prepass, arena
+    /// members for the exact scan).
+    fn pairs_workers(&self, threads: Threads) -> usize {
+        match &self.engine {
+            Engine::Almost(a) => {
+                let nb = a.bigs.len();
+                let work = nb * nb / 2 + self.sizes.len();
+                threads.resolve(work, FUSED_PAIRS_AUTO_CANDIDATES_PER_WORKER)
+            }
+            Engine::Exact(e) => threads.resolve(e.mem.len(), FUSED_PAIRS_AUTO_MEMBERS_PER_WORKER),
+        }
+    }
+
+    /// The sweep's work bound: the largest single stratum or the
+    /// ordinal universe (each keyed/partition merge replays one union
+    /// per ordinal), whichever dominates.
+    fn sweep_work(&self) -> usize {
+        let strata_max = match &self.engine {
+            Engine::Almost(a) => a.strata.max_len(),
+            Engine::Exact(e) => e.strata.max_len(),
+        };
+        strata_max.max(self.sizes.len())
+    }
+
+    /// The pool-parallel descending-`k` sweep: per level, workers drain
+    /// the stratum pairs, the partition merges and (exact, `k = 2`) the
+    /// posting chain into one shared [`ConcurrentDsu`], then a barrier
+    /// separates the unions from the leader's level snapshot (taken
+    /// from the quiescent DSU, where `find` is the exact min-id root),
+    /// and a second barrier separates the snapshot from the next
+    /// level's unions — the PR 3/4 protocol. Sources smaller than
+    /// [`PAR_UNION_MIN`] get an empty queue and are replayed leader-
+    /// inline, so tiny levels never pay claim traffic.
+    ///
+    /// Returns the levels in descending `k` plus the wall time spent
+    /// snapshotting (attributed to the extract phase, matching the
+    /// sequential accounting).
+    fn sweep_levels(
+        &mut self,
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Vec<KLevel>, Duration), Cancelled> {
+        let count = self.sizes.len();
+        // Sequential-partition sources (the incremental key DSUs, plus
+        // per-level `Dsu`s when the pairs phase ran sequentially)
+        // become root arrays up front: `Dsu::find` needs `&mut`, which
+        // pool workers cannot share.
+        let mut root_parts: Vec<Vec<Vec<u32>>> = vec![Vec::new(); self.k_max + 1];
+        if let Engine::Almost(a) = &mut self.engine {
+            for (k, parts) in root_parts.iter_mut().enumerate().skip(2) {
+                if let Some(Some(d)) = a.level_dsus.get_mut(k) {
+                    parts.push(roots_of(d, count));
+                }
+            }
+            if self.k_max >= 3 {
+                root_parts[3].push(roots_of(&mut a.dsu3, count));
+            }
+            root_parts[2].push(roots_of(&mut a.dsu2, count));
+        }
+
+        struct MergeJob<'a> {
+            src: MergeSrc<'a>,
+            queue: ChunkQueue,
+        }
+        struct LevelPlan<'a> {
+            k: usize,
+            pairs: &'a [(u32, u32)],
+            pairs_queue: ChunkQueue,
+            merges: Vec<MergeJob<'a>>,
+            chain: Option<(&'a [Vec<u32>], ChunkQueue)>,
+        }
+
+        let engine = &self.engine;
+        let sizes = &self.sizes[..];
+        // Only sources worth stealing get a live queue; `gate` returns
+        // the queue length (0 = leader-inline).
+        let gate = |len: usize, work: usize| {
+            if workers > 1 && work >= PAR_UNION_MIN {
+                len
+            } else {
+                0
+            }
+        };
+        let mut plans: Vec<LevelPlan> = Vec::with_capacity(self.k_max - 1);
+        for k in (2..=self.k_max).rev() {
+            let pairs = match engine {
+                Engine::Almost(a) => a.strata.at(k),
+                Engine::Exact(e) => e.strata.at(k),
+            };
+            let mut merges: Vec<MergeJob> = Vec::new();
+            if let Engine::Almost(a) = engine {
+                if let Some(cd) = a.level_cdsus.get(k).and_then(OnceLock::get) {
+                    merges.push(MergeJob {
+                        src: MergeSrc::Par(cd),
+                        queue: ChunkQueue::new(gate(count, count), UNION_CHUNK),
+                    });
+                }
+            }
+            for roots in root_parts[k].drain(..) {
+                merges.push(MergeJob {
+                    src: MergeSrc::Seq(roots),
+                    queue: ChunkQueue::new(gate(count, count), UNION_CHUNK),
+                });
+            }
+            let chain = match engine {
+                Engine::Exact(e) if k == 2 => Some((
+                    &e.postings[..],
+                    ChunkQueue::new(gate(e.postings.len(), e.mem.len()), FUSED_CHAIN_CHUNK),
+                )),
+                _ => None,
+            };
+            plans.push(LevelPlan {
+                k,
+                pairs,
+                pairs_queue: ChunkQueue::new(gate(pairs.len(), pairs.len()), UNION_CHUNK),
+                merges,
+                chain,
+            });
+        }
+
+        let cdsu = ConcurrentDsu::new(count);
+        type SnapParts = (FusedSnapshotter, Vec<KLevel>, Duration);
+        let snap_parts: Mutex<SnapParts> = Mutex::new((
+            FusedSnapshotter::new(count),
+            Vec::with_capacity(self.k_max - 1),
+            Duration::ZERO,
+        ));
+        Pool::global().run(workers, |w| {
+            let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+            for plan in &plans {
+                if plan.pairs_queue.is_empty() {
+                    if w.is_leader() && !cancelled() {
+                        for chunk in plan.pairs.chunks(UNION_CHUNK) {
+                            if cancelled() {
+                                break;
+                            }
+                            for &(a, b) in chunk {
+                                cdsu.union(a, b);
+                            }
+                        }
+                    }
+                } else {
+                    let claim = || match cancel {
+                        Some(token) => plan.pairs_queue.claim_unless(token),
+                        None => plan.pairs_queue.claim(),
+                    };
+                    while let Some(range) = claim() {
+                        for &(a, b) in &plan.pairs[range] {
+                            cdsu.union(a, b);
+                        }
+                    }
+                }
+                for job in &plan.merges {
+                    if job.queue.is_empty() {
+                        if w.is_leader() && !cancelled() {
+                            for start in (0..count).step_by(UNION_CHUNK) {
+                                if cancelled() {
+                                    break;
+                                }
+                                let end = (start + UNION_CHUNK).min(count);
+                                for i in start as u32..end as u32 {
+                                    let r = job.src.root(i);
+                                    if r != i {
+                                        cdsu.union(r, i);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        let claim = || match cancel {
+                            Some(token) => job.queue.claim_unless(token),
+                            None => job.queue.claim(),
+                        };
+                        while let Some(range) = claim() {
+                            for i in range.start as u32..range.end as u32 {
+                                let r = job.src.root(i);
+                                if r != i {
+                                    cdsu.union(r, i);
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some((postings, queue)) = &plan.chain {
+                    let chain_list = |posts: &[u32]| {
+                        if let Some((&first, rest)) = posts.split_first() {
+                            for &o in rest {
+                                cdsu.union(first, o);
+                            }
+                        }
+                    };
+                    if queue.is_empty() {
+                        if w.is_leader() && !cancelled() {
+                            for chunk in postings.chunks(FUSED_CHAIN_CHUNK) {
+                                if cancelled() {
+                                    break;
+                                }
+                                for posts in chunk {
+                                    chain_list(posts);
+                                }
+                            }
+                        }
+                    } else {
+                        let claim = || match cancel {
+                            Some(token) => queue.claim_unless(token),
+                            None => queue.claim(),
+                        };
+                        while let Some(range) = claim() {
+                            for posts in &postings[range] {
+                                chain_list(posts);
+                            }
+                        }
+                    }
+                }
+                // Quiesce, snapshot from the settled partition, then
+                // release everyone into the next level.
+                w.barrier();
+                if w.is_leader() && !cancelled() {
+                    let t = Instant::now();
+                    let mut guard = snap_parts.lock().expect("fused sweep worker panicked");
+                    let (snap, levels, snap_time) = &mut *guard;
+                    let level =
+                        snap.snapshot(sizes, plan.k, &mut |x| cdsu.find(x), levels.last_mut());
+                    levels.push(level);
+                    *snap_time += t.elapsed();
+                }
+                w.barrier();
+            }
+        });
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        let (_, levels, snap_time) = snap_parts
+            .into_inner()
+            .expect("fused sweep worker panicked");
+        Ok((levels, snap_time))
+    }
+
+    /// Pool-parallel member extraction: the communities of every level
+    /// flatten into one worklist, workers claim chunks and compute each
+    /// community's canonical members independently (the per-community
+    /// work never touches shared mutable state), and the buffers are
+    /// written back by index afterwards — the same members in the same
+    /// slots as the sequential loop.
+    fn extract_levels(
+        &self,
+        levels: &mut [KLevel],
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), Cancelled> {
+        if workers <= 1 && cancel.is_none() {
+            for level in levels.iter_mut() {
+                self.fill_members(level);
+            }
+            return Ok(());
+        }
+        let items: Vec<(u32, u32)> = levels
+            .iter()
+            .enumerate()
+            .flat_map(|(li, l)| (0..l.communities.len() as u32).map(move |ci| (li as u32, ci)))
+            .collect();
+        let queue = ChunkQueue::new(items.len(), FUSED_EXTRACT_CHUNK);
+        type Extracted = Vec<(u32, u32, Vec<NodeId>)>;
+        let done: Mutex<Extracted> = Mutex::new(Vec::with_capacity(items.len()));
+        let levels_ref = &*levels;
+        Pool::global().run(workers, |_w| {
+            let mut local: Extracted = Vec::new();
+            let claim = || match cancel {
+                Some(token) => queue.claim_unless(token),
+                None => queue.claim(),
+            };
+            while let Some(range) = claim() {
+                for ii in range {
+                    let (li, ci) = items[ii];
+                    let ids = &levels_ref[li as usize].communities[ci as usize].clique_ids;
+                    local.push((li, ci, canonical_members(self.community_members(ids))));
+                }
+            }
+            done.lock()
+                .expect("fused extract worker panicked")
+                .extend(local);
+        });
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        for (li, ci, members) in done.into_inner().expect("fused extract worker panicked") {
+            levels[li as usize].communities[ci as usize].members = members;
+        }
+        Ok(())
     }
 
     /// Applies every union active at level `k` (strata replay plus, at
@@ -805,79 +1386,80 @@ impl FusedPercolator {
     }
 
     /// Fills one snapshotted level's community members from the
-    /// engine's transposed stores, then canonicalises them.
-    ///
-    /// The almost engine walks each community's own `clique_ids` and
-    /// fetches members from the ordinal-indexed stores
-    /// ([`AlmostFused::build_extract_index`]) — work proportional to
-    /// the level's *qualifying* membership, not to the whole census,
-    /// which is what makes the per-level extraction cheaper than the
-    /// staged snapshot despite never holding a clique list.
-    fn fill_members(&self, level: &mut KLevel, comm_of: &mut CommOf) {
+    /// engine's ordinal-indexed stores, then canonicalises them.
+    fn fill_members(&self, level: &mut KLevel) {
+        for c in &mut level.communities {
+            c.members = canonical_members(self.community_members(&c.clique_ids));
+        }
+    }
+
+    /// The raw (unsorted, possibly duplicated) member union of the
+    /// cliques in `ids`, fetched from the engine's ordinal-indexed
+    /// stores ([`AlmostFused::build_extract_index`] / the exact arena
+    /// CSR) — work proportional to the community's own membership, not
+    /// to the whole census, which is what makes the per-level
+    /// extraction cheaper than the staged snapshot despite never
+    /// holding a clique list. Shared by the sequential and the
+    /// pool-parallel extraction (`&self` only, so workers can run it
+    /// concurrently per community).
+    fn community_members(&self, ids: &[u32]) -> Vec<NodeId> {
+        let mut members: Vec<NodeId> = Vec::new();
         match &self.engine {
             Engine::Almost(a) => {
-                for c in &mut level.communities {
-                    // Bitmap-compressed bigs OR into one accumulator
-                    // and decode once per community: every big member
-                    // is a hub vertex, so a community's bigs — however
-                    // many — contribute at most 256 member pushes.
-                    let mut bm = [0u64; 4];
-                    for &x in &c.clique_ids {
-                        let s = self.sizes[x as usize] as usize;
-                        if s == 2 {
-                            let i = a
-                                .pairs2
-                                .binary_search_by_key(&x, |&(o, _)| o)
-                                .expect("size-2 ordinal is in pairs2");
-                            c.members.extend_from_slice(&a.pairs2[i].1);
-                        } else if s <= SMALL_FULL {
-                            let (b, e) = (
-                                a.small_off[x as usize] as usize,
-                                a.small_off[x as usize + 1] as usize,
-                            );
-                            c.members.extend_from_slice(&a.small_mem[b..e]);
-                        } else if !a.fallback {
-                            let i = a
-                                .big_ord_idx
-                                .binary_search_by_key(&x, |&(o, _)| o)
-                                .expect("big ordinal is indexed");
-                            let rec = &a.bigs[a.big_ord_idx[i].1 as usize];
-                            for (acc, &word) in bm.iter_mut().zip(&rec.bm) {
-                                *acc |= word;
-                            }
-                        } else {
-                            let bi = a
-                                .big_ords
-                                .binary_search(&x)
-                                .expect("fallback big ordinal is recorded");
-                            let m = &a.big_members[a.big_offsets[bi]..a.big_offsets[bi + 1]];
-                            c.members.extend_from_slice(m);
+                // Bitmap-compressed bigs OR into one accumulator and
+                // decode once per community: every big member is a hub
+                // vertex, so a community's bigs — however many —
+                // contribute at most 256 member pushes.
+                let mut bm = [0u64; 4];
+                for &x in ids {
+                    let s = self.sizes[x as usize] as usize;
+                    if s == 2 {
+                        let i = a
+                            .pairs2
+                            .binary_search_by_key(&x, |&(o, _)| o)
+                            .expect("size-2 ordinal is in pairs2");
+                        members.extend_from_slice(&a.pairs2[i].1);
+                    } else if s <= SMALL_FULL {
+                        let (b, e) = (
+                            a.small_off[x as usize] as usize,
+                            a.small_off[x as usize + 1] as usize,
+                        );
+                        members.extend_from_slice(&a.small_mem[b..e]);
+                    } else if !a.fallback {
+                        let i = a
+                            .big_ord_idx
+                            .binary_search_by_key(&x, |&(o, _)| o)
+                            .expect("big ordinal is indexed");
+                        let rec = &a.bigs[a.big_ord_idx[i].1 as usize];
+                        for (acc, &word) in bm.iter_mut().zip(&rec.bm) {
+                            *acc |= word;
                         }
+                    } else {
+                        let bi = a
+                            .big_ords
+                            .binary_search(&x)
+                            .expect("fallback big ordinal is recorded");
+                        let m = &a.big_members[a.big_offsets[bi]..a.big_offsets[bi + 1]];
+                        members.extend_from_slice(m);
                     }
-                    for (w, &word) in bm.iter().enumerate() {
-                        let mut bits = word;
-                        while bits != 0 {
-                            let b = (w << 6) | bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            c.members.push(a.hub_inv[b]);
-                        }
+                }
+                for (w, &word) in bm.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let b = (w << 6) | bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        members.push(a.hub_inv[b]);
                     }
                 }
             }
             Engine::Exact(e) => {
-                comm_of.begin(level);
-                for (v, posts) in e.postings.iter().enumerate() {
-                    for &x in posts {
-                        if let Some(ci) = comm_of.get(x) {
-                            level.communities[ci].members.push(v as NodeId);
-                        }
-                    }
+                for &x in ids {
+                    let (b, en) = (e.off[x as usize] as usize, e.off[x as usize + 1] as usize);
+                    members.extend_from_slice(&e.mem[b..en]);
                 }
             }
         }
-        for c in &mut level.communities {
-            c.members = canonical_members(std::mem::take(&mut c.members));
-        }
+        members
     }
 
     /// Runs the sweep down to a single level `k` and returns its
@@ -887,9 +1469,12 @@ impl FusedPercolator {
         if k < 2 || self.k_max < k {
             return Vec::new();
         }
-        if let Engine::Almost(a) = &mut self.engine {
-            a.finish_pairs(&self.sizes);
-            a.build_extract_index(&self.sizes);
+        match &mut self.engine {
+            Engine::Almost(a) => {
+                a.finish_pairs(&self.sizes);
+                a.build_extract_index(&self.sizes);
+            }
+            Engine::Exact(e) => e.finish_pairs(&self.sizes),
         }
         let clique_count = self.sizes.len();
         let mut dsu = Dsu::new(clique_count);
@@ -944,8 +1529,7 @@ impl FusedPercolator {
             k: k as u32,
             communities,
         };
-        let mut comm_of = CommOf::new(clique_count);
-        self.fill_members(&mut level, &mut comm_of);
+        self.fill_members(&mut level);
         let mut out: Vec<Vec<NodeId>> = level.communities.into_iter().map(|c| c.members).collect();
         out.sort_unstable();
         out
@@ -1304,6 +1888,218 @@ impl AlmostFused {
             }
         }
     }
+
+    /// [`Self::finish_pairs`] chunked over `workers` pool workers.
+    ///
+    /// The sequential prologue is unchanged (descending-size big sort,
+    /// transposed per-hub bitmaps, hub-membership CSR — all linear);
+    /// the two quadratic scans then drain two [`ChunkQueue`]s: big×big
+    /// over sorted-big rows, big×small over ordinals. Hits union into
+    /// per-level [`ConcurrentDsu`]s instead of the sequential pass's
+    /// `level_dsus`: the pair *set* per level is identical (each chunk
+    /// runs the same arithmetic over the same planes), and a level's
+    /// partition is fully determined by its pair set, so the sweep
+    /// merge — and with it the final result — is bit-identical to the
+    /// sequential pass at every worker count. The sequential pass's
+    /// cached-root trick is dropped here (roots move under concurrent
+    /// unions); `ConcurrentDsu::union` resolves both sides itself.
+    ///
+    /// The > 256-hub fallback and the (statically dead) deep-miss
+    /// configuration delegate to the sequential pass: both are rare and
+    /// emit into ordered strata, which parallel workers could not do
+    /// without a reassembly stage of their own.
+    fn finish_pairs_parallel(
+        &mut self,
+        sizes: &[u32],
+        k_max: usize,
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) {
+        if self.fallback || MISS_DEPTH > 7 {
+            self.finish_pairs(sizes);
+            return;
+        }
+        if self.bigs.is_empty() {
+            return;
+        }
+        self.bigs
+            .sort_unstable_by_key(|r| (std::cmp::Reverse(r.size), r.ord));
+        let nb = self.bigs.len();
+        let w_big = nb.div_ceil(64);
+        let hubs = self.hub_inv.len();
+        let mut trans = vec![0u64; hubs * w_big];
+        for (bi, rec) in self.bigs.iter().enumerate() {
+            for w in 0..4 {
+                let mut bits = rec.bm[w];
+                while bits != 0 {
+                    let b = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    trans[b * w_big + (bi >> 6)] |= 1u64 << (bi & 63);
+                }
+            }
+        }
+        let count = sizes.len();
+        let mut hub_off = vec![0u32; count + 1];
+        for b in 0..hubs {
+            let v = self.hub_inv[b] as usize;
+            for &x in &self.small_postings[v] {
+                hub_off[x as usize + 1] += 1;
+            }
+        }
+        for i in 0..count {
+            hub_off[i + 1] += hub_off[i];
+        }
+        let mut hub_rows = vec![0u32; hub_off[count] as usize];
+        let mut cursor = hub_off.clone();
+        for b in 0..hubs {
+            let v = self.hub_inv[b] as usize;
+            for &x in &self.small_postings[v] {
+                hub_rows[cursor[x as usize] as usize] = b as u32;
+                cursor[x as usize] += 1;
+            }
+        }
+        // Levels never exceed the largest clique size, so `k_max + 2`
+        // slots cover every detection level with room for the `.min(s)`
+        // clamp's upper bound.
+        self.level_cdsus = std::iter::repeat_with(OnceLock::new)
+            .take(k_max + 2)
+            .collect();
+
+        let bigs = &self.bigs[..];
+        let cdsus = &self.level_cdsus[..];
+        let trans = &trans[..];
+        let dsu_at = |level: usize| cdsus[level].get_or_init(|| ConcurrentDsu::new(count));
+        let queue_bb = ChunkQueue::new(nb, PAIRS_BIG_CHUNK);
+        let queue_bs = ChunkQueue::new(count, PAIRS_SMALL_CHUNK);
+        Pool::global().run(workers, |_w| {
+            let mut rows: Vec<&[u64]> = Vec::new();
+            // Big×big: same bit-sliced miss counting as the sequential
+            // pass, per claimed row range.
+            let claim = || match cancel {
+                Some(token) => queue_bb.claim_unless(token),
+                None => queue_bb.claim(),
+            };
+            while let Some(range) = claim() {
+                for xi in range {
+                    if xi == 0 {
+                        continue;
+                    }
+                    let s = bigs[xi].size as usize;
+                    let w_words = xi.div_ceil(64);
+                    rows.clear();
+                    for w4 in 0..4 {
+                        let mut bits = bigs[xi].bm[w4];
+                        while bits != 0 {
+                            let b = (w4 << 6) | bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            rows.push(&trans[b * w_big..][..w_words]);
+                        }
+                    }
+                    debug_assert_eq!(rows.len(), s);
+                    for w in 0..w_words {
+                        let (mut c0, mut c1, mut c2, mut sat) = (0u64, 0u64, 0u64, 0u64);
+                        for r in &rows {
+                            let mut v = !r[w];
+                            let t = c0 & v;
+                            c0 ^= v;
+                            v = t;
+                            let t = c1 & v;
+                            c1 ^= v;
+                            v = t;
+                            let t = c2 & v;
+                            c2 ^= v;
+                            v = t;
+                            sat |= v;
+                            if sat == u64::MAX {
+                                break;
+                            }
+                        }
+                        let mut hits = !(sat | (c2 & c1));
+                        if w == xi >> 6 {
+                            hits &= (1u64 << (xi & 63)) - 1;
+                        }
+                        while hits != 0 {
+                            let i = hits.trailing_zeros() as usize;
+                            hits &= hits - 1;
+                            let yi = (w << 6) | i;
+                            let d =
+                                (((c0 >> i) & 1) | (((c1 >> i) & 1) << 1) | (((c2 >> i) & 1) << 2))
+                                    as usize;
+                            if d > MISS_DEPTH {
+                                continue;
+                            }
+                            let level = (s - d + 1).min(s).max(2);
+                            dsu_at(level).union(bigs[yi].ord, bigs[xi].ord);
+                        }
+                    }
+                }
+            }
+            // Big×small: same plane arithmetic as the sequential pass,
+            // per claimed ordinal range.
+            let claim = || match cancel {
+                Some(token) => queue_bs.claim_unless(token),
+                None => queue_bs.claim(),
+            };
+            while let Some(range) = claim() {
+                for x in range {
+                    let hub_bits = &hub_rows[hub_off[x] as usize..hub_off[x + 1] as usize];
+                    if hub_bits.len() < 3 {
+                        continue;
+                    }
+                    let s = sizes[x] as usize;
+                    debug_assert!((3..=SMALL_FULL).contains(&s));
+                    rows.clear();
+                    rows.extend(
+                        hub_bits
+                            .iter()
+                            .map(|&b| &trans[b as usize * w_big..][..w_big]),
+                    );
+                    if let [r0, r1, r2] = rows[..] {
+                        let level = 4.min(s).max(2);
+                        let dsu = dsu_at(level);
+                        for w in 0..w_big {
+                            let mut hits = r0[w] & r1[w] & r2[w];
+                            while hits != 0 {
+                                let i = hits.trailing_zeros() as usize;
+                                hits &= hits - 1;
+                                let yi = (w << 6) | i;
+                                dsu.union(bigs[yi].ord, x as u32);
+                            }
+                        }
+                        continue;
+                    }
+                    for w in 0..w_big {
+                        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+                        for r in &rows {
+                            let mut v = r[w];
+                            let t = c0 & v;
+                            c0 ^= v;
+                            v = t;
+                            let t = c1 & v;
+                            c1 ^= v;
+                            v = t;
+                            let t = c2 & v;
+                            c2 ^= v;
+                            v = t;
+                            c3 ^= v;
+                        }
+                        let mut hits = c3 | c2 | (c1 & c0);
+                        while hits != 0 {
+                            let i = hits.trailing_zeros() as usize;
+                            hits &= hits - 1;
+                            let yi = (w << 6) | i;
+                            let m = ((c0 >> i) & 1)
+                                | (((c1 >> i) & 1) << 1)
+                                | (((c2 >> i) & 1) << 2)
+                                | (((c3 >> i) & 1) << 3);
+                            let level = ((m as usize) + 1).min(s).max(2);
+                            dsu_at(level).union(bigs[yi].ord, x as u32);
+                        }
+                    }
+                }
+            }
+        });
+    }
 }
 
 /// Fused percolation of `g` in `mode`: enumeration streams straight
@@ -1352,10 +2148,11 @@ pub fn percolate_fused_phases(g: &Graph, mode: Mode) -> (FusedCpmResult, FusedPh
     (result, phases)
 }
 
-/// Fused percolation with pool-parallel enumeration: producers
-/// enumerate work-stolen chunks, the pool leader folds them into the
-/// engine in sequential order — bit-identical to [`percolate_fused`]
-/// at every worker count.
+/// Fused percolation with pool-parallel enumeration *and* finish:
+/// producers enumerate work-stolen chunks and fold them into the
+/// engine in sequential order, then the finish-time phases (pair
+/// detection, sweep, extraction) chunk over the same pool —
+/// bit-identical to [`percolate_fused`] at every worker count.
 ///
 /// # Panics
 ///
@@ -1368,7 +2165,48 @@ pub fn percolate_fused_parallel(
     let threads = entry_threads(threads.into(), g, mode);
     let mut p = FusedPercolator::new(g.node_count(), mode);
     cliques::parallel::consume_max_cliques_parallel(g, threads, Kernel::Auto, &mut p);
-    p.finish()
+    p.finish_parallel(threads)
+}
+
+/// [`percolate_fused_parallel`] with the [`FusedPhases`] wall-clock
+/// breakdown — the multi-worker twin of [`percolate_fused_phases`].
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn percolate_fused_phases_parallel(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    mode: Mode,
+) -> (FusedCpmResult, FusedPhases) {
+    percolate_fused_phases_probed(g, threads, mode, &mut |_| {})
+}
+
+/// [`percolate_fused_phases_parallel`] reporting each phase transition
+/// (`"consume"`, `"pairs"`, `"sweep"`, `"extract"`) to `observe` as the
+/// named phase *starts* — the hook behind the bench's per-phase peak
+/// memory attribution.
+///
+/// # Panics
+///
+/// Panics if `threads` is a fixed count of 0.
+pub fn percolate_fused_phases_probed(
+    g: &Graph,
+    threads: impl Into<Threads>,
+    mode: Mode,
+    observe: &mut dyn FnMut(&'static str),
+) -> (FusedCpmResult, FusedPhases) {
+    let threads = entry_threads(threads.into(), g, mode);
+    let mut phases = FusedPhases::default();
+    let mut p = FusedPercolator::new(g.node_count(), mode);
+    observe("consume");
+    let t = Instant::now();
+    cliques::parallel::consume_max_cliques_parallel(g, threads, Kernel::Auto, &mut p);
+    phases.consume = t.elapsed();
+    let result = p
+        .finish_impl(threads, None, &mut phases, observe)
+        .expect("uncancellable finish cannot be cancelled");
+    (result, phases)
 }
 
 /// The shared `Threads::Auto` work-volume grain of the percolate entry
@@ -1384,9 +2222,9 @@ fn entry_threads(threads: Threads, g: &Graph, mode: Mode) -> Threads {
 }
 
 /// [`percolate_fused_parallel`] with an explicit [`Kernel`] and a
-/// [`CancelToken`] polled between emitted chunks, for the CLI and the
-/// daemon: cancellation leaves the pool reusable and discards the
-/// partial consumer.
+/// [`CancelToken`] polled between emitted chunks and at every
+/// finish-time chunk claim, for the CLI and the daemon: cancellation
+/// leaves the pool reusable and discards the partial consumer.
 ///
 /// # Errors
 ///
@@ -1407,7 +2245,7 @@ pub fn percolate_fused_cancellable(
     cliques::parallel::consume_max_cliques_parallel_cancellable(
         g, threads, kernel, cancel, &mut p,
     )?;
-    Ok(p.finish())
+    p.finish_cancellable(threads, cancel)
 }
 
 /// Fused single-level percolation: sorted member lists, sorted —

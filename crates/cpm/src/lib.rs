@@ -54,7 +54,8 @@ pub mod weighted;
 pub use consume::{
     percolate_at_fused, percolate_at_fused_with_kernel, percolate_fused,
     percolate_fused_cancellable, percolate_fused_parallel, percolate_fused_phases,
-    percolate_fused_with_kernel, FusedCpmResult, FusedPercolator, FusedPhases, Pipeline,
+    percolate_fused_phases_parallel, percolate_fused_phases_probed, percolate_fused_with_kernel,
+    FusedCpmResult, FusedPercolator, FusedPhases, Pipeline,
 };
 pub use dsu::Dsu;
 pub use dsu_concurrent::ConcurrentDsu;

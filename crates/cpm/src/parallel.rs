@@ -38,7 +38,7 @@ use crate::result::{CpmResult, KLevel};
 use crate::sweep::{chain_union_postings, percolate_from_strata, OverlapStrata};
 use asgraph::Graph;
 use cliques::{CliqueSet, Kernel};
-use exec::{CancelToken, Cancelled, ChunkQueue, Pool, Threads};
+use exec::{CancelToken, Cancelled, ChunkQueue, OrderedAbsorber, Pool, Threads};
 use std::sync::{Mutex, RwLock};
 
 /// Per-chunk (key, owner-clique) maps produced by the key phase,
@@ -52,6 +52,12 @@ type ChunkKeyMaps = Vec<(usize, Vec<(u64, u32)>)>;
 /// shared counter cold.
 pub const OVERLAP_CHUNK: usize = 256;
 
+/// Out-of-order overlap chunks buffered before a too-far-ahead worker
+/// pauses ([`OrderedAbsorber`] window). Small: the buffer bounds the
+/// phase's extra peak heap to a few chunks of pairs instead of a whole
+/// second copy of the strata.
+const OVERLAP_ABSORB_WINDOW: usize = 8;
+
 /// Stratum pairs claimed per queue chunk while draining one overlap
 /// stratum into the concurrent union–find. A union is a handful of
 /// atomic ops, so chunks are coarse to keep the shared counter out of
@@ -60,7 +66,7 @@ pub const UNION_CHUNK: usize = 2048;
 
 /// Below this many pairs a stratum is drained by worker 0 alone:
 /// coordinating the team costs more than the unions.
-const PAR_UNION_MIN: usize = 4 * UNION_CHUNK;
+pub(crate) const PAR_UNION_MIN: usize = 4 * UNION_CHUNK;
 
 /// The `Threads::Auto` grain for overlap counting: total clique
 /// memberships (the posting count, which bounds the counting work) per
@@ -259,12 +265,17 @@ fn overlap_strata_parallel_impl(
         });
     }
 
+    // Streaming chunk-ordered reassembly: each finished chunk folds
+    // into the shared strata the moment it is next due, so the peak
+    // heap is one copy of the pairs plus at most [`OVERLAP_ABSORB_WINDOW`]
+    // buffered chunks — not a second copy of every stratum held until a
+    // post-job sort (which used to double the phase's peak at 2+
+    // workers).
     let queue = ChunkQueue::new(n, OVERLAP_CHUNK);
-    let chunks: Mutex<Vec<(usize, OverlapStrata)>> = Mutex::new(Vec::new());
+    let absorber = OrderedAbsorber::new(OVERLAP_ABSORB_WINDOW, OverlapStrata::new(max_size));
     pool.run(workers, |mut w| {
         let scratch = w.scratch_with(OverlapScratch::default);
         scratch.reset_for(cliques, use_bitset);
-        let mut local: Vec<(usize, OverlapStrata)> = Vec::new();
         let claim = || match cancel {
             Some(token) => queue.claim_unless(token),
             None => queue.claim(),
@@ -278,31 +289,15 @@ fn overlap_strata_parallel_impl(
                 });
                 strata.clear_below(min_overlap);
             }
-            local.push((start, strata));
+            absorber.submit(start / OVERLAP_CHUNK, strata, |acc, mut chunk| {
+                acc.absorb(&mut chunk);
+            });
         }
-        chunks
-            .lock()
-            .expect("overlap worker panicked")
-            .extend(local);
     });
     if let Some(token) = cancel {
         token.check()?;
     }
-
-    // Chunk-ordered reassembly, one exact-capacity allocation per
-    // stratum; chunks are dropped as they are absorbed, so the peak is
-    // one copy of the pairs plus the largest in-flight chunk.
-    let mut chunks = chunks.into_inner().expect("overlap worker panicked");
-    chunks.sort_unstable_by_key(|&(start, _)| start);
-    let mut strata = OverlapStrata::new(max_size);
-    for o in 1..max_size {
-        let total: usize = chunks.iter().map(|(_, c)| c.stratum(o).len()).sum();
-        strata.reserve(o, total);
-    }
-    for (_, mut chunk) in chunks {
-        strata.absorb(&mut chunk);
-    }
-    Ok(strata)
+    Ok(absorber.into_inner())
 }
 
 /// The parallel fused sweep: one resident pool job drains every

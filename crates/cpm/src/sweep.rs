@@ -110,15 +110,6 @@ impl OverlapStrata {
         }
     }
 
-    /// Pre-sizes stratum `overlap` for `additional` more pairs (used by
-    /// the parallel chunk reassembly to allocate each stratum exactly
-    /// once).
-    pub(crate) fn reserve(&mut self, overlap: usize, additional: usize) {
-        if let Some(b) = self.buckets.get_mut(overlap) {
-            b.reserve_exact(additional);
-        }
-    }
-
     /// Empties every stratum below `min_overlap`, keeping capacity.
     ///
     /// The min-overlap builders push *unconditionally* — the overlap

@@ -40,6 +40,7 @@
 //! spawning, which is exactly the per-call cost this crate exists to
 //! avoid.
 
+mod absorb;
 mod arena;
 mod cancel;
 mod pool;
@@ -47,6 +48,7 @@ mod queue;
 mod task_queue;
 mod threads;
 
+pub use absorb::OrderedAbsorber;
 pub use arena::ScratchArena;
 pub use cancel::{CancelToken, Cancelled};
 pub use pool::{Pool, Worker};

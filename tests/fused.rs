@@ -103,6 +103,93 @@ fn fused_cancellation_leaves_the_pool_reusable_and_the_run_resumable() {
     }
 }
 
+/// `m` triangles sharing one common edge — every pair of the `m`
+/// maximal cliques overlaps in exactly 2 vertices, so the k = 3 stratum
+/// holds `m·(m−1)/2` pairs. `m = 150` gives 11 175, crossing the
+/// parallel sweep's `PAR_UNION_MIN` (8 192) so the chunk-queue drain
+/// path runs, not just the leader-inline one.
+fn book_graph(m: u32) -> asgraph::Graph {
+    let mut b = asgraph::GraphBuilder::with_nodes(m as usize + 2);
+    for w in 2..m + 2 {
+        b.add_edge(0, 1);
+        b.add_edge(0, w);
+        b.add_edge(1, w);
+    }
+    b.build()
+}
+
+/// Builds the percolator by the *sequential* sink so the engine state
+/// is identical across runs; only the finish path under test varies.
+fn consumed(g: &asgraph::Graph, mode: Mode) -> cpm::FusedPercolator {
+    let mut p = cpm::FusedPercolator::new(g.node_count(), mode);
+    cliques::consume_max_cliques(g, Kernel::Auto, &mut p);
+    p
+}
+
+/// The finish-time phases (pair detection, sweep, extraction) on the
+/// pool are strictly equal — ordinals, parents, members, everything —
+/// to the sequential `finish()` at 1, 2, 4, and 7 workers, for both
+/// modes, on a substrate whose k = 3 stratum crosses the parallel
+/// sweep's chunk-queue threshold.
+#[test]
+fn parallel_finish_is_bit_identical_to_sequential_finish() {
+    for g in [random_graph(70, 0.12, 23), book_graph(150)] {
+        for mode in [Mode::Exact, Mode::Almost] {
+            let sequential = consumed(&g, mode).finish();
+            for threads in [1usize, 2, 4, 7] {
+                assert_eq!(
+                    sequential,
+                    consumed(&g, mode).finish_parallel(threads),
+                    "{mode} threads {threads}"
+                );
+                let token = CancelToken::new();
+                let got = consumed(&g, mode)
+                    .finish_cancellable(threads, &token)
+                    .expect("live token never cancels");
+                assert_eq!(sequential, got, "{mode} cancellable threads {threads}");
+            }
+        }
+    }
+}
+
+/// A token tripped *between* enumeration and finish interrupts the
+/// finish-time phases themselves: the pool spawns no replacement
+/// threads, and re-consuming with a live token produces the full,
+/// bit-identical answer.
+#[test]
+fn cancellation_mid_finish_leaves_the_pool_reusable() {
+    let g = book_graph(150);
+    // Warm the pool, then record its thread census.
+    let _ = cpm::percolate_fused_parallel(&g, 4, Mode::Almost);
+    let spawned = Pool::global().spawned_threads();
+
+    let tripped = CancelToken::new();
+    tripped.cancel();
+    for mode in [Mode::Exact, Mode::Almost] {
+        let reference = consumed(&g, mode).finish();
+        for threads in [1usize, 2, 4] {
+            assert!(
+                consumed(&g, mode)
+                    .finish_cancellable(threads, &tripped)
+                    .is_err(),
+                "{mode} threads {threads}: tripped token must cancel the finish"
+            );
+            let again = consumed(&g, mode)
+                .finish_cancellable(threads, &CancelToken::new())
+                .expect("live token never cancels");
+            assert_eq!(
+                again, reference,
+                "{mode} threads {threads}: retry after cancel"
+            );
+            assert_eq!(
+                Pool::global().spawned_threads(),
+                spawned,
+                "cancelled finish leaked or killed pool threads"
+            );
+        }
+    }
+}
+
 fn edge_soup(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec((0..n, 0..n), 0..max_edges)
 }
