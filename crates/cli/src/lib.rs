@@ -238,6 +238,32 @@ pub enum Command {
         /// index is loaded as-is).
         mode: cpm::Mode,
     },
+    /// Merge and clean real-format topology sources into a dense edge
+    /// list (the paper's §2.1 pipeline).
+    Ingest {
+        /// Source files, merged in order.
+        inputs: Vec<PathBuf>,
+        /// Forced format for every source; `None` auto-detects each
+        /// source from its extension and leading content.
+        format: Option<ingest::Format>,
+        /// Output edge-list file (dense internal ids, consumable by
+        /// every other verb). `None` in `--check` mode.
+        out: Option<PathBuf>,
+        /// Dry run: parse, clean, and print the per-stage counters
+        /// without writing anything.
+        check: bool,
+        /// Also write the internal-id → AS-number table here.
+        map: Option<PathBuf>,
+        /// Skip and count bad records instead of aborting on the first.
+        lenient: bool,
+        /// Keep only the largest connected component.
+        largest_cc: bool,
+        /// Emit the report as one JSON object instead of a table.
+        json: bool,
+        /// Cancel the run after this many seconds (exit
+        /// [`EXIT_INTERRUPTED`]).
+        deadline: Option<u64>,
+    },
     /// Degree-preserving rewiring: write a null-model edge list.
     Rewire {
         /// Edge-list file.
@@ -276,6 +302,9 @@ USAGE:
   kclique-cli clique-log  recover --log <file>
   kclique-cli serve       --snapshot <file> [--addr <host:port>] [--threads <n>|auto]
                           [--mode exact|almost]
+  kclique-cli ingest      --input <file> [--input <file> ...] (--out <edges> | --check)
+                          [--format auto|edges|aslinks|dimes] [--map <file>] [--lenient]
+                          [--largest-cc] [--json] [--deadline <secs>]
   kclique-cli help
 
 The percolation mode (--mode) picks the community engine: `exact`
@@ -321,6 +350,19 @@ communities.
 
 The --sweep flag of previous releases is deprecated: the fused sweep is
 now the only pipeline. The flag is accepted and ignored, with a warning.
+
+`ingest` merges real measurement sources — CAIDA-style AS-links files,
+DIMES-like CSV exports, plain edge lists — and cleans the union the way
+the paper's Section 2.1 does: duplicate links collapse, self-loops go,
+and --largest-cc keeps only the giant component. AS numbers are
+re-densified (the --map file records internal id -> AS number) so the
+output is directly consumable by every other verb. Parsing is strict by
+default: the first malformed record aborts with a file:line[:column]
+diagnostic and exit 65; --lenient skips and counts bad records instead.
+Resource caps (line length, total bytes/lines/records/nodes) abort in
+both modes. Per-stage counters go to stderr (or stdout with --check,
+which parses and cleans without writing anything); --json renders them
+as one JSON object.
 ";
 
 impl Command {
@@ -549,6 +591,46 @@ impl Command {
                 threads: threads()?,
                 mode: mode()?,
             }),
+            "ingest" => {
+                // Unlike every other flag, --input repeats: sources
+                // merge in command-line order.
+                let inputs: Vec<PathBuf> = rest
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.as_str() == "--input")
+                    .filter_map(|(i, _)| rest.get(i + 1))
+                    .map(PathBuf::from)
+                    .collect();
+                if inputs.is_empty() {
+                    return Err("ingest needs at least one --input <file>".to_owned());
+                }
+                let format = match get("--format").as_deref() {
+                    None | Some("auto") => None,
+                    Some(v) => Some(
+                        v.parse::<ingest::Format>()
+                            .map_err(|e| format!("bad --format: {e}"))?,
+                    ),
+                };
+                let out = get("--out").map(PathBuf::from);
+                let check = has("--check");
+                if out.is_none() && !check {
+                    return Err("ingest needs --out <edges> or --check".to_owned());
+                }
+                if out.is_some() && check {
+                    return Err("--out and --check are mutually exclusive".to_owned());
+                }
+                Ok(Command::Ingest {
+                    inputs,
+                    format,
+                    out,
+                    check,
+                    map: get("--map").map(PathBuf::from),
+                    lenient: has("--lenient"),
+                    largest_cc: has("--largest-cc"),
+                    json: has("--json"),
+                    deadline: deadline()?,
+                })
+            }
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown command {other:?}")),
         }
@@ -1058,6 +1140,68 @@ impl Command {
                 );
                 Ok(())
             }
+            Command::Ingest {
+                inputs,
+                format,
+                out,
+                check,
+                map,
+                lenient,
+                largest_cc,
+                json,
+                deadline,
+            } => {
+                let token = cancel_token(deadline);
+                let mut ing = ingest::Ingestor::new(ingest::IngestOptions {
+                    lenient: *lenient,
+                    limits: ingest::Limits::default(),
+                    largest_cc: *largest_cc,
+                    cancel: Some(token),
+                });
+                for path in inputs {
+                    ing.ingest_path(path, *format).map_err(ingest_failure)?;
+                }
+                let outcome = ing.finish().map_err(ingest_failure)?;
+                let report = if *json {
+                    let mut s = outcome.report.to_json();
+                    s.push('\n');
+                    s
+                } else {
+                    outcome.report.render_human()
+                };
+                if *check {
+                    // Dry run: the report IS the product, so it goes to
+                    // stdout and nothing touches the filesystem.
+                    print!("{report}");
+                    return Ok(());
+                }
+                let out = out.as_ref().expect("parse guarantees out xor check");
+                std::fs::write(out, asgraph::io::to_edge_list_string(&outcome.graph))
+                    .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+                if let Some(map) = map {
+                    let mut table = String::from("# internal_id as_number\n");
+                    for (internal, external) in outcome.external_ids.iter().enumerate() {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(table, "{internal} {external}");
+                    }
+                    std::fs::write(map, table)
+                        .map_err(|e| format!("cannot write {}: {e}", map.display()))?;
+                }
+                // Counters go to stderr: stdout stays byte-clean for
+                // pipelines, like every other verb's notices.
+                eprint!("{report}");
+                println!(
+                    "wrote {} ASes / {} links to {}{}",
+                    outcome.graph.node_count(),
+                    outcome.graph.edge_count(),
+                    out.display(),
+                    match map {
+                        Some(m) => format!(" (id map: {})", m.display()),
+                        None => String::new(),
+                    }
+                );
+                Ok(())
+            }
             Command::Rewire {
                 input,
                 output,
@@ -1095,6 +1239,19 @@ fn cancel_token(deadline: &Option<u64>) -> exec::CancelToken {
     };
     token.watch_sigint();
     token
+}
+
+/// Classifies an ingestion failure onto the exit-code contract: parse
+/// (and resource-cap) diagnostics are corrupt input (65), transport
+/// errors classify by I/O kind, cancellation is resumable (75).
+fn ingest_failure(e: ingest::IngestFailure) -> CliFailure {
+    match e {
+        ingest::IngestFailure::Parse(err) => CliFailure::corrupt(err.to_string()),
+        ingest::IngestFailure::Io { source, error } => CliFailure::io(source, &error),
+        ingest::IngestFailure::Interrupted => CliFailure::interrupted(
+            "interrupted during ingestion; no output was written, rerun to restart",
+        ),
+    }
 }
 
 fn interrupted_no_durable_state() -> CliFailure {
@@ -1180,6 +1337,75 @@ mod tests {
         assert!(parse(&["serve", "--snapshot", "s", "--threads", "zero"])
             .unwrap_err()
             .contains("--threads"));
+    }
+
+    #[test]
+    fn parses_ingest() {
+        let c = parse(&[
+            "ingest",
+            "--input",
+            "a.aslinks",
+            "--input",
+            "b.csv",
+            "--out",
+            "g.edges",
+            "--map",
+            "ids.txt",
+            "--lenient",
+            "--largest-cc",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Ingest {
+                inputs: vec![PathBuf::from("a.aslinks"), PathBuf::from("b.csv")],
+                format: None,
+                out: Some(PathBuf::from("g.edges")),
+                check: false,
+                map: Some(PathBuf::from("ids.txt")),
+                lenient: true,
+                largest_cc: true,
+                json: false,
+                deadline: None,
+            }
+        );
+        let c = parse(&[
+            "ingest", "--input", "a", "--check", "--format", "dimes", "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Ingest {
+                inputs: vec![PathBuf::from("a")],
+                format: Some(ingest::Format::Dimes),
+                out: None,
+                check: true,
+                map: None,
+                lenient: false,
+                largest_cc: false,
+                json: true,
+                deadline: None,
+            }
+        );
+        // `auto` is the explicit spelling of the default.
+        assert!(matches!(
+            parse(&["ingest", "--input", "a", "--check", "--format", "auto"]).unwrap(),
+            Command::Ingest { format: None, .. }
+        ));
+        assert!(parse(&["ingest", "--check"])
+            .unwrap_err()
+            .contains("--input"));
+        assert!(parse(&["ingest", "--input", "a"])
+            .unwrap_err()
+            .contains("--out <edges> or --check"));
+        assert!(parse(&["ingest", "--input", "a", "--out", "o", "--check"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(
+            parse(&["ingest", "--input", "a", "--check", "--format", "xml"])
+                .unwrap_err()
+                .contains("--format")
+        );
     }
 
     #[test]

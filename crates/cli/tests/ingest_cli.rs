@@ -1,0 +1,167 @@
+//! Binary-level contract tests for the `ingest` verb: exit codes,
+//! stdout/stderr separation, the `--check` dry run, and the end-to-end
+//! handoff into `communities`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kclique-cli"))
+}
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/corpus")
+        .join(name)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kclique_cli_ingest_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn merge_ingest_feeds_communities_end_to_end() {
+    let dir = tmp_dir("e2e");
+    let merged = dir.join("merged.edges");
+    let map = dir.join("merged.map");
+    let output = bin()
+        .args(["ingest", "--largest-cc", "--input"])
+        .arg(corpus("valid.edges"))
+        .arg("--input")
+        .arg(corpus("valid.aslinks"))
+        .arg("--input")
+        .arg(corpus("valid.dimes"))
+        .arg("--input")
+        .arg(corpus("merge_extra.edges"))
+        .arg("--out")
+        .arg(&merged)
+        .arg("--map")
+        .arg(&map)
+        .output()
+        .expect("spawn ingest");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+
+    // Stdout carries only the one summary line; the counters go to
+    // stderr so piped output stays clean.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stdout.starts_with("wrote 7 ASes / 10 links to "),
+        "{stdout}"
+    );
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    assert!(stderr.contains("cleanup: 25 raw records"), "{stderr}");
+    assert!(
+        stderr.contains("largest CC filter    dropped 9 nodes, 11 links"),
+        "{stderr}"
+    );
+
+    // The id map pins the internal → AS-number table.
+    let map_text = std::fs::read_to_string(&map).expect("map file");
+    assert!(
+        map_text.starts_with("# internal_id as_number\n0 1239\n1 3356\n"),
+        "{map_text}"
+    );
+
+    // The written graph is a first-class citizen of the pipeline.
+    let output = bin()
+        .args(["communities", "--k", "3", "--input"])
+        .arg(&merged)
+        .output()
+        .expect("spawn communities");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("communities"), "{stdout}");
+}
+
+#[test]
+fn corrupt_input_exits_65_with_position_and_writes_nothing() {
+    let dir = tmp_dir("corrupt");
+    let out = dir.join("never.edges");
+    let output = bin()
+        .args(["ingest", "--input"])
+        .arg(corpus("bad_as.edges"))
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn ingest");
+    assert_eq!(output.status.code(), Some(65), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("bad_as.edges:2:3"), "{stderr}");
+    assert!(stderr.contains("\"three\""), "{stderr}");
+    assert!(
+        !out.exists(),
+        "a failed ingest must not leave an output file"
+    );
+}
+
+#[test]
+fn lenient_mode_salvages_the_same_input() {
+    let dir = tmp_dir("lenient");
+    let out = dir.join("salvaged.edges");
+    let output = bin()
+        .args(["ingest", "--lenient", "--input"])
+        .arg(corpus("bad_as.edges"))
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn ingest");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("skipped 1: bad AS number"), "{stderr}");
+    let written = std::fs::read_to_string(&out).expect("salvaged graph");
+    assert!(written.contains("nodes: 4"), "{written}");
+}
+
+#[test]
+fn check_is_a_dry_run_on_stdout() {
+    let output = bin()
+        .args(["ingest", "--check", "--input"])
+        .arg(corpus("valid.aslinks"))
+        .output()
+        .expect("spawn ingest");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The report IS the product, so it lands on stdout.
+    assert!(stdout.contains("6 records, 8 edges emitted"), "{stdout}");
+    assert!(stdout.contains("cleanup: 8 raw records"), "{stdout}");
+    assert!(output.stderr.is_empty(), "{output:?}");
+
+    // And as machine-readable JSON on request.
+    let output = bin()
+        .args(["ingest", "--check", "--json", "--input"])
+        .arg(corpus("valid.aslinks"))
+        .output()
+        .expect("spawn ingest");
+    assert_eq!(output.status.code(), Some(0), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.starts_with("{\"sources\":["), "{stdout}");
+    assert!(stdout.contains("\"edges_emitted\":8"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        vec!["ingest", "--out", "/tmp/x.edges"], // no --input
+        vec!["ingest", "--input", "/tmp/x"],     // no --out/--check
+        vec!["ingest", "--input", "/tmp/x", "--check", "--out", "/tmp/y"], // both
+        vec![
+            "ingest", "--input", "/tmp/x", "--check", "--format", "banana",
+        ],
+    ] {
+        let output = bin().args(&args).output().expect("spawn ingest");
+        assert_eq!(output.status.code(), Some(2), "{args:?}: {output:?}");
+    }
+}
+
+#[test]
+fn missing_input_file_exits_1() {
+    let output = bin()
+        .args(["ingest", "--check", "--input", "/no/such/file.edges"])
+        .output()
+        .expect("spawn ingest");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+}

@@ -1,0 +1,334 @@
+//! The ingestion error taxonomy.
+//!
+//! Every failure names the source, the 1-based line, and (for field
+//! errors) the 1-based byte column of the offending token, so a
+//! diagnostic always points at something a human can open in an editor:
+//! `links.aslinks:4821:17: invalid AS number "4_29" (not a number)`.
+//!
+//! Errors split into two classes with different lenient-mode fates:
+//!
+//! - **record errors** ([`IngestErrorKind::is_record_error`]) condemn
+//!   one line — a strict parse aborts, a lenient parse skips the line
+//!   and counts it;
+//! - **resource-cap errors** (byte/line/node/edge budgets) condemn the
+//!   whole run in *both* modes: they are the guard rails that keep a
+//!   hostile input from turning the parser into an allocation amplifier,
+//!   so no mode may talk its way past them.
+
+use std::fmt;
+use std::io;
+
+/// Why an AS-number field failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadAsReason {
+    /// The field is empty or contains a non-digit.
+    NotANumber,
+    /// The value parses but exceeds the 32-bit AS number space
+    /// (RFC 6793); 64-bit-looking values are data corruption, not ASes.
+    ExceedsAsSpace,
+}
+
+impl fmt::Display for BadAsReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BadAsReason::NotANumber => f.write_str("not a number"),
+            BadAsReason::ExceedsAsSpace => f.write_str("exceeds the 32-bit AS number space"),
+        }
+    }
+}
+
+/// Which resource budget a run blew through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapKind {
+    /// Total bytes read across all sources.
+    Bytes,
+    /// Total lines read across all sources.
+    Lines,
+    /// Distinct edge records accepted.
+    EdgeRecords,
+    /// Distinct AS numbers seen.
+    Nodes,
+}
+
+impl CapKind {
+    fn noun(self) -> &'static str {
+        match self {
+            CapKind::Bytes => "input bytes",
+            CapKind::Lines => "input lines",
+            CapKind::EdgeRecords => "edge records",
+            CapKind::Nodes => "distinct AS numbers",
+        }
+    }
+}
+
+/// What went wrong on a line (or with the run's budgets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestErrorKind {
+    /// The line had the wrong number of fields for its format.
+    FieldCount {
+        /// Fields found.
+        got: usize,
+        /// What the format wanted, e.g. `"exactly 2"` or `"at least 3"`.
+        want: &'static str,
+    },
+    /// A field that should hold an AS number does not.
+    BadAsNumber {
+        /// The offending token, truncated for display.
+        field: String,
+        /// Why it was rejected.
+        reason: BadAsReason,
+    },
+    /// The line exceeds the per-line byte budget.
+    LineTooLong {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// An AS-links record tag outside the known `D`/`I`/`M`/`T` set.
+    UnknownTag {
+        /// The offending tag, truncated for display.
+        tag: String,
+    },
+    /// A multi-origin AS set with more members than the configured cap
+    /// (the "pathological dense blob" guard: one line may not expand
+    /// into an unbounded cross product).
+    AsSetTooLarge {
+        /// Members found (may be a lower bound).
+        got: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// An AS set field that dissolved into nothing (`,,` or `_`).
+    EmptyAsSet,
+    /// A run-wide resource budget was exhausted — fatal in every mode.
+    CapExceeded {
+        /// Which budget.
+        cap: CapKind,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl IngestErrorKind {
+    /// Whether lenient mode may skip the offending record and continue.
+    /// Resource-cap breaches are never skippable.
+    pub fn is_record_error(&self) -> bool {
+        !matches!(self, IngestErrorKind::CapExceeded { .. })
+    }
+}
+
+/// A diagnosed ingestion failure: source name, position, and cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestError {
+    source: String,
+    line: u64,
+    column: Option<u32>,
+    kind: IngestErrorKind,
+}
+
+/// Longest field/tag excerpt quoted in diagnostics.
+const EXCERPT: usize = 32;
+
+/// Truncates attacker-controlled text before it is stored in an error:
+/// a diagnostic must never replicate an oversized input.
+pub(crate) fn excerpt(field: &[u8]) -> String {
+    let printable: String = field
+        .iter()
+        .take(EXCERPT)
+        .map(|&b| {
+            if b.is_ascii_graphic() || b == b' ' {
+                b as char
+            } else {
+                '.'
+            }
+        })
+        .collect();
+    if field.len() > EXCERPT {
+        format!("{printable}…")
+    } else {
+        printable
+    }
+}
+
+impl IngestError {
+    pub(crate) fn new(
+        source: impl Into<String>,
+        line: u64,
+        column: Option<u32>,
+        kind: IngestErrorKind,
+    ) -> Self {
+        IngestError {
+            source: source.into(),
+            line,
+            column,
+            kind,
+        }
+    }
+
+    /// The source (file name or label) the error occurred in.
+    pub fn source_name(&self) -> &str {
+        &self.source
+    }
+
+    /// 1-based line number of the failure.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// 1-based byte column of the offending field, when known.
+    pub fn column(&self) -> Option<u32> {
+        self.column
+    }
+
+    /// The cause.
+    pub fn kind(&self) -> &IngestErrorKind {
+        &self.kind
+    }
+
+    /// Converts into the `InvalidData` [`io::Error`] the rest of the
+    /// workspace maps to the corrupt-input exit code (65).
+    pub fn into_io(self) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, self)
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)?;
+        // Line 0 marks a run-level failure (e.g. the node cap tripping
+        // during merge) with no meaningful position.
+        if self.line > 0 {
+            write!(f, ":{}", self.line)?;
+            if let Some(c) = self.column {
+                write!(f, ":{c}")?;
+            }
+        }
+        f.write_str(": ")?;
+        match &self.kind {
+            IngestErrorKind::FieldCount { got, want } => {
+                write!(f, "expected {want} fields, found {got}")
+            }
+            IngestErrorKind::BadAsNumber { field, reason } => {
+                write!(f, "invalid AS number {field:?} ({reason})")
+            }
+            IngestErrorKind::LineTooLong { limit } => {
+                write!(f, "line exceeds the {limit}-byte line cap")
+            }
+            IngestErrorKind::UnknownTag { tag } => {
+                write!(
+                    f,
+                    "unknown AS-links record tag {tag:?} (expected D, I, M, or T)"
+                )
+            }
+            IngestErrorKind::AsSetTooLarge { got, limit } => {
+                write!(
+                    f,
+                    "multi-origin AS set has {got} members, more than the cap of {limit}"
+                )
+            }
+            IngestErrorKind::EmptyAsSet => f.write_str("empty AS set"),
+            IngestErrorKind::CapExceeded { cap, limit } => {
+                write!(
+                    f,
+                    "input exceeds the configured cap of {limit} {}",
+                    cap.noun()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Why an ingestion run stopped: a diagnosed parse failure, transport
+/// trouble, or cooperative cancellation.
+#[derive(Debug)]
+pub enum IngestFailure {
+    /// The input violated the format (or a resource cap) — maps to the
+    /// corrupt-input exit code.
+    Parse(IngestError),
+    /// The transport failed (open, read) — retrying may help.
+    Io {
+        /// The source (file name or label) being read.
+        source: String,
+        /// The underlying error.
+        error: io::Error,
+    },
+    /// The run's cancel token tripped — maps to the resumable-
+    /// interruption exit code.
+    Interrupted,
+}
+
+impl fmt::Display for IngestFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestFailure::Parse(e) => e.fmt(f),
+            IngestFailure::Io { source, error } => write!(f, "{source}: {error}"),
+            IngestFailure::Interrupted => f.write_str("ingestion interrupted"),
+        }
+    }
+}
+
+impl std::error::Error for IngestFailure {}
+
+impl From<IngestError> for IngestFailure {
+    fn from(e: IngestError) -> Self {
+        IngestFailure::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_points_at_source_line_column() {
+        let e = IngestError::new(
+            "links.aslinks",
+            4821,
+            Some(17),
+            IngestErrorKind::BadAsNumber {
+                field: "4_29".to_owned(),
+                reason: BadAsReason::NotANumber,
+            },
+        );
+        let s = e.to_string();
+        assert!(s.starts_with("links.aslinks:4821:17: "), "{s}");
+        assert!(s.contains("\"4_29\""), "{s}");
+        assert_eq!(e.line(), 4821);
+        assert_eq!(e.column(), Some(17));
+    }
+
+    #[test]
+    fn caps_are_not_record_errors() {
+        assert!(!IngestErrorKind::CapExceeded {
+            cap: CapKind::Bytes,
+            limit: 10,
+        }
+        .is_record_error());
+        assert!(IngestErrorKind::EmptyAsSet.is_record_error());
+        assert!(IngestErrorKind::LineTooLong { limit: 10 }.is_record_error());
+    }
+
+    #[test]
+    fn into_io_is_invalid_data() {
+        let e = IngestError::new("f", 1, None, IngestErrorKind::EmptyAsSet);
+        let io_err = e.into_io();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("f:1"));
+    }
+
+    #[test]
+    fn excerpt_bounds_and_sanitises() {
+        let long = vec![b'a'; 500];
+        let e = excerpt(&long);
+        assert!(e.chars().count() <= EXCERPT + 1, "{e}");
+        assert_eq!(excerpt(b"ok\xff\x00x"), "ok..x");
+    }
+
+    #[test]
+    fn failure_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<IngestError>();
+        assert_bounds::<IngestFailure>();
+    }
+}

@@ -1,0 +1,303 @@
+//! Bounded, streaming line reading.
+//!
+//! The same discipline as the clique-log v2 decoder: every read is
+//! bounded *before* it happens. The line buffer never grows past the
+//! per-line cap (plus two bytes of CRLF slack needed to tell "exactly
+//! at the cap" from "over it"), and the shared byte/line budgets are
+//! charged as bytes are consumed — a multi-terabyte stream of garbage
+//! is rejected after `max_bytes`, not buffered.
+
+use crate::error::CapKind;
+use std::io::{self, BufRead};
+
+/// What [`LineReader::next_line`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LineOutcome {
+    /// End of the source; the buffer is empty.
+    Eof,
+    /// A complete line is in the buffer (newline and `\r` stripped).
+    Line,
+    /// The current line exceeds the per-line cap. The buffer holds the
+    /// bounded prefix; the remainder of the line is still unconsumed —
+    /// a lenient caller uses [`LineReader::discard_line`] to skip it.
+    TooLong,
+}
+
+/// Why reading stopped short of a line.
+#[derive(Debug)]
+pub(crate) enum LineError {
+    /// Transport failure.
+    Io(io::Error),
+    /// A shared budget ran dry: `(which, limit)`.
+    Cap(CapKind, u64),
+}
+
+pub(crate) struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    line_no: u64,
+    bytes_left: u64,
+    bytes_limit: u64,
+    lines_left: u64,
+    lines_limit: u64,
+    max_line: usize,
+    bytes_consumed: u64,
+    /// Set once the (possible) UTF-8 BOM has been handled.
+    started: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    /// Wraps `inner`, drawing on the *remaining* shared budgets
+    /// `bytes_left`/`lines_left` (the caller settles totals afterwards
+    /// via [`LineReader::bytes_used`] / [`LineReader::lines_used`]).
+    /// `bytes_limit`/`lines_limit` are only quoted in diagnostics.
+    pub(crate) fn new(
+        inner: R,
+        max_line: usize,
+        bytes_left: u64,
+        bytes_limit: u64,
+        lines_left: u64,
+        lines_limit: u64,
+    ) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            line_no: 0,
+            bytes_left,
+            bytes_limit,
+            lines_left,
+            lines_limit,
+            max_line,
+            bytes_consumed: 0,
+            started: false,
+        }
+    }
+
+    /// The current line's content (valid after `Line` or `TooLong`).
+    pub(crate) fn line(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// 1-based number of the current line.
+    pub(crate) fn line_no(&self) -> u64 {
+        self.line_no
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn bytes_used(&self) -> u64 {
+        self.bytes_consumed
+    }
+
+    /// Lines consumed so far.
+    pub(crate) fn lines_used(&self) -> u64 {
+        self.line_no
+    }
+
+    fn charge_bytes(&mut self, n: u64) -> Result<(), LineError> {
+        if n > self.bytes_left {
+            return Err(LineError::Cap(CapKind::Bytes, self.bytes_limit));
+        }
+        self.bytes_left -= n;
+        self.bytes_consumed += n;
+        Ok(())
+    }
+
+    /// Reads the next line into the internal buffer.
+    pub(crate) fn next_line(&mut self) -> Result<LineOutcome, LineError> {
+        self.buf.clear();
+        if !self.started {
+            self.started = true;
+            self.skip_bom()?;
+        }
+        let mut on_line = false;
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(LineError::Io(e)),
+            };
+            if chunk.is_empty() {
+                // EOF: a buffered partial line is the (newline-less)
+                // final line.
+                if !on_line {
+                    return Ok(LineOutcome::Eof);
+                }
+                self.strip_cr();
+                return Ok(self.classify());
+            }
+            if !on_line {
+                if self.lines_left == 0 {
+                    return Err(LineError::Cap(CapKind::Lines, self.lines_limit));
+                }
+                self.lines_left -= 1;
+                self.line_no += 1;
+                on_line = true;
+            }
+            // Room for the cap plus CRLF slack: only once the buffer
+            // holds max_line + 2 bytes can no suffix make it legal.
+            let room = (self.max_line + 2).saturating_sub(self.buf.len());
+            let take = chunk.len().min(room.max(1));
+            // Copy first, charge second: the chunk borrow must end
+            // before `charge_bytes` re-borrows `self`. The copy is
+            // bounded by `room` either way, and a failed charge aborts
+            // the run before anything is consumed.
+            match chunk[..take].iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    self.buf.extend_from_slice(&chunk[..nl]);
+                    self.charge_bytes(nl as u64 + 1)?;
+                    self.inner.consume(nl + 1);
+                    self.strip_cr();
+                    return Ok(self.classify());
+                }
+                None => {
+                    self.buf.extend_from_slice(&chunk[..take]);
+                    self.charge_bytes(take as u64)?;
+                    self.inner.consume(take);
+                    if self.buf.len() > self.max_line + 1 {
+                        return Ok(LineOutcome::TooLong);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes (and charges) the unconsumed remainder of an over-long
+    /// line, through its newline or EOF — the lenient skip path.
+    pub(crate) fn discard_line(&mut self) -> Result<(), LineError> {
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(LineError::Io(e)),
+            };
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    self.charge_bytes(nl as u64 + 1)?;
+                    self.inner.consume(nl + 1);
+                    return Ok(());
+                }
+                None => {
+                    let n = chunk.len();
+                    self.charge_bytes(n as u64)?;
+                    self.inner.consume(n);
+                }
+            }
+        }
+    }
+
+    fn skip_bom(&mut self) -> Result<(), LineError> {
+        let chunk = match self.inner.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(()),
+            Err(e) => return Err(LineError::Io(e)),
+        };
+        if chunk.starts_with(b"\xEF\xBB\xBF") {
+            self.charge_bytes(3)?;
+            self.inner.consume(3);
+        }
+        Ok(())
+    }
+
+    fn strip_cr(&mut self) {
+        if self.buf.last() == Some(&b'\r') {
+            self.buf.pop();
+        }
+    }
+
+    fn classify(&self) -> LineOutcome {
+        if self.buf.len() > self.max_line {
+            LineOutcome::TooLong
+        } else {
+            LineOutcome::Line
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader(data: &[u8], max_line: usize) -> LineReader<&[u8]> {
+        LineReader::new(data, max_line, 1 << 20, 1 << 20, 1 << 20, 1 << 20)
+    }
+
+    fn lines(data: &[u8]) -> Vec<Vec<u8>> {
+        let mut r = reader(data, 64);
+        let mut out = Vec::new();
+        loop {
+            match r.next_line().unwrap() {
+                LineOutcome::Eof => return out,
+                LineOutcome::Line => out.push(r.line().to_vec()),
+                LineOutcome::TooLong => panic!("unexpected TooLong"),
+            }
+        }
+    }
+
+    #[test]
+    fn lf_crlf_and_final_line() {
+        assert_eq!(
+            lines(b"a\nb\r\nc"),
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
+        );
+        assert_eq!(lines(b""), Vec::<Vec<u8>>::new());
+        assert_eq!(lines(b"\n\n"), vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn bom_is_stripped_once() {
+        assert_eq!(lines(b"\xEF\xBB\xBF1 2\n"), vec![b"1 2".to_vec()]);
+        // A BOM mid-file is content, not a BOM.
+        assert_eq!(
+            lines(b"x\n\xEF\xBB\xBFy\n"),
+            vec![b"x".to_vec(), b"\xEF\xBB\xBFy".to_vec()]
+        );
+    }
+
+    #[test]
+    fn exact_cap_lines_pass_with_both_endings() {
+        for ending in [&b"\n"[..], b"\r\n"] {
+            let mut data = vec![b'a'; 8];
+            data.extend_from_slice(ending);
+            let mut r = reader(&data, 8);
+            assert!(matches!(r.next_line().unwrap(), LineOutcome::Line));
+            assert_eq!(r.line().len(), 8);
+        }
+    }
+
+    #[test]
+    fn overlong_line_is_flagged_and_skippable() {
+        let mut data = vec![b'a'; 100];
+        data.extend_from_slice(b"\nok\n");
+        let mut r = reader(&data, 8);
+        assert!(matches!(r.next_line().unwrap(), LineOutcome::TooLong));
+        assert!(r.line().len() <= 10, "buffer stays bounded");
+        assert_eq!(r.line_no(), 1);
+        r.discard_line().unwrap();
+        assert!(matches!(r.next_line().unwrap(), LineOutcome::Line));
+        assert_eq!(r.line(), b"ok");
+        assert_eq!(r.line_no(), 2);
+    }
+
+    #[test]
+    fn byte_budget_trips() {
+        let mut r = LineReader::new(&b"0123456789\n"[..], 64, 5, 5, 100, 100);
+        match r.next_line() {
+            Err(LineError::Cap(CapKind::Bytes, 5)) => {}
+            other => panic!("expected byte-cap error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_budget_trips() {
+        let mut r = LineReader::new(&b"a\nb\nc\n"[..], 64, 100, 100, 2, 2);
+        assert!(matches!(r.next_line().unwrap(), LineOutcome::Line));
+        assert!(matches!(r.next_line().unwrap(), LineOutcome::Line));
+        match r.next_line() {
+            Err(LineError::Cap(CapKind::Lines, 2)) => {}
+            other => panic!("expected line-cap error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The committed hostile corpus, pinned record by record.
+//!
+//! `tests/corpus/` (workspace root) holds real-shaped and deliberately
+//! rotten inputs for every format. These tests pin exactly what each
+//! fixture does in strict and lenient mode — line, column, error kind,
+//! skip tallies, cleanup counters — so a parser change that shifts a
+//! diagnostic or silently accepts rot fails loudly here.
+
+use ingest::{
+    BadAsReason, Format, IngestError, IngestErrorKind, IngestFailure, IngestOptions, IngestOutcome,
+    Ingestor,
+};
+use std::path::PathBuf;
+
+fn corpus(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/corpus")
+        .join(name)
+}
+
+/// Ingests one fixture (format auto-detected) under `opts`.
+fn ingest_one(name: &str, opts: IngestOptions) -> Result<IngestOutcome, IngestFailure> {
+    let mut ing = Ingestor::new(opts);
+    ing.ingest_path(&corpus(name), None)?;
+    ing.finish()
+}
+
+fn strict(name: &str) -> Result<IngestOutcome, IngestFailure> {
+    ingest_one(name, IngestOptions::default())
+}
+
+fn lenient(name: &str) -> IngestOutcome {
+    ingest_one(
+        name,
+        IngestOptions {
+            lenient: true,
+            ..IngestOptions::default()
+        },
+    )
+    .expect("lenient ingest of a corpus fixture must succeed")
+}
+
+/// Unwraps a strict failure into its parse diagnostic.
+fn parse_err(result: Result<IngestOutcome, IngestFailure>) -> IngestError {
+    match result {
+        Err(IngestFailure::Parse(e)) => e,
+        Err(other) => panic!("expected a parse failure, got: {other}"),
+        Ok(_) => panic!("expected a parse failure, got a clean ingest"),
+    }
+}
+
+// ---- valid fixtures ------------------------------------------------------
+
+#[test]
+fn valid_edges_round_trips() {
+    let out = strict("valid.edges").unwrap();
+    let s = &out.report.sources[0];
+    assert_eq!(s.format, Format::EdgeList);
+    assert_eq!(s.records, 8);
+    assert_eq!(s.comment_lines, 2);
+    assert_eq!(out.graph.node_count(), 6);
+    assert_eq!(out.graph.edge_count(), 8);
+    // Ids 0..6 pass through unchanged.
+    assert!(out.report.cleanup.identity_ids);
+    assert_eq!(out.external_ids, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn valid_aslinks_expands_moas_sets() {
+    let out = strict("valid.aslinks").unwrap();
+    let s = &out.report.sources[0];
+    assert_eq!(s.format, Format::AsLinks);
+    assert_eq!(s.records, 6);
+    // The M and T records each expand to two endpoint pairs.
+    assert_eq!(s.edges_emitted, 8);
+    assert_eq!(out.graph.node_count(), 6);
+    assert_eq!(out.graph.edge_count(), 8);
+    assert_eq!(
+        out.external_ids,
+        vec![1239, 3356, 7018, 64496, 64497, 64499]
+    );
+    assert!(!out.report.cleanup.identity_ids);
+}
+
+#[test]
+fn valid_dimes_skips_header_and_strips_prefixes() {
+    let out = strict("valid.dimes").unwrap();
+    let s = &out.report.sources[0];
+    assert_eq!(s.format, Format::Dimes);
+    assert!(s.header_skipped);
+    assert_eq!(s.records, 4);
+    assert_eq!(out.graph.node_count(), 4);
+    assert_eq!(out.graph.edge_count(), 4);
+    assert_eq!(out.external_ids, vec![1239, 3356, 6453, 7018]);
+}
+
+#[test]
+fn multi_source_merge_with_largest_cc() {
+    let mut ing = Ingestor::new(IngestOptions {
+        largest_cc: true,
+        ..IngestOptions::default()
+    });
+    for name in [
+        "valid.edges",
+        "valid.aslinks",
+        "valid.dimes",
+        "merge_extra.edges",
+    ] {
+        ing.ingest_path(&corpus(name), None).unwrap();
+    }
+    let out = ing.finish().unwrap();
+    let c = &out.report.cleanup;
+    // 8 + 8 + 4 + 5 pairs across the four sources.
+    assert_eq!(c.raw_records, 25);
+    assert_eq!(c.self_loops_removed, 0);
+    // merge_extra repeats two valid.edges links; DIMES repeats two
+    // aslinks links (AS7018–AS3356 and AS1239–AS7018).
+    assert_eq!(c.duplicates_removed, 4);
+    assert_eq!(c.edges, 21);
+    assert_eq!(c.distinct_nodes, 16);
+    // {0..5}, the AS component, and merge_extra's 65001–65003 triangle.
+    assert_eq!(c.components, 3);
+    assert!(c.largest_cc_applied);
+    // The AS component (7 nodes, 10 links) beats the 6-node toy graph.
+    assert_eq!(c.lcc_nodes_dropped, 9);
+    assert_eq!(c.lcc_edges_dropped, 11);
+    assert_eq!(out.graph.node_count(), 7);
+    assert_eq!(out.graph.edge_count(), 10);
+    assert_eq!(
+        out.external_ids,
+        vec![1239, 3356, 6453, 7018, 64496, 64497, 64499]
+    );
+}
+
+// ---- hostile fixtures ----------------------------------------------------
+
+#[test]
+fn truncated_aslinks_names_the_torn_line() {
+    let e = parse_err(strict("truncated.aslinks"));
+    assert_eq!(e.line(), 4);
+    assert!(
+        matches!(e.kind(), IngestErrorKind::FieldCount { got: 1, .. }),
+        "{e}"
+    );
+    assert!(e.to_string().contains("truncated.aslinks:4"), "{e}");
+
+    let out = lenient("truncated.aslinks");
+    let s = &out.report.sources[0];
+    assert_eq!(s.skipped.field_count, 1);
+    assert_eq!(s.records, 2);
+    assert_eq!(out.graph.edge_count(), 2);
+}
+
+#[test]
+fn bad_as_has_line_and_column() {
+    let e = parse_err(strict("bad_as.edges"));
+    assert_eq!((e.line(), e.column()), (2, Some(3)));
+    assert!(
+        matches!(
+            e.kind(),
+            IngestErrorKind::BadAsNumber {
+                reason: BadAsReason::NotANumber,
+                ..
+            }
+        ),
+        "{e}"
+    );
+    assert!(e.to_string().contains("\"three\""), "{e}");
+
+    let out = lenient("bad_as.edges");
+    assert_eq!(out.report.sources[0].skipped.bad_as_number, 1);
+    assert_eq!(out.report.sources[0].records, 2);
+}
+
+#[test]
+fn sixty_four_bit_values_are_corruption_not_ases() {
+    let e = parse_err(strict("overflow_64bit.edges"));
+    assert_eq!(e.line(), 2);
+    assert!(
+        matches!(
+            e.kind(),
+            IngestErrorKind::BadAsNumber {
+                reason: BadAsReason::ExceedsAsSpace,
+                ..
+            }
+        ),
+        "{e}"
+    );
+
+    // Lenient keeps the two in-range lines — including AS 4294967295,
+    // the largest legal 32-bit ASN.
+    let out = lenient("overflow_64bit.edges");
+    assert_eq!(out.report.sources[0].skipped.bad_as_number, 2);
+    assert_eq!(out.report.sources[0].records, 2);
+    assert_eq!(out.external_ids, vec![1, 2, u32::MAX]);
+}
+
+#[test]
+fn unknown_tag_is_diagnosed_and_skippable() {
+    let e = parse_err(strict("unknown_tag.aslinks"));
+    assert_eq!((e.line(), e.column()), (2, Some(1)));
+    assert!(
+        matches!(e.kind(), IngestErrorKind::UnknownTag { tag } if tag == "X"),
+        "{e}"
+    );
+
+    let out = lenient("unknown_tag.aslinks");
+    assert_eq!(out.report.sources[0].skipped.unknown_tag, 1);
+    assert_eq!(out.report.sources[0].records, 2);
+}
+
+#[test]
+fn oversized_moas_set_cannot_amplify() {
+    let e = parse_err(strict("moas_blob.aslinks"));
+    assert_eq!(e.line(), 2);
+    assert!(
+        matches!(
+            e.kind(),
+            IngestErrorKind::AsSetTooLarge { got: 65, limit: 64 }
+        ),
+        "{e}"
+    );
+
+    // Lenient drops the blob line whole — per-line atomicity means none
+    // of its cross product leaks into the graph.
+    let out = lenient("moas_blob.aslinks");
+    let s = &out.report.sources[0];
+    assert_eq!(s.skipped.as_set_too_large, 1);
+    assert_eq!(s.records, 2);
+    assert_eq!(out.external_ids, vec![1, 2, 4, 5]);
+}
+
+#[test]
+fn negative_dimes_field_is_rejected_after_header_grace() {
+    let e = parse_err(strict("negative.dimes"));
+    assert_eq!((e.line(), e.column()), (3, Some(1)));
+
+    let out = lenient("negative.dimes");
+    let s = &out.report.sources[0];
+    assert!(s.header_skipped);
+    assert_eq!(s.skipped.bad_as_number, 1);
+    assert_eq!(s.records, 2);
+}
+
+#[test]
+fn huge_line_trips_the_line_cap() {
+    let e = parse_err(strict("huge_line.edges"));
+    assert_eq!(e.line(), 2);
+    assert!(
+        matches!(e.kind(), IngestErrorKind::LineTooLong { limit: 65536 }),
+        "{e}"
+    );
+
+    // Lenient discards the oversized line without buffering it.
+    let out = lenient("huge_line.edges");
+    let s = &out.report.sources[0];
+    assert_eq!(s.skipped.line_too_long, 1);
+    assert_eq!(s.records, 2);
+    assert_eq!(out.external_ids, vec![1, 2, 4, 5]);
+}
+
+#[test]
+fn crlf_bom_and_tab_chaos_parses_clean() {
+    let out = strict("crlf_bom_chaos.edges").unwrap();
+    let s = &out.report.sources[0];
+    assert_eq!(s.records, 4);
+    assert_eq!(s.comment_lines, 1);
+    assert_eq!(out.external_ids, vec![1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn empty_and_comment_only_sources_yield_empty_graphs() {
+    for name in ["empty.edges", "comments_only.edges"] {
+        let out = strict(name).unwrap();
+        assert_eq!(out.report.sources[0].records, 0, "{name}");
+        assert_eq!(out.graph.node_count(), 0, "{name}");
+        assert!(out.external_ids.is_empty(), "{name}");
+    }
+    let comments = strict("comments_only.edges").unwrap();
+    assert_eq!(comments.report.sources[0].comment_lines, 4);
+}
+
+#[test]
+fn self_loops_are_cleaned_not_errors() {
+    let out = strict("selfloops.edges").unwrap();
+    let c = &out.report.cleanup;
+    assert_eq!(c.raw_records, 4);
+    assert_eq!(c.self_loops_removed, 3);
+    // AS 3 only ever linked to itself, so it leaves with its loop.
+    assert_eq!(out.external_ids, vec![1, 2]);
+    assert_eq!(out.graph.edge_count(), 1);
+}
+
+#[test]
+fn duplicate_storm_collapses_to_a_triangle() {
+    let out = strict("duplicate_storm.edges").unwrap();
+    let c = &out.report.cleanup;
+    assert_eq!(c.raw_records, 11);
+    assert_eq!(c.self_loops_removed, 3);
+    assert_eq!(c.duplicates_removed, 5);
+    assert_eq!(c.edges, 3);
+    assert_eq!(c.components, 1);
+    assert_eq!(out.graph.node_count(), 3);
+}
+
+#[test]
+fn binary_garbage_never_panics_in_any_format() {
+    for format in [Format::EdgeList, Format::AsLinks, Format::Dimes] {
+        // Strict: the rot is diagnosed, not trusted.
+        let mut ing = Ingestor::new(IngestOptions::default());
+        let strict_result = ing.ingest_path(&corpus("binary_garbage.bin"), Some(format));
+        assert!(
+            matches!(strict_result, Err(IngestFailure::Parse(_))),
+            "{format}: binary garbage must be a parse failure"
+        );
+        // Lenient: every line is skippable; the run completes.
+        let mut ing = Ingestor::new(IngestOptions {
+            lenient: true,
+            ..IngestOptions::default()
+        });
+        ing.ingest_path(&corpus("binary_garbage.bin"), Some(format))
+            .expect("lenient ingest of garbage completes");
+        let out = ing.finish().unwrap();
+        assert!(out.report.sources[0].skipped.total() > 0, "{format}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Adversarial corruption properties of the ingestion parsers.
+//!
+//! The contract mirrors the clique log's: **no byte-level corruption of
+//! an input may panic the parser or allocate unboundedly.** A corrupted
+//! source either still parses (the rot landed somewhere harmless), or
+//! strict mode rejects it with a positioned diagnostic; lenient mode
+//! always completes and is a deterministic function of the bytes.
+
+use ingest::{Format, IngestFailure, IngestOptions, IngestOutcome, Ingestor};
+use proptest::prelude::*;
+
+/// Renders endpoint pairs in the given format, valid by construction.
+fn render(pairs: &[(u32, u32)], format: Format) -> String {
+    let mut out = String::new();
+    if format == Format::Dimes {
+        out.push_str("Source,Target,Weight\n");
+    }
+    for &(u, v) in pairs {
+        match format {
+            Format::EdgeList => out.push_str(&format!("{u} {v}\n")),
+            Format::AsLinks => out.push_str(&format!("D\t{u}\t{v}\t1\n")),
+            Format::Dimes => out.push_str(&format!("AS{u},AS{v},1\n")),
+        }
+    }
+    out
+}
+
+fn ingest_bytes(
+    bytes: &[u8],
+    format: Format,
+    lenient: bool,
+) -> Result<IngestOutcome, IngestFailure> {
+    let mut ing = Ingestor::new(IngestOptions {
+        lenient,
+        ..IngestOptions::default()
+    });
+    ing.ingest_reader("fuzz", format, bytes)?;
+    ing.finish()
+}
+
+/// Fingerprint for determinism comparison: graph shape, id table, and
+/// the per-source tallies that lenient mode is accountable for.
+fn fingerprint(out: &IngestOutcome) -> (String, Vec<u32>, u64, u64) {
+    let s = &out.report.sources[0];
+    (
+        asgraph::io::to_edge_list_string(&out.graph),
+        out.external_ids.clone(),
+        s.records,
+        s.skipped.total(),
+    )
+}
+
+const FORMATS: [Format; 3] = [Format::EdgeList, Format::AsLinks, Format::Dimes];
+
+proptest! {
+    /// Valid renderings round-trip in strict mode: every record is
+    /// accepted and the cleaned graph matches an independent cleanup of
+    /// the same pairs.
+    #[test]
+    fn valid_input_round_trips(
+        pairs in prop::collection::vec((0u32..100_000, 0u32..100_000), 0..40),
+    ) {
+        for format in FORMATS {
+            let text = render(&pairs, format);
+            let out = ingest_bytes(text.as_bytes(), format, false).unwrap();
+            let s = &out.report.sources[0];
+            prop_assert_eq!(s.records, pairs.len() as u64);
+            prop_assert_eq!(s.skipped.total(), 0);
+            // Expected cleaned edge set, computed the boring way.
+            let mut expect: Vec<(u32, u32)> = pairs
+                .iter()
+                .filter(|(u, v)| u != v)
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(out.graph.edge_count() as usize, expect.len());
+        }
+    }
+
+    /// Cutting the input anywhere never panics: strict mode either
+    /// still parses (the cut fell on a line boundary or left a
+    /// different-but-valid record) or rejects with a diagnostic naming
+    /// the source; lenient mode always completes.
+    #[test]
+    fn truncation_anywhere_is_contained(
+        pairs in prop::collection::vec((0u32..100_000, 0u32..100_000), 1..40),
+        cut_permille in 0u64..=1000,
+    ) {
+        for format in FORMATS {
+            let text = render(&pairs, format);
+            let cut = (text.len() * cut_permille as usize) / 1000;
+            let bytes = &text.as_bytes()[..cut];
+            match ingest_bytes(bytes, format, false) {
+                Ok(_) => {}
+                Err(IngestFailure::Parse(e)) => {
+                    prop_assert_eq!(e.source_name(), "fuzz");
+                    prop_assert!(e.line() >= 1);
+                }
+                Err(other) => prop_assert!(false, "unexpected failure class: {}", other),
+            }
+            let out = ingest_bytes(bytes, format, true).unwrap();
+            // Truncation can only lose records, never invent them, and
+            // only the one torn line can be unparsable.
+            prop_assert!(out.report.sources[0].records <= pairs.len() as u64);
+            prop_assert!(out.report.sources[0].skipped.total() <= 1);
+        }
+    }
+
+    /// Flipping any byte never panics, and lenient mode stays a pure
+    /// function of the bytes: two runs over the same corrupted input
+    /// agree on the graph, the id table, and every tally.
+    #[test]
+    fn byte_flips_are_contained_and_deterministic(
+        pairs in prop::collection::vec((0u32..100_000, 0u32..100_000), 1..40),
+        position_permille in 0u64..1000,
+        mask in 1u8..=255,
+    ) {
+        for format in FORMATS {
+            let mut bytes = render(&pairs, format).into_bytes();
+            let pos = ((bytes.len() * position_permille as usize) / 1000).min(bytes.len() - 1);
+            bytes[pos] ^= mask;
+            match ingest_bytes(&bytes, format, false) {
+                Ok(_) => {}
+                Err(IngestFailure::Parse(e)) => prop_assert!(e.line() >= 1),
+                Err(other) => prop_assert!(false, "unexpected failure class: {}", other),
+            }
+            let a = ingest_bytes(&bytes, format, true).unwrap();
+            let b = ingest_bytes(&bytes, format, true).unwrap();
+            prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+            // One flipped byte condemns at most two lines (a flip that
+            // *becomes* a newline splits one line into two bad halves).
+            prop_assert!(a.report.sources[0].skipped.total() <= 2);
+        }
+    }
+
+    /// Arbitrary bytes — not even text — never panic any parser.
+    /// Lenient mode completes (every record error is skippable and the
+    /// input is far below every resource cap); strict mode parses or
+    /// rejects cleanly.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        for format in FORMATS {
+            let _ = ingest_bytes(&bytes, format, false);
+            let out = ingest_bytes(&bytes, format, true).unwrap();
+            // Whatever was accepted fits in memory bounded by the input.
+            prop_assert!(out.report.sources[0].records <= bytes.len() as u64);
+        }
+    }
+}

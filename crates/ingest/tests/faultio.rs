@@ -1,0 +1,131 @@
+//! Fault injection over the committed corpus: every fixture is
+//! re-ingested through a reader that dies (or flips a bit) at each
+//! 1/20th of its byte budget.
+//!
+//! The contract: a dying transport is an I/O failure (retryable), never
+//! a panic and never misreported as corruption of bytes that were fine;
+//! a flipped bit is at worst a positioned parse failure; and lenient
+//! mode remains a deterministic function of whatever bytes arrived.
+
+use cpm_stream::faultio::FaultyReader;
+use ingest::{Format, IngestFailure, IngestOptions, IngestOutcome, Ingestor};
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// Every corpus fixture with the format it is ingested as.
+fn corpus_files() -> Vec<(PathBuf, Format)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("corpus dir") {
+        let path = entry.expect("corpus entry").path();
+        if !path.is_file() {
+            continue;
+        }
+        let head = std::fs::read(&path).expect("corpus file");
+        out.push((path.clone(), Format::detect(&path, &head)));
+    }
+    assert!(out.len() >= 15, "corpus went missing: {out:?}");
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn ingest_faulty(
+    reader: FaultyReader<&[u8]>,
+    name: &str,
+    format: Format,
+    lenient: bool,
+) -> Result<IngestOutcome, IngestFailure> {
+    let mut ing = Ingestor::new(IngestOptions {
+        lenient,
+        ..IngestOptions::default()
+    });
+    ing.ingest_reader(name, format, BufReader::new(reader))?;
+    ing.finish()
+}
+
+fn fingerprint(out: &IngestOutcome) -> (String, Vec<u32>, u64) {
+    (
+        asgraph::io::to_edge_list_string(&out.graph),
+        out.external_ids.clone(),
+        out.report.sources[0].skipped.total(),
+    )
+}
+
+/// The 21 budget points 0/20, 1/20, …, 20/20 of `len`.
+fn budget_points(len: usize) -> impl Iterator<Item = u64> {
+    (0..=20u64).map(move |i| (len as u64 * i) / 20)
+}
+
+#[test]
+fn transport_death_at_every_budget_point_is_contained() {
+    for (path, format) in corpus_files() {
+        let bytes = std::fs::read(&path).expect("corpus file");
+        let name = path.display().to_string();
+        for cut in budget_points(bytes.len()) {
+            for lenient in [false, true] {
+                let reader = FaultyReader::kill_after(&bytes[..], cut);
+                // A reader that dies before EOF can never produce a
+                // clean run: the error arrives before (or instead of)
+                // the EOF the parser needs to finish the source.
+                match ingest_faulty(reader, &name, format, lenient) {
+                    Err(IngestFailure::Io { source, error }) => {
+                        assert_eq!(source, name);
+                        assert_ne!(error.kind(), std::io::ErrorKind::Interrupted);
+                    }
+                    // Hostile fixtures may be diagnosed as corrupt
+                    // before the transport ever dies.
+                    Err(IngestFailure::Parse(e)) => {
+                        assert!(!lenient || !e.kind().is_record_error(), "{name}@{cut}: {e}");
+                    }
+                    Err(IngestFailure::Interrupted) => {
+                        panic!("{name}@{cut}: no cancel token was installed")
+                    }
+                    Ok(_) => panic!("{name}@{cut}: a dying reader cannot yield a clean run"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_at_every_budget_point_are_contained() {
+    for (path, format) in corpus_files() {
+        let bytes = std::fs::read(&path).expect("corpus file");
+        if bytes.is_empty() {
+            continue;
+        }
+        let name = path.display().to_string();
+        for point in budget_points(bytes.len() - 1) {
+            for mask in [0x01u8, 0x80] {
+                // Strict: the flip parses or is diagnosed — no panic,
+                // no unbounded allocation, no transport-error mislabel.
+                let reader = FaultyReader::new(&bytes[..], point, mask);
+                match ingest_faulty(reader, &name, format, false) {
+                    Ok(_) | Err(IngestFailure::Parse(_)) => {}
+                    Err(other) => panic!("{name}@{point}^{mask:#04x}: {other}"),
+                }
+                // Lenient: two runs over the same flipped stream agree
+                // byte-for-byte on graph, id table, and tallies.
+                let a = ingest_faulty(
+                    FaultyReader::new(&bytes[..], point, mask),
+                    &name,
+                    format,
+                    true,
+                )
+                .expect("lenient ingest survives a bit flip");
+                let b = ingest_faulty(
+                    FaultyReader::new(&bytes[..], point, mask),
+                    &name,
+                    format,
+                    true,
+                )
+                .expect("lenient ingest survives a bit flip");
+                assert_eq!(
+                    fingerprint(&a),
+                    fingerprint(&b),
+                    "{name}@{point}^{mask:#04x}"
+                );
+            }
+        }
+    }
+}

@@ -14,7 +14,8 @@
 //! `400`/`413` by the server), never a panic and never an allocation
 //! sized by attacker-controlled numbers.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line or header line, in bytes (including
 /// the CRLF). Longer lines abort the parse before buffering more.
@@ -29,6 +30,136 @@ pub const MAX_BODY: u64 = 64 * 1024;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Marker payload of the error [`DeadlineReader`] returns when a peer
+/// takes longer than the per-request deadline to deliver a request.
+#[derive(Debug)]
+struct DeadlineExceeded;
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("request deadline exceeded")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// True when `e` is the per-request deadline tripping (the caller
+/// answers `408` and closes), as opposed to an ordinary socket timeout
+/// tick (the caller's idle bookkeeping).
+pub fn is_deadline_error(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<DeadlineExceeded>())
+}
+
+/// A `BufRead` adapter that turns a poll-timeout socket into a
+/// slowloris-proof request source.
+///
+/// The underlying stream has a short read timeout ([`READ_POLL`]
+/// upstream), so a silent peer surfaces `WouldBlock` every poll tick.
+/// Without this adapter two attacks hold a connection worker forever:
+///
+/// - **trickle**: a peer feeding one byte per tick never surfaces
+///   `WouldBlock` at all, so the caller's idle check never runs — yet
+///   at 64 headers x 8 KiB a request can be dripped out for hours;
+/// - **mid-request stall**: a peer sending half a request then going
+///   quiet surfaces `WouldBlock` to a parser that has already consumed
+///   the half, so treating it as an idle tick corrupts the stream.
+///
+/// The adapter starts a clock at the first byte of each request
+/// (cleared by [`DeadlineReader::end_request`]). While the clock runs,
+/// poll timeouts are absorbed and retried — never shown to the caller —
+/// until the deadline lapses, at which point every read fails with a
+/// [`is_deadline_error`] error whether the peer trickles or stalls.
+/// With no request in flight, poll timeouts pass through unchanged: the
+/// caller's idle accounting keeps working between requests.
+#[derive(Debug)]
+pub struct DeadlineReader<R> {
+    inner: R,
+    limit: Duration,
+    request_start: Option<Instant>,
+}
+
+impl<R: BufRead> DeadlineReader<R> {
+    /// Wraps `inner`, allowing each request at most `limit` from its
+    /// first byte to its last.
+    pub fn new(inner: R, limit: Duration) -> Self {
+        DeadlineReader {
+            inner,
+            limit,
+            request_start: None,
+        }
+    }
+
+    /// Clears the per-request clock; call after a request has been
+    /// fully parsed.
+    pub fn end_request(&mut self) {
+        self.request_start = None;
+    }
+
+    /// The wrapped reader (e.g. to inspect its buffer for pipelining).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    fn deadline_error() -> io::Error {
+        io::Error::new(io::ErrorKind::TimedOut, DeadlineExceeded)
+    }
+}
+
+impl<R: BufRead> Read for DeadlineReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for DeadlineReader<R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        loop {
+            if let Some(start) = self.request_start {
+                // Checked on every call, not just on timeouts: a
+                // trickling peer that always has a byte ready must
+                // still hit the deadline.
+                if start.elapsed() >= self.limit {
+                    return Err(Self::deadline_error());
+                }
+            }
+            // The borrow checker cannot see that the `Ok` branch's
+            // borrow ends when we loop, so probe errors first.
+            match self.inner.fill_buf() {
+                Ok(chunk) => {
+                    if !chunk.is_empty() && self.request_start.is_none() {
+                        self.request_start = Some(Instant::now());
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.request_start.is_none() {
+                        // True idle tick: no request in flight, let the
+                        // caller do its idle accounting.
+                        return Err(e);
+                    }
+                    // Mid-request stall: absorb and re-poll until the
+                    // deadline says otherwise.
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+            return self.inner.fill_buf();
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
 }
 
 /// One parsed request: method, decoded path, query pairs, and the
@@ -218,6 +349,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
@@ -368,6 +500,131 @@ mod tests {
         let err = parse(huge.as_bytes()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("MAX_BODY"));
+    }
+
+    /// A scripted `BufRead`: each step is either bytes to serve or a
+    /// `WouldBlock` tick, mimicking a poll-timeout socket.
+    struct Script {
+        steps: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+        current: Vec<u8>,
+        pos: usize,
+        /// Once the steps run out: `true` stalls with `WouldBlock`
+        /// forever (a peer gone silent), `false` is a clean EOF.
+        stall: bool,
+    }
+
+    impl Script {
+        fn new(steps: Vec<Result<&[u8], io::ErrorKind>>) -> Self {
+            Script {
+                steps: steps.into_iter().map(|s| s.map(<[u8]>::to_vec)).collect(),
+                current: Vec::new(),
+                pos: 0,
+                stall: false,
+            }
+        }
+
+        fn then_stall(mut self) -> Self {
+            self.stall = true;
+            self
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            unreachable!("DeadlineReader drives fill_buf/consume only")
+        }
+    }
+
+    impl BufRead for Script {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.pos >= self.current.len() {
+                match self.steps.pop_front() {
+                    Some(Ok(bytes)) => {
+                        self.current = bytes;
+                        self.pos = 0;
+                    }
+                    Some(Err(kind)) => return Err(io::Error::new(kind, "scripted timeout")),
+                    None if self.stall => {
+                        return Err(io::Error::new(io::ErrorKind::WouldBlock, "scripted stall"))
+                    }
+                    None => {
+                        self.current = Vec::new();
+                        self.pos = 0;
+                    }
+                }
+            }
+            Ok(&self.current[self.pos..])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn deadline_reader_passes_idle_ticks_through() {
+        // No request in flight: the WouldBlock tick must surface so the
+        // server's idle accounting keeps working.
+        let script = Script::new(vec![Err(io::ErrorKind::WouldBlock)]);
+        let mut r = DeadlineReader::new(script, Duration::from_secs(5));
+        let err = read_request(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(!is_deadline_error(&err));
+    }
+
+    #[test]
+    fn deadline_reader_absorbs_mid_request_ticks() {
+        // Half a request, a stall tick, the other half: the request
+        // must parse — the partial bytes are never dropped as "idle".
+        let script = Script::new(vec![
+            Ok(&b"GET /healthz HT"[..]),
+            Err(io::ErrorKind::WouldBlock),
+            Ok(&b"TP/1.1\r\n\r\n"[..]),
+        ]);
+        let mut r = DeadlineReader::new(script, Duration::from_secs(5));
+        let req = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn deadline_reader_times_out_a_stalled_request() {
+        // First byte arrived, then the peer goes quiet forever: once
+        // the deadline lapses every read fails with the marker error.
+        let script = Script::new(vec![Ok(&b"GET /h"[..])]).then_stall();
+        let mut r = DeadlineReader::new(script, Duration::from_millis(30));
+        let err = read_request(&mut r).unwrap_err();
+        assert!(is_deadline_error(&err), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn deadline_reader_times_out_a_trickling_request() {
+        // The peer always has a byte ready (never a WouldBlock), so
+        // only the every-call elapsed check can stop it. A zero
+        // deadline is already expired once the first byte starts the
+        // clock, so the second fill_buf must refuse.
+        let request = b"GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n";
+        let steps: Vec<Result<&[u8], io::ErrorKind>> =
+            request.iter().map(std::slice::from_ref).map(Ok).collect();
+        let mut r = DeadlineReader::new(Script::new(steps), Duration::ZERO);
+        let err = read_request(&mut r).unwrap_err();
+        assert!(is_deadline_error(&err), "{err}");
+    }
+
+    #[test]
+    fn deadline_reader_clock_resets_between_requests() {
+        let script = Script::new(vec![Ok(
+            &b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"[..]
+        )]);
+        let mut r = DeadlineReader::new(script, Duration::from_millis(50));
+        let first = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        r.end_request();
+        // Long after the first request's clock would have expired, the
+        // second (already-buffered) request still parses.
+        std::thread::sleep(Duration::from_millis(60));
+        let second = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
     }
 
     #[test]

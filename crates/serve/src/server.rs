@@ -94,6 +94,11 @@ pub struct ServeConfig {
     pub snapshot: PathBuf,
     /// Keep-alive connections idle longer than this are closed.
     pub idle_timeout: Duration,
+    /// Longest a peer may take to deliver one request, measured from
+    /// its first byte — the slowloris guard. A peer that trickles or
+    /// stalls past this gets `408` and the connection closes, freeing
+    /// the worker.
+    pub request_deadline: Duration,
     /// Thread budget for snapshot (re)builds from a clique log.
     pub rebuild_threads: Threads,
     /// Percolation engine for snapshot (re)builds from a clique log
@@ -111,6 +116,7 @@ impl ServeConfig {
             threads: 4,
             snapshot: snapshot.into(),
             idle_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(5),
             rebuild_threads: Threads::Auto,
             mode: cpm::Mode::Exact,
         }
@@ -173,6 +179,7 @@ pub struct Server {
     state: Arc<State>,
     threads: usize,
     idle_timeout: Duration,
+    request_deadline: Duration,
     pool: Pool,
 }
 
@@ -209,6 +216,7 @@ impl Server {
             }),
             threads: config.threads.max(1),
             idle_timeout: config.idle_timeout,
+            request_deadline: config.request_deadline,
             pool: Pool::new(),
         })
     }
@@ -286,12 +294,18 @@ impl Server {
         queue.close();
     }
 
-    /// Serves one connection keep-alive until EOF, idle timeout, parse
-    /// failure, or cancellation.
+    /// Serves one connection keep-alive until EOF, idle timeout,
+    /// request deadline, parse failure, or cancellation.
     fn serve_connection(&self, stream: TcpStream, cancel: &CancelToken) -> io::Result<()> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(READ_POLL))?;
-        let mut reader = BufReader::new(stream.try_clone()?);
+        // The DeadlineReader turns the poll-timeout socket into a
+        // slowloris-proof source: mid-request timeouts are absorbed (so
+        // partially-read requests are never dropped as "idle"), while a
+        // peer trickling or stalling past `request_deadline` gets a
+        // distinguished error answered with 408 below.
+        let mut reader =
+            http::DeadlineReader::new(BufReader::new(stream.try_clone()?), self.request_deadline);
         let mut writer = BufWriter::new(stream);
         let mut idle_since = Instant::now();
         loop {
@@ -301,6 +315,7 @@ impl Server {
             match http::read_request(&mut reader) {
                 Ok(None) => break,
                 Ok(Some(req)) => {
+                    reader.end_request();
                     idle_since = Instant::now();
                     let (status, body) = self.route(&req, cancel);
                     self.state.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -312,7 +327,7 @@ impl Server {
                     // Pipelining: flush only once the peer has nothing
                     // more buffered, so a batch of requests costs one
                     // syscall each way.
-                    if reader.buffer().is_empty() {
+                    if reader.get_ref().buffer().is_empty() {
                         writer.flush()?;
                     }
                     if !keep {
@@ -320,11 +335,22 @@ impl Server {
                         break;
                     }
                 }
+                Err(e) if http::is_deadline_error(&e) => {
+                    // Slowloris: the peer spent the whole request
+                    // deadline without completing one request.
+                    self.state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    self.state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let body = json::error("request deadline exceeded");
+                    http::write_response(&mut writer, 408, &body, false)?;
+                    writer.flush()?;
+                    break;
+                }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    // Idle poll tick: nothing to read for READ_POLL.
+                    // Idle poll tick: nothing to read for READ_POLL and
+                    // no request in flight.
                     writer.flush()?;
                     if idle_since.elapsed() >= self.idle_timeout {
                         break;

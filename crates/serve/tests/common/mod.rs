@@ -23,9 +23,20 @@ impl TestServer {
     /// Binds on port 0 and serves `snapshot` with `threads` handler
     /// workers until dropped.
     pub fn start(snapshot: &std::path::Path, threads: usize) -> TestServer {
+        Self::start_with(snapshot, threads, |_| {})
+    }
+
+    /// Like [`TestServer::start`], with a hook to tweak the config
+    /// (timeouts, deadlines) before binding.
+    pub fn start_with(
+        snapshot: &std::path::Path,
+        threads: usize,
+        tweak: impl FnOnce(&mut ServeConfig),
+    ) -> TestServer {
         let mut config = ServeConfig::new("127.0.0.1:0", snapshot);
         config.threads = threads;
         config.idle_timeout = Duration::from_secs(30);
+        tweak(&mut config);
         let token = CancelToken::new();
         let server = Server::bind(&config, &token).expect("bind test server");
         let addr = server.local_addr().expect("local addr");

@@ -1,0 +1,136 @@
+//! Slowloris regression tests: a stalling or trickling client must not
+//! pin a connection worker past the per-request deadline.
+//!
+//! The server runs with a single handler worker, so one held connection
+//! blocks every other client — exactly the resource the attack targets.
+//! Each test then proves the worker comes back: a well-behaved client
+//! gets served after the hostile one is cut off.
+
+mod common;
+
+use common::{fixture_log, Client, TestServer};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_millis(300);
+
+fn hostile_stream(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream
+}
+
+/// Reads until EOF, returning everything the server sent.
+fn drain(stream: &mut TcpStream) -> String {
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn stalled_request_gets_408_and_frees_the_worker() {
+    let log = fixture_log("slowloris_stall.cliquelog");
+    let server = TestServer::start_with(&log, 1, |c| c.request_deadline = DEADLINE);
+
+    // Half a request, then silence: the worker must not treat the stall
+    // as idle (the bytes are a request in progress), and must not wait
+    // past the deadline either.
+    let mut hostile = hostile_stream(server.addr);
+    hostile
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: sl")
+        .expect("partial request");
+    let start = Instant::now();
+    let answer = drain(&mut hostile);
+    assert!(
+        answer.starts_with("HTTP/1.1 408 Request Timeout\r\n"),
+        "stalled client should get 408, got: {answer:?}"
+    );
+    // Freed within the deadline plus scheduling slack, not the 30s idle
+    // timeout the connection would otherwise ride out.
+    assert!(
+        start.elapsed() < DEADLINE + Duration::from_secs(5),
+        "worker held for {:?}",
+        start.elapsed()
+    );
+
+    // The single worker is free again: a normal client is served.
+    let (status, body) = server.get("/healthz");
+    assert_eq!(status, 200, "{body}");
+}
+
+#[test]
+fn trickling_request_gets_cut_off() {
+    let log = fixture_log("slowloris_trickle.cliquelog");
+    let server = TestServer::start_with(&log, 1, |c| c.request_deadline = DEADLINE);
+
+    // One byte every 50ms — each gap is far below the 100ms read-poll
+    // timeout, so without the per-request deadline the worker would
+    // never see a single WouldBlock and the drip could run for hours.
+    let request = b"GET /healthz HTTP/1.1\r\nHost: trickle-attack-padding\r\n\r\n";
+    let mut hostile = hostile_stream(server.addr);
+    let start = Instant::now();
+    let mut cut_off = false;
+    for byte in request.iter() {
+        if hostile.write_all(std::slice::from_ref(byte)).is_err() {
+            cut_off = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        if start.elapsed() > DEADLINE + Duration::from_secs(5) {
+            break;
+        }
+    }
+    let answer = drain(&mut hostile);
+    assert!(
+        cut_off || answer.starts_with("HTTP/1.1 408 "),
+        "trickling client should be cut off or answered 408, got: {answer:?}"
+    );
+
+    // The worker survives for honest traffic.
+    let (status, body) = server.get("/healthz");
+    assert_eq!(status, 200, "{body}");
+}
+
+#[test]
+fn slow_but_legitimate_request_still_succeeds() {
+    let log = fixture_log("slowloris_slow_ok.cliquelog");
+    let server = TestServer::start_with(&log, 1, |c| c.request_deadline = DEADLINE);
+
+    // A request split across two writes with a pause well under the
+    // deadline but over the 100ms read poll: the mid-request WouldBlock
+    // must be absorbed, not treated as idle (which used to drop the
+    // first half of the request on the floor).
+    let mut stream = hostile_stream(server.addr);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHos")
+        .expect("first half");
+    std::thread::sleep(Duration::from_millis(150));
+    stream
+        .write_all(b"t: slow\r\nConnection: close\r\n\r\n")
+        .expect("second half");
+    let answer = drain(&mut stream);
+    assert!(
+        answer.starts_with("HTTP/1.1 200 OK\r\n"),
+        "split request should parse whole, got: {answer:?}"
+    );
+}
+
+#[test]
+fn deadline_is_per_request_not_per_connection() {
+    let log = fixture_log("slowloris_keepalive.cliquelog");
+    let server = TestServer::start_with(&log, 1, |c| c.request_deadline = DEADLINE);
+
+    // A keep-alive connection issuing requests with pauses between them
+    // outlives many deadlines: the clock only runs while a request is
+    // in flight.
+    let mut client = Client::connect(server.addr);
+    for _ in 0..3 {
+        let (status, _) = client.request("GET", "/healthz");
+        assert_eq!(status, 200);
+        std::thread::sleep(DEADLINE / 2);
+    }
+}

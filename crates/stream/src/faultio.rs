@@ -132,12 +132,15 @@ impl LogSink for FaultyWriter {
 
 /// A `Read` wrapper that XORs `mask` into the byte at `offset` as it
 /// streams past — one silently flipped bit (or several) on the read
-/// path, which checksummed readers must catch.
+/// path, which checksummed readers must catch — and/or dies after a
+/// byte budget (the read-side `kill -9`: an NFS mount going away, a
+/// pipe's writer crashing mid-transfer).
 #[derive(Debug)]
 pub struct FaultyReader<R> {
     inner: R,
     offset: u64,
     mask: u8,
+    kill_after: Option<u64>,
     position: u64,
 }
 
@@ -148,6 +151,20 @@ impl<R: Read> FaultyReader<R> {
             inner,
             offset,
             mask,
+            kill_after: None,
+            position: 0,
+        }
+    }
+
+    /// Yields at most `n` bytes, then fails every further read with a
+    /// non-`Interrupted` I/O error. `mask = 0` makes this a pure
+    /// truncation-with-error source.
+    pub fn kill_after(inner: R, n: u64) -> Self {
+        FaultyReader {
+            inner,
+            offset: 0,
+            mask: 0,
+            kill_after: Some(n),
             position: 0,
         }
     }
@@ -155,9 +172,17 @@ impl<R: Read> FaultyReader<R> {
 
 impl<R: Read> Read for FaultyReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.inner.read(buf)?;
+        let mut want = buf.len();
+        if let Some(limit) = self.kill_after {
+            let remaining = limit.saturating_sub(self.position);
+            if remaining == 0 {
+                return Err(io::Error::other("injected fault: read source is dead"));
+            }
+            want = want.min(remaining as usize);
+        }
+        let n = self.inner.read(&mut buf[..want])?;
         let start = self.position;
-        if self.offset >= start && self.offset < start + n as u64 {
+        if self.mask != 0 && self.offset >= start && self.offset < start + n as u64 {
             buf[(self.offset - start) as usize] ^= self.mask;
         }
         self.position += n as u64;
@@ -240,6 +265,17 @@ mod tests {
         }
         assert_eq!(got, cliques);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn faulty_reader_kill_after_yields_exact_prefix_then_errors() {
+        let data = vec![7u8; 100];
+        let mut r = FaultyReader::kill_after(&data[..], 33);
+        let mut out = Vec::new();
+        let err = r.read_to_end(&mut out).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_ne!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(out, vec![7u8; 33]);
     }
 
     #[test]
