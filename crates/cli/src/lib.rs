@@ -593,14 +593,20 @@ impl Command {
             }),
             "ingest" => {
                 // Unlike every other flag, --input repeats: sources
-                // merge in command-line order.
-                let inputs: Vec<PathBuf> = rest
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| a.as_str() == "--input")
-                    .filter_map(|(i, _)| rest.get(i + 1))
-                    .map(PathBuf::from)
-                    .collect();
+                // merge in command-line order. A missing value, or one
+                // that is itself a flag, is a usage error — otherwise a
+                // mistyped command fails later with a misleading
+                // file-open error on a path like "--check".
+                let mut inputs: Vec<PathBuf> = Vec::new();
+                for (i, a) in rest.iter().enumerate() {
+                    if a != "--input" {
+                        continue;
+                    }
+                    match rest.get(i + 1) {
+                        Some(v) if !v.starts_with("--") => inputs.push(PathBuf::from(v)),
+                        _ => return Err("--input needs a file path".to_owned()),
+                    }
+                }
                 if inputs.is_empty() {
                     return Err("ingest needs at least one --input <file>".to_owned());
                 }
@@ -1176,16 +1182,46 @@ impl Command {
                     return Ok(());
                 }
                 let out = out.as_ref().expect("parse guarantees out xor check");
-                std::fs::write(out, asgraph::io::to_edge_list_string(&outcome.graph))
-                    .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-                if let Some(map) = map {
+                let edges = asgraph::io::to_edge_list_string(&outcome.graph);
+                let table = map.as_ref().map(|_| {
                     let mut table = String::from("# internal_id as_number\n");
                     for (internal, external) in outcome.external_ids.iter().enumerate() {
                         use std::fmt::Write as _;
                         let _ = writeln!(table, "{internal} {external}");
                     }
-                    std::fs::write(map, table)
-                        .map_err(|e| format!("cannot write {}: {e}", map.display()))?;
+                    table
+                });
+                // Failed runs write nothing: both outputs are staged as
+                // .tmp siblings and renamed into place only after every
+                // write succeeds, so a map failure cannot leave a fresh
+                // out file behind.
+                let out_tmp = tmp_sibling(out);
+                let map_tmp = map.as_ref().map(|m| tmp_sibling(m));
+                let staged = (|| -> Result<(), String> {
+                    std::fs::write(&out_tmp, &edges)
+                        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+                    if let (Some(m), Some(m_tmp), Some(table)) = (map, &map_tmp, &table) {
+                        std::fs::write(m_tmp, table)
+                            .map_err(|e| format!("cannot write {}: {e}", m.display()))?;
+                    }
+                    std::fs::rename(&out_tmp, out)
+                        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+                    if let (Some(m), Some(m_tmp)) = (map, &map_tmp) {
+                        std::fs::rename(m_tmp, m).map_err(|e| {
+                            // The out file is already in place; take it
+                            // back out so the contract holds.
+                            let _ = std::fs::remove_file(out);
+                            format!("cannot write {}: {e}", m.display())
+                        })?;
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = staged {
+                    let _ = std::fs::remove_file(&out_tmp);
+                    if let Some(m_tmp) = &map_tmp {
+                        let _ = std::fs::remove_file(m_tmp);
+                    }
+                    return Err(e.into());
                 }
                 // Counters go to stderr: stdout stays byte-clean for
                 // pipelines, like every other verb's notices.
@@ -1226,6 +1262,17 @@ impl Command {
             }
         }
     }
+}
+
+/// The `.tmp` staging sibling of an output path (same directory, so
+/// the final rename is atomic on every real filesystem).
+fn tmp_sibling(path: &std::path::Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("out"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 /// Builds the cooperative-cancellation token for a long command: an

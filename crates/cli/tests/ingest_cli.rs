@@ -99,6 +99,31 @@ fn corrupt_input_exits_65_with_position_and_writes_nothing() {
 }
 
 #[test]
+fn failed_map_write_leaves_no_out_file() {
+    let dir = tmp_dir("atomic");
+    let out = dir.join("graph.edges");
+    let map = dir.join("no/such/dir/graph.map");
+    let output = bin()
+        .args(["ingest", "--input"])
+        .arg(corpus("valid.edges"))
+        .arg("--out")
+        .arg(&out)
+        .arg("--map")
+        .arg(&map)
+        .output()
+        .expect("spawn ingest");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    assert!(
+        !out.exists(),
+        "a failed run must not leave a partial output behind"
+    );
+    assert!(
+        !dir.join("graph.edges.tmp").exists(),
+        "staging files are cleaned up on failure"
+    );
+}
+
+#[test]
 fn lenient_mode_salvages_the_same_input() {
     let dir = tmp_dir("lenient");
     let out = dir.join("salvaged.edges");
@@ -151,6 +176,10 @@ fn usage_errors_exit_2() {
         vec![
             "ingest", "--input", "/tmp/x", "--check", "--format", "banana",
         ],
+        // --input swallowing the next flag, or trailing with no value,
+        // is a usage error, not a file named "--check".
+        vec!["ingest", "--input", "--check", "--out", "/tmp/x.edges"],
+        vec!["ingest", "--check", "--input"],
     ] {
         let output = bin().args(&args).output().expect("spawn ingest");
         assert_eq!(output.status.code(), Some(2), "{args:?}: {output:?}");

@@ -56,6 +56,10 @@ impl Format {
 
     /// Content-only detection over the first chunk of a source.
     pub fn sniff(head: &[u8]) -> Format {
+        // LineReader strips a leading UTF-8 BOM before parsing; sniff
+        // the same bytes the parser will see, or a BOM'd AS-links file
+        // misdetects (first field becomes BOM+tag).
+        let head = head.strip_prefix(b"\xEF\xBB\xBF".as_slice()).unwrap_or(head);
         for line in head.split(|&b| b == b'\n') {
             let line = trim_ascii(line);
             if line.is_empty() || line[0] == b'#' {
@@ -135,6 +139,13 @@ mod tests {
         assert_eq!(Format::sniff(b""), Format::EdgeList);
         // "Dense" numeric first field is not a tag.
         assert_eq!(Format::sniff(b"12 34\n"), Format::EdgeList);
+    }
+
+    #[test]
+    fn sniffing_ignores_a_leading_bom() {
+        assert_eq!(Format::sniff(b"\xEF\xBB\xBFD\t1\t2\n"), Format::AsLinks);
+        assert_eq!(Format::sniff(b"\xEF\xBB\xBF1,2\n"), Format::Dimes);
+        assert_eq!(Format::sniff(b"\xEF\xBB\xBF1 2\n"), Format::EdgeList);
     }
 
     #[test]

@@ -18,8 +18,10 @@ pub(crate) enum LineOutcome {
     /// A complete line is in the buffer (newline and `\r` stripped).
     Line,
     /// The current line exceeds the per-line cap. The buffer holds the
-    /// bounded prefix; the remainder of the line is still unconsumed —
-    /// a lenient caller uses [`LineReader::discard_line`] to skip it.
+    /// bounded prefix; any unconsumed remainder of the line is skipped
+    /// by [`LineReader::discard_line`], which a lenient caller must
+    /// invoke before the next [`LineReader::next_line`] (it is a no-op
+    /// when the line's newline already fell inside the bounded window).
     TooLong,
 }
 
@@ -44,6 +46,12 @@ pub(crate) struct LineReader<R> {
     bytes_consumed: u64,
     /// Set once the (possible) UTF-8 BOM has been handled.
     started: bool,
+    /// True when the current line's terminator (newline or EOF) has
+    /// already been consumed. An over-long line whose newline fell
+    /// inside the bounded copy window is fully consumed despite the
+    /// `TooLong` outcome; [`LineReader::discard_line`] must then be a
+    /// no-op or it would swallow the *next* line.
+    terminated: bool,
 }
 
 impl<R: BufRead> LineReader<R> {
@@ -70,6 +78,7 @@ impl<R: BufRead> LineReader<R> {
             max_line,
             bytes_consumed: 0,
             started: false,
+            terminated: true,
         }
     }
 
@@ -122,6 +131,7 @@ impl<R: BufRead> LineReader<R> {
                 if !on_line {
                     return Ok(LineOutcome::Eof);
                 }
+                self.terminated = true;
                 self.strip_cr();
                 return Ok(self.classify());
             }
@@ -146,6 +156,7 @@ impl<R: BufRead> LineReader<R> {
                     self.buf.extend_from_slice(&chunk[..nl]);
                     self.charge_bytes(nl as u64 + 1)?;
                     self.inner.consume(nl + 1);
+                    self.terminated = true;
                     self.strip_cr();
                     return Ok(self.classify());
                 }
@@ -154,6 +165,7 @@ impl<R: BufRead> LineReader<R> {
                     self.charge_bytes(take as u64)?;
                     self.inner.consume(take);
                     if self.buf.len() > self.max_line + 1 {
+                        self.terminated = false;
                         return Ok(LineOutcome::TooLong);
                     }
                 }
@@ -162,8 +174,14 @@ impl<R: BufRead> LineReader<R> {
     }
 
     /// Consumes (and charges) the unconsumed remainder of an over-long
-    /// line, through its newline or EOF — the lenient skip path.
+    /// line, through its newline or EOF — the lenient skip path. A
+    /// no-op when the line's terminator was already consumed (its
+    /// newline fell inside the bounded copy window), so a following
+    /// valid record is never swallowed.
     pub(crate) fn discard_line(&mut self) -> Result<(), LineError> {
+        if self.terminated {
+            return Ok(());
+        }
         loop {
             let chunk = match self.inner.fill_buf() {
                 Ok(c) => c,
@@ -171,12 +189,14 @@ impl<R: BufRead> LineReader<R> {
                 Err(e) => return Err(LineError::Io(e)),
             };
             if chunk.is_empty() {
+                self.terminated = true;
                 return Ok(());
             }
             match chunk.iter().position(|&b| b == b'\n') {
                 Some(nl) => {
                     self.charge_bytes(nl as u64 + 1)?;
                     self.inner.consume(nl + 1);
+                    self.terminated = true;
                     return Ok(());
                 }
                 None => {
@@ -279,6 +299,42 @@ mod tests {
         assert!(matches!(r.next_line().unwrap(), LineOutcome::Line));
         assert_eq!(r.line(), b"ok");
         assert_eq!(r.line_no(), 2);
+    }
+
+    #[test]
+    fn barely_overlong_line_does_not_swallow_the_next_record() {
+        // One byte over the cap: the newline lands inside the bounded
+        // copy window, so next_line consumes it before returning
+        // TooLong. The lenient skip (discard_line) must then be a
+        // no-op, not eat through the NEXT newline.
+        for ending in [&b"\n"[..], b"\r\n"] {
+            let mut data = vec![b'a'; 9];
+            data.extend_from_slice(ending);
+            data.extend_from_slice(b"3 4");
+            data.extend_from_slice(ending);
+            data.extend_from_slice(b"5 6");
+            data.extend_from_slice(ending);
+            let mut r = reader(&data, 8);
+            assert!(matches!(r.next_line().unwrap(), LineOutcome::TooLong));
+            assert_eq!(r.line_no(), 1);
+            r.discard_line().unwrap();
+            assert!(matches!(r.next_line().unwrap(), LineOutcome::Line));
+            assert_eq!(r.line(), b"3 4");
+            assert_eq!(r.line_no(), 2);
+            assert!(matches!(r.next_line().unwrap(), LineOutcome::Line));
+            assert_eq!(r.line(), b"5 6");
+            assert_eq!(r.line_no(), 3);
+            assert!(matches!(r.next_line().unwrap(), LineOutcome::Eof));
+        }
+    }
+
+    #[test]
+    fn overlong_final_line_without_newline_is_skippable() {
+        let data = vec![b'a'; 100];
+        let mut r = reader(&data, 8);
+        assert!(matches!(r.next_line().unwrap(), LineOutcome::TooLong));
+        r.discard_line().unwrap();
+        assert!(matches!(r.next_line().unwrap(), LineOutcome::Eof));
     }
 
     #[test]

@@ -52,6 +52,28 @@ fn fingerprint(out: &IngestOutcome) -> (String, Vec<u32>, u64, u64) {
 
 const FORMATS: [Format; 3] = [Format::EdgeList, Format::AsLinks, Format::Dimes];
 
+/// A line one byte over the cap has its newline inside the reader's
+/// bounded copy window, so the terminator is consumed before `TooLong`
+/// is reported. The lenient skip must not then discard through the
+/// *next* newline — that would silently drop the following valid
+/// record (per-line atomicity of the lenient contract).
+#[test]
+fn barely_overlong_line_keeps_following_records_in_lenient_mode() {
+    let limit = ingest::Limits::default().max_line_bytes;
+    for ending in ["\n", "\r\n"] {
+        let mut input = "a".repeat(limit + 1);
+        input.push_str(ending);
+        input.push_str(&format!("3 4{ending}5 6{ending}"));
+        let out = ingest_bytes(input.as_bytes(), Format::EdgeList, true)
+            .expect("lenient ingest must succeed");
+        let s = &out.report.sources[0];
+        assert_eq!(s.lines, 3, "all three lines are seen ({ending:?})");
+        assert_eq!(s.records, 2, "both valid records survive ({ending:?})");
+        assert_eq!(s.skipped.total(), 1, "the over-long line is counted");
+        assert_eq!(out.graph.edge_count(), 2);
+    }
+}
+
 proptest! {
     /// Valid renderings round-trip in strict mode: every record is
     /// accepted and the cleaned graph matches an independent cleanup of

@@ -299,6 +299,13 @@ impl Server {
     fn serve_connection(&self, stream: TcpStream, cancel: &CancelToken) -> io::Result<()> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(READ_POLL))?;
+        // The read side is deadline-guarded below; the write side needs
+        // its own guard or a peer that sends requests without ever
+        // reading responses pins this worker on flush once the socket
+        // buffer fills — the slowloris variant on the write path.
+        if !self.request_deadline.is_zero() {
+            stream.set_write_timeout(Some(self.request_deadline))?;
+        }
         // The DeadlineReader turns the poll-timeout socket into a
         // slowloris-proof source: mid-request timeouts are absorbed (so
         // partially-read requests are never dropped as "idle"), while a
